@@ -1,0 +1,94 @@
+"""Theorem 8.1: scaling behaviour of the additive approximation scheme.
+
+Two sweeps, matching the two parameters the scheme's cost depends on:
+
+* the error level ``eps`` (cost proportional to ``1/eps^2`` samples), the
+  same law Figure 1 exhibits; and
+* the number of *relevant* nulls per candidate (cost per sample is linear in
+  the formula size / dimension), which the paper's optimisation of Section 9
+  keeps small in practice.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.certainty import AfprasOptions, afpras_measure
+from repro.constraints.atoms import Comparison, Constraint
+from repro.constraints.formula import And, Atom
+from repro.constraints.polynomials import Polynomial
+from repro.constraints.translate import TranslationResult
+from repro.geometry.montecarlo import hoeffding_sample_size
+from repro.relational.values import NumNull
+
+
+def chain_translation(dimension: int) -> TranslationResult:
+    """The chain ``z_0 < z_1 < ... < z_{d-1}`` over ``dimension`` nulls."""
+    names = tuple(f"z_c{i}" for i in range(dimension))
+    atoms = tuple(
+        Atom(Constraint(Polynomial.variable(names[i]) - Polynomial.variable(names[i + 1]),
+                        Comparison.LT))
+        for i in range(dimension - 1))
+    return TranslationResult(
+        formula=And(atoms),
+        all_variables=names,
+        relevant_variables=names,
+        null_by_variable={name: NumNull(name.removeprefix("z_")) for name in names},
+    )
+
+
+EPSILONS = (0.1, 0.05, 0.02, 0.01)
+DIMENSIONS = (2, 4, 8, 16, 32)
+
+
+def test_epsilon_scaling_table(capsys):
+    """Measured runtime follows the 1/eps^2 sample-size law."""
+    translation = chain_translation(4)
+    rows = []
+    for epsilon in EPSILONS:
+        start = time.perf_counter()
+        afpras_measure(translation, AfprasOptions(epsilon=epsilon), rng=0)
+        rows.append((epsilon, time.perf_counter() - start, hoeffding_sample_size(epsilon)))
+    with capsys.disabled():
+        print()
+        print("AFPRAS cost vs error level (4 relevant nulls):")
+        print("  eps     time (s)   samples")
+        for epsilon, seconds, samples in rows:
+            print(f"  {epsilon:5.3f}  {seconds:9.3f}   {samples}")
+    assert rows[-1][2] > rows[0][2] * 20  # 0.01 needs >20x the samples of 0.1
+
+
+def test_dimension_scaling_table(capsys):
+    """Measured runtime grows roughly linearly with the number of relevant nulls."""
+    rows = []
+    for dimension in DIMENSIONS:
+        translation = chain_translation(dimension)
+        start = time.perf_counter()
+        value = afpras_measure(translation, AfprasOptions(epsilon=0.05), rng=0).value
+        rows.append((dimension, time.perf_counter() - start, value))
+    with capsys.disabled():
+        print()
+        print("AFPRAS cost vs number of relevant nulls (eps = 0.05):")
+        print("  nulls   time (s)   measure (exact value is 1/d!)")
+        for dimension, seconds, value in rows:
+            print(f"  {dimension:5d}  {seconds:9.3f}   {value:.4f}")
+    # The chain ordering probability shrinks to (numerically) zero quickly.
+    assert rows[0][2] == pytest.approx(0.5, abs=0.05)
+
+
+@pytest.mark.parametrize("epsilon", EPSILONS)
+def test_afpras_epsilon_time(benchmark, epsilon):
+    translation = chain_translation(4)
+    benchmark.pedantic(
+        lambda: afpras_measure(translation, AfprasOptions(epsilon=epsilon), rng=0),
+        rounds=3, iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.parametrize("dimension", [2, 8, 32])
+def test_afpras_dimension_time(benchmark, dimension):
+    translation = chain_translation(dimension)
+    benchmark.pedantic(
+        lambda: afpras_measure(translation, AfprasOptions(epsilon=0.05), rng=0),
+        rounds=3, iterations=1, warmup_rounds=1)

@@ -1,0 +1,100 @@
+"""Section 10 extensions: range constraints, distributions, integer lattices.
+
+The paper's future-work section claims the framework adapts easily to range
+constraints on attributes, per-column distributions, and integer-valued
+columns (where volumes become lattice-point counts).  These benchmarks
+exercise the three extensions and check the consistency facts that make them
+sound: the lattice measure converges to the volumetric one, and adding an
+unconstraining range does not change the value.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.certainty import (
+    AfprasOptions,
+    Range,
+    afpras_measure,
+    constrained_certainty,
+    distributional_certainty,
+    lattice_certainty,
+)
+from repro.constraints.atoms import Comparison, Constraint
+from repro.constraints.formula import And, Atom
+from repro.constraints.polynomials import Polynomial
+from repro.constraints.translate import TranslationResult
+from repro.relational.values import NumNull
+
+
+def price_translation() -> TranslationResult:
+    """The intro-style constraint ``price >= 8  and  0.7*rrp <= price``."""
+    price = Polynomial.variable("z_price")
+    rrp = Polynomial.variable("z_rrp")
+    formula = And((
+        Atom(Constraint(price - 8.0, Comparison.GE)),
+        Atom(Constraint(0.7 * rrp - price, Comparison.LE)),
+        Atom(Constraint(rrp, Comparison.GE)),
+    ))
+    names = ("z_price", "z_rrp")
+    return TranslationResult(
+        formula=formula, all_variables=names, relevant_variables=names,
+        null_by_variable={name: NumNull(name.removeprefix("z_")) for name in names})
+
+
+def test_extension_value_table(capsys):
+    translation = price_translation()
+    agnostic = afpras_measure(translation, AfprasOptions(epsilon=0.02), rng=0).value
+    ranged = constrained_certainty(
+        translation,
+        {"z_price": Range(0.0, 1000.0), "z_rrp": Range(0.0, 1000.0)},
+        epsilon=0.02, rng=0).value
+    distributional = distributional_certainty(
+        translation,
+        {"z_price": lambda g: g.uniform(0.0, 1000.0),
+         "z_rrp": lambda g: g.uniform(0.0, 1000.0)},
+        epsilon=0.02, rng=0).value
+    lattice = lattice_certainty(translation, radius=500.0, epsilon=0.02, rng=0).value
+    with capsys.disabled():
+        print()
+        print("Section 10 extensions on the intro-style constraint:")
+        print(f"  agnostic (asymptotic volume)           : {agnostic:.4f}")
+        print(f"  range constraints (both in [0, 1000])  : {ranged:.4f}")
+        print(f"  uniform distributions on [0, 1000]     : {distributional:.4f}")
+        print(f"  integer lattice, radius 500            : {lattice:.4f}")
+    # Range-constrained and distributional variants model the same situation
+    # (both nulls uniform on [0, 1000]) and must agree with each other.
+    assert ranged == pytest.approx(distributional, abs=0.04)
+    # The lattice measure approximates the volumetric (agnostic) one.
+    assert lattice == pytest.approx(agnostic, abs=0.04)
+
+
+def test_unconstraining_range_is_a_no_op(capsys):
+    translation = price_translation()
+    agnostic = afpras_measure(translation, AfprasOptions(epsilon=0.02), rng=1).value
+    half_bounded = constrained_certainty(
+        translation, {"z_rrp": Range(lower=0.0)}, epsilon=0.02, rng=1).value
+    with capsys.disabled():
+        print()
+        print(f"Half-bounded range rrp >= 0: {half_bounded:.4f} "
+              f"(agnostic value restricted to rrp >= 0 should be twice {agnostic:.4f})")
+    # Conditioning on rrp >= 0 doubles the measure of a constraint that
+    # already implies rrp >= 0 (the conditioning event has probability 1/2).
+    assert half_bounded == pytest.approx(2 * agnostic, abs=0.05)
+
+
+@pytest.mark.parametrize("extension", ["ranges", "distributions", "lattice"])
+def test_extension_time(benchmark, extension):
+    translation = price_translation()
+    if extension == "ranges":
+        run = lambda: constrained_certainty(  # noqa: E731
+            translation, {"z_price": Range(0.0, 1000.0)}, epsilon=0.05, rng=0)
+    elif extension == "distributions":
+        run = lambda: distributional_certainty(  # noqa: E731
+            translation,
+            {"z_price": lambda g: g.uniform(0.0, 1000.0),
+             "z_rrp": lambda g: g.uniform(0.0, 1000.0)},
+            epsilon=0.05, rng=0)
+    else:
+        run = lambda: lattice_certainty(translation, radius=500.0, epsilon=0.05, rng=0)  # noqa: E731
+    benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)

@@ -1,0 +1,38 @@
+"""Figure 1, right panel: AFPRAS runtime vs epsilon for *Unfair Discount*.
+
+Paper query (with the missing operator restored, see EXPERIMENTS.md)::
+
+    SELECT O.id FROM Products P, Orders O, Market M
+    WHERE P.id = O.pr AND P.seg = M.seg
+      AND P.rrp * P.dis * O.q <= 0.5 * M.rrp * M.dis LIMIT 25
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from figure1_common import (
+    BENCHMARK_EPSILONS,
+    annotate_candidates,
+    bench_candidates,
+    figure1_series,
+    print_series,
+)
+
+QUERY = "unfair_discount"
+
+
+@pytest.mark.parametrize("epsilon", BENCHMARK_EPSILONS)
+def test_afpras_annotation_time(benchmark, epsilon):
+    """Timed AFPRAS pass over the query's candidates at one error level."""
+    bench_candidates(QUERY)
+    benchmark.pedantic(annotate_candidates, args=(QUERY, epsilon),
+                       rounds=3, iterations=1, warmup_rounds=1)
+
+
+def test_print_full_series(capsys):
+    """Regenerate and print the full 19-point series of the paper's figure."""
+    series = figure1_series(QUERY)
+    with capsys.disabled():
+        print_series(QUERY, series)
+    assert series[0].seconds >= series[-1].seconds * 0.8

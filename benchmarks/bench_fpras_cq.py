@@ -1,0 +1,97 @@
+"""Theorem 7.1: the multiplicative FPRAS for CQ(+,<) queries.
+
+The paper proves the existence of an FPRAS for conjunctive queries with
+linear constraints but evaluates only the additive scheme.  This benchmark
+compares the two (and the exact backend, where available) on generated
+CQ(+,<) instances: the values must agree within the schemes' guarantees, and
+the timing shows the price of the union-of-cones machinery relative to plain
+direction sampling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.certainty import (
+    AfprasOptions,
+    FprasOptions,
+    afpras_measure,
+    exact_measure,
+    fpras_measure,
+)
+from repro.certainty.exact import ExactComputationError
+from repro.constraints.atoms import Comparison, Constraint
+from repro.constraints.formula import And, Atom, Or, disjunction
+from repro.constraints.polynomials import Polynomial
+from repro.constraints.translate import TranslationResult
+from repro.relational.values import NumNull
+
+
+def random_linear_translation(dimension: int, disjuncts: int, atoms_per_disjunct: int,
+                              seed: int) -> TranslationResult:
+    """A random DNF of linear constraints over ``dimension`` nulls."""
+    generator = np.random.default_rng(seed)
+    names = tuple(f"z_n{i}" for i in range(dimension))
+    parts = []
+    for _ in range(disjuncts):
+        atoms = []
+        for _ in range(atoms_per_disjunct):
+            coefficients = generator.uniform(-1.0, 1.0, size=dimension)
+            polynomial = Polynomial.constant(float(generator.uniform(-1.0, 1.0)))
+            for name, coefficient in zip(names, coefficients):
+                polynomial = polynomial + float(coefficient) * Polynomial.variable(name)
+            atoms.append(Atom(Constraint(polynomial, Comparison.LE)))
+        parts.append(And(tuple(atoms)))
+    formula = disjunction(parts)
+    return TranslationResult(
+        formula=formula,
+        all_variables=names,
+        relevant_variables=names,
+        null_by_variable={name: NumNull(name.removeprefix("z_")) for name in names},
+    )
+
+
+def test_agreement_table(capsys):
+    """FPRAS vs AFPRAS (vs exact in 2-D) on random CQ(+,<) formulae."""
+    rows = []
+    for dimension, seed in ((2, 0), (2, 1), (3, 2), (4, 3)):
+        translation = random_linear_translation(dimension, disjuncts=2,
+                                                atoms_per_disjunct=2, seed=seed)
+        multiplicative = fpras_measure(translation, FprasOptions(epsilon=0.03), rng=seed)
+        additive = afpras_measure(translation, AfprasOptions(epsilon=0.02), rng=seed)
+        try:
+            reference = exact_measure(translation).value
+        except ExactComputationError:
+            reference = None
+        rows.append((dimension, seed, multiplicative.value, additive.value, reference))
+        assert multiplicative.value == pytest.approx(additive.value, abs=0.06)
+        if reference is not None:
+            assert multiplicative.value == pytest.approx(reference, abs=0.05)
+            assert additive.value == pytest.approx(reference, abs=0.04)
+    with capsys.disabled():
+        print()
+        print("CQ(+,<): FPRAS (multiplicative) vs AFPRAS (additive) vs exact")
+        print("  dim  seed   FPRAS    AFPRAS   exact")
+        for dimension, seed, fpras_value, afpras_value, reference in rows:
+            exact_text = f"{reference:.4f}" if reference is not None else "   n/a"
+            print(f"  {dimension:3d}  {seed:4d}   {fpras_value:.4f}   "
+                  f"{afpras_value:.4f}   {exact_text}")
+
+
+@pytest.mark.parametrize("dimension", [2, 3, 5])
+def test_fpras_time(benchmark, dimension):
+    translation = random_linear_translation(dimension, disjuncts=3,
+                                            atoms_per_disjunct=2, seed=dimension)
+    benchmark.pedantic(
+        lambda: fpras_measure(translation, FprasOptions(epsilon=0.05), rng=0),
+        rounds=3, iterations=1, warmup_rounds=1)
+
+
+@pytest.mark.parametrize("dimension", [2, 3, 5])
+def test_afpras_time_on_same_input(benchmark, dimension):
+    translation = random_linear_translation(dimension, disjuncts=3,
+                                            atoms_per_disjunct=2, seed=dimension)
+    benchmark.pedantic(
+        lambda: afpras_measure(translation, AfprasOptions(epsilon=0.05), rng=0),
+        rounds=3, iterations=1, warmup_rounds=1)

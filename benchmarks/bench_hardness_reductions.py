@@ -1,0 +1,108 @@
+"""Propositions 6.2 / Theorem 6.3: the measure counts propositional models.
+
+These benchmarks exercise the executable reductions on random 3DNF/3CNF
+instances: the exact (rational) measure of the reduction must equal
+``#psi / 2^n``, and the AFPRAS approximates the same value within its
+additive error on instances too large for exact enumeration.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.certainty import afpras_formula_measure, exact_order_measure
+from repro.hardness import (
+    Literal,
+    PropositionalCNF,
+    PropositionalDNF,
+    cnf_reduction,
+    count_satisfying_assignments,
+    dnf_reduction,
+)
+
+
+def random_dnf(variables: int, terms: int, seed: int) -> PropositionalDNF:
+    generator = np.random.default_rng(seed)
+    names = [f"x{i}" for i in range(variables)]
+    built = []
+    for _ in range(terms):
+        size = int(generator.integers(1, 4))
+        chosen = generator.choice(variables, size=size, replace=False)
+        built.append(tuple(Literal(names[int(i)], bool(generator.integers(0, 2)))
+                           for i in chosen))
+    return PropositionalDNF(terms=tuple(built))
+
+
+def random_cnf(variables: int, clauses: int, seed: int) -> PropositionalCNF:
+    generator = np.random.default_rng(seed)
+    names = [f"x{i}" for i in range(variables)]
+    built = []
+    for _ in range(clauses):
+        size = int(generator.integers(1, 4))
+        chosen = generator.choice(variables, size=size, replace=False)
+        built.append(tuple(Literal(names[int(i)], bool(generator.integers(0, 2)))
+                           for i in chosen))
+    return PropositionalCNF(clauses=tuple(built))
+
+
+def test_model_counting_table(capsys):
+    """Paper-vs-measured: exact measure of the reduction vs brute-force #psi."""
+    rows = []
+    for seed in range(4):
+        dnf = random_dnf(variables=3, terms=3, seed=seed)
+        reduction = dnf_reduction(dnf)
+        expected = Fraction(count_satisfying_assignments(dnf), reduction.denominator)
+        measured = exact_order_measure(reduction.translation())
+        rows.append(("3DNF", seed, expected, measured))
+        assert measured == expected
+    for seed in range(4):
+        cnf = random_cnf(variables=3, clauses=3, seed=seed)
+        reduction = cnf_reduction(cnf)
+        expected = Fraction(count_satisfying_assignments(cnf), reduction.denominator)
+        measured = exact_order_measure(reduction.translation())
+        rows.append(("3CNF", seed, expected, measured))
+        assert measured == expected
+    with capsys.disabled():
+        print()
+        print("Counting reductions: mu(q, D_psi) vs #psi / 2^n")
+        for kind, seed, expected, measured in rows:
+            print(f"  {kind} seed {seed}:  #psi/2^n = {str(expected):>6s}   "
+                  f"measure = {str(measured):>6s}")
+
+
+def test_afpras_on_larger_instance(capsys):
+    """AFPRAS handles instances beyond the reach of exact enumeration."""
+    cnf = random_cnf(variables=12, clauses=18, seed=7)
+    reduction = cnf_reduction(cnf)
+    expected = count_satisfying_assignments(cnf) / reduction.denominator
+    translation = reduction.translation()
+    measured, samples = afpras_formula_measure(
+        translation.formula, translation.relevant_variables, epsilon=0.02, rng=0)
+    with capsys.disabled():
+        print()
+        print(f"3CNF with 12 variables, 18 clauses: #psi/2^n = {expected:.4f}, "
+              f"AFPRAS = {measured:.4f} ({samples} samples)")
+    assert measured == pytest.approx(expected, abs=0.03)
+
+
+@pytest.mark.parametrize("variables", [3, 6, 9])
+def test_afpras_reduction_time(benchmark, variables):
+    """Runtime of the AFPRAS on reductions of growing size."""
+    cnf = random_cnf(variables=variables, clauses=2 * variables, seed=1)
+    translation = cnf_reduction(cnf).translation()
+    benchmark.pedantic(
+        lambda: afpras_formula_measure(translation.formula,
+                                       translation.relevant_variables,
+                                       epsilon=0.05, rng=0),
+        rounds=3, iterations=1, warmup_rounds=1)
+
+
+def test_exact_enumeration_time(benchmark):
+    """Runtime of the exact signed-ordering enumeration (exponential in n)."""
+    dnf = random_dnf(variables=3, terms=3, seed=2)
+    translation = dnf_reduction(dnf).translation()
+    benchmark.pedantic(lambda: exact_order_measure(translation),
+                       rounds=3, iterations=1, warmup_rounds=1)

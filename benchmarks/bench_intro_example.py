@@ -1,0 +1,72 @@
+"""Worked example of the introduction: the campaign query's measure.
+
+The paper computes the asymptotic density of its constraint system (1) as
+``(pi/2 - arctan(10/7)) / (2*pi) ≈ 0.097`` (equivalently ≈ 0.388 of the
+positive quadrant) and notes that lowering product id2's discount raises the
+confidence.  This benchmark regenerates those numbers with every backend and
+times the end-to-end query-level measure.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.certainty import afpras_formula_measure, certainty
+from repro.datagen.intro import (
+    EXPECTED_MEASURE_FORMULA_1,
+    EXPECTED_MEASURE_QUERY,
+    EXPECTED_POSITIVE_QUADRANT,
+    SEGMENT,
+    intro_constraint_formula,
+    intro_database,
+    intro_query,
+)
+
+
+def test_formula_1_value_table(capsys):
+    """Print paper-vs-measured for the constraint system (1)."""
+    formula, variables = intro_constraint_formula()
+    measured, samples = afpras_formula_measure(formula, variables, epsilon=0.005, rng=0)
+    with capsys.disabled():
+        print()
+        print("Introduction example, constraint system (1):")
+        print(f"  paper      nu = {EXPECTED_MEASURE_FORMULA_1:.4f} "
+              f"({EXPECTED_POSITIVE_QUADRANT:.3f} of the positive quadrant)")
+        print(f"  measured   nu = {measured:.4f}   ({samples} samples, eps=0.005)")
+        print(f"  query-derived closed form (inequality as displayed): "
+              f"{EXPECTED_MEASURE_QUERY:.4f}")
+    assert measured == pytest.approx(EXPECTED_MEASURE_FORMULA_1, abs=0.01)
+
+
+def test_query_level_measure(benchmark):
+    """Time the full pipeline (translation + AFPRAS) on the intro database."""
+    database = intro_database()
+    query = intro_query()
+
+    def run():
+        return certainty(query, database, (SEGMENT,), method="afpras",
+                         epsilon=0.05, rng=0).value
+
+    value = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert value == pytest.approx(EXPECTED_MEASURE_QUERY, abs=0.06)
+
+
+def test_discount_sensitivity(capsys):
+    """Lowering the discount multiplier widens the feasible cone (paper's remark)."""
+    from repro.geometry.angles import planar_cone_fraction
+
+    with capsys.disabled():
+        print()
+        print("Sensitivity of the intro example to the discount of product id2")
+        print("  (fraction of the positive quadrant satisfying the constraints):")
+        for discount in (0.9, 0.7, 0.5, 0.3):
+            # Constraint system (1) with 0.7 replaced by `discount`.
+            fraction = planar_cone_fraction([[0.0, -1.0], [-1.0, 0.0],
+                                             [1.0, -discount]])
+            print(f"  discount multiplier {discount:.1f}: "
+                  f"{4 * fraction:.3f} of the positive quadrant")
+    tighter = planar_cone_fraction([[0.0, -1.0], [-1.0, 0.0], [1.0, -0.5]])
+    looser = planar_cone_fraction([[0.0, -1.0], [-1.0, 0.0], [1.0, -0.9]])
+    assert tighter < looser

@@ -1,0 +1,60 @@
+"""Proposition 6.1: closed-form (ir)rational values of the measure.
+
+The proposition's query is ``∃x,y R(x,y) ∧ x ≥ 0 ∧ y ≤ alpha·x`` over a
+single all-null tuple.  The measure is ``1/4 + arctan(alpha)/(2*pi)`` (see
+EXPERIMENTS.md for the discussion of the additive constant), rational exactly
+for ``alpha ∈ {0, ±1}``.  The benchmark times the exact backend and prints
+the paper-vs-measured table.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.certainty import certainty
+from repro.logic.builder import exists, num_var, rel
+from repro.logic.formulas import Query
+from repro.relational.database import Database
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.values import NumNull
+
+ALPHAS = (0.0, 1.0, -1.0, 0.5, 2.0, 10.0)
+
+
+def single_tuple_database() -> Database:
+    schema = DatabaseSchema.of(RelationSchema.of("R", x="num", y="num"))
+    database = Database(schema)
+    database.add("R", (NumNull("1"), NumNull("2")))
+    return database
+
+
+def prop61_query(alpha: float) -> Query:
+    x, y = num_var("x"), num_var("y")
+    return Query(head=(), body=exists([x, y], rel("R", x, y)
+                                      & (x >= 0) & (y <= alpha * x)))
+
+
+def test_value_table(capsys):
+    database = single_tuple_database()
+    with capsys.disabled():
+        print()
+        print("Proposition 6.1: mu = 1/4 + arctan(alpha)/(2*pi)")
+        print("  alpha   measured    closed form   rational?")
+        for alpha in ALPHAS:
+            value = certainty(prop61_query(alpha), database, rng=0).value
+            closed = 0.25 + math.atan(alpha) / (2 * math.pi)
+            rational = "yes" if alpha in (0.0, 1.0, -1.0) else "no"
+            print(f"  {alpha:5.1f}   {value:.6f}    {closed:.6f}     {rational}")
+    for alpha in ALPHAS:
+        value = certainty(prop61_query(alpha), database, rng=0).value
+        assert value == pytest.approx(0.25 + math.atan(alpha) / (2 * math.pi))
+
+
+@pytest.mark.parametrize("alpha", [0.0, 2.0])
+def test_exact_backend_time(benchmark, alpha):
+    database = single_tuple_database()
+    query = prop61_query(alpha)
+    benchmark.pedantic(lambda: certainty(query, database, rng=0).value,
+                       rounds=5, iterations=1, warmup_rounds=1)

@@ -1,0 +1,10 @@
+"""Shared configuration for the benchmark suite."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# The benchmark modules import helpers from this directory (figure1_common);
+# make sure it is importable regardless of how pytest was invoked.
+sys.path.insert(0, str(Path(__file__).resolve().parent))

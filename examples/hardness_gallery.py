@@ -1,0 +1,107 @@
+"""A gallery of the paper's complexity results, run on small instances.
+
+The negative results of Sections 4 and 6 are usually presented as pure
+theory; because this library implements the reductions behind them, they can
+be *executed* on small inputs:
+
+* Proposition 4.1 -- certain answers of CQ(+,·,<) queries encode Hilbert's
+  tenth problem, while the measure of certainty of the same query is
+  trivially 1;
+* Proposition 6.1 -- the measure is irrational for most coefficients;
+* Proposition 6.2 / Theorem 6.3 -- the measure of a fixed CQ(<) / FO(<)
+  query counts satisfying assignments of a propositional formula encoded in
+  the data.
+
+Run with::
+
+    python examples/hardness_gallery.py
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+from repro.certainty import certainty, exact_order_measure
+from repro.constraints.polynomials import Polynomial
+from repro.hardness import (
+    Literal,
+    PropositionalCNF,
+    PropositionalDNF,
+    cnf_reduction,
+    count_satisfying_assignments,
+    diophantine_query,
+    dnf_reduction,
+    has_integer_root_within,
+)
+
+
+def proposition_41() -> None:
+    print("=== Proposition 4.1: certainty is undecidable, the measure is not ===")
+    x, y = Polynomial.variable("x"), Polynomial.variable("y")
+    # p = x^2 - 2 y^2 (no integer roots besides the origin is false: (0,0) is a root)
+    pell = x * x - 2 * (y * y)
+    # p = x^2 + y^2 - 3 (no integer roots at all)
+    no_roots = x * x + y * y - 3
+    for label, polynomial in (("x^2 - 2y^2", pell), ("x^2 + y^2 - 3", no_roots)):
+        query, database = diophantine_query(polynomial)
+        root = has_integer_root_within(polynomial, bound=10)
+        measure = certainty(query, database, epsilon=0.05, rng=0)
+        print(f"  p = {label:<14s} integer root within [-10,10]^2: {str(root):<5s} "
+              f"(certain answer would be {not root});  mu = {measure.value:.3f}")
+    print()
+
+
+def proposition_61() -> None:
+    print("=== Proposition 6.1: the measure can be irrational ===")
+    from repro import Database, DatabaseSchema, NumNull, RelationSchema
+    from repro.logic import Query, exists, num_var, rel
+
+    schema = DatabaseSchema.of(RelationSchema.of("R", x="num", y="num"))
+    database = Database(schema)
+    database.add("R", (NumNull("1"), NumNull("2")))
+    x, y = num_var("x"), num_var("y")
+    for alpha in (0.0, 1.0, 0.5, 3.0):
+        query = Query(head=(), body=exists([x, y], rel("R", x, y) & (x >= 0) & (y <= alpha * x)))
+        value = certainty(query, database, rng=0).value
+        closed_form = 0.25 + math.atan(alpha) / (2 * math.pi)
+        print(f"  alpha = {alpha:3.1f}:  mu = {value:.6f}  = 1/4 + arctan(alpha)/2pi "
+              f"= {closed_form:.6f}")
+    print()
+
+
+def counting_reductions() -> None:
+    print("=== Proposition 6.2 / Theorem 6.3: the measure counts models ===")
+    dnf = PropositionalDNF(terms=(
+        (Literal("x1"), Literal("x2", False)),
+        (Literal("x2"), Literal("x3")),
+    ))
+    reduction = dnf_reduction(dnf)
+    expected = Fraction(count_satisfying_assignments(dnf), reduction.denominator)
+    # reduction.translation() is the Prop. 5.3 formula built directly; the
+    # generic translator would also produce it but expands the fixed query's
+    # quantifiers over the whole active domain, which is exponential.
+    exact = exact_order_measure(reduction.translation())
+    print(f"  3DNF over {len(reduction.variables)} variables: "
+          f"#psi / 2^n = {expected}  |  exact measure = {exact}")
+
+    cnf = PropositionalCNF(clauses=(
+        (Literal("x1"), Literal("x2")),
+        (Literal("x1", False), Literal("x3")),
+    ))
+    reduction = cnf_reduction(cnf)
+    expected = Fraction(count_satisfying_assignments(cnf), reduction.denominator)
+    exact = exact_order_measure(reduction.translation())
+    print(f"  3CNF over {len(reduction.variables)} variables: "
+          f"#psi / 2^n = {expected}  |  exact measure = {exact}")
+    print()
+
+
+def main() -> None:
+    proposition_41()
+    proposition_61()
+    counting_reductions()
+
+
+if __name__ == "__main__":
+    main()

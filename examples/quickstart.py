@@ -1,0 +1,70 @@
+"""Quickstart: the measure of certainty on a two-null toy database.
+
+This is the smallest end-to-end use of the library: build an incomplete
+database, write a query with arithmetic, and ask how certain a candidate
+answer is.  It reproduces the "sigma_{A>B}(R)" example from the paper's
+introduction (a single tuple of two nulls should be selected with measure
+1/2) and Proposition 6.1's closed form ``1/4 + arctan(alpha)/(2*pi)``.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import Database, DatabaseSchema, NumNull, RelationSchema, certainty
+from repro.logic import Query, exists, num_var, rel
+
+
+def build_database() -> Database:
+    """A relation R(A num, B num) holding the single all-null tuple (⊤1, ⊤2)."""
+    schema = DatabaseSchema.of(RelationSchema.of("R", a="num", b="num"))
+    database = Database(schema)
+    database.add("R", (NumNull("1"), NumNull("2")))
+    return database
+
+
+def selection_query() -> Query:
+    """The Boolean query "some tuple of R has A > B" (the sigma_{A>B} example)."""
+    a, b = num_var("a"), num_var("b")
+    return Query(head=(), body=exists([a, b], rel("R", a, b) & (a > b)),
+                 name="a_greater_than_b")
+
+
+def proposition_61_query(alpha: float) -> Query:
+    """The query of Proposition 6.1: ∃x,y R(x,y) ∧ x ≥ 0 ∧ y ≤ alpha·x."""
+    x, y = num_var("x"), num_var("y")
+    body = exists([x, y], rel("R", x, y) & (x >= 0) & (y <= alpha * x))
+    return Query(head=(), body=body, name="prop61")
+
+
+def main() -> None:
+    database = build_database()
+
+    result = certainty(selection_query(), database, rng=0)
+    print("sigma_{A>B}(R) with two nulls:")
+    print(f"  mu = {result.value:.4f}   (method: {result.method}, expected 0.5)")
+    print()
+
+    print("Proposition 6.1: mu = 1/4 + arctan(alpha)/(2*pi)")
+    for alpha in (0.0, 1.0, 2.0, -1.0):
+        result = certainty(proposition_61_query(alpha), database, rng=0)
+        expected = 0.25 + math.atan(alpha) / (2 * math.pi)
+        rational = "rational" if alpha in (0.0, 1.0, -1.0) else "irrational"
+        print(f"  alpha = {alpha:5.1f}:  mu = {result.value:.6f}  "
+              f"expected = {expected:.6f}  ({rational})")
+    print()
+
+    print("Comparing backends on alpha = 2 (exact vs AFPRAS vs simulation):")
+    query = proposition_61_query(2.0)
+    for method in ("exact", "afpras", "fpras", "simulate"):
+        result = certainty(query, database, method=method, epsilon=0.02, rng=7)
+        print(f"  {method:>8}: mu = {result.value:.4f}  ({result.guarantee}, "
+              f"{result.samples} samples)")
+
+
+if __name__ == "__main__":
+    main()

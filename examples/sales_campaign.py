@@ -1,0 +1,76 @@
+"""The introduction's sales-campaign example, end to end.
+
+A team of sales analysts wants the market segments where the company will
+have a competitive advantage, but the prices of some products and competitors
+are still unknown (nulls).  The segment ``s`` is therefore not a *certain*
+answer -- yet it is an answer under explicit arithmetic conditions on the
+missing values, and the measure of certainty quantifies how likely those
+conditions are.  The paper computes the value of its constraint system (1)
+as ``(pi/2 - arctan(10/7)) / (2*pi) ≈ 0.097`` (≈ 0.388 of the positive
+quadrant); this script reproduces that number and shows the query-level
+pipeline producing the measure for the segment.
+
+Run with::
+
+    python examples/sales_campaign.py
+"""
+
+from __future__ import annotations
+
+from repro.certainty import afpras_formula_measure, certainty, constrained_certainty, Range
+from repro.constraints.translate import translate
+from repro.datagen.intro import (
+    EXPECTED_MEASURE_FORMULA_1,
+    EXPECTED_MEASURE_QUERY,
+    EXPECTED_POSITIVE_QUADRANT,
+    SEGMENT,
+    intro_constraint_formula,
+    intro_database,
+    intro_query,
+)
+
+
+def main() -> None:
+    database = intro_database()
+    query = intro_query()
+
+    print("Database:")
+    for relation in database:
+        for row in relation:
+            print(f"  {relation.name}{row}")
+    print()
+
+    # 1. The paper's constraint system (1), evaluated directly.
+    formula, variables = intro_constraint_formula()
+    value, samples = afpras_formula_measure(formula, variables, epsilon=0.01, rng=0)
+    print("Constraint system (1) of the paper:  (α' ≥ 0) ∧ (α ≥ 8) ∧ (0.7·α' ≥ α)")
+    print(f"  nu ≈ {value:.4f}  (paper: {EXPECTED_MEASURE_FORMULA_1:.4f}, "
+          f"≈ {EXPECTED_POSITIVE_QUADRANT:.3f} of the positive quadrant, "
+          f"{samples} samples)")
+    print()
+
+    # 2. The full query pipeline: translate the FO query and measure the segment.
+    result = certainty(query, database, (SEGMENT,), rng=0)
+    print("Query-level measure for segment 's' (displayed query, exact backend):")
+    print(f"  mu(q, D, (s)) = {result.value:.4f}   "
+          f"(query-derived closed form: {EXPECTED_MEASURE_QUERY:.4f}; see EXPERIMENTS.md "
+          "for the one-inequality difference from formula (1))")
+    print()
+
+    # 3. Section 10 extension: the analysts know both the competitor's price
+    #    and the unknown recommended retail price lie in a plausible range.
+    translation = translate(query, database, (SEGMENT,))
+    names = {null.name: null.variable for null in database.num_nulls_ordered()}
+    ranges = {
+        names["price"]: Range(lower=0.0, upper=1000.0),
+        names["rrp2"]: Range(lower=0.0, upper=1000.0),
+    }
+    constrained = constrained_certainty(translation, ranges, epsilon=0.02, rng=0)
+    print("With range constraints (price, rrp ∈ [0, 1000]):")
+    print(f"  mu = {constrained.value:.4f}  "
+          "(restricting to plausible bounded ranges raises the confidence "
+          "compared with the agnostic asymptotic value)")
+
+
+if __name__ == "__main__":
+    main()

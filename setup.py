@@ -1,0 +1,9 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+The project metadata lives in pyproject.toml; this file only exists so that
+editable installs work on offline machines whose setuptools cannot build
+wheels (``pip install -e . --no-build-isolation``).
+"""
+from setuptools import setup
+
+setup()

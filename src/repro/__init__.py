@@ -1,0 +1,65 @@
+"""repro: queries with arithmetic on incomplete databases.
+
+A from-scratch reproduction of Console, Hofer and Libkin, *Queries with
+Arithmetic on Incomplete Databases* (PODS 2020).  The library provides:
+
+* a typed relational model with marked nulls (:mod:`repro.relational`);
+* the two-sorted query language FO(+,·,<) (:mod:`repro.logic`);
+* the measure of certainty ``mu(q, D, t)`` with exact, multiplicative
+  (FPRAS) and additive (AFPRAS) computation backends
+  (:mod:`repro.certainty`);
+* an end-to-end SQL-style engine that annotates query answers with their
+  confidence (:mod:`repro.engine`);
+* synthetic data generators reproducing the paper's workloads
+  (:mod:`repro.datagen`) and executable versions of its hardness reductions
+  (:mod:`repro.hardness`).
+
+Quickstart::
+
+    from repro import certainty, Database, DatabaseSchema, RelationSchema, NumNull
+    from repro.logic import num_var, exists, rel, Query
+
+    schema = DatabaseSchema.of(RelationSchema.of("R", x="num", y="num"))
+    db = Database(schema)
+    db.add("R", (NumNull("a"), NumNull("b")))
+
+    x, y = num_var("x"), num_var("y")
+    q = Query(head=(), body=exists([x, y], rel("R", x, y) & (x > y)))
+    print(certainty(q, db).value)   # ~0.5
+"""
+
+from repro.certainty import CertaintyResult, certainty, certainty_from_translation
+from repro.constraints.translate import TranslationResult, translate
+from repro.logic.formulas import Query
+from repro.relational import (
+    Attribute,
+    AttributeType,
+    BaseNull,
+    Database,
+    DatabaseSchema,
+    NumNull,
+    Relation,
+    RelationSchema,
+    Valuation,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Attribute",
+    "AttributeType",
+    "BaseNull",
+    "CertaintyResult",
+    "Database",
+    "DatabaseSchema",
+    "NumNull",
+    "Query",
+    "Relation",
+    "RelationSchema",
+    "TranslationResult",
+    "Valuation",
+    "__version__",
+    "certainty",
+    "certainty_from_translation",
+    "translate",
+]

@@ -1,0 +1,63 @@
+"""The measure of certainty ``mu(q, D, t)`` and its computation backends.
+
+This subpackage is the paper's primary contribution:
+
+* :mod:`repro.certainty.measure` -- the public :func:`certainty` entry point
+  dispatching between the backends;
+* :mod:`repro.certainty.exact` -- exact values where available (zero-one law,
+  planar cones, signed-ordering enumeration);
+* :mod:`repro.certainty.fpras` -- the multiplicative FPRAS for CQ(+,<)
+  (Theorem 7.1);
+* :mod:`repro.certainty.afpras` -- the additive AFPRAS for all FO(+,·,<)
+  queries (Theorem 8.1), the algorithm of the paper's experiments;
+* :mod:`repro.certainty.simulate` -- finite-radius simulation of ``mu_r``
+  straight from the definition, used as an independent cross-check;
+* :mod:`repro.certainty.zero_one` -- the classical 0/1 law recovered when
+  there are no numerical nulls;
+* :mod:`repro.certainty.extensions` -- the Section 10 extensions (range
+  constraints, distributions, integer lattices).
+"""
+
+from repro.certainty.afpras import AfprasOptions, afpras_formula_measure, afpras_measure
+from repro.certainty.exact import (
+    ExactComputationError,
+    ExactOptions,
+    exact_measure,
+    exact_order_measure,
+    is_order_style,
+)
+from repro.certainty.extensions import (
+    Range,
+    constrained_certainty,
+    distributional_certainty,
+    lattice_certainty,
+)
+from repro.certainty.fpras import FprasOptions, fpras_measure
+from repro.certainty.measure import certainty, certainty_from_translation
+from repro.certainty.result import CertaintyResult
+from repro.certainty.simulate import SimulationOptions, simulate_measure
+from repro.certainty.zero_one import naive_holds, zero_one_certainty
+
+__all__ = [
+    "AfprasOptions",
+    "CertaintyResult",
+    "ExactComputationError",
+    "ExactOptions",
+    "FprasOptions",
+    "Range",
+    "SimulationOptions",
+    "afpras_formula_measure",
+    "afpras_measure",
+    "certainty",
+    "certainty_from_translation",
+    "constrained_certainty",
+    "distributional_certainty",
+    "exact_measure",
+    "exact_order_measure",
+    "fpras_measure",
+    "is_order_style",
+    "lattice_certainty",
+    "naive_holds",
+    "simulate_measure",
+    "zero_one_certainty",
+]

@@ -1,0 +1,222 @@
+"""Section 10 extensions: range constraints, distributions, integer lattices.
+
+The paper's future-work section sketches three refinements of the agnostic
+model and notes that the framework "is very easily adaptable" to them.  This
+module implements all three on top of the same translated constraint
+formulae:
+
+* **Range constraints** -- attributes such as a discount are known to lie in
+  a bounded interval.  Nulls with bounded ranges are sampled uniformly from
+  their interval; nulls left unbounded keep the asymptotic treatment.  The
+  constraint appears "in both the numerator and denominator", i.e. we compute
+  the conditional measure given the ranges.
+* **Distributions** -- a per-null probability distribution replaces the
+  uniform-over-the-ball assumption; the measure becomes the probability that
+  a random valuation satisfies the formula.
+* **Integer lattice** -- for integer-typed columns the volume is replaced by
+  a count of lattice points inside the ball of radius ``r``; by the
+  Gauss-circle asymptotics the two measures agree in the limit, which the
+  tests verify on small examples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.certainty.result import CertaintyResult
+from repro.constraints.asymptotic import asymptotic_truth, direction_assignment
+from repro.constraints.polynomials import Polynomial
+from repro.constraints.translate import TranslationResult
+from repro.geometry.ball import RngLike, as_generator, sample_direction
+from repro.geometry.montecarlo import DEFAULT_DELTA, hoeffding_sample_size
+
+#: A sampler for one null: receives the generator, returns a float.
+Sampler = Callable[[np.random.Generator], float]
+
+
+@dataclass(frozen=True)
+class Range:
+    """A closed interval constraint on one numerical null.
+
+    Either bound may be ``None`` (unbounded on that side).  Fully bounded
+    ranges are sampled uniformly; half-bounded ranges keep the asymptotic
+    treatment but restrict the admissible directions' sign.
+    """
+
+    lower: Optional[float] = None
+    upper: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.lower is not None and self.upper is not None and self.lower > self.upper:
+            raise ValueError(f"empty range [{self.lower}, {self.upper}]")
+
+    @property
+    def is_bounded(self) -> bool:
+        return self.lower is not None and self.upper is not None
+
+
+def _substituted_formula(translation: TranslationResult,
+                         values: Mapping[str, float]):
+    """Substitute concrete values for some variables of the formula."""
+    substitution = {name: Polynomial.constant(value) for name, value in values.items()}
+
+    def substitute(formula):
+        from repro.constraints.formula import (  # local import avoids a cycle
+            And, Atom, FalseFormula, Not, Or, TrueFormula)
+        from repro.constraints.atoms import Constraint
+
+        if isinstance(formula, (TrueFormula, FalseFormula)):
+            return formula
+        if isinstance(formula, Atom):
+            return Atom(Constraint(
+                polynomial=formula.constraint.polynomial.substitute(substitution),
+                op=formula.constraint.op))
+        if isinstance(formula, Not):
+            return Not(substitute(formula.child))
+        if isinstance(formula, And):
+            return And(tuple(substitute(child) for child in formula.children))
+        if isinstance(formula, Or):
+            return Or(tuple(substitute(child) for child in formula.children))
+        raise TypeError(f"unexpected formula node: {type(formula).__name__}")
+
+    return substitute(translation.formula).simplify()
+
+
+def constrained_certainty(translation: TranslationResult,
+                          ranges: Mapping[str, Range],
+                          epsilon: float = 0.05,
+                          delta: float = DEFAULT_DELTA,
+                          rng: RngLike = None) -> CertaintyResult:
+    """Measure of certainty under range constraints on (some of) the nulls.
+
+    ``ranges`` maps *variable names* (``NumNull.variable``) to their range.
+    Bounded nulls are drawn uniformly from their interval; the remaining
+    nulls are handled asymptotically, with half-bounded ranges restricting
+    the sign of the sampled direction component.
+    """
+    generator = as_generator(rng)
+    variables = list(translation.relevant_variables)
+    bounded = {name: spec for name, spec in ranges.items()
+               if name in variables and spec.is_bounded}
+    unbounded = [name for name in variables if name not in bounded]
+    half_bounds = {name: spec for name, spec in ranges.items()
+                   if name in unbounded and not spec.is_bounded
+                   and (spec.lower is not None or spec.upper is not None)}
+
+    samples = hoeffding_sample_size(epsilon, delta)
+    hits = 0
+    for _ in range(samples):
+        concrete = {name: generator.uniform(spec.lower, spec.upper)
+                    for name, spec in bounded.items()}
+        formula = _substituted_formula(translation, concrete) if concrete \
+            else translation.formula
+        if not unbounded:
+            satisfied = formula.evaluate({})
+        else:
+            direction = sample_direction(len(unbounded), generator)
+            assignment = direction_assignment(unbounded, direction)
+            for name, spec in half_bounds.items():
+                # A one-sided range only constrains the sign of the direction.
+                if spec.lower is not None:
+                    assignment[name] = abs(assignment[name])
+                elif spec.upper is not None:
+                    assignment[name] = -abs(assignment[name])
+            satisfied = asymptotic_truth(formula, assignment)
+        if satisfied:
+            hits += 1
+    return CertaintyResult(
+        value=hits / samples,
+        method="afpras",
+        guarantee="additive",
+        epsilon=epsilon,
+        delta=delta,
+        samples=samples,
+        dimension=translation.dimension,
+        relevant_dimension=len(variables),
+        details={"extension": "range-constraints",
+                 "bounded": sorted(bounded), "half_bounded": sorted(half_bounds)},
+    )
+
+
+def distributional_certainty(translation: TranslationResult,
+                             distributions: Mapping[str, Sampler],
+                             epsilon: float = 0.05,
+                             delta: float = DEFAULT_DELTA,
+                             rng: RngLike = None) -> CertaintyResult:
+    """Probability that the candidate is an answer under per-null distributions.
+
+    Every relevant null must have a sampler in ``distributions``; the result
+    is the Monte-Carlo probability that a valuation drawn from the product of
+    those distributions satisfies the candidate's constraint formula.
+    """
+    variables = list(translation.relevant_variables)
+    missing = [name for name in variables if name not in distributions]
+    if missing:
+        raise ValueError(f"no distribution supplied for nulls: {missing}")
+    generator = as_generator(rng)
+    samples = hoeffding_sample_size(epsilon, delta)
+    hits = 0
+    for _ in range(samples):
+        assignment = {name: float(distributions[name](generator)) for name in variables}
+        if translation.formula.evaluate(assignment):
+            hits += 1
+    return CertaintyResult(
+        value=hits / samples,
+        method="afpras",
+        guarantee="additive",
+        epsilon=epsilon,
+        delta=delta,
+        samples=samples,
+        dimension=translation.dimension,
+        relevant_dimension=len(variables),
+        details={"extension": "distributions"},
+    )
+
+
+def lattice_certainty(translation: TranslationResult,
+                      radius: float,
+                      epsilon: float = 0.05,
+                      delta: float = DEFAULT_DELTA,
+                      rng: RngLike = None) -> CertaintyResult:
+    """Integer-lattice variant of ``mu_r``: count lattice points instead of volume.
+
+    Valuations are drawn uniformly from the integer points of the ball of
+    radius ``radius`` (by rejection from the enclosing cube) and the fraction
+    satisfying the formula is returned.  By the Gauss-circle asymptotics this
+    converges to the volumetric measure as ``radius`` grows.
+    """
+    if radius < 1.0:
+        raise ValueError(f"radius must be at least 1, got {radius}")
+    variables = list(translation.relevant_variables)
+    if not variables:
+        value = 1.0 if translation.formula.evaluate({}) else 0.0
+        return CertaintyResult(value=value, method="exact", guarantee="exact",
+                               dimension=translation.dimension, relevant_dimension=0)
+    generator = as_generator(rng)
+    samples = hoeffding_sample_size(epsilon, delta)
+    bound = int(math.floor(radius))
+    hits = 0
+    drawn = 0
+    while drawn < samples:
+        point = generator.integers(-bound, bound + 1, size=len(variables))
+        if float(np.linalg.norm(point)) > radius:
+            continue
+        drawn += 1
+        assignment = {name: float(component) for name, component in zip(variables, point)}
+        if translation.formula.evaluate(assignment):
+            hits += 1
+    return CertaintyResult(
+        value=hits / samples,
+        method="afpras",
+        guarantee="additive",
+        epsilon=epsilon,
+        delta=delta,
+        samples=samples,
+        dimension=translation.dimension,
+        relevant_dimension=len(variables),
+        details={"extension": "integer-lattice", "radius": radius},
+    )

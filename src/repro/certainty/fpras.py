@@ -1,0 +1,80 @@
+"""The multiplicative approximation scheme (FPRAS) for CQ(+,<) of Section 7.
+
+For conjunctive queries with linear constraints the translated formula is a
+disjunction of conjunctions of linear atoms.  Homogenising each atom (dropping
+its constant term) does not change the asymptotic density, and turns each
+disjunct into a convex polyhedral cone; the measure is then the fraction of
+the unit ball covered by the union of those cones, which is estimated with
+per-cone samplers and a Karp--Luby union estimator (see
+:mod:`repro.geometry.union_volume` and the substitution note in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.certainty.result import CertaintyResult
+from repro.constraints.formula import dnf_size_bound
+from repro.constraints.linear import NonLinearConstraintError, formula_to_cones
+from repro.constraints.translate import TranslationResult
+from repro.geometry.ball import RngLike
+from repro.geometry.montecarlo import DEFAULT_DELTA
+from repro.geometry.union_volume import union_volume_fraction
+
+
+@dataclass(frozen=True)
+class FprasOptions:
+    """Tunable knobs of the CQ(+,<) FPRAS."""
+
+    epsilon: float = 0.05
+    delta: float = DEFAULT_DELTA
+    #: Volume-estimation strategy passed to the union estimator:
+    #: ``"auto"`` (exact for <=2 relevant nulls, Karp--Luby otherwise),
+    #: ``"karp-luby"`` or ``"direct"``.
+    volume_method: str = "auto"
+    #: Largest DNF the scheme is willing to build.  Conjunctive queries keep
+    #: their translated formulae in (near-)DNF shape, so this only trips for
+    #: formulae that did not really come from a CQ; those should use the
+    #: AFPRAS instead.
+    max_dnf_size: int = 100_000
+
+
+def fpras_measure(translation: TranslationResult,
+                  options: FprasOptions = FprasOptions(),
+                  rng: RngLike = None) -> CertaintyResult:
+    """Run the CQ(+,<) FPRAS on a translated candidate (Theorem 7.1).
+
+    Raises :class:`NonLinearConstraintError` when the formula contains a
+    non-linear atom; the caller should fall back to the AFPRAS in that case,
+    exactly as the paper restricts Theorem 7.1 to linear constraints.
+    """
+    formula = translation.formula
+    variables = translation.relevant_variables
+    if not variables:
+        value = 1.0 if formula.evaluate({}) else 0.0
+        return CertaintyResult(
+            value=value, method="fpras", guarantee="exact",
+            dimension=translation.dimension, relevant_dimension=0)
+    if not formula.is_linear():
+        raise NonLinearConstraintError(
+            "the FPRAS of Theorem 7.1 requires linear constraints; "
+            "use the AFPRAS for FO(+,·,<) queries")
+    if dnf_size_bound(formula, options.max_dnf_size) >= options.max_dnf_size:
+        raise NonLinearConstraintError(
+            "the formula's disjunctive normal form is too large for the FPRAS; "
+            "use the AFPRAS instead")
+    cones = formula_to_cones(formula, variables)
+    estimate = union_volume_fraction(cones, epsilon=options.epsilon, rng=rng,
+                                     method=options.volume_method)
+    guarantee = "exact" if estimate.method in ("exact", "degenerate") else "multiplicative"
+    return CertaintyResult(
+        value=estimate.fraction,
+        method="fpras",
+        guarantee=guarantee,
+        epsilon=None if guarantee == "exact" else options.epsilon,
+        delta=None if guarantee == "exact" else options.delta,
+        samples=estimate.samples,
+        dimension=translation.dimension,
+        relevant_dimension=len(variables),
+        details={"cones": len(cones), "volume_method": estimate.method},
+    )

@@ -1,0 +1,135 @@
+"""The public entry point for computing the measure of certainty ``mu(q, D, t)``.
+
+:func:`certainty` ties together the translation of Proposition 5.3 and the
+three computation backends:
+
+* the **exact** backend (zero-one law, planar cones, signed orderings) when
+  one of its cases applies;
+* the **FPRAS** of Theorem 7.1 (multiplicative guarantee) for conjunctive
+  queries with linear constraints;
+* the **AFPRAS** of Theorem 8.1 (additive guarantee) for arbitrary
+  FO(+,·,<) queries -- the default fallback, and the algorithm evaluated in
+  the paper's experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.certainty.afpras import AfprasOptions, afpras_measure
+from repro.certainty.exact import ExactComputationError, ExactOptions, exact_measure
+from repro.certainty.fpras import FprasOptions, fpras_measure
+from repro.certainty.result import CertaintyResult
+from repro.certainty.simulate import SimulationOptions, simulate_measure
+from repro.constraints.linear import NonLinearConstraintError
+from repro.constraints.translate import TranslationResult, translate
+from repro.geometry.ball import RngLike
+from repro.geometry.montecarlo import DEFAULT_DELTA
+from repro.logic.fragments import classify_query
+from repro.logic.formulas import Query
+from repro.logic.typecheck import check_query
+from repro.relational.database import Database
+from repro.relational.values import Value
+
+#: The methods accepted by :func:`certainty`.
+METHODS = ("auto", "exact", "afpras", "fpras", "simulate")
+
+
+def certainty(query: Query,
+              database: Database,
+              candidate: Sequence[Value] = (),
+              epsilon: float = 0.05,
+              delta: float = DEFAULT_DELTA,
+              method: str = "auto",
+              rng: RngLike = None,
+              translation: Optional[TranslationResult] = None) -> CertaintyResult:
+    """Compute (or approximate) the measure of certainty ``mu(q, D, candidate)``.
+
+    Parameters
+    ----------
+    query, database, candidate:
+        The query, the incomplete database, and the candidate answer tuple
+        (one component per head variable; empty for Boolean queries).
+    epsilon, delta:
+        Accuracy and failure probability of the randomized backends.  The
+        paper's definitions use ``delta = 1/4``; smaller values are obtained
+        by more sampling.
+    method:
+        ``"auto"`` picks the cheapest applicable backend (exact where
+        possible, then FPRAS for CQ(+,<), then AFPRAS).  The other values
+        force a specific backend.
+    rng:
+        Seed or :class:`numpy.random.Generator` for reproducibility.
+    translation:
+        A pre-computed :class:`TranslationResult` (e.g. from the engine's
+        lineage extraction); if omitted it is computed here.
+
+    Returns
+    -------
+    CertaintyResult
+        The value together with the backend used and its guarantee.
+    """
+    if method not in METHODS:
+        raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")
+    check_query(query, database.schema)
+
+    if method == "simulate":
+        return simulate_measure(query, database, tuple(candidate),
+                                SimulationOptions(), rng=rng)
+
+    if translation is None:
+        translation = translate(query, database, candidate)
+
+    if method == "exact":
+        return exact_measure(translation, ExactOptions())
+    if method == "fpras":
+        return fpras_measure(translation, FprasOptions(epsilon=epsilon, delta=delta), rng=rng)
+    if method == "afpras":
+        return afpras_measure(translation, AfprasOptions(epsilon=epsilon, delta=delta), rng=rng)
+
+    # method == "auto"
+    try:
+        return exact_measure(translation, ExactOptions())
+    except ExactComputationError:
+        pass
+    fragment = classify_query(query)
+    if fragment.has_fpras:
+        try:
+            return fpras_measure(translation,
+                                 FprasOptions(epsilon=epsilon, delta=delta), rng=rng)
+        except NonLinearConstraintError:
+            pass
+    return afpras_measure(translation, AfprasOptions(epsilon=epsilon, delta=delta), rng=rng)
+
+
+def certainty_from_translation(translation: TranslationResult,
+                               epsilon: float = 0.05,
+                               delta: float = DEFAULT_DELTA,
+                               method: str = "auto",
+                               rng: RngLike = None) -> CertaintyResult:
+    """Compute the measure directly from a translated constraint formula.
+
+    This is the path the SQL engine uses: candidate answers come with their
+    lineage formula already extracted, so re-translating the query would be
+    wasted work.
+    """
+    if method == "exact":
+        return exact_measure(translation, ExactOptions())
+    if method == "fpras":
+        return fpras_measure(translation, FprasOptions(epsilon=epsilon, delta=delta), rng=rng)
+    if method == "afpras":
+        return afpras_measure(translation, AfprasOptions(epsilon=epsilon, delta=delta), rng=rng)
+    if method != "auto":
+        raise ValueError(f"unknown method {method!r}")
+    try:
+        return exact_measure(translation, ExactOptions())
+    except ExactComputationError:
+        pass
+    if translation.formula.is_linear():
+        try:
+            return fpras_measure(translation,
+                                 FprasOptions(epsilon=epsilon, delta=delta), rng=rng)
+        except NonLinearConstraintError:
+            # Linear but with a DNF too large to materialise: fall through.
+            pass
+    return afpras_measure(translation, AfprasOptions(epsilon=epsilon, delta=delta), rng=rng)

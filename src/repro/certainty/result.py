@@ -1,0 +1,67 @@
+"""Result objects returned by the certainty estimators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class CertaintyResult:
+    """The estimated measure of certainty of one candidate answer.
+
+    Attributes
+    ----------
+    value:
+        The (estimated) value of ``mu(q, D, t)``, in ``[0, 1]``.
+    method:
+        How the value was obtained: ``"exact"``, ``"afpras"``, ``"fpras"``,
+        ``"zero-one"`` or ``"simulation"``.
+    epsilon, delta:
+        The accuracy and failure-probability parameters used (``None`` for
+        exact values).
+    guarantee:
+        ``"additive"``, ``"multiplicative"`` or ``"exact"``.
+    samples:
+        Number of Monte-Carlo samples drawn (0 for exact values).
+    dimension:
+        Number of numerical nulls in the database (the ambient dimension of
+        the support sets).
+    relevant_dimension:
+        Number of numerical nulls that actually influence the candidate (the
+        Section 9 optimisation samples only these coordinates).
+    """
+
+    value: float
+    method: str
+    guarantee: str = "exact"
+    epsilon: Optional[float] = None
+    delta: Optional[float] = None
+    samples: int = 0
+    dimension: int = 0
+    relevant_dimension: int = 0
+    details: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.value <= 1.0 + 1e-9:
+            raise ValueError(f"certainty value must be in [0, 1], got {self.value}")
+        object.__setattr__(self, "value", min(1.0, max(0.0, float(self.value))))
+
+    def interval(self) -> tuple[float, float]:
+        """Error interval implied by the guarantee (clipped to ``[0, 1]``)."""
+        if self.epsilon is None or self.guarantee == "exact":
+            return (self.value, self.value)
+        if self.guarantee == "additive":
+            return (max(0.0, self.value - self.epsilon), min(1.0, self.value + self.epsilon))
+        # Multiplicative guarantee: value / (1 + eps) <= mu <= value / (1 - eps).
+        lower = self.value / (1.0 + self.epsilon)
+        upper = self.value / (1.0 - self.epsilon) if self.epsilon < 1.0 else 1.0
+        return (max(0.0, lower), min(1.0, upper))
+
+    def is_certain(self) -> bool:
+        """Whether the answer is (up to the guarantee) almost surely certain."""
+        return self.interval()[0] >= 1.0 - 1e-12
+
+    def is_impossible(self) -> bool:
+        """Whether the answer is (up to the guarantee) almost surely not an answer."""
+        return self.interval()[1] <= 1e-12

@@ -1,0 +1,54 @@
+"""The zero-one law for queries without numerical constraints.
+
+When a database has no numerical nulls (or the candidate's membership does
+not depend on them), the measure of certainty degenerates to the 0/1 law of
+[Libkin, PODS'18] recalled in Section 2 of the paper: ``mu(q, D, a) = 1``
+exactly when ``a`` is returned by the *naive evaluation* of ``q`` on ``D``,
+i.e. by treating nulls as fresh constants distinct from everything else.
+The Remark at the end of Section 4 shows the new measure is a conservative
+generalisation of that law (``Vol(R^0) = 1``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.certainty.result import CertaintyResult
+from repro.logic.evaluation import query_holds_for
+from repro.logic.formulas import Query
+from repro.relational.database import Database
+from repro.relational.valuation import bijective_base_valuation
+from repro.relational.values import Value, is_base_null, is_num_null
+
+
+def naive_holds(query: Query, database: Database, candidate: Sequence[Value]) -> bool:
+    """Whether ``candidate`` is returned by the naive evaluation of ``query`` on ``database``.
+
+    Naive evaluation treats nulls as fresh constants: base nulls are replaced
+    by fresh base constants (a bijective valuation), and the database must not
+    contain numerical nulls -- with numerical nulls the 0/1 law no longer
+    applies and the full measure must be used instead.
+    """
+    if database.num_nulls():
+        raise ValueError(
+            "naive evaluation applies only to databases without numerical nulls")
+    if any(is_num_null(value) for value in candidate):
+        raise ValueError("candidate contains a numerical null")
+    valuation = bijective_base_valuation(database)
+    valued_database = valuation.database(database)
+    valued_candidate = tuple(valuation.value(value) if is_base_null(value) else value
+                             for value in candidate)
+    return query_holds_for(query, valued_database, valued_candidate)
+
+
+def zero_one_certainty(query: Query, database: Database,
+                       candidate: Sequence[Value] = ()) -> CertaintyResult:
+    """``mu(q, D, a)`` for databases without numerical nulls (always 0 or 1)."""
+    value = 1.0 if naive_holds(query, database, candidate) else 0.0
+    return CertaintyResult(
+        value=value,
+        method="zero-one",
+        guarantee="exact",
+        dimension=0,
+        relevant_dimension=0,
+    )

@@ -1,0 +1,106 @@
+"""Command-line interface: generate workloads and annotate SQL answers.
+
+Two subcommands cover the end-to-end workflow of the paper's experiments
+without writing any Python:
+
+``python -m repro.cli generate --out data/ --products 2000 --orders 2000``
+    Generate the Section 9 sales database and write it as CSV files
+    (marked nulls are encoded as ``⊤:name`` / ``⊥:name``).
+
+``python -m repro.cli annotate --data data/ --sql "SELECT ..." --epsilon 0.05``
+    Load the CSV database, run the query through the engine and print every
+    candidate answer with its measure of certainty.  ``--query-name`` can be
+    used instead of ``--sql`` to run one of the paper's three decision-support
+    queries by name.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.datagen.experiments import (
+    EXPERIMENT_QUERIES,
+    ExperimentScale,
+    generate_sales_database,
+    sales_schema,
+)
+from repro.engine.annotate import annotate
+from repro.relational.csv_io import load_database, save_database
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Measures of certainty for queries with arithmetic on "
+                    "incomplete databases (PODS 2020 reproduction).")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser(
+        "generate", help="generate the sales workload and write it as CSV files")
+    generate.add_argument("--out", required=True, help="output directory")
+    generate.add_argument("--products", type=int, default=2000)
+    generate.add_argument("--orders", type=int, default=2000)
+    generate.add_argument("--markets", type=int, default=100)
+    generate.add_argument("--null-rate", type=float, default=0.08)
+    generate.add_argument("--seed", type=int, default=0)
+
+    annotate_parser = subparsers.add_parser(
+        "annotate", help="run a SQL query over a CSV database and print confidences")
+    annotate_parser.add_argument("--data", required=True, help="directory of CSV files")
+    source = annotate_parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--sql", help="SQL text of the query")
+    source.add_argument("--query-name", choices=sorted(EXPERIMENT_QUERIES),
+                        help="one of the paper's decision-support queries")
+    annotate_parser.add_argument("--epsilon", type=float, default=0.05,
+                                 help="additive error of the AFPRAS (default 0.05)")
+    annotate_parser.add_argument("--method", default="afpras",
+                                 choices=("afpras", "fpras", "exact", "auto"))
+    annotate_parser.add_argument("--limit", type=int, default=None)
+    annotate_parser.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _run_generate(args: argparse.Namespace) -> int:
+    scale = ExperimentScale(products=args.products, orders=args.orders,
+                            markets=args.markets, null_rate=args.null_rate)
+    database = generate_sales_database(scale, rng=args.seed)
+    save_database(database, Path(args.out))
+    print(f"wrote {database.total_tuples()} tuples "
+          f"({len(database.num_nulls())} numerical nulls, "
+          f"{len(database.base_nulls())} base nulls) to {args.out}")
+    return 0
+
+
+def _run_annotate(args: argparse.Namespace) -> int:
+    database = load_database(sales_schema(), Path(args.data))
+    if database.total_tuples() == 0:
+        print(f"no data found in {args.data}", file=sys.stderr)
+        return 1
+    sql = args.sql if args.sql is not None else EXPERIMENT_QUERIES[args.query_name]
+    answers = annotate(sql, database, epsilon=args.epsilon, method=args.method,
+                       limit=args.limit, rng=args.seed)
+    if not answers:
+        print("no candidate answers")
+        return 0
+    header = " | ".join(answers[0].columns)
+    print(f"{header} | confidence | witnesses")
+    for answer in answers:
+        values = " | ".join(str(value) for value in answer.values)
+        print(f"{values} | {answer.certainty.value:.3f} | {answer.witnesses}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point (used both by ``python -m repro.cli`` and the tests)."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "generate":
+        return _run_generate(args)
+    return _run_annotate(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main() in tests
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""Arithmetic constraints over the reals.
+
+After the reductions of Section 5, the measure of certainty of a candidate
+answer is the asymptotic density ``nu(phi)`` of a quantifier-free formula
+``phi`` over the real field: a Boolean combination of polynomial constraints
+``p(z) {<, <=, =, !=, >=, >} 0`` whose variables stand for the numerical
+nulls of the database.  This subpackage implements that constraint language:
+
+* :mod:`repro.constraints.polynomials` -- sparse multivariate polynomials;
+* :mod:`repro.constraints.atoms` -- atomic constraints ``p(z) op 0``;
+* :mod:`repro.constraints.formula` -- Boolean combinations with NNF/DNF
+  normal forms;
+* :mod:`repro.constraints.linear` -- recognition and homogenisation of linear
+  constraints, and conversion to polyhedral cones (Section 7);
+* :mod:`repro.constraints.asymptotic` -- the directional-limit test of
+  Lemma 8.4 (Section 8);
+* :mod:`repro.constraints.translate` -- the Proposition 5.3 translation of a
+  (query, database, candidate tuple) triple into a constraint formula.
+"""
+
+from repro.constraints.atoms import Comparison, Constraint
+from repro.constraints.formula import (
+    And,
+    Atom,
+    ConstraintFormula,
+    FalseFormula,
+    Not,
+    Or,
+    TrueFormula,
+    conjunction,
+    disjunction,
+)
+from repro.constraints.linear import LinearAtom, formula_to_cones, linearise
+from repro.constraints.polynomials import Polynomial
+from repro.constraints.asymptotic import asymptotic_truth, atom_asymptotic_truth
+
+__all__ = [
+    "And",
+    "Atom",
+    "Comparison",
+    "Constraint",
+    "ConstraintFormula",
+    "FalseFormula",
+    "LinearAtom",
+    "Not",
+    "Or",
+    "Polynomial",
+    "TrueFormula",
+    "asymptotic_truth",
+    "atom_asymptotic_truth",
+    "conjunction",
+    "disjunction",
+    "formula_to_cones",
+    "linearise",
+]

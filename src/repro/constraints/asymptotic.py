@@ -1,0 +1,86 @@
+"""Directional asymptotic evaluation of constraint formulae (Lemma 8.4).
+
+The additive approximation scheme of Section 8 evaluates, for a sampled
+direction ``a`` of the unit ball, the limit ``lim_{k -> inf} f_{phi,a}(k)``:
+whether the formula eventually becomes (and stays) true as the point ``k*a``
+moves away from the origin along ``a``.  By Lemma 8.2 that limit always
+exists, and by Lemma 8.4 it can be read off symbolically: substituting ``z_i
+= k * a_i`` turns every atomic polynomial into a univariate polynomial in
+``k`` whose eventual sign is the sign of its leading non-zero coefficient.
+No numeric limit-taking is involved.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.constraints.atoms import Constraint
+from repro.constraints.formula import (
+    And,
+    Atom,
+    ConstraintFormula,
+    FalseFormula,
+    Not,
+    Or,
+    TrueFormula,
+)
+
+#: Directional coefficients below this threshold are treated as exact zeros.
+#: The threshold is relative to the largest coefficient of the profile so
+#: that badly scaled constraints do not mis-classify their leading term.
+RELATIVE_ZERO_EPS = 1e-12
+
+
+def _leading_sign(profile: Sequence[float]) -> tuple[int, bool]:
+    """Sign of the leading non-zero coefficient, and whether all vanish."""
+    scale = max((abs(coefficient) for coefficient in profile), default=0.0)
+    if scale <= 0.0:
+        return 0, True
+    threshold = scale * RELATIVE_ZERO_EPS
+    for coefficient in reversed(profile):
+        if abs(coefficient) > threshold:
+            return (1 if coefficient > 0 else -1), False
+    return 0, True
+
+
+def atom_asymptotic_truth(constraint: Constraint,
+                          direction: Mapping[str, float]) -> bool:
+    """Eventual truth of ``constraint`` along ``direction`` (Lemma 8.4)."""
+    profile = constraint.polynomial.directional_profile(direction)
+    sign, identically_zero = _leading_sign(profile)
+    return constraint.op.holds_for_sign(sign, identically_zero)
+
+
+def asymptotic_truth(formula: ConstraintFormula,
+                     direction: Mapping[str, float]) -> bool:
+    """Eventual truth of a whole formula along ``direction``.
+
+    The Boolean structure commutes with the limit because every atom's truth
+    value is eventually constant along the direction (Lemma 8.2): past the
+    largest root of any atomic polynomial, the formula's truth value no longer
+    changes, so the limit of the formula is the formula of the limits.
+    """
+    if isinstance(formula, TrueFormula):
+        return True
+    if isinstance(formula, FalseFormula):
+        return False
+    if isinstance(formula, Atom):
+        return atom_asymptotic_truth(formula.constraint, direction)
+    if isinstance(formula, Not):
+        return not asymptotic_truth(formula.child, direction)
+    if isinstance(formula, And):
+        return all(asymptotic_truth(child, direction) for child in formula.children)
+    if isinstance(formula, Or):
+        return any(asymptotic_truth(child, direction) for child in formula.children)
+    raise TypeError(f"unexpected formula node: {type(formula).__name__}")
+
+
+def direction_assignment(variables: Sequence[str], vector: np.ndarray) -> dict[str, float]:
+    """Pair an ordered list of variables with the components of a direction vector."""
+    vector = np.asarray(vector, dtype=float)
+    if vector.shape != (len(variables),):
+        raise ValueError(
+            f"direction has {vector.shape} components for {len(variables)} variables")
+    return {name: float(component) for name, component in zip(variables, vector)}

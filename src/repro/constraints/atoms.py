@@ -1,0 +1,130 @@
+"""Atomic polynomial constraints ``p(z) op 0``.
+
+Every atomic numerical formula of FO(+,.,<) -- ``t < t'`` or ``t = t'`` --
+normalises to a polynomial compared against zero.  The six comparison
+operators are supported so that negation stays within the atom language
+(``not (p < 0)`` is ``p >= 0``), which keeps negation-normal forms small.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Mapping, Union
+
+from repro.constraints.polynomials import Polynomial, Scalar
+
+#: Tolerance for equality tests on floating-point evaluations.
+EVALUATION_EPS = 1e-9
+
+
+class Comparison(enum.Enum):
+    """Comparison operators against zero."""
+
+    LT = "<"
+    LE = "<="
+    EQ = "="
+    NE = "!="
+    GE = ">="
+    GT = ">"
+
+    def negate(self) -> "Comparison":
+        """The operator expressing the logical negation of this one."""
+        return _NEGATIONS[self]
+
+    def flip(self) -> "Comparison":
+        """The operator obtained by multiplying both sides by ``-1``."""
+        return _FLIPS[self]
+
+    def holds(self, value: float, tolerance: float = EVALUATION_EPS) -> bool:
+        """Whether ``value op 0`` holds, up to ``tolerance`` for equalities."""
+        if self is Comparison.LT:
+            return value < -tolerance
+        if self is Comparison.LE:
+            return value <= tolerance
+        if self is Comparison.EQ:
+            return abs(value) <= tolerance
+        if self is Comparison.NE:
+            return abs(value) > tolerance
+        if self is Comparison.GE:
+            return value >= -tolerance
+        return value > tolerance
+
+    def holds_for_sign(self, sign: int, identically_zero: bool) -> bool:
+        """Asymptotic truth value given the eventual sign of the polynomial.
+
+        ``sign`` is the sign of the leading non-zero coefficient along a
+        direction (Lemma 8.4); ``identically_zero`` covers the degenerate
+        case where the directional polynomial vanishes for every scale.
+        """
+        if identically_zero:
+            return self in (Comparison.LE, Comparison.EQ, Comparison.GE)
+        if self in (Comparison.LT, Comparison.LE):
+            return sign < 0
+        if self in (Comparison.GT, Comparison.GE):
+            return sign > 0
+        if self is Comparison.EQ:
+            return False
+        return True  # NE: a not-identically-zero polynomial is eventually non-zero.
+
+
+_NEGATIONS = {
+    Comparison.LT: Comparison.GE,
+    Comparison.LE: Comparison.GT,
+    Comparison.EQ: Comparison.NE,
+    Comparison.NE: Comparison.EQ,
+    Comparison.GE: Comparison.LT,
+    Comparison.GT: Comparison.LE,
+}
+
+_FLIPS = {
+    Comparison.LT: Comparison.GT,
+    Comparison.LE: Comparison.GE,
+    Comparison.EQ: Comparison.EQ,
+    Comparison.NE: Comparison.NE,
+    Comparison.GE: Comparison.LE,
+    Comparison.GT: Comparison.LT,
+}
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """The atomic constraint ``polynomial op 0``."""
+
+    polynomial: Polynomial
+    op: Comparison
+
+    @classmethod
+    def compare(cls, left: Union[Polynomial, Scalar], op: Comparison,
+                right: Union[Polynomial, Scalar]) -> "Constraint":
+        """Build ``left op right`` as ``(left - right) op 0``."""
+        left_poly = Polynomial.from_value(left)
+        right_poly = Polynomial.from_value(right)
+        return cls(polynomial=left_poly - right_poly, op=op)
+
+    def variables(self) -> frozenset[str]:
+        return self.polynomial.variables()
+
+    def negate(self) -> "Constraint":
+        return Constraint(polynomial=self.polynomial, op=self.op.negate())
+
+    def evaluate(self, assignment: Mapping[str, float],
+                 tolerance: float = EVALUATION_EPS) -> bool:
+        """Truth value of the constraint at a concrete valuation of the variables."""
+        return self.op.holds(self.polynomial.evaluate(assignment), tolerance)
+
+    def is_linear(self) -> bool:
+        return self.polynomial.is_linear()
+
+    def is_trivial(self) -> bool:
+        """Whether the constraint mentions no variables (it is then a Boolean constant)."""
+        return self.polynomial.is_constant()
+
+    def trivial_value(self, tolerance: float = EVALUATION_EPS) -> bool:
+        """Truth value of a variable-free constraint."""
+        if not self.is_trivial():
+            raise ValueError("constraint is not trivial")
+        return self.op.holds(self.polynomial.constant_term(), tolerance)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Constraint({self.polynomial!r} {self.op.value} 0)"

@@ -1,0 +1,317 @@
+"""Boolean combinations of polynomial constraints.
+
+The output of the Proposition 5.3 translation is a quantifier-free formula
+over the real field: a Boolean combination of the atomic constraints of
+:mod:`repro.constraints.atoms`.  Besides evaluation, the two operations the
+approximation schemes rely on are negation-normal form (negation is pushed
+into the atoms, which is possible because the comparison operators are closed
+under negation) and disjunctive normal form (the FPRAS of Section 7 needs the
+disjuncts to build one convex cone each).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.constraints.atoms import Constraint, EVALUATION_EPS
+
+
+class ConstraintFormula:
+    """Base class for quantifier-free constraint formulae over the reals."""
+
+    def evaluate(self, assignment: Mapping[str, float],
+                 tolerance: float = EVALUATION_EPS) -> bool:
+        """Truth value under a concrete assignment of the variables."""
+        raise NotImplementedError
+
+    def variables(self) -> frozenset[str]:
+        """All variables occurring in the formula."""
+        raise NotImplementedError
+
+    def atoms(self) -> Iterator[Constraint]:
+        """Iterate over the atomic constraints (with repetition)."""
+        raise NotImplementedError
+
+    def negate(self) -> "ConstraintFormula":
+        """Logical negation (kept lazy; use :meth:`to_nnf` to push it inward)."""
+        return Not(self)
+
+    def to_nnf(self, negated: bool = False) -> "ConstraintFormula":
+        """Negation normal form: negations appear only inside atoms."""
+        raise NotImplementedError
+
+    def to_dnf(self) -> list[list[Constraint]]:
+        """Disjunctive normal form as a list of conjunctions of atoms.
+
+        The empty disjunction denotes ``False``; a disjunct that is an empty
+        conjunction denotes ``True``.  The formula is first put in NNF, then
+        distributed; trivially false disjuncts (containing a variable-free
+        atom that evaluates to false) are dropped and trivially true atoms are
+        removed from their disjunct.
+        """
+        return _to_dnf(self.to_nnf())
+
+    def is_linear(self) -> bool:
+        """Whether every atom is a linear constraint (the CQ(+,<) case)."""
+        return all(atom.is_linear() for atom in self.atoms())
+
+    def simplify(self) -> "ConstraintFormula":
+        """Constant-fold variable-free atoms and collapse trivial connectives."""
+        return _simplify(self)
+
+
+@dataclass(frozen=True)
+class TrueFormula(ConstraintFormula):
+    """The formula that is always true."""
+
+    def evaluate(self, assignment: Mapping[str, float],
+                 tolerance: float = EVALUATION_EPS) -> bool:
+        return True
+
+    def variables(self) -> frozenset[str]:
+        return frozenset()
+
+    def atoms(self) -> Iterator[Constraint]:
+        return iter(())
+
+    def to_nnf(self, negated: bool = False) -> ConstraintFormula:
+        return FalseFormula() if negated else self
+
+
+@dataclass(frozen=True)
+class FalseFormula(ConstraintFormula):
+    """The formula that is always false."""
+
+    def evaluate(self, assignment: Mapping[str, float],
+                 tolerance: float = EVALUATION_EPS) -> bool:
+        return False
+
+    def variables(self) -> frozenset[str]:
+        return frozenset()
+
+    def atoms(self) -> Iterator[Constraint]:
+        return iter(())
+
+    def to_nnf(self, negated: bool = False) -> ConstraintFormula:
+        return TrueFormula() if negated else self
+
+
+@dataclass(frozen=True)
+class Atom(ConstraintFormula):
+    """A single polynomial constraint."""
+
+    constraint: Constraint
+
+    def evaluate(self, assignment: Mapping[str, float],
+                 tolerance: float = EVALUATION_EPS) -> bool:
+        return self.constraint.evaluate(assignment, tolerance)
+
+    def variables(self) -> frozenset[str]:
+        return self.constraint.variables()
+
+    def atoms(self) -> Iterator[Constraint]:
+        yield self.constraint
+
+    def to_nnf(self, negated: bool = False) -> ConstraintFormula:
+        return Atom(self.constraint.negate()) if negated else self
+
+
+@dataclass(frozen=True)
+class And(ConstraintFormula):
+    """Conjunction of sub-formulae."""
+
+    children: tuple[ConstraintFormula, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "children", tuple(self.children))
+
+    def evaluate(self, assignment: Mapping[str, float],
+                 tolerance: float = EVALUATION_EPS) -> bool:
+        return all(child.evaluate(assignment, tolerance) for child in self.children)
+
+    def variables(self) -> frozenset[str]:
+        return frozenset().union(*(child.variables() for child in self.children)) \
+            if self.children else frozenset()
+
+    def atoms(self) -> Iterator[Constraint]:
+        for child in self.children:
+            yield from child.atoms()
+
+    def to_nnf(self, negated: bool = False) -> ConstraintFormula:
+        children = tuple(child.to_nnf(negated) for child in self.children)
+        return Or(children) if negated else And(children)
+
+
+@dataclass(frozen=True)
+class Or(ConstraintFormula):
+    """Disjunction of sub-formulae."""
+
+    children: tuple[ConstraintFormula, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "children", tuple(self.children))
+
+    def evaluate(self, assignment: Mapping[str, float],
+                 tolerance: float = EVALUATION_EPS) -> bool:
+        return any(child.evaluate(assignment, tolerance) for child in self.children)
+
+    def variables(self) -> frozenset[str]:
+        return frozenset().union(*(child.variables() for child in self.children)) \
+            if self.children else frozenset()
+
+    def atoms(self) -> Iterator[Constraint]:
+        for child in self.children:
+            yield from child.atoms()
+
+    def to_nnf(self, negated: bool = False) -> ConstraintFormula:
+        children = tuple(child.to_nnf(negated) for child in self.children)
+        return And(children) if negated else Or(children)
+
+
+@dataclass(frozen=True)
+class Not(ConstraintFormula):
+    """Negation of a sub-formula."""
+
+    child: ConstraintFormula
+
+    def evaluate(self, assignment: Mapping[str, float],
+                 tolerance: float = EVALUATION_EPS) -> bool:
+        return not self.child.evaluate(assignment, tolerance)
+
+    def variables(self) -> frozenset[str]:
+        return self.child.variables()
+
+    def atoms(self) -> Iterator[Constraint]:
+        yield from self.child.atoms()
+
+    def to_nnf(self, negated: bool = False) -> ConstraintFormula:
+        return self.child.to_nnf(not negated)
+
+
+def conjunction(children: Iterable[ConstraintFormula]) -> ConstraintFormula:
+    """Conjunction with the obvious simplifications for 0 or 1 children."""
+    children = tuple(children)
+    if not children:
+        return TrueFormula()
+    if len(children) == 1:
+        return children[0]
+    return And(children)
+
+
+def disjunction(children: Iterable[ConstraintFormula]) -> ConstraintFormula:
+    """Disjunction with the obvious simplifications for 0 or 1 children."""
+    children = tuple(children)
+    if not children:
+        return FalseFormula()
+    if len(children) == 1:
+        return children[0]
+    return Or(children)
+
+
+def _simplify(formula: ConstraintFormula) -> ConstraintFormula:
+    if isinstance(formula, Atom):
+        if formula.constraint.is_trivial():
+            return TrueFormula() if formula.constraint.trivial_value() else FalseFormula()
+        return formula
+    if isinstance(formula, Not):
+        child = _simplify(formula.child)
+        if isinstance(child, TrueFormula):
+            return FalseFormula()
+        if isinstance(child, FalseFormula):
+            return TrueFormula()
+        if isinstance(child, Atom):
+            return Atom(child.constraint.negate())
+        return Not(child)
+    if isinstance(formula, And):
+        simplified: list[ConstraintFormula] = []
+        for child in formula.children:
+            child = _simplify(child)
+            if isinstance(child, FalseFormula):
+                return FalseFormula()
+            if isinstance(child, TrueFormula):
+                continue
+            if isinstance(child, And):
+                simplified.extend(child.children)
+            else:
+                simplified.append(child)
+        return conjunction(simplified)
+    if isinstance(formula, Or):
+        simplified = []
+        for child in formula.children:
+            child = _simplify(child)
+            if isinstance(child, TrueFormula):
+                return TrueFormula()
+            if isinstance(child, FalseFormula):
+                continue
+            if isinstance(child, Or):
+                simplified.extend(child.children)
+            else:
+                simplified.append(child)
+        return disjunction(simplified)
+    return formula
+
+
+def _to_dnf(nnf: ConstraintFormula) -> list[list[Constraint]]:
+    nnf = _simplify(nnf)
+    if isinstance(nnf, TrueFormula):
+        return [[]]
+    if isinstance(nnf, FalseFormula):
+        return []
+    if isinstance(nnf, Atom):
+        return [[nnf.constraint]]
+    if isinstance(nnf, Or):
+        disjuncts: list[list[Constraint]] = []
+        for child in nnf.children:
+            disjuncts.extend(_to_dnf(child))
+        return disjuncts
+    if isinstance(nnf, And):
+        disjuncts = [[]]
+        for child in nnf.children:
+            child_disjuncts = _to_dnf(child)
+            disjuncts = [existing + extra
+                         for existing in disjuncts
+                         for extra in child_disjuncts]
+            if not disjuncts:
+                return []
+        return disjuncts
+    raise TypeError(f"unexpected node in NNF formula: {type(nnf).__name__}")
+
+
+def dnf_size_bound(formula: ConstraintFormula, cap: int = 1_000_000) -> int:
+    """Upper bound on the number of DNF disjuncts, capped at ``cap``.
+
+    Converting to DNF can blow up exponentially (a conjunction of ``k``
+    disjunctions multiplies out to the product of their widths), so callers
+    that need the DNF -- the FPRAS and the exact planar backend -- first check
+    this bound and fall back to the AFPRAS when it exceeds their budget.  The
+    bound is computed on the negation normal form without building anything.
+    """
+    def bound(node: ConstraintFormula) -> int:
+        if isinstance(node, (TrueFormula, FalseFormula, Atom)):
+            return 1
+        if isinstance(node, Or):
+            total = 0
+            for child in node.children:
+                total += bound(child)
+                if total >= cap:
+                    return cap
+            return max(total, 1)
+        if isinstance(node, And):
+            product = 1
+            for child in node.children:
+                product *= bound(child)
+                if product >= cap:
+                    return cap
+            return product
+        raise TypeError(f"unexpected node in NNF formula: {type(node).__name__}")
+
+    return bound(formula.to_nnf())
+
+
+def dnf_formula(disjuncts: Sequence[Sequence[Constraint]]) -> ConstraintFormula:
+    """Rebuild a formula from DNF disjuncts (inverse of :meth:`to_dnf`)."""
+    return disjunction(
+        conjunction(Atom(constraint) for constraint in disjunct)
+        for disjunct in disjuncts
+    )

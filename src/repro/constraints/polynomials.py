@@ -1,0 +1,249 @@
+"""Sparse multivariate polynomials with rational-friendly float coefficients.
+
+The atomic formulae produced by the Proposition 5.3 translation compare
+polynomial terms built from numerical constants of the database and the
+variables standing for numerical nulls.  This module provides the small
+polynomial algebra needed for that: construction from constants and
+variables, ring operations, evaluation, substitution of a scaled direction
+(``z_i -> k * a_i``, the key step of the asymptotic test of Lemma 8.4), and
+inspection of degrees and leading coefficients.
+
+Polynomials are immutable.  Monomials are represented as tuples of
+``(variable, exponent)`` pairs sorted by variable name, mapped to their float
+coefficient; the zero polynomial has an empty monomial dictionary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from numbers import Real
+from typing import Iterable, Mapping, Union
+
+#: A monomial: variables with positive integer exponents, sorted by name.
+Monomial = tuple[tuple[str, int], ...]
+
+#: Values a polynomial can be combined with directly.
+Scalar = Union[int, float]
+
+#: Coefficients smaller than this in absolute value are dropped.
+COEFFICIENT_EPS = 1e-15
+
+CONSTANT_MONOMIAL: Monomial = ()
+
+
+def _normalise_monomial(variables: Iterable[tuple[str, int]]) -> Monomial:
+    powers: dict[str, int] = {}
+    for name, exponent in variables:
+        if exponent < 0:
+            raise ValueError(f"negative exponent for variable {name!r}")
+        if exponent == 0:
+            continue
+        powers[name] = powers.get(name, 0) + exponent
+    return tuple(sorted(powers.items()))
+
+
+def _merge_monomials(first: Monomial, second: Monomial) -> Monomial:
+    return _normalise_monomial(tuple(first) + tuple(second))
+
+
+@dataclass(frozen=True)
+class Polynomial:
+    """An immutable sparse multivariate polynomial with float coefficients."""
+
+    coefficients: Mapping[Monomial, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        cleaned = {
+            monomial: float(coefficient)
+            for monomial, coefficient in self.coefficients.items()
+            if abs(coefficient) > COEFFICIENT_EPS
+        }
+        object.__setattr__(self, "coefficients", cleaned)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def constant(cls, value: Scalar) -> "Polynomial":
+        """The constant polynomial ``value``."""
+        if not isinstance(value, Real):
+            raise TypeError(f"constant must be a real number, got {type(value).__name__}")
+        return cls({CONSTANT_MONOMIAL: float(value)})
+
+    @classmethod
+    def variable(cls, name: str) -> "Polynomial":
+        """The polynomial consisting of the single variable ``name``."""
+        if not name:
+            raise ValueError("variable name must be non-empty")
+        return cls({((name, 1),): 1.0})
+
+    @classmethod
+    def zero(cls) -> "Polynomial":
+        return cls({})
+
+    @classmethod
+    def from_value(cls, value: Union["Polynomial", Scalar]) -> "Polynomial":
+        """Coerce a scalar to a constant polynomial; pass polynomials through."""
+        if isinstance(value, Polynomial):
+            return value
+        return cls.constant(value)
+
+    # -- inspection --------------------------------------------------------
+
+    def variables(self) -> frozenset[str]:
+        """The set of variables occurring with non-zero coefficient."""
+        names: set[str] = set()
+        for monomial in self.coefficients:
+            for name, _ in monomial:
+                names.add(name)
+        return frozenset(names)
+
+    def is_zero(self) -> bool:
+        return not self.coefficients
+
+    def is_constant(self) -> bool:
+        return all(monomial == CONSTANT_MONOMIAL for monomial in self.coefficients)
+
+    def constant_term(self) -> float:
+        return self.coefficients.get(CONSTANT_MONOMIAL, 0.0)
+
+    def total_degree(self) -> int:
+        """Highest total degree of a monomial; the zero polynomial has degree 0."""
+        if not self.coefficients:
+            return 0
+        return max(sum(exponent for _, exponent in monomial)
+                   for monomial in self.coefficients)
+
+    def is_linear(self) -> bool:
+        """Whether every monomial has total degree at most one."""
+        return self.total_degree() <= 1
+
+    def linear_coefficients(self) -> dict[str, float]:
+        """Coefficients of the degree-one monomials (requires :meth:`is_linear`)."""
+        if not self.is_linear():
+            raise ValueError("polynomial is not linear")
+        coefficients: dict[str, float] = {}
+        for monomial, coefficient in self.coefficients.items():
+            if monomial == CONSTANT_MONOMIAL:
+                continue
+            ((name, _exponent),) = monomial
+            coefficients[name] = coefficient
+        return coefficients
+
+    # -- ring operations ---------------------------------------------------
+
+    def __add__(self, other: Union["Polynomial", Scalar]) -> "Polynomial":
+        other = Polynomial.from_value(other)
+        merged = dict(self.coefficients)
+        for monomial, coefficient in other.coefficients.items():
+            merged[monomial] = merged.get(monomial, 0.0) + coefficient
+        return Polynomial(merged)
+
+    def __radd__(self, other: Scalar) -> "Polynomial":
+        return self.__add__(other)
+
+    def __neg__(self) -> "Polynomial":
+        return Polynomial({monomial: -coefficient
+                           for monomial, coefficient in self.coefficients.items()})
+
+    def __sub__(self, other: Union["Polynomial", Scalar]) -> "Polynomial":
+        return self.__add__(-Polynomial.from_value(other))
+
+    def __rsub__(self, other: Scalar) -> "Polynomial":
+        return Polynomial.from_value(other).__sub__(self)
+
+    def __mul__(self, other: Union["Polynomial", Scalar]) -> "Polynomial":
+        other = Polynomial.from_value(other)
+        product: dict[Monomial, float] = {}
+        for left_monomial, left_coefficient in self.coefficients.items():
+            for right_monomial, right_coefficient in other.coefficients.items():
+                monomial = _merge_monomials(left_monomial, right_monomial)
+                product[monomial] = (product.get(monomial, 0.0)
+                                     + left_coefficient * right_coefficient)
+        return Polynomial(product)
+
+    def __rmul__(self, other: Scalar) -> "Polynomial":
+        return self.__mul__(other)
+
+    def __pow__(self, exponent: int) -> "Polynomial":
+        if exponent < 0:
+            raise ValueError("negative powers of polynomials are not supported")
+        result = Polynomial.constant(1.0)
+        base = self
+        power = exponent
+        while power:
+            if power & 1:
+                result = result * base
+            base = base * base
+            power >>= 1
+        return result
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Polynomial):
+            return NotImplemented
+        return self.coefficients == other.coefficients
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.coefficients.items()))
+
+    # -- evaluation and substitution ----------------------------------------
+
+    def evaluate(self, assignment: Mapping[str, float]) -> float:
+        """Numeric value of the polynomial at a point."""
+        total = 0.0
+        for monomial, coefficient in self.coefficients.items():
+            value = coefficient
+            for name, exponent in monomial:
+                if name not in assignment:
+                    raise KeyError(f"no value supplied for variable {name!r}")
+                value *= float(assignment[name]) ** exponent
+            total += value
+        return total
+
+    def substitute(self, substitution: Mapping[str, Union["Polynomial", Scalar]]) -> "Polynomial":
+        """Replace variables by polynomials (or scalars); others are kept."""
+        result = Polynomial.zero()
+        for monomial, coefficient in self.coefficients.items():
+            term = Polynomial.constant(coefficient)
+            for name, exponent in monomial:
+                replacement = substitution.get(name)
+                factor = (Polynomial.variable(name) if replacement is None
+                          else Polynomial.from_value(replacement))
+                term = term * factor**exponent
+            result = result + term
+        return result
+
+    def directional_profile(self, direction: Mapping[str, float]) -> list[float]:
+        """Coefficients of the univariate polynomial ``k -> p(k * direction)``.
+
+        Substituting ``z_i = k * a_i`` groups monomials by their total degree:
+        the result is a list ``[c_0, c_1, ..., c_d]`` with ``p(k * a) = sum_d
+        c_d * k^d``.  This is exactly the object Lemma 8.4 inspects -- only the
+        leading non-zero coefficient matters for the asymptotic truth value.
+        """
+        degree = self.total_degree()
+        profile = [0.0] * (degree + 1)
+        for monomial, coefficient in self.coefficients.items():
+            value = coefficient
+            total_degree = 0
+            for name, exponent in monomial:
+                if name not in direction:
+                    raise KeyError(f"no direction component for variable {name!r}")
+                value *= float(direction[name]) ** exponent
+                total_degree += exponent
+            profile[total_degree] += value
+        return profile
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self.coefficients:
+            return "Polynomial(0)"
+        parts = []
+        for monomial, coefficient in sorted(self.coefficients.items()):
+            if monomial == CONSTANT_MONOMIAL:
+                parts.append(f"{coefficient:g}")
+            else:
+                variables = "*".join(
+                    name if exponent == 1 else f"{name}^{exponent}"
+                    for name, exponent in monomial
+                )
+                parts.append(f"{coefficient:g}*{variables}")
+        return "Polynomial(" + " + ".join(parts) + ")"

@@ -1,0 +1,34 @@
+"""Synthetic data generators reproducing the paper's workloads.
+
+* :mod:`repro.datagen.intro` -- the introduction's sales-campaign example
+  (Products / Competition / Excluded, three nulls) together with the paper's
+  query (1), used to check the closed-form value ``(pi/2 - arctan(10/7)) /
+  (2*pi) ≈ 0.097``;
+* :mod:`repro.datagen.experiments` -- the Section 9 sales schema (Products /
+  Orders / Market) at configurable scale and null rate, plus the three
+  decision-support SQL queries of the experimental study;
+* :mod:`repro.datagen.generic` -- a schema-driven random generator (the
+  stand-in for the DataFiller tool the paper used).
+"""
+
+from repro.datagen.experiments import (
+    EXPERIMENT_QUERIES,
+    ExperimentScale,
+    generate_sales_database,
+    sales_schema,
+)
+from repro.datagen.generic import ColumnSpec, TableSpec, generate_database
+from repro.datagen.intro import intro_database, intro_query, intro_schema
+
+__all__ = [
+    "EXPERIMENT_QUERIES",
+    "ColumnSpec",
+    "ExperimentScale",
+    "TableSpec",
+    "generate_database",
+    "generate_sales_database",
+    "intro_database",
+    "intro_query",
+    "intro_schema",
+    "sales_schema",
+]

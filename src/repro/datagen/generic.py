@@ -1,0 +1,110 @@
+"""Schema-driven random data generation (the DataFiller substitute).
+
+The paper produced its experimental data with DataFiller, a tool that fills
+an SQL schema with random values and NULLs.  This module plays the same role
+for our in-memory databases: a :class:`TableSpec` describes, for each column,
+how to draw values and how often to leave the entry null, and
+:func:`generate_database` produces a reproducible instance of any schema.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.geometry.ball import RngLike, as_generator
+from repro.relational.database import Database
+from repro.relational.schema import DatabaseSchema
+from repro.relational.values import BaseNull, NumNull, Value
+
+#: A value factory: receives the generator and the row index, returns a value.
+ValueFactory = Callable[[np.random.Generator, int], Value]
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """How to fill one column.
+
+    Exactly one of ``choices``, ``uniform``, ``factory`` or ``serial`` should
+    be provided:
+
+    * ``choices`` -- draw uniformly from a finite pool (categorical columns);
+    * ``uniform`` -- draw a float uniformly from ``(low, high)``;
+    * ``factory`` -- arbitrary callable;
+    * ``serial`` -- ``f"{serial}{row_index}"`` identifiers (primary keys).
+
+    ``null_rate`` is the probability that the entry is a fresh marked null
+    instead of a generated value.
+    """
+
+    choices: Optional[Sequence[Value]] = None
+    uniform: Optional[tuple[float, float]] = None
+    factory: Optional[ValueFactory] = None
+    serial: Optional[str] = None
+    null_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        provided = sum(option is not None
+                       for option in (self.choices, self.uniform, self.factory, self.serial))
+        if provided != 1:
+            raise ValueError("exactly one of choices/uniform/factory/serial must be given")
+        if not 0.0 <= self.null_rate <= 1.0:
+            raise ValueError(f"null_rate must be in [0, 1], got {self.null_rate}")
+
+    def draw(self, generator: np.random.Generator, row_index: int) -> Value:
+        if self.choices is not None:
+            return self.choices[int(generator.integers(0, len(self.choices)))]
+        if self.uniform is not None:
+            low, high = self.uniform
+            return float(generator.uniform(low, high))
+        if self.factory is not None:
+            return self.factory(generator, row_index)
+        return f"{self.serial}{row_index}"
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """How to fill one table: number of rows and one :class:`ColumnSpec` per column."""
+
+    rows: int
+    columns: dict[str, ColumnSpec] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.rows < 0:
+            raise ValueError(f"rows must be non-negative, got {self.rows}")
+
+
+def generate_database(schema: DatabaseSchema,
+                      specs: dict[str, TableSpec],
+                      rng: RngLike = None,
+                      null_prefix: str = "g") -> Database:
+    """Generate a database instance of ``schema`` according to ``specs``.
+
+    Every generated null is a fresh marked null (``⊥``/``⊤`` depending on the
+    column type), so the result is a well-formed incomplete database in the
+    paper's model.  Tables of the schema without a spec are left empty.
+    """
+    generator = as_generator(rng)
+    database = Database(schema)
+    null_counter = itertools.count(1)
+    for table_name, spec in specs.items():
+        relation_schema = schema.relation(table_name)
+        missing = [attribute.name for attribute in relation_schema.attributes
+                   if attribute.name not in spec.columns]
+        if missing:
+            raise ValueError(
+                f"table {table_name!r} is missing column specs for {missing}")
+        for row_index in range(spec.rows):
+            row: list[Value] = []
+            for attribute in relation_schema.attributes:
+                column_spec = spec.columns[attribute.name]
+                if generator.random() < column_spec.null_rate:
+                    label = f"{null_prefix}{next(null_counter)}"
+                    row.append(NumNull(label) if attribute.is_numeric else BaseNull(label))
+                else:
+                    row.append(column_spec.draw(generator, row_index))
+            database.add(table_name, row)
+    return database

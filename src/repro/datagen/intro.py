@@ -1,0 +1,111 @@
+"""The introduction's sales-campaign example.
+
+The paper's running example has three relations::
+
+    Products(id, seg, rrp, dis)      -- rrp, dis numerical
+    Competition(id, seg, p)          -- p numerical
+    Excluded(id, seg)
+
+with the instance
+
+    Products:    (id1, s, 10, 0.8), (id2, s, ⊤rrp2, 0.7)
+    Competition: (c, s, ⊤price)
+    Excluded:    (⊥excluded, s)
+
+and the query (the paper's displayed FO formula)::
+
+    q(s) = ∀ i, r, d, i', p .
+        (Products(i, s, r, d) ∧ ¬Excluded(i, s) ∧ Competition(i', s, p))
+            → (r · d ≤ p ∧ r ≥ 0 ∧ d ≥ 0 ∧ p ≥ 0)
+
+A note on the expected value.  The paper derives the constraint system (1)
+``(α' ≥ 0) ∧ (α ≥ 8) ∧ (0.7·α' ≥ α)`` and computes its density as
+``(π/2 − arctan(10/7)) / (2π) ≈ 0.097`` (≈ 0.388 of the positive quadrant).
+The query as displayed, however, yields ``0.7·α' ≤ α`` for product ``id2``
+(our discounted price must be *below* the competition), whose density is
+``arctan(10/7) / (2π) ≈ 0.153``.  The two differ only in the direction of
+that one inequality; we expose both so the tests can check the paper's
+headline number against the literal formula (1) *and* check the
+query-derived value for internal consistency across all our backends.  See
+EXPERIMENTS.md for the discussion.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.constraints.atoms import Comparison, Constraint
+from repro.constraints.formula import Atom, ConstraintFormula, conjunction
+from repro.constraints.polynomials import Polynomial
+from repro.logic.builder import base_var, forall, implies, neg, num_var, rel
+from repro.logic.formulas import Query
+from repro.relational.database import Database
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.values import BaseNull, NumNull
+
+#: The market segment used throughout the example.
+SEGMENT = "s"
+
+#: Density of the paper's constraint system (1): (pi/2 - arctan(10/7)) / (2*pi).
+EXPECTED_MEASURE_FORMULA_1 = (math.pi / 2 - math.atan(10.0 / 7.0)) / (2 * math.pi)
+
+#: The same value as a fraction of the positive quadrant (the paper's ≈ 0.388).
+EXPECTED_POSITIVE_QUADRANT = 4 * EXPECTED_MEASURE_FORMULA_1
+
+#: Density of the constraint system derived literally from the displayed query
+#: (the inequality of product id2 points the other way): arctan(10/7) / (2*pi).
+EXPECTED_MEASURE_QUERY = math.atan(10.0 / 7.0) / (2 * math.pi)
+
+
+def intro_schema() -> DatabaseSchema:
+    """Schema of the introduction example."""
+    return DatabaseSchema.of(
+        RelationSchema.of("Products", id="base", seg="base", rrp="num", dis="num"),
+        RelationSchema.of("Competition", id="base", seg="base", p="num"),
+        RelationSchema.of("Excluded", id="base", seg="base"),
+    )
+
+
+def intro_database() -> Database:
+    """The instance of the introduction: two products, one competitor, one exclusion."""
+    database = Database(intro_schema())
+    database.add("Products", ("id1", SEGMENT, 10.0, 0.8))
+    database.add("Products", ("id2", SEGMENT, NumNull("rrp2"), 0.7))
+    database.add("Competition", ("c", SEGMENT, NumNull("price")))
+    database.add("Excluded", (BaseNull("excluded"), SEGMENT))
+    return database
+
+
+def intro_query() -> Query:
+    """The paper's query, as displayed in the introduction."""
+    segment = base_var("s")
+    item = base_var("i")
+    competitor = base_var("i2")
+    rrp = num_var("r")
+    dis = num_var("d")
+    price = num_var("p")
+
+    condition = (rrp * dis <= price) & (rrp >= 0) & (dis >= 0) & (price >= 0)
+    premise = (rel("Products", item, segment, rrp, dis)
+               & neg(rel("Excluded", item, segment))
+               & rel("Competition", competitor, segment, price))
+    body = forall([item, rrp, dis, competitor, price], implies(premise, condition))
+    return Query(head=(segment,), body=body, name="competitive_segments")
+
+
+def intro_constraint_formula() -> tuple[ConstraintFormula, tuple[str, str]]:
+    """The paper's constraint system (1), verbatim, over the two numerical nulls.
+
+    Returns the formula ``(α' ≥ 0) ∧ (α ≥ 8) ∧ (0.7·α' ≥ α)`` together with
+    the variable names ``(α, α')`` used for the competition price and the
+    rrp of product ``id2`` respectively.
+    """
+    alpha = NumNull("price").variable        # α  : the competitor's price
+    alpha_prime = NumNull("rrp2").variable   # α' : the rrp of product id2
+    formula = conjunction([
+        Atom(Constraint(Polynomial.variable(alpha_prime), Comparison.GE)),
+        Atom(Constraint(Polynomial.variable(alpha) - 8.0, Comparison.GE)),
+        Atom(Constraint(0.7 * Polynomial.variable(alpha_prime)
+                        - Polynomial.variable(alpha), Comparison.GE)),
+    ])
+    return formula, (alpha, alpha_prime)

@@ -1,0 +1,36 @@
+"""End-to-end query engine: SQL in, confidence-annotated answers out.
+
+The paper's experimental pipeline (Section 9) evaluates a SQL query under
+naive evaluation, extracts "a compact representation of the formulae
+``phi_{q,D,a,s}``" for every returned tuple, and runs the Monte-Carlo
+AFPRAS on each.  This subpackage is that pipeline, with the external
+database system replaced by an in-memory engine built here:
+
+* :mod:`repro.engine.sql` -- a lexer/parser for the SQL subset used by the
+  paper's decision-support queries (``SELECT``-``FROM``-``WHERE`` with
+  arithmetic predicates, ``AND``, and ``LIMIT``);
+* :mod:`repro.engine.translate_sql` -- translation of the SQL AST into a
+  conjunctive FO(+,·,<) query of :mod:`repro.logic`;
+* :mod:`repro.engine.candidates` -- candidate-answer enumeration over the
+  incomplete database with per-candidate lineage (the constraint formula of
+  Proposition 5.3 specialised to conjunctive queries);
+* :mod:`repro.engine.annotate` -- the public :func:`annotate` call returning
+  each candidate tuple with its measure of certainty.
+"""
+
+from repro.engine.annotate import AnnotatedAnswer, annotate, annotate_query
+from repro.engine.candidates import CandidateAnswer, enumerate_candidates
+from repro.engine.sql.ast import SelectQuery
+from repro.engine.sql.parser import parse_sql
+from repro.engine.translate_sql import sql_to_query
+
+__all__ = [
+    "AnnotatedAnswer",
+    "CandidateAnswer",
+    "SelectQuery",
+    "annotate",
+    "annotate_query",
+    "enumerate_candidates",
+    "parse_sql",
+    "sql_to_query",
+]

@@ -1,0 +1,39 @@
+"""A small SQL subset: lexer, AST and recursive-descent parser.
+
+The grammar covers exactly what the paper's experimental queries need::
+
+    SELECT <column list | *>
+    FROM   <table [alias]> [, <table [alias]>]*
+    [WHERE <predicate> [AND <predicate>]*]
+    [LIMIT <n>]
+
+where a predicate compares two arithmetic expressions over column references
+and literals with one of ``=  <>  !=  <  <=  >  >=``.
+"""
+
+from repro.engine.sql.ast import (
+    BinaryExpression,
+    ColumnExpression,
+    Condition,
+    Expression,
+    NumberLiteral,
+    SelectQuery,
+    StringLiteral,
+    TableReference,
+)
+from repro.engine.sql.lexer import SqlSyntaxError, tokenize
+from repro.engine.sql.parser import parse_sql
+
+__all__ = [
+    "BinaryExpression",
+    "ColumnExpression",
+    "Condition",
+    "Expression",
+    "NumberLiteral",
+    "SelectQuery",
+    "SqlSyntaxError",
+    "StringLiteral",
+    "TableReference",
+    "parse_sql",
+    "tokenize",
+]

@@ -1,0 +1,99 @@
+"""Abstract syntax tree of the SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class TableReference:
+    """One entry of the FROM clause: a table and its (optional) alias."""
+
+    table: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        """The name conditions refer to this table occurrence by."""
+        return self.alias if self.alias is not None else self.table
+
+
+class Expression:
+    """Base class of scalar expressions in SELECT and WHERE clauses."""
+
+
+@dataclass(frozen=True)
+class ColumnExpression(Expression):
+    """A column reference ``alias.column`` or bare ``column``."""
+
+    column: str
+    table: Optional[str] = None
+
+    def __repr__(self) -> str:
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+
+@dataclass(frozen=True)
+class NumberLiteral(Expression):
+    """A numeric literal."""
+
+    value: float
+
+    def __repr__(self) -> str:
+        return f"{self.value:g}"
+
+
+@dataclass(frozen=True)
+class StringLiteral(Expression):
+    """A string literal (a base-type constant)."""
+
+    value: str
+
+    def __repr__(self) -> str:
+        return f"'{self.value}'"
+
+
+@dataclass(frozen=True)
+class BinaryExpression(Expression):
+    """An arithmetic combination of two expressions (``+``, ``-``, ``*``, ``/``)."""
+
+    operator: str
+    left: Expression
+    right: Expression
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.operator} {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One WHERE predicate: ``left op right`` with a comparison operator."""
+
+    left: Expression
+    operator: str
+    right: Expression
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} {self.operator} {self.right!r}"
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    """A parsed ``SELECT ... FROM ... [WHERE ...] [LIMIT n]`` statement."""
+
+    select: tuple[ColumnExpression, ...]
+    tables: tuple[TableReference, ...]
+    conditions: tuple[Condition, ...] = field(default_factory=tuple)
+    limit: Optional[int] = None
+    distinct: bool = False
+    select_star: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "select", tuple(self.select))
+        object.__setattr__(self, "tables", tuple(self.tables))
+        object.__setattr__(self, "conditions", tuple(self.conditions))
+        if not self.tables:
+            raise ValueError("a SELECT query needs at least one table")
+        if not self.select and not self.select_star:
+            raise ValueError("a SELECT query needs a non-empty projection or *")

@@ -1,0 +1,181 @@
+"""Recursive-descent parser for the SQL subset."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.sql.ast import (
+    BinaryExpression,
+    ColumnExpression,
+    Condition,
+    Expression,
+    NumberLiteral,
+    SelectQuery,
+    StringLiteral,
+    TableReference,
+)
+from repro.engine.sql.lexer import SqlSyntaxError, Token, TokenType, tokenize
+
+_COMPARISON_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">")
+_ADDITIVE_OPERATORS = ("+", "-")
+_MULTIPLICATIVE_OPERATORS = ("*", "/")
+
+
+class _Parser:
+    """Stateful cursor over the token stream."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _expect_keyword(self, keyword: str) -> Token:
+        token = self._peek()
+        if not token.matches(TokenType.KEYWORD, keyword):
+            raise SqlSyntaxError(
+                f"expected keyword {keyword!r} at position {token.position}, "
+                f"got {token.text!r}")
+        return self._advance()
+
+    def _accept_keyword(self, keyword: str) -> bool:
+        if self._peek().matches(TokenType.KEYWORD, keyword):
+            self._advance()
+            return True
+        return False
+
+    def _accept_punctuation(self, text: str) -> bool:
+        if self._peek().matches(TokenType.PUNCTUATION, text):
+            self._advance()
+            return True
+        return False
+
+    def _expect_identifier(self) -> str:
+        token = self._peek()
+        if token.type is not TokenType.IDENTIFIER:
+            raise SqlSyntaxError(
+                f"expected an identifier at position {token.position}, got {token.text!r}")
+        return self._advance().text
+
+    # -- grammar --------------------------------------------------------------
+
+    def parse(self) -> SelectQuery:
+        self._expect_keyword("SELECT")
+        distinct = self._accept_keyword("DISTINCT")
+        select_star = False
+        select: list[ColumnExpression] = []
+        if self._peek().matches(TokenType.OPERATOR, "*"):
+            self._advance()
+            select_star = True
+        else:
+            select.append(self._parse_column_reference())
+            while self._accept_punctuation(","):
+                select.append(self._parse_column_reference())
+
+        self._expect_keyword("FROM")
+        tables = [self._parse_table_reference()]
+        while self._accept_punctuation(","):
+            tables.append(self._parse_table_reference())
+
+        conditions: list[Condition] = []
+        if self._accept_keyword("WHERE"):
+            conditions.append(self._parse_condition())
+            while self._accept_keyword("AND"):
+                conditions.append(self._parse_condition())
+
+        limit: Optional[int] = None
+        if self._accept_keyword("LIMIT"):
+            token = self._peek()
+            if token.type is not TokenType.NUMBER:
+                raise SqlSyntaxError(
+                    f"expected a number after LIMIT at position {token.position}")
+            limit = int(float(self._advance().text))
+
+        self._accept_punctuation(";")
+        end = self._peek()
+        if end.type is not TokenType.END:
+            raise SqlSyntaxError(
+                f"unexpected trailing input at position {end.position}: {end.text!r}")
+        return SelectQuery(select=tuple(select), tables=tuple(tables),
+                           conditions=tuple(conditions), limit=limit,
+                           distinct=distinct, select_star=select_star)
+
+    def _parse_table_reference(self) -> TableReference:
+        table = self._expect_identifier()
+        alias: Optional[str] = None
+        self._accept_keyword("AS")
+        if self._peek().type is TokenType.IDENTIFIER:
+            alias = self._advance().text
+        return TableReference(table=table, alias=alias)
+
+    def _parse_column_reference(self) -> ColumnExpression:
+        first = self._expect_identifier()
+        if self._accept_punctuation("."):
+            second = self._expect_identifier()
+            return ColumnExpression(column=second, table=first)
+        return ColumnExpression(column=first, table=None)
+
+    def _parse_condition(self) -> Condition:
+        left = self._parse_expression()
+        token = self._peek()
+        if token.type is not TokenType.OPERATOR or token.text not in _COMPARISON_OPERATORS:
+            raise SqlSyntaxError(
+                f"expected a comparison operator at position {token.position}, "
+                f"got {token.text!r}")
+        operator = self._advance().text
+        right = self._parse_expression()
+        return Condition(left=left, operator=operator, right=right)
+
+    def _parse_expression(self) -> Expression:
+        expression = self._parse_term()
+        while (self._peek().type is TokenType.OPERATOR
+               and self._peek().text in _ADDITIVE_OPERATORS):
+            operator = self._advance().text
+            right = self._parse_term()
+            expression = BinaryExpression(operator=operator, left=expression, right=right)
+        return expression
+
+    def _parse_term(self) -> Expression:
+        expression = self._parse_factor()
+        while (self._peek().type is TokenType.OPERATOR
+               and self._peek().text in _MULTIPLICATIVE_OPERATORS):
+            operator = self._advance().text
+            right = self._parse_factor()
+            expression = BinaryExpression(operator=operator, left=expression, right=right)
+        return expression
+
+    def _parse_factor(self) -> Expression:
+        token = self._peek()
+        if token.matches(TokenType.PUNCTUATION, "("):
+            self._advance()
+            inner = self._parse_expression()
+            if not self._accept_punctuation(")"):
+                raise SqlSyntaxError(f"missing ')' at position {self._peek().position}")
+            return inner
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return NumberLiteral(value=float(token.text))
+        if token.type is TokenType.STRING:
+            self._advance()
+            return StringLiteral(value=token.text[1:-1].replace("''", "'"))
+        if token.type is TokenType.OPERATOR and token.text == "-":
+            self._advance()
+            inner = self._parse_factor()
+            return BinaryExpression(operator="-", left=NumberLiteral(0.0), right=inner)
+        if token.type is TokenType.IDENTIFIER:
+            return self._parse_column_reference()
+        raise SqlSyntaxError(
+            f"unexpected token {token.text!r} at position {token.position}")
+
+
+def parse_sql(sql: str) -> SelectQuery:
+    """Parse a SELECT statement of the supported subset into its AST."""
+    return _Parser(tokenize(sql)).parse()

@@ -1,0 +1,199 @@
+"""Translation of the SQL subset into conjunctive FO(+, ·, <) queries.
+
+Every table occurrence of the FROM clause contributes one relation atom whose
+arguments are fresh variables (one per column, named ``<binding>_<column>``),
+WHERE predicates become numerical comparisons or base equalities, and the
+SELECT list determines the head; all remaining variables are existentially
+quantified.  The result is a conjunctive query in the sense of the paper, so
+the fragment classification and the FPRAS applicability carry over directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.engine.sql.ast import (
+    BinaryExpression,
+    ColumnExpression,
+    Condition,
+    Expression,
+    NumberLiteral,
+    SelectQuery,
+    StringLiteral,
+    TableReference,
+)
+from repro.logic.builder import exists
+from repro.logic.formulas import (
+    BaseEquality,
+    Comparison,
+    ComparisonOperator,
+    FONot,
+    Formula,
+    Query,
+    RelationAtom,
+    make_conjunction,
+)
+from repro.logic.terms import (
+    BaseConstant,
+    NumericConstant,
+    Sort,
+    Term,
+    TermOperation,
+    TermOperator,
+    Variable,
+)
+from repro.relational.schema import DatabaseSchema
+
+
+class SqlTranslationError(ValueError):
+    """Raised when a SQL query does not fit the schema or the subset."""
+
+
+_SQL_TO_COMPARISON = {
+    "=": ComparisonOperator.EQ,
+    "<>": ComparisonOperator.NE,
+    "!=": ComparisonOperator.NE,
+    "<": ComparisonOperator.LT,
+    "<=": ComparisonOperator.LE,
+    ">": ComparisonOperator.GT,
+    ">=": ComparisonOperator.GE,
+}
+
+_SQL_TO_TERM_OPERATOR = {
+    "+": TermOperator.ADD,
+    "-": TermOperator.SUB,
+    "*": TermOperator.MUL,
+    "/": TermOperator.DIV,
+}
+
+
+@dataclass(frozen=True)
+class ColumnBinding:
+    """Where a query variable comes from: which table occurrence and column."""
+
+    table_reference: TableReference
+    column: str
+    variable: Variable
+
+
+class SqlScope:
+    """Resolves column references to the variables of the translated query."""
+
+    def __init__(self, query: SelectQuery, schema: DatabaseSchema) -> None:
+        self._bindings: dict[tuple[str, str], ColumnBinding] = {}
+        self._by_column: dict[str, list[ColumnBinding]] = {}
+        seen_bindings: set[str] = set()
+        for reference in query.tables:
+            if reference.table not in schema:
+                raise SqlTranslationError(f"unknown table {reference.table!r}")
+            if reference.binding in seen_bindings:
+                raise SqlTranslationError(
+                    f"duplicate table binding {reference.binding!r}; use aliases")
+            seen_bindings.add(reference.binding)
+            relation_schema = schema.relation(reference.table)
+            for attribute in relation_schema.attributes:
+                sort = Sort.NUM if attribute.is_numeric else Sort.BASE
+                variable = Variable(name=f"{reference.binding}_{attribute.name}",
+                                    variable_sort=sort)
+                binding = ColumnBinding(table_reference=reference,
+                                        column=attribute.name, variable=variable)
+                self._bindings[(reference.binding, attribute.name)] = binding
+                self._by_column.setdefault(attribute.name, []).append(binding)
+
+    def resolve(self, column: ColumnExpression) -> ColumnBinding:
+        """Resolve ``alias.column`` (or a bare, unambiguous ``column``)."""
+        if column.table is not None:
+            key = (column.table, column.column)
+            if key not in self._bindings:
+                raise SqlTranslationError(
+                    f"unknown column {column.table}.{column.column}")
+            return self._bindings[key]
+        candidates = self._by_column.get(column.column, [])
+        if not candidates:
+            raise SqlTranslationError(f"unknown column {column.column!r}")
+        if len(candidates) > 1:
+            raise SqlTranslationError(
+                f"ambiguous column {column.column!r}; qualify it with a table alias")
+        return candidates[0]
+
+    def bindings_for(self, reference: TableReference) -> list[ColumnBinding]:
+        return [binding for binding in self._bindings.values()
+                if binding.table_reference == reference]
+
+    def all_variables(self) -> list[Variable]:
+        return [binding.variable for binding in self._bindings.values()]
+
+
+def _expression_to_term(expression: Expression, scope: SqlScope) -> Term:
+    if isinstance(expression, ColumnExpression):
+        return scope.resolve(expression).variable
+    if isinstance(expression, NumberLiteral):
+        return NumericConstant(expression.value)
+    if isinstance(expression, StringLiteral):
+        return BaseConstant(expression.value)
+    if isinstance(expression, BinaryExpression):
+        left = _expression_to_term(expression.left, scope)
+        right = _expression_to_term(expression.right, scope)
+        return TermOperation(_SQL_TO_TERM_OPERATOR[expression.operator], left, right)
+    raise SqlTranslationError(f"unsupported expression {expression!r}")
+
+
+def _condition_to_formula(condition: Condition, scope: SqlScope) -> Formula:
+    left = _expression_to_term(condition.left, scope)
+    right = _expression_to_term(condition.right, scope)
+    operator = _SQL_TO_COMPARISON.get(condition.operator)
+    if operator is None:
+        raise SqlTranslationError(f"unsupported operator {condition.operator!r}")
+    if left.sort is Sort.BASE or right.sort is Sort.BASE:
+        if left.sort is not right.sort:
+            raise SqlTranslationError(
+                f"cannot compare base and numerical values in {condition!r}")
+        if operator is ComparisonOperator.EQ:
+            return BaseEquality(left, right)
+        if operator is ComparisonOperator.NE:
+            return FONot(BaseEquality(left, right))
+        raise SqlTranslationError(
+            f"order comparison on base-typed values in {condition!r}")
+    return Comparison(left, operator, right)
+
+
+def sql_to_query(select: SelectQuery, schema: DatabaseSchema,
+                 name: str = "sql_query") -> tuple[Query, Mapping[Variable, ColumnBinding]]:
+    """Translate a parsed SELECT statement into a conjunctive query.
+
+    Returns the query and a mapping from its head variables to the column
+    bindings they project (useful for labelling outputs).
+    """
+    scope = SqlScope(select, schema)
+
+    atoms: list[Formula] = []
+    for reference in select.tables:
+        relation_schema = schema.relation(reference.table)
+        arguments = [scope.resolve(ColumnExpression(column=attribute.name,
+                                                    table=reference.binding)).variable
+                     for attribute in relation_schema.attributes]
+        atoms.append(RelationAtom(relation=reference.table, terms=tuple(arguments)))
+    for condition in select.conditions:
+        atoms.append(_condition_to_formula(condition, scope))
+
+    if select.select_star:
+        head_bindings = [scope.resolve(ColumnExpression(column=binding.column,
+                                                        table=reference.binding))
+                         for reference in select.tables
+                         for binding in scope.bindings_for(reference)]
+    else:
+        head_bindings = [scope.resolve(column) for column in select.select]
+    head_variables = tuple(binding.variable for binding in head_bindings)
+    # Duplicate projections of the same column are collapsed (the head of a
+    # logical query is a set of variables); callers that need the duplicate
+    # columns can use the returned binding map.
+    unique_head: list[Variable] = []
+    for variable in head_variables:
+        if variable not in unique_head:
+            unique_head.append(variable)
+
+    body = make_conjunction(atoms)
+    bound = [variable for variable in scope.all_variables() if variable not in unique_head]
+    query = Query(head=tuple(unique_head), body=exists(bound, body), name=name)
+    return query, {binding.variable: binding for binding in head_bindings}

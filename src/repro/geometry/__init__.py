@@ -1,0 +1,61 @@
+"""Euclidean geometry substrate used by the certainty measure.
+
+The measure of certainty defined by the paper is, after the reductions of
+Section 5, an asymptotic *volume fraction* of the Euclidean ball.  This
+subpackage provides everything needed to manipulate those volumes:
+
+* :mod:`repro.geometry.ball` -- volumes of ``n``-balls and uniform sampling
+  from balls and spheres (the Blum--Hopcroft--Kannan Gaussian trick cited by
+  the paper).
+* :mod:`repro.geometry.montecarlo` -- sample-size bounds (Hoeffding /
+  Chernoff) and helpers for Monte-Carlo estimation with additive guarantees.
+* :mod:`repro.geometry.cones` -- polyhedral cones ``{z : A z < 0}`` produced
+  by homogenising the linear constraints of CQ(+,<) queries (Section 7).
+* :mod:`repro.geometry.bodies` -- convex bodies (half-space / ball
+  intersections) with exact chord computations, used by the hit-and-run
+  sampler.
+* :mod:`repro.geometry.hitandrun` -- hit-and-run uniform sampling over convex
+  bodies.
+* :mod:`repro.geometry.volume` -- telescoping-product volume estimation for a
+  single convex body.
+* :mod:`repro.geometry.union_volume` -- Karp--Luby style estimation of the
+  volume of a union of convex bodies given membership oracles (the role
+  played by the Bringmann--Friedrich FPRAS in the paper).
+* :mod:`repro.geometry.angles` -- exact planar (2-D) cone angles, used for
+  the closed-form values of the introduction example and Proposition 6.1.
+"""
+
+from repro.geometry.angles import planar_cone_fraction
+from repro.geometry.ball import (
+    ball_volume,
+    sample_ball,
+    sample_direction,
+    sample_sphere,
+)
+from repro.geometry.bodies import Ball, ConvexBody, HalfSpace, Intersection
+from repro.geometry.cones import PolyhedralCone
+from repro.geometry.hitandrun import HitAndRunSampler
+from repro.geometry.montecarlo import (
+    hoeffding_sample_size,
+    estimate_indicator_mean,
+)
+from repro.geometry.union_volume import union_volume_fraction
+from repro.geometry.volume import cone_ball_fraction
+
+__all__ = [
+    "Ball",
+    "ConvexBody",
+    "HalfSpace",
+    "HitAndRunSampler",
+    "Intersection",
+    "PolyhedralCone",
+    "ball_volume",
+    "cone_ball_fraction",
+    "estimate_indicator_mean",
+    "hoeffding_sample_size",
+    "planar_cone_fraction",
+    "sample_ball",
+    "sample_direction",
+    "sample_sphere",
+    "union_volume_fraction",
+]

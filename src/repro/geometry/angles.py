@@ -1,0 +1,152 @@
+"""Exact planar (2-dimensional) cone fractions.
+
+Several of the paper's worked examples live in two dimensions, where the
+asymptotic measure has a closed form: the fraction of the plane occupied by a
+convex cone is its opening angle divided by ``2*pi``.  The introduction's
+campaign example evaluates to ``(pi/2 - arctan(10/7)) / (2*pi) ~ 0.097`` and
+Proposition 6.1 yields ``arctan(alpha)/(2*pi) + 1/2``.  This module computes
+those values exactly (up to floating point) from half-plane normals, which
+gives the library an exact backend for databases with at most two numerical
+nulls and linear constraints, and a ground truth for testing the samplers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+TWO_PI = 2.0 * math.pi
+_ANGLE_EPS = 1e-12
+
+#: A circular arc, represented as ``(start, length)`` with ``start`` in
+#: ``[0, 2*pi)`` and ``0 <= length <= 2*pi``.
+Arc = tuple[float, float]
+
+
+def _normalise_angle(angle: float) -> float:
+    """Map an angle to ``[0, 2*pi)``."""
+    angle = math.fmod(angle, TWO_PI)
+    if angle < 0.0:
+        angle += TWO_PI
+    return angle
+
+
+def halfplane_arc(normal: Sequence[float]) -> Arc | None:
+    """Arc of unit directions ``d`` with ``normal . d <= 0``.
+
+    The feasible directions of a half-plane through the origin form an arc of
+    length exactly ``pi`` starting a quarter turn past the normal's angle.
+    A zero normal imposes no restriction and is signalled by ``None``.
+    """
+    a, b = float(normal[0]), float(normal[1])
+    if abs(a) <= _ANGLE_EPS and abs(b) <= _ANGLE_EPS:
+        return None
+    normal_angle = math.atan2(b, a)
+    return (_normalise_angle(normal_angle + math.pi / 2.0), math.pi)
+
+
+def _intersect_arc_pair(first: Arc, second: Arc) -> list[Arc]:
+    """Intersect two arcs; returns zero, one or two pieces."""
+    start_a, length_a = first
+    start_b, length_b = second
+    if length_a <= _ANGLE_EPS or length_b <= _ANGLE_EPS:
+        return []
+    # Rotate so that the first arc starts at angle 0.
+    shift = _normalise_angle(start_b - start_a)
+    pieces: list[Arc] = []
+    for candidate_start in (shift, shift - TWO_PI):
+        lower = max(0.0, candidate_start)
+        upper = min(length_a, candidate_start + length_b)
+        if upper - lower > _ANGLE_EPS:
+            pieces.append((_normalise_angle(start_a + lower), upper - lower))
+    return pieces
+
+
+def intersect_arcs(arcs: Iterable[Arc]) -> list[Arc]:
+    """Intersect a collection of arcs, starting from the full circle."""
+    current: list[Arc] = [(0.0, TWO_PI)]
+    for arc in arcs:
+        updated: list[Arc] = []
+        for piece in current:
+            updated.extend(_intersect_arc_pair(piece, arc))
+        current = updated
+        if not current:
+            return []
+    return current
+
+
+def union_length(arcs: Iterable[Arc]) -> float:
+    """Total length of the union of arcs on the circle."""
+    segments: list[tuple[float, float]] = []
+    for start, length in arcs:
+        if length <= _ANGLE_EPS:
+            continue
+        if length >= TWO_PI - _ANGLE_EPS:
+            return TWO_PI
+        end = start + length
+        if end <= TWO_PI:
+            segments.append((start, end))
+        else:
+            segments.append((start, TWO_PI))
+            segments.append((0.0, end - TWO_PI))
+    if not segments:
+        return 0.0
+    segments.sort()
+    total = 0.0
+    current_start, current_end = segments[0]
+    for start, end in segments[1:]:
+        if start > current_end:
+            total += current_end - current_start
+            current_start, current_end = start, end
+        else:
+            current_end = max(current_end, end)
+    total += current_end - current_start
+    return min(total, TWO_PI)
+
+
+def planar_cone_fraction(normals: Sequence[Sequence[float]]) -> float:
+    """Fraction of the plane occupied by ``{z in R^2 : normal . z <= 0 for all normals}``.
+
+    The fraction of the plane and the fraction of any disc centred at the
+    origin coincide because the set is a cone; this is the exact value of the
+    measure ``nu`` for two-variable homogeneous linear constraints.
+    """
+    arcs: list[Arc] = []
+    for normal in normals:
+        arc = halfplane_arc(normal)
+        if arc is not None:
+            arcs.append(arc)
+    if not arcs:
+        return 1.0
+    pieces = intersect_arcs(arcs)
+    return sum(length for _, length in pieces) / TWO_PI
+
+
+def planar_cones_union_fraction(cones: Sequence[Sequence[Sequence[float]]]) -> float:
+    """Fraction of the plane covered by a union of planar cones.
+
+    Each element of ``cones`` is a list of half-plane normals describing one
+    convex cone (one disjunct of a homogenised DNF formula); the union's
+    measure is the length of the union of the corresponding arcs.
+    """
+    union_arcs: list[Arc] = []
+    for normals in cones:
+        arcs = [arc for arc in (halfplane_arc(normal) for normal in normals) if arc is not None]
+        if not arcs:
+            return 1.0
+        union_arcs.extend(intersect_arcs(arcs))
+    return union_length(union_arcs) / TWO_PI
+
+
+def cone_angle_between(first_ray: Sequence[float], second_ray: Sequence[float]) -> float:
+    """Angle (in radians) between two rays from the origin, in ``[0, pi]``."""
+    u = np.asarray(first_ray, dtype=float)
+    v = np.asarray(second_ray, dtype=float)
+    norm_u = float(np.linalg.norm(u))
+    norm_v = float(np.linalg.norm(v))
+    if norm_u <= _ANGLE_EPS or norm_v <= _ANGLE_EPS:
+        raise ValueError("rays must be non-zero")
+    cosine = float(np.clip(u @ v / (norm_u * norm_v), -1.0, 1.0))
+    return math.acos(cosine)

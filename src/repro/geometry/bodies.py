@@ -1,0 +1,202 @@
+"""Convex bodies with membership oracles and exact chord computations.
+
+The FPRAS of Section 7 reduces the measure of a CQ(+,<) answer to the volume
+of a union of convex bodies, each of which is the intersection of the unit
+ball with finitely many homogeneous half-spaces.  The algorithm of
+Bringmann and Friedrich that the paper invokes only needs, for each body, a
+membership oracle, a way to sample from it, and (for the union estimator) a
+volume estimate.  The classes in this module provide the membership oracles
+and, because every body we ever build is ``half-spaces ∩ ball``, *exact*
+line-body intersections ("chords"), which make the hit-and-run sampler both
+exact and fast.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+#: Numerical slack used when testing strict inequalities on floats.
+EPSILON = 1e-12
+
+
+@runtime_checkable
+class ConvexBody(Protocol):
+    """Protocol for convex subsets of ``R^n`` used by the samplers.
+
+    A body must expose its ambient ``dimension``, decide membership of a
+    point, and intersect an arbitrary line with itself, returning the
+    parameter interval of the chord.
+    """
+
+    @property
+    def dimension(self) -> int:
+        """Ambient dimension of the body."""
+        ...
+
+    def contains(self, point: np.ndarray) -> bool:
+        """Whether ``point`` belongs to the body (boundary included)."""
+        ...
+
+    def chord(self, point: np.ndarray, direction: np.ndarray) -> tuple[float, float]:
+        """Intersection of the line ``point + t * direction`` with the body.
+
+        Returns the interval ``(t_min, t_max)``; an empty intersection is
+        signalled by ``t_min > t_max``.
+        """
+        ...
+
+
+_EMPTY_CHORD = (1.0, 0.0)
+
+
+@dataclass(frozen=True)
+class HalfSpace:
+    """The half-space ``{z : a . z <= b}`` (closed) in ``R^n``.
+
+    Homogenised constraints from Section 7 always have ``b = 0``; the general
+    offset is kept so the same class serves the Section 10 extension with
+    range constraints on attributes.
+    """
+
+    normal: np.ndarray
+    offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        normal = np.asarray(self.normal, dtype=float)
+        if normal.ndim != 1:
+            raise ValueError("half-space normal must be a 1-D vector")
+        object.__setattr__(self, "normal", normal)
+
+    @property
+    def dimension(self) -> int:
+        return int(self.normal.shape[0])
+
+    def contains(self, point: np.ndarray) -> bool:
+        return float(self.normal @ point) <= self.offset + EPSILON
+
+    def value(self, point: np.ndarray) -> float:
+        """Signed slack ``a . z - b``; non-positive inside the half-space."""
+        return float(self.normal @ point) - self.offset
+
+    def chord(self, point: np.ndarray, direction: np.ndarray) -> tuple[float, float]:
+        slope = float(self.normal @ direction)
+        intercept = float(self.normal @ point) - self.offset
+        if abs(slope) <= EPSILON:
+            if intercept <= EPSILON:
+                return (-math.inf, math.inf)
+            return _EMPTY_CHORD
+        boundary = -intercept / slope
+        if slope > 0:
+            return (-math.inf, boundary)
+        return (boundary, math.inf)
+
+
+@dataclass(frozen=True)
+class Ball:
+    """The closed Euclidean ball of a given ``radius`` centred at ``center``."""
+
+    center: np.ndarray
+    radius: float = 1.0
+
+    def __post_init__(self) -> None:
+        center = np.asarray(self.center, dtype=float)
+        if center.ndim != 1:
+            raise ValueError("ball center must be a 1-D vector")
+        if self.radius < 0:
+            raise ValueError(f"radius must be non-negative, got {self.radius}")
+        object.__setattr__(self, "center", center)
+
+    @classmethod
+    def unit(cls, dimension: int) -> "Ball":
+        """The unit ball ``B^n_1`` centred at the origin."""
+        return cls(center=np.zeros(dimension), radius=1.0)
+
+    @property
+    def dimension(self) -> int:
+        return int(self.center.shape[0])
+
+    def contains(self, point: np.ndarray) -> bool:
+        return float(np.linalg.norm(point - self.center)) <= self.radius + EPSILON
+
+    def chord(self, point: np.ndarray, direction: np.ndarray) -> tuple[float, float]:
+        # Solve |point + t*direction - center|^2 = radius^2 for t.
+        delta = point - self.center
+        a = float(direction @ direction)
+        b = 2.0 * float(delta @ direction)
+        c = float(delta @ delta) - self.radius * self.radius
+        if a <= EPSILON:
+            if c <= EPSILON:
+                return (-math.inf, math.inf)
+            return _EMPTY_CHORD
+        discriminant = b * b - 4.0 * a * c
+        if discriminant < 0.0:
+            return _EMPTY_CHORD
+        root = math.sqrt(discriminant)
+        return ((-b - root) / (2.0 * a), (-b + root) / (2.0 * a))
+
+
+@dataclass(frozen=True)
+class Intersection:
+    """Intersection of finitely many convex bodies, itself a convex body."""
+
+    parts: tuple[ConvexBody, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        parts = tuple(self.parts)
+        if not parts:
+            raise ValueError("an Intersection needs at least one part")
+        dimensions = {part.dimension for part in parts}
+        if len(dimensions) != 1:
+            raise ValueError(f"parts have inconsistent dimensions: {sorted(dimensions)}")
+        object.__setattr__(self, "parts", parts)
+
+    @classmethod
+    def of(cls, parts: Iterable[ConvexBody]) -> "Intersection":
+        return cls(parts=tuple(parts))
+
+    @property
+    def dimension(self) -> int:
+        return self.parts[0].dimension
+
+    def contains(self, point: np.ndarray) -> bool:
+        return all(part.contains(point) for part in self.parts)
+
+    def chord(self, point: np.ndarray, direction: np.ndarray) -> tuple[float, float]:
+        lower = -math.inf
+        upper = math.inf
+        for part in self.parts:
+            part_lower, part_upper = part.chord(point, direction)
+            lower = max(lower, part_lower)
+            upper = min(upper, part_upper)
+            if lower > upper:
+                return _EMPTY_CHORD
+        return (lower, upper)
+
+
+def halfspaces_and_ball(normals: Sequence[np.ndarray],
+                        offsets: Sequence[float] | None = None,
+                        radius: float = 1.0) -> Intersection:
+    """Convenience constructor for ``{z : A z <= b} ∩ B^n_radius``.
+
+    This is the only body shape the CQ(+,<) FPRAS ever needs (Theorem 7.1):
+    the homogenised disjuncts are intersections of half-spaces through the
+    origin, clipped to the unit ball.
+    """
+    normals = [np.asarray(normal, dtype=float) for normal in normals]
+    if not normals:
+        raise ValueError("at least one half-space normal is required")
+    dimension = normals[0].shape[0]
+    if offsets is None:
+        offsets = [0.0] * len(normals)
+    if len(offsets) != len(normals):
+        raise ValueError("offsets and normals must have the same length")
+    parts: list[ConvexBody] = [
+        HalfSpace(normal=normal, offset=float(offset))
+        for normal, offset in zip(normals, offsets)
+    ]
+    parts.append(Ball.unit(dimension) if radius == 1.0 else Ball(np.zeros(dimension), radius))
+    return Intersection.of(parts)

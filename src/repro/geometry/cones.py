@@ -1,0 +1,178 @@
+"""Polyhedral cones arising from homogenised linear constraints.
+
+Homogenising a conjunction of linear constraints (Section 7) yields a set of
+the form ``{z in R^n : A z < 0 (strict rows), B z <= 0, C z = 0}``.  Equality
+rows with a non-zero normal make the cone measure-zero, which the proof of
+Theorem 7.1 silently drops; :meth:`PolyhedralCone.is_degenerate` makes that
+explicit.  The cone's intersection with the unit ball is the convex body
+whose volume the FPRAS estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.geometry.bodies import EPSILON, Ball, HalfSpace, Intersection
+
+try:  # scipy is an optional accelerator for interior-point detection.
+    from scipy.optimize import linprog
+
+    _HAVE_SCIPY = True
+except Exception:  # pragma: no cover - exercised only on scipy-free installs
+    _HAVE_SCIPY = False
+
+
+@dataclass(frozen=True)
+class PolyhedralCone:
+    """A cone ``{z : strict rows < 0, weak rows <= 0, equality rows = 0}``.
+
+    ``strict``, ``weak`` and ``equality`` are matrices whose rows are the
+    constraint normals; any of them may be empty.  All three share the same
+    number of columns (the ambient dimension).
+    """
+
+    dimension: int
+    strict: np.ndarray = field(default=None)  # type: ignore[assignment]
+    weak: np.ndarray = field(default=None)  # type: ignore[assignment]
+    equality: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.dimension <= 0:
+            raise ValueError(f"dimension must be positive, got {self.dimension}")
+        for name in ("strict", "weak", "equality"):
+            matrix = getattr(self, name)
+            if matrix is None:
+                matrix = np.zeros((0, self.dimension))
+            matrix = np.asarray(matrix, dtype=float)
+            if matrix.size == 0:
+                matrix = matrix.reshape(0, self.dimension)
+            if matrix.ndim != 2 or matrix.shape[1] != self.dimension:
+                raise ValueError(
+                    f"{name} rows must have {self.dimension} columns, got shape {matrix.shape}"
+                )
+            # Normalise non-zero rows: scaling a constraint does not change
+            # the cone but keeps the interior-point search and the membership
+            # tolerances well conditioned even for badly scaled inputs.
+            if matrix.shape[0]:
+                norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+                nonzero = norms[:, 0] > 0.0
+                matrix = matrix.copy()
+                matrix[nonzero] = matrix[nonzero] / norms[nonzero]
+            object.__setattr__(self, name, matrix)
+
+    @classmethod
+    def from_rows(cls, dimension: int,
+                  strict: Sequence[Sequence[float]] = (),
+                  weak: Sequence[Sequence[float]] = (),
+                  equality: Sequence[Sequence[float]] = ()) -> "PolyhedralCone":
+        """Build a cone from row sequences (each row one constraint normal)."""
+        def to_matrix(rows: Sequence[Sequence[float]]) -> np.ndarray:
+            if len(rows) == 0:
+                return np.zeros((0, dimension))
+            return np.asarray(rows, dtype=float).reshape(len(rows), dimension)
+
+        return cls(dimension=dimension, strict=to_matrix(strict),
+                   weak=to_matrix(weak), equality=to_matrix(equality))
+
+    @property
+    def num_constraints(self) -> int:
+        return int(self.strict.shape[0] + self.weak.shape[0] + self.equality.shape[0])
+
+    def contains(self, point: np.ndarray, strict_tolerance: float = EPSILON) -> bool:
+        """Membership oracle (strict rows tested up to a small tolerance)."""
+        point = np.asarray(point, dtype=float)
+        if self.strict.shape[0] and not np.all(self.strict @ point < strict_tolerance):
+            return False
+        if self.weak.shape[0] and not np.all(self.weak @ point <= strict_tolerance):
+            return False
+        if self.equality.shape[0] and not np.all(np.abs(self.equality @ point) <= strict_tolerance):
+            return False
+        return True
+
+    def is_degenerate(self) -> bool:
+        """Whether the cone has measure zero in ``R^dimension``.
+
+        A cone is degenerate iff it has a non-trivial equality constraint or
+        no interior point for its inequality system.  Degenerate disjuncts
+        contribute nothing to the measure and are dropped by the FPRAS, just
+        as in the proof of Theorem 7.1.
+        """
+        if self.equality.shape[0] and np.any(np.abs(self.equality).sum(axis=1) > EPSILON):
+            return True
+        return self.interior_point() is None
+
+    def interior_point(self) -> Optional[np.ndarray]:
+        """A point strictly inside every inequality, with norm at most 1/2.
+
+        Solves ``max s`` subject to ``A z <= -s`` (all inequality rows) and
+        ``-1 <= z_i <= 1``; a strictly positive optimum certifies a full
+        dimensional cone and yields an interior point after rescaling.  Falls
+        back to a randomised search when scipy is unavailable.
+        """
+        inequalities = np.vstack([self.strict, self.weak])
+        if inequalities.shape[0] == 0:
+            return np.zeros(self.dimension)
+        if _HAVE_SCIPY:
+            return self._interior_point_lp(inequalities)
+        return self._interior_point_random(inequalities)
+
+    def _interior_point_lp(self, inequalities: np.ndarray) -> Optional[np.ndarray]:
+        rows, dimension = inequalities.shape
+        # Variables: (z_1..z_n, s).  Maximise s, i.e. minimise -s.
+        cost = np.zeros(dimension + 1)
+        cost[-1] = -1.0
+        a_ub = np.hstack([inequalities, np.ones((rows, 1))])
+        b_ub = np.zeros(rows)
+        bounds = [(-1.0, 1.0)] * dimension + [(0.0, 1.0)]
+        result = linprog(cost, A_ub=a_ub, b_ub=b_ub, bounds=bounds, method="highs")
+        if not result.success:
+            return None
+        slack = float(result.x[-1])
+        if slack <= 1e-9:
+            return None
+        point = np.asarray(result.x[:-1], dtype=float)
+        norm = float(np.linalg.norm(point))
+        if norm <= EPSILON:
+            return None
+        return point / (2.0 * norm)
+
+    def _interior_point_random(self, inequalities: np.ndarray,
+                               attempts: int = 20000) -> Optional[np.ndarray]:
+        generator = np.random.default_rng(0)
+        best_point = None
+        best_slack = 0.0
+        for _ in range(attempts):
+            candidate = generator.standard_normal(self.dimension)
+            candidate /= np.linalg.norm(candidate)
+            slack = float(-(inequalities @ candidate).max())
+            if slack > best_slack:
+                best_slack = slack
+                best_point = candidate
+        if best_point is None or best_slack <= 1e-9:
+            return None
+        return best_point / 2.0
+
+    def body(self, radius: float = 1.0) -> Intersection:
+        """The convex body ``cone ∩ B^n_radius`` (strict rows closed up)."""
+        parts: list = []
+        for row in np.vstack([self.strict, self.weak]):
+            parts.append(HalfSpace(normal=row, offset=0.0))
+        for row in self.equality:
+            parts.append(HalfSpace(normal=row, offset=0.0))
+            parts.append(HalfSpace(normal=-row, offset=0.0))
+        parts.append(Ball(np.zeros(self.dimension), radius))
+        return Intersection.of(parts)
+
+    def intersect(self, other: "PolyhedralCone") -> "PolyhedralCone":
+        """Conjunction of two cones over the same ambient space."""
+        if other.dimension != self.dimension:
+            raise ValueError("cannot intersect cones of different dimensions")
+        return PolyhedralCone(
+            dimension=self.dimension,
+            strict=np.vstack([self.strict, other.strict]),
+            weak=np.vstack([self.weak, other.weak]),
+            equality=np.vstack([self.equality, other.equality]),
+        )

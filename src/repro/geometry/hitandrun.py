@@ -1,0 +1,87 @@
+"""Hit-and-run sampling over convex bodies.
+
+The union-volume estimator behind the CQ(+,<) FPRAS needs near-uniform
+samples from each convex body ``X_i = cone_i ∩ B^n_1``.  Hit-and-run is the
+classical rapidly mixing walk for that: from the current point, pick a
+uniformly random direction, intersect the resulting line with the body (the
+bodies of :mod:`repro.geometry.bodies` compute this chord exactly), and jump
+to a uniform point of the chord.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.ball import RngLike, as_generator, sample_sphere
+from repro.geometry.bodies import ConvexBody
+
+#: Default number of walk steps between returned samples.  The bodies we
+#: sample are intersections of a handful of half-spaces with the unit ball and
+#: are well rounded once started from an interior point, so a modest thinning
+#: is sufficient in practice.
+DEFAULT_BURN_IN = 64
+DEFAULT_THINNING = 8
+
+
+@dataclass
+class HitAndRunSampler:
+    """Markov-chain sampler producing (approximately) uniform points of a body.
+
+    Parameters
+    ----------
+    body:
+        The convex body to sample from.
+    start:
+        A point of the body used to start the walk; an interior point gives
+        the best mixing (see :meth:`PolyhedralCone.interior_point`).
+    rng:
+        Seed or generator for reproducibility.
+    burn_in, thinning:
+        Steps discarded before the first sample and between samples.
+    """
+
+    body: ConvexBody
+    start: np.ndarray
+    rng: RngLike = None
+    burn_in: int = DEFAULT_BURN_IN
+    thinning: int = DEFAULT_THINNING
+
+    def __post_init__(self) -> None:
+        self.start = np.asarray(self.start, dtype=float)
+        if not self.body.contains(self.start):
+            raise ValueError("hit-and-run start point must belong to the body")
+        self._generator = as_generator(self.rng)
+        self._current = self.start.copy()
+        self._warmed_up = False
+
+    def _step(self) -> None:
+        direction = sample_sphere(self.body.dimension, self._generator)
+        lower, upper = self.body.chord(self._current, direction)
+        if lower > upper:
+            # Numerically the current point slipped outside; restart the walk.
+            self._current = self.start.copy()
+            return
+        width = upper - lower
+        if width <= 0.0:
+            return
+        offset = lower + self._generator.random() * width
+        self._current = self._current + offset * direction
+
+    def sample(self) -> np.ndarray:
+        """Return the next (approximately uniform) sample from the body."""
+        if not self._warmed_up:
+            for _ in range(self.burn_in):
+                self._step()
+            self._warmed_up = True
+        else:
+            for _ in range(self.thinning):
+                self._step()
+        return self._current.copy()
+
+    def samples(self, count: int) -> np.ndarray:
+        """Return ``count`` samples stacked in a ``(count, dimension)`` array."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        return np.asarray([self.sample() for _ in range(count)])

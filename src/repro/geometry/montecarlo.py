@@ -1,0 +1,118 @@
+"""Monte-Carlo estimation helpers with explicit error/confidence bounds.
+
+Both approximation schemes of the paper are Monte-Carlo algorithms whose
+sample sizes come from Chernoff/Hoeffding bounds: the AFPRAS of Section 8
+needs ``m >= 1/eps^2`` samples for confidence 3/4, and confidence ``1 -
+delta`` is obtained with ``O(log(1/delta))`` more samples.  This module
+centralises those computations so the schemes and the benchmarks agree on the
+sample sizes they use.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.geometry.ball import RngLike, as_generator
+
+#: Default failure probability: the paper's FPRAS/AFPRAS definitions require
+#: success probability at least 3/4.
+DEFAULT_DELTA = 0.25
+
+
+def hoeffding_sample_size(epsilon: float, delta: float = DEFAULT_DELTA) -> int:
+    """Number of i.i.d. ``[0, 1]`` samples for an additive ``epsilon`` guarantee.
+
+    By Hoeffding's inequality, ``m >= ln(2/delta) / (2 eps^2)`` samples ensure
+    the empirical mean is within ``epsilon`` of the true mean with probability
+    at least ``1 - delta``.  For ``delta = 1/4`` this is within a small
+    constant of the paper's ``m >= eps^{-2}``.
+    """
+    if not 0.0 < epsilon <= 1.0:
+        raise ValueError(f"epsilon must be in (0, 1], got {epsilon}")
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    return max(1, math.ceil(math.log(2.0 / delta) / (2.0 * epsilon * epsilon)))
+
+
+def multiplicative_sample_size(epsilon: float, lower_bound: float,
+                               delta: float = DEFAULT_DELTA) -> int:
+    """Sample size for a multiplicative ``epsilon`` guarantee on a mean ``>= lower_bound``.
+
+    A relative error ``epsilon`` on a quantity known to be at least
+    ``lower_bound`` follows from an additive error of ``epsilon *
+    lower_bound``; this is the standard way the FPRAS of Section 7 turns
+    per-body estimates into a relative guarantee.
+    """
+    if not 0.0 < lower_bound <= 1.0:
+        raise ValueError(f"lower_bound must be in (0, 1], got {lower_bound}")
+    return hoeffding_sample_size(epsilon * lower_bound, delta)
+
+
+@dataclass(frozen=True)
+class IndicatorEstimate:
+    """Result of estimating the mean of a ``{0, 1}``-valued random variable."""
+
+    value: float
+    samples: int
+    epsilon: float
+    delta: float
+    positives: int
+
+    def interval(self) -> tuple[float, float]:
+        """Return the additive ``[value - eps, value + eps]`` interval clipped to ``[0, 1]``."""
+        return (max(0.0, self.value - self.epsilon), min(1.0, self.value + self.epsilon))
+
+
+def estimate_indicator_mean(indicator: Callable[[np.random.Generator], bool],
+                            epsilon: float,
+                            delta: float = DEFAULT_DELTA,
+                            rng: RngLike = None) -> IndicatorEstimate:
+    """Estimate ``E[indicator]`` within additive ``epsilon`` with confidence ``1 - delta``.
+
+    ``indicator`` receives the generator and must return a truth value; it is
+    called :func:`hoeffding_sample_size` times.  This is the primitive on top
+    of which the AFPRAS is built.
+    """
+    generator = as_generator(rng)
+    samples = hoeffding_sample_size(epsilon, delta)
+    positives = 0
+    for _ in range(samples):
+        if indicator(generator):
+            positives += 1
+    return IndicatorEstimate(
+        value=positives / samples,
+        samples=samples,
+        epsilon=epsilon,
+        delta=delta,
+        positives=positives,
+    )
+
+
+def median_of_means(estimates: list[float]) -> float:
+    """Median of independent estimates; boosts confidence of a constant-confidence estimator.
+
+    Running an FPRAS with success probability 3/4 independently ``t`` times
+    and taking the median is the standard confidence amplification the paper
+    alludes to ("the confidence level 3/4 can be changed to any arbitrary
+    value ``1 - delta``").
+    """
+    if not estimates:
+        raise ValueError("median_of_means requires at least one estimate")
+    return float(np.median(np.asarray(estimates, dtype=float)))
+
+
+def amplification_rounds(delta: float) -> int:
+    """Number of independent 3/4-confidence runs whose median reaches confidence ``1 - delta``.
+
+    By a Chernoff bound, ``t >= 18 ln(1/delta)`` independent runs suffice (a
+    loose but simple constant); always at least one round.
+    """
+    if not 0.0 < delta < 1.0:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    if delta >= DEFAULT_DELTA:
+        return 1
+    return max(1, math.ceil(18.0 * math.log(1.0 / delta)))

@@ -1,0 +1,134 @@
+"""Volume of a union of convex cones clipped to the unit ball.
+
+This is the computational core of the CQ(+,<) FPRAS (Theorem 7.1): after
+homogenisation, the formula's disjuncts become convex cones ``X_1, ..., X_m``
+and the measure is ``Vol(∪ X_i ∩ B^n_1) / Vol(B^n_1)``.  The paper invokes
+the Bringmann--Friedrich estimator for unions of bodies given membership
+oracles; this module implements the same Karp--Luby self-normalised scheme on
+top of the per-cone samplers and volume estimates of the sibling modules:
+
+1. estimate each ``V_i = Vol(X_i ∩ B_1)``;
+2. repeatedly pick a cone ``i`` with probability proportional to ``V_i``,
+   draw a (near-)uniform point ``x`` of ``X_i ∩ B_1`` and record
+   ``1 / |{j : x ∈ X_j}|``;
+3. the union volume is ``(Σ V_i)`` times the average of the recorded values.
+
+In dimensions one and two the union is computed exactly (interval/arc
+arithmetic), which doubles as a ground truth in the tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.angles import planar_cones_union_fraction
+from repro.geometry.ball import RngLike, as_generator, sample_ball
+from repro.geometry.cones import PolyhedralCone
+from repro.geometry.hitandrun import HitAndRunSampler
+from repro.geometry.volume import VolumeEstimate, cone_ball_fraction
+
+
+@dataclass(frozen=True)
+class UnionVolumeEstimate:
+    """Result of estimating the volume fraction of a union of cones."""
+
+    fraction: float
+    method: str
+    samples: int
+    per_cone: tuple[VolumeEstimate, ...] = ()
+
+
+def _exact_one_dimensional(cones: Sequence[PolyhedralCone]) -> float:
+    """Exact union fraction in dimension 1 by interval union over ``[-1, 1]``."""
+    covered_negative = False
+    covered_positive = False
+    for cone in cones:
+        fraction = cone_ball_fraction(cone, method="auto").fraction
+        if fraction >= 1.0:
+            return 1.0
+        if fraction <= 0.0:
+            continue
+        # In 1-D a non-degenerate proper cone is exactly a half-line.
+        rows = np.vstack([cone.strict, cone.weak])
+        positive_allowed = all(row[0] <= 0 for row in rows)
+        if positive_allowed:
+            covered_positive = True
+        else:
+            covered_negative = True
+    return (0.5 if covered_negative else 0.0) + (0.5 if covered_positive else 0.0)
+
+
+def _karp_luby(cones: Sequence[PolyhedralCone],
+               estimates: Sequence[VolumeEstimate],
+               epsilon: float,
+               rng: RngLike) -> tuple[float, int]:
+    generator = as_generator(rng)
+    volumes = np.asarray([estimate.fraction for estimate in estimates], dtype=float)
+    total = float(volumes.sum())
+    if total <= 0.0:
+        return 0.0, 0
+    probabilities = volumes / total
+    samplers = []
+    for cone in cones:
+        interior = cone.interior_point()
+        samplers.append(HitAndRunSampler(body=cone.body(), start=interior, rng=generator))
+    samples = max(200, math.ceil(4.0 / (epsilon * epsilon)))
+    accumulator = 0.0
+    for _ in range(samples):
+        index = int(generator.choice(len(cones), p=probabilities))
+        point = samplers[index].sample()
+        covering = sum(1 for cone in cones if cone.contains(point, strict_tolerance=1e-9))
+        covering = max(covering, 1)
+        accumulator += 1.0 / covering
+    return total * accumulator / samples, samples
+
+
+def union_volume_fraction(cones: Sequence[PolyhedralCone],
+                          epsilon: float = 0.05,
+                          rng: RngLike = None,
+                          method: str = "auto") -> UnionVolumeEstimate:
+    """Estimate ``Vol(∪ cone_i ∩ B^n_1) / Vol(B^n_1)``.
+
+    Degenerate (measure-zero) cones are dropped first, mirroring the proof of
+    Theorem 7.1.  ``method`` may be ``"auto"`` (exact in dimensions <= 2,
+    Karp--Luby otherwise), ``"karp-luby"``, or ``"direct"`` (plain rejection
+    sampling from the ball, useful as a cross-check).
+    """
+    if not 0.0 < epsilon <= 1.0:
+        raise ValueError(f"epsilon must be in (0, 1], got {epsilon}")
+    live_cones = [cone for cone in cones if not cone.is_degenerate()]
+    if not live_cones:
+        return UnionVolumeEstimate(fraction=0.0, method="degenerate", samples=0)
+    dimensions = {cone.dimension for cone in live_cones}
+    if len(dimensions) != 1:
+        raise ValueError(f"cones have inconsistent dimensions: {sorted(dimensions)}")
+    dimension = dimensions.pop()
+    if any(cone.num_constraints == 0 for cone in live_cones):
+        return UnionVolumeEstimate(fraction=1.0, method="exact", samples=0)
+
+    if method == "auto" and dimension == 1:
+        return UnionVolumeEstimate(fraction=_exact_one_dimensional(live_cones),
+                                   method="exact", samples=0)
+    if method == "auto" and dimension == 2:
+        rows = [np.vstack([cone.strict, cone.weak]) for cone in live_cones]
+        return UnionVolumeEstimate(fraction=planar_cones_union_fraction(rows),
+                                   method="exact", samples=0)
+
+    if method == "direct":
+        generator = as_generator(rng)
+        samples = max(200, math.ceil(2.0 / (epsilon * epsilon)))
+        points = sample_ball(dimension, generator, size=samples)
+        hits = sum(1 for point in points
+                   if any(cone.contains(point) for cone in live_cones))
+        return UnionVolumeEstimate(fraction=hits / samples, method="direct",
+                                   samples=samples)
+
+    estimates = tuple(cone_ball_fraction(cone, epsilon=epsilon, rng=rng)
+                      for cone in live_cones)
+    fraction, samples = _karp_luby(live_cones, estimates, epsilon, rng)
+    return UnionVolumeEstimate(fraction=min(1.0, fraction), method="karp-luby",
+                               samples=samples, per_cone=estimates)

@@ -1,0 +1,127 @@
+"""Volume estimation for a single convex cone clipped to the unit ball.
+
+Theorem 7.1 needs, for every disjunct of the homogenised formula, an estimate
+of ``Vol(cone ∩ B^n_1) / Vol(B^n_1)``.  Exact values are available in
+dimensions 1 and 2; in higher dimensions two Monte-Carlo estimators are
+provided:
+
+* a *direct* estimator that samples the unit ball uniformly and counts hits
+  (cheap, additive error, good when the fraction is not tiny);
+* a *telescoping* estimator that introduces the half-spaces one at a time and
+  multiplies the conditional acceptance ratios, each estimated with
+  hit-and-run samples from the previous body.  This is the practical
+  stand-in for the per-body volume oracle of the Bringmann--Friedrich FPRAS
+  the paper invokes (see DESIGN.md, substitution table).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.angles import planar_cone_fraction
+from repro.geometry.ball import RngLike, as_generator, sample_ball
+from repro.geometry.bodies import Ball, HalfSpace, Intersection
+from repro.geometry.cones import PolyhedralCone
+from repro.geometry.hitandrun import HitAndRunSampler
+
+
+@dataclass(frozen=True)
+class VolumeEstimate:
+    """A volume-fraction estimate together with how it was obtained."""
+
+    fraction: float
+    method: str
+    samples: int
+
+
+def _one_dimensional_fraction(cone: PolyhedralCone) -> float:
+    """Exact fraction for a 1-D cone: the allowed part of ``[-1, 1]``."""
+    lower, upper = -1.0, 1.0
+    rows = np.vstack([cone.strict, cone.weak])
+    for (coefficient,) in rows:
+        if coefficient > 0:
+            upper = min(upper, 0.0)
+        elif coefficient < 0:
+            lower = max(lower, 0.0)
+    for (coefficient,) in cone.equality:
+        if abs(coefficient) > 0:
+            return 0.0
+    return max(0.0, upper - lower) / 2.0
+
+
+def _direct_fraction(cone: PolyhedralCone, samples: int, rng: RngLike) -> float:
+    generator = as_generator(rng)
+    points = sample_ball(cone.dimension, generator, size=samples)
+    hits = sum(1 for point in points if cone.contains(point))
+    return hits / samples
+
+
+def _telescoping_fraction(cone: PolyhedralCone, samples_per_phase: int,
+                          rng: RngLike) -> float:
+    """Product of conditional acceptance ratios over a half-space elimination order."""
+    generator = as_generator(rng)
+    interior = cone.interior_point()
+    if interior is None:
+        return 0.0
+    rows = [row for row in np.vstack([cone.strict, cone.weak])]
+    dimension = cone.dimension
+    fraction = 1.0
+    accepted_parts: list = [Ball.unit(dimension)]
+    for row in rows:
+        body = Intersection.of(accepted_parts)
+        sampler = HitAndRunSampler(body=body, start=interior, rng=generator)
+        halfspace = HalfSpace(normal=row, offset=0.0)
+        hits = sum(1 for _ in range(samples_per_phase)
+                   if halfspace.contains(sampler.sample()))
+        ratio = hits / samples_per_phase
+        if ratio <= 0.0:
+            return 0.0
+        fraction *= ratio
+        accepted_parts.append(halfspace)
+    return fraction
+
+
+def cone_ball_fraction(cone: PolyhedralCone,
+                       epsilon: float = 0.05,
+                       rng: RngLike = None,
+                       method: str = "auto") -> VolumeEstimate:
+    """Estimate ``Vol(cone ∩ B^n_1) / Vol(B^n_1)``.
+
+    Parameters
+    ----------
+    cone:
+        The polyhedral cone (typically one disjunct of a homogenised CQ(+,<)
+        formula).
+    epsilon:
+        Target accuracy; controls the Monte-Carlo sample sizes.
+    method:
+        ``"auto"`` (exact in dimension <= 2, direct sampling otherwise),
+        ``"direct"``, or ``"telescoping"``.
+    """
+    if not 0.0 < epsilon <= 1.0:
+        raise ValueError(f"epsilon must be in (0, 1], got {epsilon}")
+    if cone.is_degenerate():
+        return VolumeEstimate(fraction=0.0, method="degenerate", samples=0)
+    if cone.num_constraints == 0:
+        return VolumeEstimate(fraction=1.0, method="exact", samples=0)
+    if cone.dimension == 1:
+        return VolumeEstimate(fraction=_one_dimensional_fraction(cone),
+                              method="exact", samples=0)
+    if cone.dimension == 2 and method in ("auto", "exact"):
+        rows = np.vstack([cone.strict, cone.weak])
+        return VolumeEstimate(fraction=planar_cone_fraction(rows),
+                              method="exact", samples=0)
+    if method in ("auto", "direct"):
+        samples = max(100, math.ceil(2.0 / (epsilon * epsilon)))
+        return VolumeEstimate(fraction=_direct_fraction(cone, samples, rng),
+                              method="direct", samples=samples)
+    if method == "telescoping":
+        samples_per_phase = max(100, math.ceil(4.0 / (epsilon * epsilon)))
+        total = samples_per_phase * cone.num_constraints
+        return VolumeEstimate(
+            fraction=_telescoping_fraction(cone, samples_per_phase, rng),
+            method="telescoping", samples=total)
+    raise ValueError(f"unknown volume estimation method: {method!r}")

@@ -1,0 +1,37 @@
+"""Executable versions of the paper's lower-bound reductions.
+
+The negative results of Sections 4 and 6 are proved by reductions; this
+subpackage implements those reductions as code so that they can be exercised
+(on small instances) by the tests and benchmarks:
+
+* :mod:`repro.hardness.booleans` -- tiny propositional-logic toolkit (CNF/DNF
+  representations and brute-force model counting used as ground truth);
+* :mod:`repro.hardness.counting` -- the Proposition 6.2 / Theorem 6.3 style
+  reductions: from a propositional formula ψ over n variables, build an
+  FO(<) query and a database D_ψ with ``mu(q, D_ψ) = #ψ / 2^n``;
+* :mod:`repro.hardness.diophantine` -- the Proposition 4.1 gadget: from an
+  integer polynomial, a CQ(+,·,<) query over a single-tuple database whose
+  certain answer (over ℤ) holds iff the polynomial has no integer root.
+"""
+
+from repro.hardness.booleans import (
+    Clause,
+    Literal,
+    PropositionalCNF,
+    PropositionalDNF,
+    count_satisfying_assignments,
+)
+from repro.hardness.counting import cnf_reduction, dnf_reduction
+from repro.hardness.diophantine import diophantine_query, has_integer_root_within
+
+__all__ = [
+    "Clause",
+    "Literal",
+    "PropositionalCNF",
+    "PropositionalDNF",
+    "cnf_reduction",
+    "count_satisfying_assignments",
+    "diophantine_query",
+    "dnf_reduction",
+    "has_integer_root_within",
+]

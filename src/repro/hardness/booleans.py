@@ -1,0 +1,98 @@
+"""A tiny propositional-logic toolkit for the hardness reductions.
+
+The reductions of Proposition 6.2 and Theorem 6.3 start from propositional
+formulae in DNF and CNF respectively.  This module provides the minimal
+representations and a brute-force model counter used as the ground truth the
+reductions are tested against.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence, Union
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A propositional literal: a variable or its negation."""
+
+    variable: str
+    positive: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.variable:
+            raise ValueError("literal variable name must be non-empty")
+
+    def negate(self) -> "Literal":
+        return Literal(self.variable, not self.positive)
+
+    def satisfied_by(self, assignment: Mapping[str, bool]) -> bool:
+        value = assignment[self.variable]
+        return value if self.positive else not value
+
+    def __repr__(self) -> str:
+        return self.variable if self.positive else f"¬{self.variable}"
+
+
+#: A clause (for CNF) or a term (for DNF) is just a tuple of literals.
+Clause = tuple[Literal, ...]
+
+
+def _normalise_clauses(clauses: Iterable[Sequence[Literal]]) -> tuple[Clause, ...]:
+    normalised = tuple(tuple(clause) for clause in clauses)
+    for clause in normalised:
+        if not clause:
+            raise ValueError("empty clauses/terms are not allowed")
+    return normalised
+
+
+@dataclass(frozen=True)
+class PropositionalCNF:
+    """A conjunction of disjunctive clauses."""
+
+    clauses: tuple[Clause, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "clauses", _normalise_clauses(self.clauses))
+
+    def variables(self) -> tuple[str, ...]:
+        names = sorted({literal.variable for clause in self.clauses for literal in clause})
+        return tuple(names)
+
+    def satisfied_by(self, assignment: Mapping[str, bool]) -> bool:
+        return all(any(literal.satisfied_by(assignment) for literal in clause)
+                   for clause in self.clauses)
+
+
+@dataclass(frozen=True)
+class PropositionalDNF:
+    """A disjunction of conjunctive terms."""
+
+    terms: tuple[Clause, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "terms", _normalise_clauses(self.terms))
+
+    def variables(self) -> tuple[str, ...]:
+        names = sorted({literal.variable for term in self.terms for literal in term})
+        return tuple(names)
+
+    def satisfied_by(self, assignment: Mapping[str, bool]) -> bool:
+        return any(all(literal.satisfied_by(assignment) for literal in term)
+                   for term in self.terms)
+
+
+PropositionalFormula = Union[PropositionalCNF, PropositionalDNF]
+
+
+def count_satisfying_assignments(formula: PropositionalFormula,
+                                 variables: Sequence[str] | None = None) -> int:
+    """Brute-force ``#formula`` over the given variables (default: its own)."""
+    names = tuple(variables) if variables is not None else formula.variables()
+    count = 0
+    for values in itertools.product((False, True), repeat=len(names)):
+        assignment = dict(zip(names, values))
+        if formula.satisfied_by(assignment):
+            count += 1
+    return count

@@ -1,0 +1,177 @@
+"""Counting reductions behind Proposition 6.2 and Theorem 6.3.
+
+Both reductions encode a propositional formula ψ over variables
+``x_1, ..., x_n`` into an incomplete database so that the measure of a
+*fixed* query equals ``#ψ / 2^n`` (data complexity is what the lower bounds
+are about, so the query must not depend on ψ).
+
+The encoding uses one pair of numerical nulls ``(⊤_i, ⊤̄_i)`` per variable
+and reads the Boolean value of ``x_i`` as the order of the pair:
+``x_i = true`` iff ``⊤_i < ⊤̄_i``.  Under the measure, the two orders are
+equally likely and independent across variables, so a uniformly random
+valuation induces a uniformly random assignment.  A literal is represented
+by a *token* tuple ``Lit(token, lo, hi)`` listing the pair in the order that
+must hold for the literal to be true -- ``(⊤_i, ⊤̄_i)`` for a positive
+literal and ``(⊤̄_i, ⊤_i)`` for a negative one -- so the fixed query only
+ever has to check ``lo < hi``, an order comparison.
+
+* For a DNF (Proposition 6.2) the fixed query is the conjunctive CQ(<) query
+  "some term's three literal tokens all satisfy ``lo < hi``".
+* For a CNF (Theorem 6.3) the fixed query is the FO(<) query "every clause
+  has a literal token with ``lo < hi``".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constraints.atoms import Comparison, Constraint
+from repro.constraints.formula import Atom, ConstraintFormula, conjunction, disjunction
+from repro.constraints.polynomials import Polynomial
+from repro.constraints.translate import TranslationResult
+from repro.hardness.booleans import Literal, PropositionalCNF, PropositionalDNF
+from repro.logic.builder import base_var, exists, forall, implies, num_var, rel
+from repro.logic.formulas import Query
+from repro.relational.database import Database
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.values import NumNull
+
+
+@dataclass(frozen=True)
+class CountingReduction:
+    """The output of a reduction: the fixed query, the database, and ``2^n``."""
+
+    query: Query
+    database: Database
+    variables: tuple[str, ...]
+    #: The Proposition 5.3 constraint formula of the Boolean query, built
+    #: directly from the propositional formula.  The generic translator
+    #: produces an equivalent formula but expands quantifiers over the whole
+    #: active domain, which is exponential in the quantifier rank of the
+    #: fixed query; for anything beyond one or two propositional variables
+    #: use this field instead (the tests check the two agree on tiny inputs).
+    formula: ConstraintFormula
+
+    @property
+    def denominator(self) -> int:
+        return 2 ** len(self.variables)
+
+    def translation(self) -> TranslationResult:
+        """Package the direct constraint formula as a :class:`TranslationResult`."""
+        nulls = self.database.num_nulls_ordered()
+        all_variables = tuple(null.variable for null in nulls)
+        occurring = self.formula.variables()
+        return TranslationResult(
+            formula=self.formula,
+            all_variables=all_variables,
+            relevant_variables=tuple(name for name in all_variables if name in occurring),
+            null_by_variable={null.variable: null for null in nulls},
+        )
+
+
+def _literal_token(literal: Literal, index: int) -> str:
+    polarity = "pos" if literal.positive else "neg"
+    return f"{literal.variable}:{polarity}:{index}"
+
+
+def _pair_nulls(variable: str) -> tuple[NumNull, NumNull]:
+    return NumNull(f"{variable}.lo"), NumNull(f"{variable}.hi")
+
+
+def _literal_tuple(literal: Literal, token: str) -> tuple:
+    low, high = _pair_nulls(literal.variable)
+    if literal.positive:
+        return (token, low, high)
+    return (token, high, low)
+
+
+def _literal_constraint(literal: Literal) -> ConstraintFormula:
+    """The constraint ``lo < hi`` of a literal, directly over the pair's variables."""
+    low, high = _pair_nulls(literal.variable)
+    if literal.positive:
+        polynomial = Polynomial.variable(low.variable) - Polynomial.variable(high.variable)
+    else:
+        polynomial = Polynomial.variable(high.variable) - Polynomial.variable(low.variable)
+    return Atom(Constraint(polynomial=polynomial, op=Comparison.LT))
+
+
+def dnf_reduction(formula: PropositionalDNF) -> CountingReduction:
+    """Proposition 6.2: a fixed CQ(<) query whose measure is ``#ψ / 2^n``.
+
+    Terms of the DNF must have at most three literals (shorter terms are
+    padded by repeating their last literal), matching the 3DNF form the
+    hardness proof reduces from.
+    """
+    schema = DatabaseSchema.of(
+        RelationSchema.of("Term", t="base", l1="base", l2="base", l3="base"),
+        RelationSchema.of("Lit", tok="base", lo="num", hi="num"),
+    )
+    database = Database(schema)
+    for term_index, term in enumerate(formula.terms):
+        if len(term) > 3:
+            raise ValueError("dnf_reduction expects terms of at most three literals (3DNF)")
+        padded = list(term) + [term[-1]] * (3 - len(term))
+        tokens = []
+        for literal_index, literal in enumerate(padded):
+            token = _literal_token(literal, literal_index)
+            tokens.append(token)
+            database.add("Lit", _literal_tuple(literal, token))
+        database.add("Term", (f"t{term_index}", *tokens))
+
+    term_id = base_var("t")
+    token_vars = [base_var(f"l{i}") for i in (1, 2, 3)]
+    low_vars = [num_var(f"a{i}") for i in (1, 2, 3)]
+    high_vars = [num_var(f"b{i}") for i in (1, 2, 3)]
+    body = rel("Term", term_id, *token_vars)
+    for token, low, high in zip(token_vars, low_vars, high_vars):
+        body = body & rel("Lit", token, low, high) & (low < high)
+    query = Query(
+        head=(),
+        body=exists([term_id, *token_vars, *low_vars, *high_vars], body),
+        name="dnf_satisfied",
+    )
+    direct = disjunction(
+        conjunction(_literal_constraint(literal) for literal in term)
+        for term in formula.terms
+    )
+    return CountingReduction(query=query, database=database,
+                             variables=formula.variables(), formula=direct)
+
+
+def cnf_reduction(formula: PropositionalCNF) -> CountingReduction:
+    """Theorem 6.3: a fixed FO(<) query whose measure is ``#ψ / 2^n``."""
+    schema = DatabaseSchema.of(
+        RelationSchema.of("Clause", c="base"),
+        RelationSchema.of("InClause", c="base", tok="base"),
+        RelationSchema.of("Lit", tok="base", lo="num", hi="num"),
+    )
+    database = Database(schema)
+    for clause_index, clause in enumerate(formula.clauses):
+        clause_id = f"c{clause_index}"
+        database.add("Clause", (clause_id,))
+        for literal_index, literal in enumerate(clause):
+            token = f"{clause_id}:{_literal_token(literal, literal_index)}"
+            database.add("InClause", (clause_id, token))
+            database.add("Lit", _literal_tuple(literal, token))
+
+    clause_var = base_var("c")
+    token_var = base_var("tok")
+    low_var = num_var("lo")
+    high_var = num_var("hi")
+    clause_satisfied = exists(
+        [token_var, low_var, high_var],
+        rel("InClause", clause_var, token_var)
+        & rel("Lit", token_var, low_var, high_var)
+        & (low_var < high_var),
+    )
+    query = Query(
+        head=(),
+        body=forall([clause_var], implies(rel("Clause", clause_var), clause_satisfied)),
+        name="cnf_satisfied",
+    )
+    direct = conjunction(
+        disjunction(_literal_constraint(literal) for literal in clause)
+        for clause in formula.clauses
+    )
+    return CountingReduction(query=query, database=database,
+                             variables=formula.variables(), formula=direct)

@@ -1,0 +1,79 @@
+"""The Proposition 4.1 gadget: certain answers with arithmetic are undecidable.
+
+Given an integer polynomial ``p(x_1, ..., x_k)``, the query
+
+    q = ∃ x_1 ... x_k .  R(x_1, ..., x_k) ∧ p(x_1, ..., x_k)^2 > 0
+
+over the database whose single relation ``R`` holds one all-null tuple
+``(⊤_1, ..., ⊤_k)`` has ``q`` as a certain answer over ``C_num = ℤ`` exactly
+when ``p`` has no integer root -- an undecidable property (Hilbert's tenth
+problem, undecidable already for 13 variables).  The measure of certainty, by
+contrast, is trivially 1 whenever ``p`` is not the zero polynomial (the zero
+set of a non-zero polynomial has measure zero), which is precisely the
+paper's motivation for moving from absolute certainty to a measure.
+
+This module builds the gadget, provides a bounded brute-force root search to
+exercise it on small instances, and exposes the measure-vs-certainty contrast
+for the tests and examples.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+from repro.constraints.polynomials import Polynomial
+from repro.logic.builder import exists, num, num_var, rel
+from repro.logic.formulas import Query
+from repro.logic.terms import Term
+from repro.relational.database import Database
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.values import NumNull
+
+
+def polynomial_to_term(polynomial: Polynomial, variables: dict[str, Term]) -> Term:
+    """Render a :class:`Polynomial` as an arithmetic term of the query language."""
+    term: Term | None = None
+    for monomial, coefficient in sorted(polynomial.coefficients.items()):
+        factor: Term = num(coefficient)
+        for name, exponent in monomial:
+            if name not in variables:
+                raise ValueError(f"no query variable supplied for {name!r}")
+            for _ in range(exponent):
+                factor = factor * variables[name]
+        term = factor if term is None else term + factor
+    return term if term is not None else num(0.0)
+
+
+def diophantine_query(polynomial: Polynomial) -> tuple[Query, Database]:
+    """Build the Proposition 4.1 query and database for ``polynomial``."""
+    names = sorted(polynomial.variables())
+    if not names:
+        raise ValueError("the polynomial must mention at least one variable")
+    schema = DatabaseSchema.of(
+        RelationSchema.of("R", **{f"x{i}": "num" for i in range(len(names))}))
+    database = Database(schema)
+    database.add("R", tuple(NumNull(name) for name in names))
+
+    query_variables = {name: num_var(name) for name in names}
+    ordered = [query_variables[name] for name in names]
+    p_term = polynomial_to_term(polynomial, query_variables)
+    body = rel("R", *ordered) & (p_term * p_term > num(0.0))
+    query = Query(head=(), body=exists(ordered, body), name="no_integer_root")
+    return query, database
+
+
+def has_integer_root_within(polynomial: Polynomial, bound: int) -> bool:
+    """Brute-force search for an integer root with all coordinates in ``[-bound, bound]``.
+
+    The existence of a root (anywhere) is undecidable in general; this bounded
+    search is only meant to exercise the gadget on small instances.
+    """
+    if bound < 0:
+        raise ValueError(f"bound must be non-negative, got {bound}")
+    names: Sequence[str] = sorted(polynomial.variables())
+    for values in itertools.product(range(-bound, bound + 1), repeat=len(names)):
+        assignment = dict(zip(names, (float(value) for value in values)))
+        if abs(polynomial.evaluate(assignment)) < 1e-9:
+            return True
+    return False

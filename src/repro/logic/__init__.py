@@ -1,0 +1,95 @@
+"""Two-sorted first-order logic with arithmetic: FO(+, ·, <).
+
+This subpackage implements the query language of Section 3 of the paper:
+terms over base and numerical variables with ``+`` and ``·`` (and the derived
+``-`` and ``/``), atomic formulae (relation atoms, base equality, numerical
+comparisons), Boolean connectives and typed quantifiers.
+
+* :mod:`repro.logic.terms` -- typed variables and arithmetic terms;
+* :mod:`repro.logic.formulas` -- formulae and queries;
+* :mod:`repro.logic.builder` -- a small DSL for constructing queries in
+  Python (operator overloading on terms, ``exists``/``forall`` helpers);
+* :mod:`repro.logic.typecheck` -- free-variable computation and sort/schema
+  checking;
+* :mod:`repro.logic.fragments` -- syntactic fragment classification
+  (CQ(<), CQ(+,<), FO(<), FO(+,·,<), ...), which drives the choice of
+  algorithm in :mod:`repro.certainty`;
+* :mod:`repro.logic.evaluation` -- evaluation over complete databases with
+  active-domain quantifier semantics.
+"""
+
+from repro.logic.builder import (
+    base_var,
+    conj,
+    disj,
+    exists,
+    forall,
+    implies,
+    neg,
+    num,
+    num_var,
+    rel,
+)
+from repro.logic.evaluation import evaluate_boolean, evaluate_query
+from repro.logic.formulas import (
+    BaseEquality,
+    Comparison as NumericComparison,
+    Exists,
+    FOAnd,
+    FONot,
+    FOOr,
+    Forall,
+    Formula,
+    Query,
+    RelationAtom,
+)
+from repro.logic.fragments import QueryFragment, classify_query
+from repro.logic.parser import FOParseError, parse_formula, parse_query
+from repro.logic.terms import (
+    BaseConstant,
+    NumericConstant,
+    Sort,
+    Term,
+    TermOperation,
+    Variable,
+)
+from repro.logic.typecheck import TypeCheckError, check_query, free_variables
+
+__all__ = [
+    "BaseConstant",
+    "BaseEquality",
+    "Exists",
+    "FOAnd",
+    "FOParseError",
+    "FONot",
+    "FOOr",
+    "Forall",
+    "Formula",
+    "NumericComparison",
+    "NumericConstant",
+    "Query",
+    "QueryFragment",
+    "RelationAtom",
+    "Sort",
+    "Term",
+    "TermOperation",
+    "TypeCheckError",
+    "Variable",
+    "base_var",
+    "check_query",
+    "classify_query",
+    "conj",
+    "disj",
+    "evaluate_boolean",
+    "evaluate_query",
+    "exists",
+    "forall",
+    "free_variables",
+    "implies",
+    "neg",
+    "num",
+    "num_var",
+    "parse_formula",
+    "parse_query",
+    "rel",
+]

@@ -1,0 +1,197 @@
+"""Evaluation of FO(+, ·, <) queries over complete databases.
+
+Quantifiers follow the active-domain semantics of Section 3: a base-type
+quantifier ranges over ``C_base(D)`` and a numerical one over ``C_num(D)``.
+The evaluator is deliberately straightforward (nested loops over the active
+domains); it is used as the ground truth the measure is defined against --
+``v(a) ∈ q(v(D))`` for sampled valuations ``v`` -- and for the examples and
+tests, not as the production query path (that is :mod:`repro.engine`).
+
+Base nulls may be present: under the naive-evaluation view they behave as
+fresh constants, which is exactly how the 0/1 law of [Libkin, PODS'18]
+evaluates them.  Numerical nulls are rejected because arithmetic on an
+unknown real is undefined; apply a valuation first.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence
+
+from repro.logic.formulas import (
+    BaseEquality,
+    Comparison,
+    ComparisonOperator,
+    Exists,
+    FOAnd,
+    FONot,
+    FOOr,
+    Forall,
+    Formula,
+    Query,
+    RelationAtom,
+)
+from repro.logic.terms import (
+    BaseConstant,
+    NumericConstant,
+    Sort,
+    Term,
+    TermOperation,
+    TermOperator,
+    Variable,
+)
+from repro.relational.database import Database
+from repro.relational.values import Value, is_num_null, is_numeric_constant
+
+#: Tolerance used when comparing evaluated numerical terms for equality.
+NUMERIC_EPS = 1e-9
+
+
+class EvaluationError(ValueError):
+    """Raised when a query cannot be evaluated (e.g. numerical nulls present)."""
+
+
+def _evaluate_term(term: Term, environment: Mapping[Variable, Value]) -> Value:
+    if isinstance(term, Variable):
+        if term not in environment:
+            raise EvaluationError(f"unbound variable {term!r}")
+        return environment[term]
+    if isinstance(term, NumericConstant):
+        return term.value
+    if isinstance(term, BaseConstant):
+        return term.value
+    if isinstance(term, TermOperation):
+        left = float(_evaluate_term(term.left, environment))
+        right = float(_evaluate_term(term.right, environment))
+        if term.operator is TermOperator.ADD:
+            return left + right
+        if term.operator is TermOperator.SUB:
+            return left - right
+        if term.operator is TermOperator.MUL:
+            return left * right
+        if right == 0.0:
+            raise ZeroDivisionError("division by zero while evaluating a term")
+        return left / right
+    raise EvaluationError(f"unknown term node: {type(term).__name__}")
+
+
+def _values_match(stored: Value, computed: Value) -> bool:
+    if is_numeric_constant(stored) and is_numeric_constant(computed):
+        return abs(float(stored) - float(computed)) <= NUMERIC_EPS
+    return stored == computed
+
+
+def _compare(left: float, op: ComparisonOperator, right: float) -> bool:
+    if op is ComparisonOperator.LT:
+        return left < right - NUMERIC_EPS
+    if op is ComparisonOperator.LE:
+        return left <= right + NUMERIC_EPS
+    if op is ComparisonOperator.EQ:
+        return abs(left - right) <= NUMERIC_EPS
+    if op is ComparisonOperator.NE:
+        return abs(left - right) > NUMERIC_EPS
+    if op is ComparisonOperator.GE:
+        return left >= right - NUMERIC_EPS
+    return left > right + NUMERIC_EPS
+
+
+class _Evaluator:
+    """Evaluates formulae over one complete database."""
+
+    def __init__(self, database: Database) -> None:
+        if database.num_nulls():
+            raise EvaluationError(
+                "cannot evaluate a query over a database with numerical nulls; "
+                "apply a valuation first")
+        self._database = database
+        base_domain = set(database.base_constants()) | set(database.base_nulls())
+        self._base_domain = tuple(sorted(base_domain, key=repr))
+        self._num_domain = tuple(sorted(database.num_constants()))
+
+    def domain(self, sort: Sort) -> tuple[Value, ...]:
+        return self._num_domain if sort is Sort.NUM else self._base_domain
+
+    def holds(self, formula: Formula, environment: Mapping[Variable, Value]) -> bool:
+        if isinstance(formula, RelationAtom):
+            return self._relation_atom_holds(formula, environment)
+        if isinstance(formula, BaseEquality):
+            return (_evaluate_term(formula.left, environment)
+                    == _evaluate_term(formula.right, environment))
+        if isinstance(formula, Comparison):
+            try:
+                left = float(_evaluate_term(formula.left, environment))
+                right = float(_evaluate_term(formula.right, environment))
+            except ZeroDivisionError:
+                return False
+            return _compare(left, formula.op, right)
+        if isinstance(formula, FONot):
+            return not self.holds(formula.body, environment)
+        if isinstance(formula, FOAnd):
+            return all(self.holds(child, environment) for child in formula.conjuncts)
+        if isinstance(formula, FOOr):
+            return any(self.holds(child, environment) for child in formula.disjuncts)
+        if isinstance(formula, Exists):
+            return any(self.holds(formula.body, {**environment, formula.variable: value})
+                       for value in self.domain(formula.variable.sort))
+        if isinstance(formula, Forall):
+            return all(self.holds(formula.body, {**environment, formula.variable: value})
+                       for value in self.domain(formula.variable.sort))
+        raise EvaluationError(f"unknown formula node: {type(formula).__name__}")
+
+    def _relation_atom_holds(self, atom: RelationAtom,
+                             environment: Mapping[Variable, Value]) -> bool:
+        relation = self._database.relation(atom.relation)
+        try:
+            computed = [_evaluate_term(term, environment) for term in atom.terms]
+        except ZeroDivisionError:
+            return False
+        for row in relation:
+            if all(_values_match(stored, value) for stored, value in zip(row, computed)):
+                return True
+        return False
+
+
+def _head_assignments(evaluator: _Evaluator,
+                      head: Sequence[Variable]) -> Iterator[dict[Variable, Value]]:
+    if not head:
+        yield {}
+        return
+    first, rest = head[0], head[1:]
+    for value in evaluator.domain(first.sort):
+        for assignment in _head_assignments(evaluator, rest):
+            assignment = dict(assignment)
+            assignment[first] = value
+            yield assignment
+
+
+def evaluate_query(query: Query, database: Database) -> set[tuple[Value, ...]]:
+    """The answer set ``q(D)`` of a query over a complete database."""
+    evaluator = _Evaluator(database)
+    answers: set[tuple[Value, ...]] = set()
+    for assignment in _head_assignments(evaluator, query.head):
+        if evaluator.holds(query.body, assignment):
+            answers.add(tuple(assignment[variable] for variable in query.head))
+    return answers
+
+
+def evaluate_boolean(query: Query, database: Database) -> bool:
+    """Truth value of a Boolean query over a complete database."""
+    if not query.is_boolean:
+        raise EvaluationError("evaluate_boolean expects a Boolean (0-ary) query")
+    evaluator = _Evaluator(database)
+    return evaluator.holds(query.body, {})
+
+
+def query_holds_for(query: Query, database: Database,
+                    candidate: Sequence[Value]) -> bool:
+    """Whether ``candidate ∈ q(D)`` for a complete database ``D``.
+
+    This is the predicate the measure of certainty is built from: given a
+    valuation ``v``, the support set contains ``v`` exactly when
+    ``query_holds_for(q, v(D), v(candidate))`` is true.
+    """
+    if len(candidate) != query.arity:
+        raise EvaluationError(
+            f"candidate has {len(candidate)} components for a query of arity {query.arity}")
+    evaluator = _Evaluator(database)
+    environment = {variable: value for variable, value in zip(query.head, candidate)}
+    return evaluator.holds(query.body, environment)

@@ -1,0 +1,250 @@
+"""Formulae and queries of FO(+, ·, <).
+
+Atomic formulae are relation atoms ``R(t_1, ..., t_n)``, equalities between
+base terms, and comparisons ``t < t'`` / ``t = t'`` between numerical terms.
+Formulae are closed under the Boolean connectives and typed quantifiers, as
+in Section 3 of the paper.  A :class:`Query` packages a formula with an
+ordered tuple of free variables (its head).
+
+Formulae support ``&``, ``|`` and ``~`` so they compose naturally with the
+builder DSL of :mod:`repro.logic.builder`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.logic.terms import Sort, Term, Variable
+
+
+class ComparisonOperator(enum.Enum):
+    """Comparison operators between numerical terms."""
+
+    LT = "<"
+    LE = "<="
+    EQ = "="
+    NE = "!="
+    GE = ">="
+    GT = ">"
+
+
+class Formula:
+    """Base class of FO(+,·,<) formulae."""
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return FOAnd((self, other))
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return FOOr((self, other))
+
+    def __invert__(self) -> "Formula":
+        return FONot(self)
+
+    def children(self) -> tuple["Formula", ...]:
+        """Immediate sub-formulae (empty for atoms)."""
+        return ()
+
+    def atoms(self) -> Iterator["Formula"]:
+        """Iterate over the atomic sub-formulae."""
+        stack: list[Formula] = [self]
+        while stack:
+            node = stack.pop()
+            subformulae = node.children()
+            if subformulae:
+                stack.extend(subformulae)
+            else:
+                yield node
+
+
+@dataclass(frozen=True)
+class RelationAtom(Formula):
+    """The atom ``R(t_1, ..., t_n)``."""
+
+    relation: str
+    terms: tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        if not self.relation:
+            raise ValueError("relation name must be non-empty")
+        object.__setattr__(self, "terms", tuple(self.terms))
+
+    def __repr__(self) -> str:
+        arguments = ", ".join(repr(term) for term in self.terms)
+        return f"{self.relation}({arguments})"
+
+
+@dataclass(frozen=True)
+class BaseEquality(Formula):
+    """Equality between two base-type terms (variables or constants)."""
+
+    left: Term
+    right: Term
+
+    def __post_init__(self) -> None:
+        for side, term in (("left", self.left), ("right", self.right)):
+            if term.sort is not Sort.BASE:
+                raise TypeError(
+                    f"base equality requires base terms; {side} operand "
+                    f"{term!r} has sort {term.sort.value}")
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} = {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Comparison(Formula):
+    """Comparison ``left op right`` between numerical terms."""
+
+    left: Term
+    op: ComparisonOperator
+    right: Term
+
+    def __post_init__(self) -> None:
+        for side, term in (("left", self.left), ("right", self.right)):
+            if term.sort is not Sort.NUM:
+                raise TypeError(
+                    f"numerical comparison requires numerical terms; {side} "
+                    f"operand {term!r} has sort {term.sort.value}")
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op.value} {self.right!r})"
+
+
+@dataclass(frozen=True)
+class FOAnd(Formula):
+    """Conjunction."""
+
+    conjuncts: tuple[Formula, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "conjuncts", tuple(self.conjuncts))
+
+    def children(self) -> tuple[Formula, ...]:
+        return self.conjuncts
+
+    def __repr__(self) -> str:
+        return "(" + " ∧ ".join(repr(child) for child in self.conjuncts) + ")"
+
+
+@dataclass(frozen=True)
+class FOOr(Formula):
+    """Disjunction."""
+
+    disjuncts: tuple[Formula, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "disjuncts", tuple(self.disjuncts))
+
+    def children(self) -> tuple[Formula, ...]:
+        return self.disjuncts
+
+    def __repr__(self) -> str:
+        return "(" + " ∨ ".join(repr(child) for child in self.disjuncts) + ")"
+
+
+@dataclass(frozen=True)
+class FONot(Formula):
+    """Negation."""
+
+    body: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.body,)
+
+    def __repr__(self) -> str:
+        return f"¬{self.body!r}"
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    """Existential quantification over a typed variable."""
+
+    variable: Variable
+    body: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.body,)
+
+    def __repr__(self) -> str:
+        return f"∃{self.variable!r} {self.body!r}"
+
+
+@dataclass(frozen=True)
+class Forall(Formula):
+    """Universal quantification over a typed variable."""
+
+    variable: Variable
+    body: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.body,)
+
+    def __repr__(self) -> str:
+        return f"∀{self.variable!r} {self.body!r}"
+
+
+@dataclass(frozen=True)
+class Query:
+    """A query ``q(head) = body`` with an ordered tuple of head variables.
+
+    A Boolean query has an empty head.  The head may mix base and numerical
+    variables; the measure of certainty is asked about candidate tuples of
+    matching sorts.
+    """
+
+    head: tuple[Variable, ...]
+    body: Formula
+    name: str = "q"
+
+    def __post_init__(self) -> None:
+        head = tuple(self.head)
+        if len({variable.name for variable in head}) != len(head):
+            raise ValueError("query head contains duplicate variables")
+        object.__setattr__(self, "head", head)
+
+    @property
+    def arity(self) -> int:
+        return len(self.head)
+
+    @property
+    def is_boolean(self) -> bool:
+        return not self.head
+
+    def head_sorts(self) -> tuple[Sort, ...]:
+        return tuple(variable.sort for variable in self.head)
+
+    def __repr__(self) -> str:
+        arguments = ", ".join(repr(variable) for variable in self.head)
+        return f"{self.name}({arguments}) = {self.body!r}"
+
+
+def make_conjunction(parts: Sequence[Formula]) -> Formula:
+    """Conjunction of formulae with flattening and the obvious simplifications."""
+    flattened: list[Formula] = []
+    for part in parts:
+        if isinstance(part, FOAnd):
+            flattened.extend(part.conjuncts)
+        else:
+            flattened.append(part)
+    if not flattened:
+        raise ValueError("conjunction of zero formulae is not representable")
+    if len(flattened) == 1:
+        return flattened[0]
+    return FOAnd(tuple(flattened))
+
+
+def make_disjunction(parts: Sequence[Formula]) -> Formula:
+    """Disjunction of formulae with flattening and the obvious simplifications."""
+    flattened: list[Formula] = []
+    for part in parts:
+        if isinstance(part, FOOr):
+            flattened.extend(part.disjuncts)
+        else:
+            flattened.append(part)
+    if not flattened:
+        raise ValueError("disjunction of zero formulae is not representable")
+    if len(flattened) == 1:
+        return flattened[0]
+    return FOOr(tuple(flattened))

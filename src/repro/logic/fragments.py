@@ -1,0 +1,113 @@
+"""Syntactic fragment classification of FO(+, ·, <) queries.
+
+The choice of algorithm in :mod:`repro.certainty` depends on the fragment a
+query falls in (Sections 6--8 of the paper):
+
+* CQ(<) and CQ(+,<) admit the multiplicative FPRAS of Theorem 7.1;
+* FO(<) has no FPRAS unless NP ⊆ BPP (Theorem 6.3) but μ is always rational;
+* every FO(+,·,<) query admits the additive AFPRAS of Theorem 8.1.
+
+A query is *conjunctive* when its body uses only relation atoms, positive
+numerical/base atoms, conjunction and existential quantification.  Arithmetic
+is classified as: none (order comparisons only), linear (``+``, ``-`` and
+multiplication by constants), or polynomial (products of terms containing
+variables, or division by such terms).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.logic.formulas import (
+    BaseEquality,
+    Comparison,
+    Exists,
+    FOAnd,
+    FONot,
+    FOOr,
+    Forall,
+    Formula,
+    Query,
+    RelationAtom,
+)
+from repro.logic.terms import Term, TermOperation, uses_multiplication
+
+
+class ArithmeticLevel(enum.Enum):
+    """How much arithmetic a query uses."""
+
+    ORDER_ONLY = "<"
+    LINEAR = "+,<"
+    POLYNOMIAL = "+,·,<"
+
+
+@dataclass(frozen=True)
+class QueryFragment:
+    """The syntactic fragment of a query."""
+
+    conjunctive: bool
+    arithmetic: ArithmeticLevel
+
+    @property
+    def name(self) -> str:
+        prefix = "CQ" if self.conjunctive else "FO"
+        return f"{prefix}({self.arithmetic.value})"
+
+    @property
+    def has_fpras(self) -> bool:
+        """Whether Theorem 7.1's multiplicative FPRAS applies."""
+        return self.conjunctive and self.arithmetic is not ArithmeticLevel.POLYNOMIAL
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.name
+
+
+def _term_arithmetic(term: Term) -> ArithmeticLevel:
+    if not isinstance(term, TermOperation):
+        return ArithmeticLevel.ORDER_ONLY
+    if uses_multiplication(term):
+        return ArithmeticLevel.POLYNOMIAL
+    return ArithmeticLevel.LINEAR
+
+
+def _max_level(first: ArithmeticLevel, second: ArithmeticLevel) -> ArithmeticLevel:
+    order = [ArithmeticLevel.ORDER_ONLY, ArithmeticLevel.LINEAR, ArithmeticLevel.POLYNOMIAL]
+    return max(first, second, key=order.index)
+
+
+def formula_arithmetic(formula: Formula) -> ArithmeticLevel:
+    """Highest arithmetic level used by any term of the formula."""
+    level = ArithmeticLevel.ORDER_ONLY
+    for atom in formula.atoms():
+        terms: tuple[Term, ...]
+        if isinstance(atom, RelationAtom):
+            terms = atom.terms
+        elif isinstance(atom, (Comparison, BaseEquality)):
+            terms = (atom.left, atom.right)
+        else:
+            terms = ()
+        for term in terms:
+            level = _max_level(level, _term_arithmetic(term))
+    return level
+
+
+def is_conjunctive(formula: Formula) -> bool:
+    """Whether a formula is in the ∃,∧ fragment (no ¬, ∨, ∀)."""
+    if isinstance(formula, (RelationAtom, BaseEquality, Comparison)):
+        return True
+    if isinstance(formula, FOAnd):
+        return all(is_conjunctive(child) for child in formula.conjuncts)
+    if isinstance(formula, Exists):
+        return is_conjunctive(formula.body)
+    if isinstance(formula, (FOOr, FONot, Forall)):
+        return False
+    raise TypeError(f"unknown formula node: {type(formula).__name__}")
+
+
+def classify_query(query: Query) -> QueryFragment:
+    """Classify a query into its fragment (e.g. ``CQ(+,<)`` or ``FO(+,·,<)``)."""
+    return QueryFragment(
+        conjunctive=is_conjunctive(query.body),
+        arithmetic=formula_arithmetic(query.body),
+    )

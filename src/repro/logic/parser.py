@@ -1,0 +1,389 @@
+"""A text parser for FO(+, ·, <) queries.
+
+The builder DSL of :mod:`repro.logic.builder` is convenient from Python, but
+examples, tests and interactive exploration benefit from a plain-text syntax
+close to the paper's notation.  The grammar:
+
+.. code-block:: text
+
+    query    :=  NAME '(' params ')' ':=' formula        -- named query
+              |  formula                                   -- Boolean query
+    params   :=  [ NAME ':' sort (',' NAME ':' sort)* ]
+    sort     :=  'base' | 'num'
+
+    formula  :=  implication
+    implication := disjunction [ '->' implication ]
+    disjunction := conjunction ( ('or' | '|') conjunction )*
+    conjunction := unary ( ('and' | '&') unary )*
+    unary    :=  ('not' | '!') unary
+              |  ('exists' | 'forall') params '.' formula   -- maximal scope
+              |  '(' formula ')'
+              |  atom
+    atom     :=  NAME '(' term (',' term)* ')'             -- relation atom
+              |  term op term                               -- comparison
+    op       :=  '<' | '<=' | '=' | '!=' | '>=' | '>'
+    term     :=  sum of products of: NAME, NUMBER, STRING, '(' term ')'
+
+Variables must be declared with their sort either in the query's parameter
+list (free variables) or at their quantifier.  String literals are base-type
+constants.  Example::
+
+    q(s: base) := forall i: base, r: num, d: num, i2: base, p: num .
+        (Products(i, s, r, d) and not Excluded(i, s) and Competition(i2, s, p))
+            -> (r * d <= p and r >= 0 and d >= 0 and p >= 0)
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.logic.formulas import (
+    BaseEquality,
+    Comparison,
+    ComparisonOperator,
+    Exists,
+    FONot,
+    Forall,
+    Formula,
+    Query,
+    RelationAtom,
+    make_conjunction,
+    make_disjunction,
+)
+from repro.logic.terms import (
+    BaseConstant,
+    NumericConstant,
+    Sort,
+    Term,
+    TermOperation,
+    TermOperator,
+    Variable,
+)
+
+
+class FOParseError(ValueError):
+    """Raised for malformed query text."""
+
+
+_KEYWORDS = {"and", "or", "not", "exists", "forall", "base", "num"}
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    (?P<space>\s+)
+  | (?P<number>\d+(\.\d+)?([eE][+-]?\d+)?)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<symbol><=|>=|!=|:=|->|[()<>=.,:+\-*/!&|])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_PATTERN.match(text, position)
+        if match is None:
+            raise FOParseError(f"unexpected character {text[position]!r} at {position}")
+        position = match.end()
+        if match.lastgroup == "space":
+            continue
+        kind = match.lastgroup or "symbol"
+        value = match.group()
+        if kind == "name" and value.lower() in _KEYWORDS:
+            kind = "keyword"
+            value = value.lower()
+        tokens.append(_Token(kind=kind, text=value, position=match.start()))
+    tokens.append(_Token(kind="end", text="", position=len(text)))
+    return tokens
+
+
+_COMPARISONS = {
+    "<": ComparisonOperator.LT,
+    "<=": ComparisonOperator.LE,
+    "=": ComparisonOperator.EQ,
+    "!=": ComparisonOperator.NE,
+    ">=": ComparisonOperator.GE,
+    ">": ComparisonOperator.GT,
+}
+
+_TERM_OPERATORS = {
+    "+": TermOperator.ADD,
+    "-": TermOperator.SUB,
+    "*": TermOperator.MUL,
+    "/": TermOperator.DIV,
+}
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+        self._scopes: list[dict[str, Variable]] = [{}]
+
+    # -- token plumbing ---------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> _Token:
+        return self._tokens[min(self._index + offset, len(self._tokens) - 1)]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _accept(self, kind: str, text: Optional[str] = None) -> Optional[_Token]:
+        token = self._peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> _Token:
+        token = self._accept(kind, text)
+        if token is None:
+            actual = self._peek()
+            expectation = text if text is not None else kind
+            raise FOParseError(
+                f"expected {expectation!r} at position {actual.position}, "
+                f"got {actual.text!r}")
+        return token
+
+    # -- scope handling ------------------------------------------------------------
+
+    def _declare(self, name: str, sort: Sort) -> Variable:
+        variable = Variable(name=name, variable_sort=sort)
+        self._scopes[-1][name] = variable
+        return variable
+
+    def _lookup(self, name: str) -> Optional[Variable]:
+        for scope in reversed(self._scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+    def _parse_params(self) -> list[Variable]:
+        parameters: list[Variable] = []
+        if self._peek().kind != "name":
+            return parameters
+        while True:
+            name = self._expect("name").text
+            self._expect("symbol", ":")
+            sort_token = self._expect("keyword")
+            if sort_token.text not in ("base", "num"):
+                raise FOParseError(
+                    f"expected a sort ('base' or 'num') at position {sort_token.position}")
+            sort = Sort.BASE if sort_token.text == "base" else Sort.NUM
+            parameters.append(self._declare(name, sort))
+            if not self._accept("symbol", ","):
+                return parameters
+
+    # -- query ------------------------------------------------------------------
+
+    def parse_query(self) -> Query:
+        name = "q"
+        head: tuple[Variable, ...] = ()
+        # Named form: NAME ( params ) := formula
+        if (self._peek().kind == "name" and self._peek(1).text == "("
+                and self._looks_like_header()):
+            name = self._advance().text
+            self._expect("symbol", "(")
+            head = tuple(self._parse_params())
+            self._expect("symbol", ")")
+            self._expect("symbol", ":=")
+        body = self.parse_formula()
+        self._expect("end")
+        return Query(head=head, body=body, name=name)
+
+    def _looks_like_header(self) -> bool:
+        """Disambiguate ``q(x: base) := ...`` from a relation atom ``R(x, y)``."""
+        depth = 0
+        offset = 1
+        while True:
+            token = self._peek(offset)
+            if token.kind == "end":
+                return False
+            if token.text == "(":
+                depth += 1
+            elif token.text == ")":
+                depth -= 1
+                if depth == 0:
+                    return self._peek(offset + 1).text == ":="
+            offset += 1
+
+    # -- formulae ----------------------------------------------------------------
+
+    def parse_formula(self) -> Formula:
+        return self._parse_implication()
+
+    def _parse_implication(self) -> Formula:
+        left = self._parse_disjunction()
+        if self._accept("symbol", "->"):
+            right = self._parse_implication()
+            return make_disjunction([FONot(left), right])
+        return left
+
+    def _parse_disjunction(self) -> Formula:
+        parts = [self._parse_conjunction()]
+        while self._accept("keyword", "or") or self._accept("symbol", "|"):
+            parts.append(self._parse_conjunction())
+        return make_disjunction(parts)
+
+    def _parse_conjunction(self) -> Formula:
+        parts = [self._parse_unary()]
+        while self._accept("keyword", "and") or self._accept("symbol", "&"):
+            parts.append(self._parse_unary())
+        return make_conjunction(parts)
+
+    def _parse_unary(self) -> Formula:
+        if self._accept("keyword", "not") or self._accept("symbol", "!"):
+            return FONot(self._parse_unary())
+        quantifier = None
+        if self._accept("keyword", "exists"):
+            quantifier = Exists
+        elif self._accept("keyword", "forall"):
+            quantifier = Forall
+        if quantifier is not None:
+            self._scopes.append({})
+            variables = self._parse_params()
+            if not variables:
+                raise FOParseError(
+                    f"quantifier without variables at position {self._peek().position}")
+            self._expect("symbol", ".")
+            # Quantifiers scope as far to the right as possible, as in the
+            # paper's notation (parenthesise the body to limit the scope).
+            body = self.parse_formula()
+            self._scopes.pop()
+            for variable in reversed(variables):
+                body = quantifier(variable=variable, body=body)
+            return body
+        if self._peek().text == "(" and not self._is_term_start():
+            self._expect("symbol", "(")
+            inner = self.parse_formula()
+            self._expect("symbol", ")")
+            return inner
+        return self._parse_atom()
+
+    def _is_term_start(self) -> bool:
+        """Whether an opening parenthesis starts a term (e.g. ``(x + y) < z``).
+
+        Scan to the matching close parenthesis: if the next token after it is
+        an arithmetic or comparison operator, the parenthesis belongs to a
+        term rather than to a parenthesised formula.
+        """
+        depth = 0
+        offset = 0
+        while True:
+            token = self._peek(offset)
+            if token.kind == "end":
+                return False
+            if token.text == "(":
+                depth += 1
+            elif token.text == ")":
+                depth -= 1
+                if depth == 0:
+                    following = self._peek(offset + 1).text
+                    return following in _COMPARISONS or following in _TERM_OPERATORS
+            offset += 1
+
+    def _parse_atom(self) -> Formula:
+        token = self._peek()
+        if token.kind == "name" and self._peek(1).text == "(" and self._lookup(token.text) is None:
+            relation = self._advance().text
+            self._expect("symbol", "(")
+            arguments = [self._parse_term()]
+            while self._accept("symbol", ","):
+                arguments.append(self._parse_term())
+            self._expect("symbol", ")")
+            return RelationAtom(relation=relation, terms=tuple(arguments))
+        left = self._parse_term()
+        operator_token = self._peek()
+        operator = _COMPARISONS.get(operator_token.text)
+        if operator is None:
+            raise FOParseError(
+                f"expected a comparison operator at position {operator_token.position}, "
+                f"got {operator_token.text!r}")
+        self._advance()
+        right = self._parse_term()
+        if left.sort is Sort.BASE or right.sort is Sort.BASE:
+            if left.sort is not right.sort:
+                raise FOParseError(
+                    f"cannot compare base and numerical terms near position "
+                    f"{operator_token.position}")
+            if operator is ComparisonOperator.EQ:
+                return BaseEquality(left, right)
+            if operator is ComparisonOperator.NE:
+                return FONot(BaseEquality(left, right))
+            raise FOParseError(
+                f"order comparison on base-typed terms near position "
+                f"{operator_token.position}")
+        return Comparison(left, operator, right)
+
+    # -- terms --------------------------------------------------------------------
+
+    def _parse_term(self) -> Term:
+        term = self._parse_product()
+        while True:
+            if self._accept("symbol", "+"):
+                term = TermOperation(TermOperator.ADD, term, self._parse_product())
+            elif self._accept("symbol", "-"):
+                term = TermOperation(TermOperator.SUB, term, self._parse_product())
+            else:
+                return term
+
+    def _parse_product(self) -> Term:
+        term = self._parse_factor()
+        while True:
+            if self._accept("symbol", "*"):
+                term = TermOperation(TermOperator.MUL, term, self._parse_factor())
+            elif self._accept("symbol", "/"):
+                term = TermOperation(TermOperator.DIV, term, self._parse_factor())
+            else:
+                return term
+
+    def _parse_factor(self) -> Term:
+        token = self._peek()
+        if self._accept("symbol", "("):
+            inner = self._parse_term()
+            self._expect("symbol", ")")
+            return inner
+        if self._accept("symbol", "-"):
+            return TermOperation(TermOperator.SUB, NumericConstant(0.0), self._parse_factor())
+        if token.kind == "number":
+            self._advance()
+            return NumericConstant(float(token.text))
+        if token.kind == "string":
+            self._advance()
+            return BaseConstant(token.text[1:-1].replace("''", "'"))
+        if token.kind == "name":
+            self._advance()
+            variable = self._lookup(token.text)
+            if variable is None:
+                raise FOParseError(
+                    f"undeclared variable {token.text!r} at position {token.position}; "
+                    "declare it in the query head or at a quantifier")
+            return variable
+        raise FOParseError(f"unexpected token {token.text!r} at position {token.position}")
+
+
+def parse_query(text: str) -> Query:
+    """Parse a query (named or Boolean) from text."""
+    return _Parser(_tokenize(text)).parse_query()
+
+
+def parse_formula(text: str, variables: dict[str, Sort] | None = None) -> Formula:
+    """Parse a bare formula; ``variables`` declares its free variables' sorts."""
+    parser = _Parser(_tokenize(text))
+    for name, sort in (variables or {}).items():
+        parser._declare(name, sort)
+    formula = parser.parse_formula()
+    parser._expect("end")
+    return formula

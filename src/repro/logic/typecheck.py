@@ -1,0 +1,161 @@
+"""Free-variable computation and static checking of queries against schemas.
+
+The translation of Proposition 5.3 and the evaluators assume well-formed
+queries: every relation atom matches its schema (arity and per-position
+sorts), every variable is used consistently with one sort, and the head of a
+query consists of free variables of its body.  This module performs those
+checks and reports precise errors, so that malformed queries are rejected at
+construction time rather than producing silently wrong measures.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.logic.formulas import (
+    BaseEquality,
+    Comparison,
+    Exists,
+    FOAnd,
+    FONot,
+    FOOr,
+    Forall,
+    Formula,
+    Query,
+    RelationAtom,
+)
+from repro.logic.terms import (
+    BaseConstant,
+    NumericConstant,
+    Sort,
+    Term,
+    TermOperation,
+    Variable,
+    term_variables,
+)
+from repro.relational.schema import DatabaseSchema
+
+
+class TypeCheckError(ValueError):
+    """Raised when a query does not match its schema or is ill-sorted."""
+
+
+def free_variables(formula: Formula) -> frozenset[Variable]:
+    """Free variables of a formula (quantified variables are bound in their scope)."""
+    if isinstance(formula, RelationAtom):
+        names: frozenset[Variable] = frozenset()
+        for term in formula.terms:
+            names |= term_variables(term)
+        return names
+    if isinstance(formula, (BaseEquality,)):
+        return term_variables(formula.left) | term_variables(formula.right)
+    if isinstance(formula, Comparison):
+        return term_variables(formula.left) | term_variables(formula.right)
+    if isinstance(formula, FONot):
+        return free_variables(formula.body)
+    if isinstance(formula, FOAnd):
+        result: frozenset[Variable] = frozenset()
+        for child in formula.conjuncts:
+            result |= free_variables(child)
+        return result
+    if isinstance(formula, FOOr):
+        result = frozenset()
+        for child in formula.disjuncts:
+            result |= free_variables(child)
+        return result
+    if isinstance(formula, (Exists, Forall)):
+        return free_variables(formula.body) - frozenset({formula.variable})
+    raise TypeCheckError(f"unknown formula node: {type(formula).__name__}")
+
+
+def _check_term(term: Term, expected: Optional[Sort] = None) -> None:
+    if isinstance(term, (Variable, NumericConstant, BaseConstant)):
+        actual = term.sort
+    elif isinstance(term, TermOperation):
+        _check_term(term.left, Sort.NUM)
+        _check_term(term.right, Sort.NUM)
+        actual = Sort.NUM
+    else:
+        raise TypeCheckError(f"unknown term node: {type(term).__name__}")
+    if expected is not None and actual is not expected:
+        raise TypeCheckError(
+            f"term {term!r} has sort {actual.value}, expected {expected.value}")
+
+
+def _check_variable_sorts(formula: Formula, seen: dict[str, Sort]) -> None:
+    """Ensure every variable name is used with a single sort throughout."""
+    for atom in formula.atoms():
+        if isinstance(atom, RelationAtom):
+            variables = frozenset().union(*(term_variables(term) for term in atom.terms)) \
+                if atom.terms else frozenset()
+        elif isinstance(atom, (BaseEquality, Comparison)):
+            variables = term_variables(atom.left) | term_variables(atom.right)
+        else:
+            variables = frozenset()
+        for variable in variables:
+            previous = seen.get(variable.name)
+            if previous is None:
+                seen[variable.name] = variable.sort
+            elif previous is not variable.sort:
+                raise TypeCheckError(
+                    f"variable {variable.name!r} is used with sorts "
+                    f"{previous.value} and {variable.sort.value}")
+
+
+def check_formula(formula: Formula, schema: DatabaseSchema) -> None:
+    """Check a formula against a database schema."""
+    if isinstance(formula, RelationAtom):
+        relation_schema = schema.relation(formula.relation)
+        if len(formula.terms) != relation_schema.arity:
+            raise TypeCheckError(
+                f"atom {formula!r} has {len(formula.terms)} arguments but relation "
+                f"{formula.relation!r} has arity {relation_schema.arity}")
+        for position, (term, attribute) in enumerate(zip(formula.terms,
+                                                         relation_schema.attributes)):
+            expected = Sort.NUM if attribute.is_numeric else Sort.BASE
+            try:
+                _check_term(term, expected)
+            except TypeCheckError as error:
+                raise TypeCheckError(
+                    f"argument {position} of {formula!r}: {error}") from error
+        return
+    if isinstance(formula, BaseEquality):
+        _check_term(formula.left, Sort.BASE)
+        _check_term(formula.right, Sort.BASE)
+        return
+    if isinstance(formula, Comparison):
+        _check_term(formula.left, Sort.NUM)
+        _check_term(formula.right, Sort.NUM)
+        return
+    if isinstance(formula, FONot):
+        check_formula(formula.body, schema)
+        return
+    if isinstance(formula, FOAnd):
+        for child in formula.conjuncts:
+            check_formula(child, schema)
+        return
+    if isinstance(formula, FOOr):
+        for child in formula.disjuncts:
+            check_formula(child, schema)
+        return
+    if isinstance(formula, (Exists, Forall)):
+        check_formula(formula.body, schema)
+        return
+    raise TypeCheckError(f"unknown formula node: {type(formula).__name__}")
+
+
+def check_query(query: Query, schema: DatabaseSchema) -> None:
+    """Check a query: well-formed body, consistent sorts, head ⊆ free variables."""
+    check_formula(query.body, schema)
+    _check_variable_sorts(query.body, {})
+    free = free_variables(query.body)
+    free_names = {variable.name for variable in free}
+    for variable in query.head:
+        if variable.name not in free_names:
+            raise TypeCheckError(
+                f"head variable {variable.name!r} does not occur free in the body")
+        matching = next(item for item in free if item.name == variable.name)
+        if matching.sort is not variable.sort:
+            raise TypeCheckError(
+                f"head variable {variable.name!r} has sort {variable.sort.value} "
+                f"but occurs in the body with sort {matching.sort.value}")

@@ -1,0 +1,49 @@
+"""Typed relational model with marked nulls.
+
+The paper's data model (Section 3) has two column types -- a *base* type with
+the usual single-domain semantics and a *numerical* type interpreted over a
+subset of the reals -- and two corresponding families of marked nulls
+(``⊥_i`` for base columns, ``⊤_i`` for numerical columns).  This subpackage
+implements that model:
+
+* :mod:`repro.relational.types` -- the two attribute types and attribute
+  declarations;
+* :mod:`repro.relational.values` -- constants and marked nulls;
+* :mod:`repro.relational.schema` -- relation and database schemas
+  (``R(base^k num^m)`` declarations, with interleaving allowed);
+* :mod:`repro.relational.relation` -- relations as finite sets of tuples;
+* :mod:`repro.relational.database` -- incomplete databases, their active
+  domains and null inventories;
+* :mod:`repro.relational.valuation` -- valuations ``v = (v_base, v_num)``
+  and the bijective base valuations of Proposition 5.2;
+* :mod:`repro.relational.csv_io` -- plain-text round-tripping of databases.
+"""
+
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.types import Attribute, AttributeType
+from repro.relational.valuation import Valuation, bijective_base_valuation
+from repro.relational.values import (
+    BaseNull,
+    NumNull,
+    is_base_null,
+    is_null,
+    is_num_null,
+)
+
+__all__ = [
+    "Attribute",
+    "AttributeType",
+    "BaseNull",
+    "Database",
+    "DatabaseSchema",
+    "NumNull",
+    "Relation",
+    "RelationSchema",
+    "Valuation",
+    "bijective_base_valuation",
+    "is_base_null",
+    "is_null",
+    "is_num_null",
+]

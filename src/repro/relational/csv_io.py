@@ -1,0 +1,81 @@
+"""Plain-text (CSV) round-tripping of incomplete databases.
+
+The experimental pipeline of Section 9 loads generated data "into Postgres";
+our engine is in-memory, but persisting generated databases to disk is still
+useful for inspecting workloads and sharing them between the examples and
+the benchmarks.  The format is one CSV file per relation with a header row;
+nulls are encoded as ``⊥:name`` (base) and ``⊤:name`` (numerical) so that
+marked nulls survive the round trip.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+from repro.relational.database import Database
+from repro.relational.schema import DatabaseSchema
+from repro.relational.values import BaseNull, NumNull, Value, is_base_null, is_num_null
+
+BASE_NULL_PREFIX = "⊥:"
+NUM_NULL_PREFIX = "⊤:"
+
+
+def _encode(value: Value) -> str:
+    if is_base_null(value):
+        return f"{BASE_NULL_PREFIX}{value.name}"
+    if is_num_null(value):
+        return f"{NUM_NULL_PREFIX}{value.name}"
+    return str(value)
+
+
+def _decode(text: str, is_numeric: bool) -> Value:
+    if text.startswith(BASE_NULL_PREFIX):
+        return BaseNull(name=text[len(BASE_NULL_PREFIX):])
+    if text.startswith(NUM_NULL_PREFIX):
+        return NumNull(name=text[len(NUM_NULL_PREFIX):])
+    if is_numeric:
+        return float(text)
+    return text
+
+
+def save_database(database: Database, directory: Union[str, Path]) -> None:
+    """Write one ``<relation>.csv`` file per relation into ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    for relation in database:
+        path = directory / f"{relation.name}.csv"
+        with path.open("w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(relation.schema.attribute_names)
+            for row in relation:
+                writer.writerow([_encode(value) for value in row])
+
+
+def load_database(schema: DatabaseSchema, directory: Union[str, Path]) -> Database:
+    """Read a database previously written by :func:`save_database`.
+
+    Relations whose file is missing are loaded as empty; extra files in the
+    directory are ignored.
+    """
+    directory = Path(directory)
+    database = Database(schema)
+    for relation_schema in schema:
+        path = directory / f"{relation_schema.name}.csv"
+        if not path.exists():
+            continue
+        numeric_flags = [attribute.is_numeric for attribute in relation_schema.attributes]
+        with path.open("r", newline="", encoding="utf-8") as handle:
+            reader = csv.reader(handle)
+            header = next(reader, None)
+            if header is None:
+                continue
+            if tuple(header) != relation_schema.attribute_names:
+                raise ValueError(
+                    f"header of {path.name} does not match schema of "
+                    f"{relation_schema.name!r}: {header}")
+            for row in reader:
+                values = [_decode(text, numeric) for text, numeric in zip(row, numeric_flags)]
+                database.add(relation_schema.name, values)
+    return database

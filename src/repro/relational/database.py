@@ -1,0 +1,148 @@
+"""Incomplete databases over the two-sorted schema.
+
+A :class:`Database` holds one :class:`~repro.relational.relation.Relation`
+per schema relation and exposes the inventories the paper's definitions are
+phrased in terms of: the base and numerical constants appearing in the
+database (``C_base(D)``, ``C_num(D)``) and its base and numerical nulls
+(``N_base(D)``, ``N_num(D)``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.relational.relation import Relation
+from repro.relational.schema import DatabaseSchema, RelationSchema, SchemaError
+from repro.relational.values import (
+    BaseNull,
+    NumNull,
+    Value,
+    is_base_null,
+    is_num_null,
+    is_numeric_constant,
+)
+
+
+class Database:
+    """A database instance: one relation per relation schema, nulls allowed."""
+
+    def __init__(self, schema: DatabaseSchema) -> None:
+        self._schema = schema
+        self._relations: dict[str, Relation] = {
+            relation_schema.name: Relation(relation_schema)
+            for relation_schema in schema
+        }
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, schema: DatabaseSchema,
+                  contents: Mapping[str, Iterable[Sequence[Value]]]) -> "Database":
+        """Build a database from ``{relation name: iterable of tuples}``."""
+        database = cls(schema)
+        for name, rows in contents.items():
+            for row in rows:
+                database.add(name, row)
+        return database
+
+    def add(self, relation_name: str, values: Sequence[Value]) -> None:
+        """Insert a tuple into the named relation."""
+        if relation_name not in self._relations:
+            raise SchemaError(f"unknown relation {relation_name!r}")
+        self._relations[relation_name].add(values)
+
+    def copy(self) -> "Database":
+        """A deep copy (tuples are immutable, so sharing them is safe)."""
+        duplicate = Database(self._schema)
+        for name, relation in self._relations.items():
+            duplicate._relations[name].extend(relation)
+        return duplicate
+
+    # -- access ------------------------------------------------------------
+
+    @property
+    def schema(self) -> DatabaseSchema:
+        return self._schema
+
+    def relation(self, name: str) -> Relation:
+        if name not in self._relations:
+            raise SchemaError(f"unknown relation {name!r}")
+        return self._relations[name]
+
+    def relation_schema(self, name: str) -> RelationSchema:
+        return self._schema.relation(name)
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+    def relation_names(self) -> tuple[str, ...]:
+        return tuple(self._relations.keys())
+
+    def total_tuples(self) -> int:
+        """Total number of tuples across all relations."""
+        return sum(len(relation) for relation in self._relations.values())
+
+    # -- inventories (C_base(D), C_num(D), N_base(D), N_num(D)) -------------
+
+    def base_constants(self) -> set:
+        """``C_base(D)``: base-type constants appearing in the database."""
+        constants: set = set()
+        for relation in self._relations.values():
+            base_positions = relation.schema.base_positions()
+            for row in relation:
+                for index in base_positions:
+                    value = row[index]
+                    if not is_base_null(value):
+                        constants.add(value)
+        return constants
+
+    def num_constants(self) -> set[float]:
+        """``C_num(D)``: numerical constants appearing in the database."""
+        constants: set[float] = set()
+        for relation in self._relations.values():
+            numeric_positions = relation.schema.numeric_positions()
+            for row in relation:
+                for index in numeric_positions:
+                    value = row[index]
+                    if is_numeric_constant(value):
+                        constants.add(float(value))
+        return constants
+
+    def base_nulls(self) -> set[BaseNull]:
+        """``N_base(D)``: base-type nulls appearing in the database."""
+        nulls: set[BaseNull] = set()
+        for relation in self._relations.values():
+            nulls.update(relation.base_nulls())
+        return nulls
+
+    def num_nulls(self) -> set[NumNull]:
+        """``N_num(D)``: numerical-type nulls appearing in the database."""
+        nulls: set[NumNull] = set()
+        for relation in self._relations.values():
+            nulls.update(relation.num_nulls())
+        return nulls
+
+    def num_nulls_ordered(self) -> tuple[NumNull, ...]:
+        """Numerical nulls in a deterministic order (sorted by name).
+
+        The translation to a constraint formula and the samplers need a fixed
+        correspondence between nulls and vector coordinates; sorting by name
+        makes that correspondence reproducible across runs.
+        """
+        return tuple(sorted(self.num_nulls(), key=lambda null: null.name))
+
+    def is_complete(self) -> bool:
+        """Whether the database contains no nulls at all."""
+        return not self.base_nulls() and not self.num_nulls()
+
+    def map_values(self, mapping) -> "Database":
+        """A new database with every stored value passed through ``mapping``."""
+        result = Database(self._schema)
+        for name, relation in self._relations.items():
+            result._relations[name] = relation.map_values(mapping)
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        counts = ", ".join(f"{name}={len(relation)}"
+                           for name, relation in self._relations.items())
+        return f"Database({counts})"

@@ -1,0 +1,159 @@
+"""Relation and database schemas for the two-sorted data model.
+
+A schema declares, for each relation, the names and types of its columns
+(``R(base^k num^m)`` in the paper's notation; interleaving of base and
+numerical columns is allowed, as it is in any real DDL).  Schemas validate
+the tuples stored in relations: base columns only accept base constants and
+base nulls, numerical columns only numerical constants and numerical nulls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.relational.types import Attribute, AttributeType
+from repro.relational.values import (
+    Value,
+    is_base_constant,
+    is_base_null,
+    is_num_null,
+    is_numeric_constant,
+)
+
+
+class SchemaError(ValueError):
+    """Raised for malformed schemas or tuples that do not match their schema."""
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """The declaration of one relation: its name and typed attributes."""
+
+    name: str
+    attributes: tuple[Attribute, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("relation name must be non-empty")
+        attributes = tuple(self.attributes)
+        if not attributes:
+            raise SchemaError(f"relation {self.name!r} must have at least one attribute")
+        names = [attribute.name for attribute in attributes]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"relation {self.name!r} has duplicate attribute names")
+        object.__setattr__(self, "attributes", attributes)
+
+    @classmethod
+    def of(cls, name: str, /, **columns: str) -> "RelationSchema":
+        """Concise constructor: ``RelationSchema.of("R", id="base", price="num")``.
+
+        ``name`` is positional-only so that relations may have a column that
+        is itself called ``name``.
+        """
+        attributes = []
+        for column, type_name in columns.items():
+            try:
+                attribute_type = AttributeType(type_name)
+            except ValueError as error:
+                raise SchemaError(
+                    f"unknown attribute type {type_name!r} for column {column!r}") from error
+            attributes.append(Attribute(name=column, type=attribute_type))
+        return cls(name=name, attributes=tuple(attributes))
+
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return tuple(attribute.name for attribute in self.attributes)
+
+    def attribute(self, name: str) -> Attribute:
+        """Look up an attribute by name."""
+        for attribute in self.attributes:
+            if attribute.name == name:
+                return attribute
+        raise SchemaError(f"relation {self.name!r} has no attribute {name!r}")
+
+    def position(self, name: str) -> int:
+        """Index of the attribute ``name`` within the relation."""
+        for index, attribute in enumerate(self.attributes):
+            if attribute.name == name:
+                return index
+        raise SchemaError(f"relation {self.name!r} has no attribute {name!r}")
+
+    def numeric_positions(self) -> tuple[int, ...]:
+        """Indices of the numerical columns."""
+        return tuple(index for index, attribute in enumerate(self.attributes)
+                     if attribute.is_numeric)
+
+    def base_positions(self) -> tuple[int, ...]:
+        """Indices of the base columns."""
+        return tuple(index for index, attribute in enumerate(self.attributes)
+                     if not attribute.is_numeric)
+
+    def validate_tuple(self, values: Sequence[Value]) -> tuple[Value, ...]:
+        """Check arity and per-column typing of a tuple; return it normalised."""
+        values = tuple(values)
+        if len(values) != self.arity:
+            raise SchemaError(
+                f"relation {self.name!r} expects {self.arity} values, got {len(values)}")
+        for attribute, value in zip(self.attributes, values):
+            if attribute.is_numeric:
+                if not (is_numeric_constant(value) or is_num_null(value)):
+                    raise SchemaError(
+                        f"column {self.name}.{attribute.name} is numerical but got {value!r}")
+            else:
+                if not (is_base_constant(value) or is_base_null(value)):
+                    raise SchemaError(
+                        f"column {self.name}.{attribute.name} is base-typed but got {value!r}")
+        return values
+
+
+@dataclass(frozen=True)
+class DatabaseSchema:
+    """A collection of relation schemas indexed by relation name."""
+
+    relations: Mapping[str, RelationSchema] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        relations = dict(self.relations)
+        for name, schema in relations.items():
+            if name != schema.name:
+                raise SchemaError(
+                    f"schema registered under {name!r} but declares name {schema.name!r}")
+        object.__setattr__(self, "relations", relations)
+
+    @classmethod
+    def of(cls, *relation_schemas: RelationSchema) -> "DatabaseSchema":
+        names = [schema.name for schema in relation_schemas]
+        if len(set(names)) != len(names):
+            raise SchemaError("duplicate relation names in database schema")
+        return cls(relations={schema.name: schema for schema in relation_schemas})
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.relations
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self.relations.values())
+
+    def __len__(self) -> int:
+        return len(self.relations)
+
+    def relation(self, name: str) -> RelationSchema:
+        if name not in self.relations:
+            raise SchemaError(f"unknown relation {name!r}")
+        return self.relations[name]
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(self.relations.keys())
+
+    def extend(self, more: Iterable[RelationSchema]) -> "DatabaseSchema":
+        """A new schema with additional relations."""
+        merged = dict(self.relations)
+        for schema in more:
+            if schema.name in merged:
+                raise SchemaError(f"relation {schema.name!r} already declared")
+            merged[schema.name] = schema
+        return DatabaseSchema(relations=merged)

@@ -1,0 +1,52 @@
+"""Attribute types of the two-sorted data model (Section 3 of the paper)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class AttributeType(enum.Enum):
+    """The two column types of the paper's model.
+
+    ``BASE`` corresponds to the usual single-domain assumption of the
+    incomplete-databases literature (values compared only for equality);
+    ``NUM`` columns take values in a subset of the real numbers and support
+    arithmetic and order comparisons in queries.
+    """
+
+    BASE = "base"
+    NUM = "num"
+
+    @property
+    def is_numeric(self) -> bool:
+        return self is AttributeType.NUM
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named, typed column of a relation."""
+
+    name: str
+    type: AttributeType
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("attribute name must be non-empty")
+
+    @classmethod
+    def base(cls, name: str) -> "Attribute":
+        """A base-type attribute."""
+        return cls(name=name, type=AttributeType.BASE)
+
+    @classmethod
+    def num(cls, name: str) -> "Attribute":
+        """A numerical-type attribute."""
+        return cls(name=name, type=AttributeType.NUM)
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.type.is_numeric
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.name}:{self.type.value}"

@@ -1,0 +1,71 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen.experiments import ExperimentScale, generate_sales_database
+from repro.datagen.intro import intro_database, intro_query
+from repro.relational.database import Database
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.values import BaseNull, NumNull
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fixed-seed generator for reproducible randomized tests."""
+    return np.random.default_rng(20200614)
+
+
+@pytest.fixture
+def pair_schema() -> DatabaseSchema:
+    """Schema with a single binary numerical relation R(a num, b num)."""
+    return DatabaseSchema.of(RelationSchema.of("R", a="num", b="num"))
+
+
+@pytest.fixture
+def pair_database(pair_schema: DatabaseSchema) -> Database:
+    """R holding the single all-null tuple (⊤1, ⊤2)."""
+    database = Database(pair_schema)
+    database.add("R", (NumNull("1"), NumNull("2")))
+    return database
+
+
+@pytest.fixture
+def mixed_schema() -> DatabaseSchema:
+    """Schema mixing base and numerical columns."""
+    return DatabaseSchema.of(
+        RelationSchema.of("Items", name="base", price="num"),
+        RelationSchema.of("Tags", name="base", tag="base"),
+    )
+
+
+@pytest.fixture
+def mixed_database(mixed_schema: DatabaseSchema) -> Database:
+    """A small database with base and numerical nulls."""
+    database = Database(mixed_schema)
+    database.add("Items", ("pen", 2.5))
+    database.add("Items", ("book", NumNull("book_price")))
+    database.add("Items", (BaseNull("mystery"), 7.0))
+    database.add("Tags", ("pen", "stationery"))
+    database.add("Tags", ("book", BaseNull("book_tag")))
+    return database
+
+
+@pytest.fixture(scope="session")
+def intro_db() -> Database:
+    """The introduction example database (session-scoped: it is read-only)."""
+    return intro_database()
+
+
+@pytest.fixture(scope="session")
+def intro_q():
+    """The introduction example query."""
+    return intro_query()
+
+
+@pytest.fixture(scope="session")
+def tiny_sales_database() -> Database:
+    """A very small generated sales database for engine tests."""
+    return generate_sales_database(ExperimentScale.tiny(), rng=7)

@@ -1,0 +1,138 @@
+"""Tests for the exact backends: planar cones and signed-ordering enumeration."""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.certainty.exact import (
+    ExactComputationError,
+    ExactOptions,
+    exact_measure,
+    exact_order_measure,
+    is_order_style,
+)
+from repro.constraints.atoms import Comparison, Constraint
+from repro.constraints.formula import And, Atom, Or
+from repro.constraints.polynomials import Polynomial
+from repro.constraints.translate import TranslationResult, translate
+from repro.logic.builder import exists, num_var, rel
+from repro.logic.formulas import Query
+from repro.relational.values import NumNull
+
+
+def make_translation(formula, variables):
+    nulls = {name: NumNull(name.removeprefix("z_")) for name in variables}
+    return TranslationResult(
+        formula=formula,
+        all_variables=tuple(variables),
+        relevant_variables=tuple(name for name in variables if name in formula.variables()),
+        null_by_variable=nulls,
+    )
+
+
+def var(name: str) -> Polynomial:
+    return Polynomial.variable(name)
+
+
+class TestOrderStyleDetection:
+    def test_accepts_single_variable_and_differences(self):
+        formula = And((
+            Atom(Constraint(var("z_a") - var("z_b"), Comparison.LT)),
+            Atom(Constraint(var("z_a") - 3.0, Comparison.GT)),
+        ))
+        assert is_order_style(formula)
+
+    def test_rejects_weighted_sums_and_products(self):
+        weighted = Atom(Constraint(2.0 * var("z_a") - var("z_b"), Comparison.LT))
+        assert not is_order_style(weighted)
+        product = Atom(Constraint(var("z_a") * var("z_b"), Comparison.LT))
+        assert not is_order_style(product)
+
+
+class TestSignedOrderingEnumeration:
+    def test_single_sign_constraint(self):
+        formula = Atom(Constraint(var("z_a"), Comparison.GT))
+        translation = make_translation(formula, ("z_a",))
+        assert exact_order_measure(translation) == Fraction(1, 2)
+
+    def test_difference_constraint(self):
+        formula = Atom(Constraint(var("z_a") - var("z_b"), Comparison.LT))
+        translation = make_translation(formula, ("z_a", "z_b"))
+        assert exact_order_measure(translation) == Fraction(1, 2)
+
+    def test_conjunction_of_signs(self):
+        formula = And((Atom(Constraint(var("z_a"), Comparison.GT)),
+                       Atom(Constraint(var("z_b"), Comparison.LT))))
+        translation = make_translation(formula, ("z_a", "z_b"))
+        assert exact_order_measure(translation) == Fraction(1, 4)
+
+    def test_three_variable_ordering(self):
+        # P(a < b < c) = 1/6.
+        formula = And((Atom(Constraint(var("z_a") - var("z_b"), Comparison.LT)),
+                       Atom(Constraint(var("z_b") - var("z_c"), Comparison.LT))))
+        translation = make_translation(formula, ("z_a", "z_b", "z_c"))
+        assert exact_order_measure(translation) == Fraction(1, 6)
+
+    def test_ordering_with_sign_constraint(self):
+        # P(a < 0 < b) = 1/4.
+        formula = And((Atom(Constraint(var("z_a"), Comparison.LT)),
+                       Atom(Constraint(var("z_b"), Comparison.GT))))
+        translation = make_translation(formula, ("z_a", "z_b"))
+        assert exact_order_measure(translation) == Fraction(1, 4)
+
+    def test_disjunction(self):
+        # P(a > 0 or b > 0) = 3/4.
+        formula = Or((Atom(Constraint(var("z_a"), Comparison.GT)),
+                      Atom(Constraint(var("z_b"), Comparison.GT))))
+        translation = make_translation(formula, ("z_a", "z_b"))
+        assert exact_order_measure(translation) == Fraction(3, 4)
+
+    def test_rejects_non_order_style(self):
+        formula = Atom(Constraint(2.0 * var("z_a") + var("z_b"), Comparison.LT))
+        translation = make_translation(formula, ("z_a", "z_b"))
+        with pytest.raises(ExactComputationError):
+            exact_order_measure(translation)
+
+    def test_rejects_too_many_variables(self):
+        names = tuple(f"z_v{i}" for i in range(9))
+        formula = And(tuple(Atom(Constraint(var(name), Comparison.GT)) for name in names))
+        translation = make_translation(formula, names)
+        with pytest.raises(ExactComputationError):
+            exact_order_measure(translation, ExactOptions(max_order_dimension=7))
+
+
+class TestExactMeasure:
+    def test_no_variables(self):
+        formula = Atom(Constraint(Polynomial.constant(-1.0), Comparison.LT))
+        translation = make_translation(formula, ())
+        assert exact_measure(translation).value == 1.0
+
+    def test_planar_backend_matches_closed_form(self, pair_database):
+        x, y = num_var("x"), num_var("y")
+        alpha = 3.0
+        query = Query(head=(), body=exists([x, y], rel("R", x, y)
+                                           & (x >= 0) & (y <= alpha * x)))
+        translation = translate(query, pair_database)
+        result = exact_measure(translation)
+        assert result.method == "exact"
+        assert result.value == pytest.approx(0.25 + math.atan(alpha) / (2 * math.pi))
+
+    def test_order_backend_reports_rational(self):
+        formula = Atom(Constraint(var("z_a") - var("z_b"), Comparison.LT))
+        # Force the order backend by using three variables (planar needs <= 2).
+        formula = And((formula, Atom(Constraint(var("z_c"), Comparison.GT))))
+        translation = make_translation(formula, ("z_a", "z_b", "z_c"))
+        result = exact_measure(translation)
+        assert result.value == pytest.approx(0.25)
+        assert result.details["backend"] == "signed-orderings"
+        assert result.details["rational"] == (1, 4)
+
+    def test_raises_when_no_backend_applies(self):
+        # Non-linear, three variables: neither planar nor order-style.
+        formula = Atom(Constraint(var("z_a") * var("z_b") - var("z_c"), Comparison.LT))
+        translation = make_translation(formula, ("z_a", "z_b", "z_c"))
+        with pytest.raises(ExactComputationError):
+            exact_measure(translation)

@@ -1,0 +1,128 @@
+"""Tests for the Section 10 extensions: ranges, distributions, integer lattices."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.certainty.extensions import (
+    Range,
+    constrained_certainty,
+    distributional_certainty,
+    lattice_certainty,
+)
+from repro.constraints.atoms import Comparison, Constraint
+from repro.constraints.formula import And, Atom
+from repro.constraints.polynomials import Polynomial
+from repro.constraints.translate import TranslationResult
+from repro.relational.values import NumNull
+
+
+def var(name: str) -> Polynomial:
+    return Polynomial.variable(name)
+
+
+def make_translation(formula, variables):
+    return TranslationResult(
+        formula=formula,
+        all_variables=tuple(variables),
+        relevant_variables=tuple(name for name in variables if name in formula.variables()),
+        null_by_variable={name: NumNull(name.removeprefix("z_")) for name in variables},
+    )
+
+
+class TestRange:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Range(lower=2.0, upper=1.0)
+        assert Range(lower=0.0, upper=1.0).is_bounded
+        assert not Range(lower=0.0).is_bounded
+
+
+class TestRangeConstraints:
+    def test_bounded_range_changes_the_measure(self):
+        # z > 5 has asymptotic measure 1/2, but knowing z in [0, 10] makes it 1/2 too;
+        # knowing z in [0, 4] makes it 0 and z in [6, 10] makes it 1.
+        formula = Atom(Constraint(var("z_a") - 5.0, Comparison.GT))
+        translation = make_translation(formula, ("z_a",))
+        inside = constrained_certainty(translation, {"z_a": Range(6.0, 10.0)},
+                                       epsilon=0.05, rng=0)
+        outside = constrained_certainty(translation, {"z_a": Range(0.0, 4.0)},
+                                        epsilon=0.05, rng=0)
+        across = constrained_certainty(translation, {"z_a": Range(0.0, 10.0)},
+                                       epsilon=0.03, rng=0)
+        assert inside.value == 1.0
+        assert outside.value == 0.0
+        assert across.value == pytest.approx(0.5, abs=0.05)
+
+    def test_half_bounded_range_restricts_direction_sign(self):
+        # mu(z > 0) = 1/2 unconstrained, 1 when z >= 0 is known, 0 when z <= 0.
+        formula = Atom(Constraint(var("z_a"), Comparison.GT))
+        translation = make_translation(formula, ("z_a",))
+        positive = constrained_certainty(translation, {"z_a": Range(lower=0.0)},
+                                         epsilon=0.05, rng=1)
+        negative = constrained_certainty(translation, {"z_a": Range(upper=0.0)},
+                                         epsilon=0.05, rng=1)
+        assert positive.value == pytest.approx(1.0, abs=0.01)
+        assert negative.value == pytest.approx(0.0, abs=0.01)
+
+    def test_mixed_bounded_and_asymptotic(self):
+        # With d known to be in [0, 1] and p unconstrained, mu(p > 10*d) = 1/2.
+        formula = Atom(Constraint(var("z_p") - 10.0 * var("z_d"), Comparison.GT))
+        translation = make_translation(formula, ("z_d", "z_p"))
+        result = constrained_certainty(translation, {"z_d": Range(0.0, 1.0)},
+                                       epsilon=0.03, rng=2)
+        assert result.value == pytest.approx(0.5, abs=0.05)
+
+    def test_unconstrained_extension_matches_plain_measure(self):
+        formula = And((Atom(Constraint(var("z_a"), Comparison.GT)),
+                       Atom(Constraint(var("z_b"), Comparison.GT))))
+        translation = make_translation(formula, ("z_a", "z_b"))
+        result = constrained_certainty(translation, {}, epsilon=0.03, rng=3)
+        assert result.value == pytest.approx(0.25, abs=0.05)
+
+
+class TestDistributions:
+    def test_uniform_distribution(self):
+        formula = Atom(Constraint(var("z_a") - 0.25, Comparison.GT))
+        translation = make_translation(formula, ("z_a",))
+        result = distributional_certainty(
+            translation, {"z_a": lambda generator: generator.uniform(0.0, 1.0)},
+            epsilon=0.03, rng=0)
+        assert result.value == pytest.approx(0.75, abs=0.05)
+
+    def test_normal_distribution(self):
+        formula = Atom(Constraint(var("z_a"), Comparison.GT))
+        translation = make_translation(formula, ("z_a",))
+        result = distributional_certainty(
+            translation, {"z_a": lambda generator: generator.normal(1.0, 1.0)},
+            epsilon=0.03, rng=1)
+        expected = 1.0 - 0.5 * math.erfc(1.0 / math.sqrt(2.0))
+        assert result.value == pytest.approx(expected, abs=0.05)
+
+    def test_missing_distribution_is_an_error(self):
+        formula = Atom(Constraint(var("z_a"), Comparison.GT))
+        translation = make_translation(formula, ("z_a",))
+        with pytest.raises(ValueError):
+            distributional_certainty(translation, {}, rng=0)
+
+
+class TestIntegerLattice:
+    def test_matches_volumetric_measure_for_large_radius(self):
+        formula = And((Atom(Constraint(var("z_a"), Comparison.GT)),
+                       Atom(Constraint(var("z_b"), Comparison.LT))))
+        translation = make_translation(formula, ("z_a", "z_b"))
+        result = lattice_certainty(translation, radius=200.0, epsilon=0.03, rng=0)
+        assert result.value == pytest.approx(0.25, abs=0.05)
+
+    def test_no_variables(self):
+        formula = Atom(Constraint(Polynomial.constant(-1.0), Comparison.LT))
+        translation = make_translation(formula, ())
+        assert lattice_certainty(translation, radius=10.0).value == 1.0
+
+    def test_rejects_tiny_radius(self):
+        formula = Atom(Constraint(var("z_a"), Comparison.GT))
+        translation = make_translation(formula, ("z_a",))
+        with pytest.raises(ValueError):
+            lattice_certainty(translation, radius=0.5)

@@ -1,0 +1,146 @@
+"""Integration tests for the public `certainty` entry point.
+
+These check the paper's worked numbers (introduction example, Proposition
+6.1) and that the independent backends -- exact, AFPRAS, FPRAS and the
+finite-radius simulation straight from the definition -- agree with each
+other on the same inputs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.certainty import (
+    SimulationOptions,
+    afpras_formula_measure,
+    certainty,
+    certainty_from_translation,
+    simulate_measure,
+)
+from repro.constraints.translate import translate
+from repro.datagen.intro import (
+    EXPECTED_MEASURE_FORMULA_1,
+    EXPECTED_MEASURE_QUERY,
+    SEGMENT,
+    intro_constraint_formula,
+)
+from repro.logic.builder import base_var, exists, num_var, rel
+from repro.logic.formulas import Query
+from repro.logic.typecheck import TypeCheckError
+from repro.relational.database import Database
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.values import NumNull
+
+
+class TestPaperNumbers:
+    def test_selection_of_two_nulls_is_half(self, pair_database):
+        x, y = num_var("x"), num_var("y")
+        query = Query(head=(), body=exists([x, y], rel("R", x, y) & (x > y)))
+        assert certainty(query, pair_database, rng=0).value == pytest.approx(0.5)
+
+    @pytest.mark.parametrize("alpha", [0.0, 1.0, -1.0, 2.0, 0.7])
+    def test_proposition_61_closed_form(self, pair_database, alpha):
+        x, y = num_var("x"), num_var("y")
+        query = Query(head=(), body=exists([x, y], rel("R", x, y)
+                                           & (x >= 0) & (y <= alpha * x)))
+        result = certainty(query, pair_database, rng=0)
+        assert result.method == "exact"
+        assert result.value == pytest.approx(0.25 + math.atan(alpha) / (2 * math.pi))
+
+    def test_intro_formula_1_value(self):
+        formula, variables = intro_constraint_formula()
+        value, _ = afpras_formula_measure(formula, variables, epsilon=0.01, rng=0)
+        assert value == pytest.approx(EXPECTED_MEASURE_FORMULA_1, abs=0.01)
+
+    def test_intro_query_value_and_backend_agreement(self, intro_db, intro_q):
+        approx = certainty(intro_q, intro_db, (SEGMENT,), method="afpras",
+                           epsilon=0.02, rng=0)
+        assert approx.value == pytest.approx(EXPECTED_MEASURE_QUERY, abs=0.03)
+        simulated = simulate_measure(intro_q, intro_db, (SEGMENT,),
+                                     SimulationOptions(radius=500.0, samples=400), rng=1)
+        assert approx.value == pytest.approx(simulated.value, abs=0.06)
+
+    def test_wrong_segment_has_measure_zero_or_tiny(self, intro_db, intro_q):
+        result = certainty(intro_q, intro_db, ("other-segment",), method="afpras",
+                           epsilon=0.05, rng=0)
+        # A segment not in the database satisfies the universal condition
+        # vacuously, so it is certain -- but it is not in the active domain of
+        # the head variable; the definition of [Lipski'84] we follow still
+        # assigns it measure 1 (vacuous truth).  Checking the exact value
+        # documents the semantics.
+        assert result.value == pytest.approx(1.0, abs=0.05)
+
+
+class TestBackendDispatch:
+    def test_auto_prefers_exact_for_small_linear(self, pair_database):
+        x, y = num_var("x"), num_var("y")
+        query = Query(head=(), body=exists([x, y], rel("R", x, y) & (x + y > 0)))
+        assert certainty(query, pair_database, rng=0).method == "exact"
+
+    def test_explicit_methods(self, pair_database):
+        x, y = num_var("x"), num_var("y")
+        query = Query(head=(), body=exists([x, y], rel("R", x, y) & (x > y)))
+        for method in ("exact", "afpras", "fpras", "simulate"):
+            result = certainty(query, pair_database, method=method, epsilon=0.05, rng=0)
+            assert result.value == pytest.approx(0.5, abs=0.07), method
+
+    def test_unknown_method_rejected(self, pair_database):
+        x, y = num_var("x"), num_var("y")
+        query = Query(head=(), body=exists([x, y], rel("R", x, y)))
+        with pytest.raises(ValueError):
+            certainty(query, pair_database, method="magic")
+
+    def test_query_is_typechecked(self, pair_database):
+        x = num_var("x")
+        query = Query(head=(), body=exists(x, rel("R", x)))
+        with pytest.raises(TypeCheckError):
+            certainty(query, pair_database)
+
+    def test_nonlinear_query_falls_back_to_afpras(self):
+        schema = DatabaseSchema.of(RelationSchema.of("R", a="num", b="num", c="num"))
+        database = Database(schema)
+        database.add("R", (NumNull("a"), NumNull("b"), NumNull("c")))
+        a, b, c = num_var("a"), num_var("b"), num_var("c")
+        query = Query(head=(), body=exists([a, b, c], rel("R", a, b, c) & (a * b > c)))
+        result = certainty(query, database, epsilon=0.05, rng=0)
+        assert result.method == "afpras"
+        # P(a*b > c) for a uniform direction: by symmetry of (a*b) and c this
+        # is 1/2.
+        assert result.value == pytest.approx(0.5, abs=0.07)
+
+    def test_certainty_from_translation_roundtrip(self, pair_database):
+        x, y = num_var("x"), num_var("y")
+        query = Query(head=(), body=exists([x, y], rel("R", x, y) & (x > y)))
+        translation = translate(query, pair_database)
+        direct = certainty_from_translation(translation, rng=0)
+        assert direct.value == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            certainty_from_translation(translation, method="magic")
+
+
+class TestAgreementAcrossBackends:
+    """Random CQ(+,<) instances: exact (when available), FPRAS, AFPRAS, simulation."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_random_two_null_instances(self, seed):
+        import numpy as np
+
+        generator = np.random.default_rng(seed)
+        schema = DatabaseSchema.of(RelationSchema.of("R", a="num", b="num"))
+        database = Database(schema)
+        database.add("R", (NumNull("a"), NumNull("b")))
+        a, b = num_var("a"), num_var("b")
+        c1, c2, c3 = (float(generator.uniform(-2, 2)) for _ in range(3))
+        query = Query(head=(), body=exists([a, b], rel("R", a, b)
+                                           & (c1 * a + c2 * b <= c3)
+                                           & (a >= c3)))
+        exact = certainty(query, database, method="exact", rng=0).value
+        additive = certainty(query, database, method="afpras", epsilon=0.03, rng=seed).value
+        multiplicative = certainty(query, database, method="fpras", epsilon=0.05,
+                                   rng=seed).value
+        simulated = certainty(query, database, method="simulate", rng=seed).value
+        assert additive == pytest.approx(exact, abs=0.05)
+        assert multiplicative == pytest.approx(exact, abs=0.05)
+        assert simulated == pytest.approx(exact, abs=0.08)

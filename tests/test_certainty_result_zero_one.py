@@ -1,0 +1,90 @@
+"""Tests for CertaintyResult and the zero-one law backend."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.certainty.result import CertaintyResult
+from repro.certainty.zero_one import naive_holds, zero_one_certainty
+from repro.logic.builder import base_var, exists, neg, num_var, rel
+from repro.logic.formulas import Query
+from repro.relational.database import Database
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.values import BaseNull, NumNull
+
+
+class TestCertaintyResult:
+    def test_value_is_clipped_and_validated(self):
+        assert CertaintyResult(value=1.0 + 1e-12, method="exact").value == 1.0
+        with pytest.raises(ValueError):
+            CertaintyResult(value=1.5, method="exact")
+        with pytest.raises(ValueError):
+            CertaintyResult(value=-0.1, method="exact")
+
+    def test_additive_interval(self):
+        result = CertaintyResult(value=0.5, method="afpras", guarantee="additive",
+                                 epsilon=0.1, samples=100)
+        assert result.interval() == (pytest.approx(0.4), pytest.approx(0.6))
+
+    def test_multiplicative_interval(self):
+        result = CertaintyResult(value=0.5, method="fpras", guarantee="multiplicative",
+                                 epsilon=0.5, samples=100)
+        low, high = result.interval()
+        assert low == pytest.approx(0.5 / 1.5)
+        assert high == pytest.approx(1.0)
+
+    def test_exact_interval_is_point(self):
+        result = CertaintyResult(value=0.25, method="exact")
+        assert result.interval() == (0.25, 0.25)
+
+    def test_certain_and_impossible_flags(self):
+        assert CertaintyResult(value=1.0, method="exact").is_certain()
+        assert CertaintyResult(value=0.0, method="exact").is_impossible()
+        middling = CertaintyResult(value=0.5, method="exact")
+        assert not middling.is_certain() and not middling.is_impossible()
+
+
+@pytest.fixture
+def library() -> Database:
+    schema = DatabaseSchema.of(
+        RelationSchema.of("Book", title="base", shelf="base"),
+        RelationSchema.of("Lost", title="base"),
+    )
+    database = Database(schema)
+    database.add("Book", ("dune", "sci-fi"))
+    database.add("Book", (BaseNull("unknown_title"), "poetry"))
+    database.add("Lost", ("dune",))
+    return database
+
+
+class TestZeroOneLaw:
+    def test_positive_atom(self, library):
+        title, shelf = base_var("t"), base_var("s")
+        query = Query(head=(shelf,), body=exists(title, rel("Book", title, shelf)))
+        assert zero_one_certainty(query, library, ("sci-fi",)).value == 1.0
+        assert zero_one_certainty(query, library, ("poetry",)).value == 1.0
+        assert zero_one_certainty(query, library, ("cooking",)).value == 0.0
+
+    def test_null_candidate(self, library):
+        title, shelf = base_var("t"), base_var("s")
+        query = Query(head=(title,), body=exists(shelf, rel("Book", title, shelf)))
+        assert zero_one_certainty(query, library, (BaseNull("unknown_title"),)).value == 1.0
+
+    def test_negation_with_nulls(self, library):
+        # The unknown title is almost surely not lost.
+        title, shelf = base_var("t"), base_var("s")
+        query = Query(head=(title,),
+                      body=exists(shelf, rel("Book", title, shelf) & neg(rel("Lost", title))))
+        assert zero_one_certainty(query, library, (BaseNull("unknown_title"),)).value == 1.0
+        assert zero_one_certainty(query, library, ("dune",)).value == 0.0
+
+    def test_rejects_numeric_nulls(self):
+        schema = DatabaseSchema.of(RelationSchema.of("R", v="num"))
+        database = Database(schema)
+        database.add("R", (NumNull("n"),))
+        x = num_var("x")
+        query = Query(head=(), body=exists(x, rel("R", x)))
+        with pytest.raises(ValueError):
+            naive_holds(query, database, ())
+        with pytest.raises(ValueError):
+            naive_holds(Query(head=(x,), body=rel("R", x)), Database(schema), (NumNull("n"),))

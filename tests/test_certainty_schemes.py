@@ -1,0 +1,128 @@
+"""Tests for the AFPRAS (Theorem 8.1) and the CQ(+,<) FPRAS (Theorem 7.1)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.certainty.afpras import AfprasOptions, afpras_formula_measure, afpras_measure
+from repro.certainty.exact import exact_measure
+from repro.certainty.fpras import FprasOptions, fpras_measure
+from repro.constraints.atoms import Comparison, Constraint
+from repro.constraints.formula import And, Atom, Or
+from repro.constraints.linear import NonLinearConstraintError
+from repro.constraints.polynomials import Polynomial
+from repro.constraints.translate import TranslationResult
+from repro.geometry.montecarlo import hoeffding_sample_size
+from repro.relational.values import NumNull
+
+
+def var(name: str) -> Polynomial:
+    return Polynomial.variable(name)
+
+
+def make_translation(formula, variables):
+    return TranslationResult(
+        formula=formula,
+        all_variables=tuple(variables),
+        relevant_variables=tuple(name for name in variables if name in formula.variables()),
+        null_by_variable={name: NumNull(name.removeprefix("z_")) for name in variables},
+    )
+
+
+class TestAfpras:
+    def test_sign_constraint_is_half(self):
+        formula = Atom(Constraint(var("z_a"), Comparison.GT))
+        value, samples = afpras_formula_measure(formula, ("z_a",), epsilon=0.02, rng=0)
+        assert value == pytest.approx(0.5, abs=0.03)
+        assert samples == hoeffding_sample_size(0.02)
+
+    def test_empty_variable_list_is_exact(self):
+        formula = Atom(Constraint(Polynomial.constant(1.0), Comparison.GT))
+        value, samples = afpras_formula_measure(formula, (), epsilon=0.1, rng=0)
+        assert value == 1.0 and samples == 0
+
+    def test_three_dimensional_orthant(self):
+        formula = And(tuple(Atom(Constraint(var(name), Comparison.GT))
+                            for name in ("z_a", "z_b", "z_c")))
+        value, _ = afpras_formula_measure(formula, ("z_a", "z_b", "z_c"),
+                                          epsilon=0.02, rng=1)
+        assert value == pytest.approx(1.0 / 8.0, abs=0.03)
+
+    def test_nonlinear_constraint(self):
+        # z_a^2 > z_b is eventually true unless z_a = 0 and z_b > 0: measure ~1.
+        formula = Atom(Constraint(var("z_a") * var("z_a") - var("z_b"), Comparison.GT))
+        value, _ = afpras_formula_measure(formula, ("z_a", "z_b"), epsilon=0.02, rng=2)
+        assert value == pytest.approx(1.0, abs=0.02)
+
+    def test_agrees_with_exact_on_planar_cone(self):
+        formula = And((Atom(Constraint(var("z_a"), Comparison.GE)),
+                       Atom(Constraint(var("z_b") - 0.5 * var("z_a"), Comparison.LE))))
+        translation = make_translation(formula, ("z_a", "z_b"))
+        exact = exact_measure(translation).value
+        approx = afpras_measure(translation, AfprasOptions(epsilon=0.02), rng=3).value
+        assert approx == pytest.approx(exact, abs=0.03)
+
+    def test_relevant_only_optimisation_gives_same_value(self):
+        formula = Atom(Constraint(var("z_a"), Comparison.GT))
+        translation = make_translation(formula, ("z_a", "z_b", "z_c", "z_d"))
+        fast = afpras_measure(translation, AfprasOptions(epsilon=0.02, relevant_only=True),
+                              rng=4)
+        slow = afpras_measure(translation, AfprasOptions(epsilon=0.02, relevant_only=False),
+                              rng=4)
+        assert fast.value == pytest.approx(slow.value, abs=0.05)
+        assert fast.relevant_dimension == 1
+        assert fast.dimension == 4
+
+    def test_result_metadata(self):
+        formula = Atom(Constraint(var("z_a"), Comparison.GT))
+        translation = make_translation(formula, ("z_a",))
+        result = afpras_measure(translation, AfprasOptions(epsilon=0.05, delta=0.1), rng=5)
+        assert result.method == "afpras"
+        assert result.guarantee == "additive"
+        assert result.epsilon == 0.05
+        assert result.samples == hoeffding_sample_size(0.05, 0.1)
+
+
+class TestFpras:
+    def test_planar_cone_is_exact(self):
+        formula = And((Atom(Constraint(var("z_a"), Comparison.GE)),
+                       Atom(Constraint(var("z_b"), Comparison.GE))))
+        translation = make_translation(formula, ("z_a", "z_b"))
+        result = fpras_measure(translation, FprasOptions(epsilon=0.05), rng=0)
+        assert result.value == pytest.approx(0.25)
+        assert result.guarantee == "exact"
+
+    def test_three_dimensional_union(self):
+        orthant = And(tuple(Atom(Constraint(var(name), Comparison.GT))
+                            for name in ("z_a", "z_b", "z_c")))
+        opposite = And(tuple(Atom(Constraint(var(name), Comparison.LT))
+                             for name in ("z_a", "z_b", "z_c")))
+        formula = Or((orthant, opposite))
+        translation = make_translation(formula, ("z_a", "z_b", "z_c"))
+        result = fpras_measure(translation, FprasOptions(epsilon=0.05), rng=1)
+        assert result.value == pytest.approx(0.25, abs=0.05)
+        assert result.method == "fpras"
+        assert result.details["cones"] == 2
+
+    def test_rejects_nonlinear_formula(self):
+        formula = Atom(Constraint(var("z_a") * var("z_b"), Comparison.LT))
+        translation = make_translation(formula, ("z_a", "z_b"))
+        with pytest.raises(NonLinearConstraintError):
+            fpras_measure(translation)
+
+    def test_no_variables_is_exact(self):
+        formula = Atom(Constraint(Polynomial.constant(1.0), Comparison.LT))
+        translation = make_translation(formula, ())
+        assert fpras_measure(translation).value == 0.0
+
+    def test_agreement_with_afpras_in_higher_dimension(self):
+        formula = And((
+            Atom(Constraint(var("z_a") + var("z_b") - var("z_c"), Comparison.LT)),
+            Atom(Constraint(var("z_a"), Comparison.GT)),
+        ))
+        translation = make_translation(formula, ("z_a", "z_b", "z_c"))
+        multiplicative = fpras_measure(translation, FprasOptions(epsilon=0.03), rng=2)
+        additive = afpras_measure(translation, AfprasOptions(epsilon=0.02), rng=3)
+        assert multiplicative.value == pytest.approx(additive.value, abs=0.05)

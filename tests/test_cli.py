@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_generate_then_annotate_named_query(self, tmp_path, capsys):
+        data_dir = tmp_path / "data"
+        exit_code = main(["generate", "--out", str(data_dir),
+                          "--products", "40", "--orders", "40", "--markets", "8",
+                          "--null-rate", "0.2", "--seed", "3"])
+        assert exit_code == 0
+        generated = capsys.readouterr().out
+        assert "wrote 88 tuples" in generated
+        assert (data_dir / "Products.csv").exists()
+
+        exit_code = main(["annotate", "--data", str(data_dir),
+                          "--query-name", "competitive_advantage",
+                          "--epsilon", "0.1", "--seed", "0"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "confidence" in output
+
+    def test_annotate_with_inline_sql(self, tmp_path, capsys):
+        data_dir = tmp_path / "data"
+        main(["generate", "--out", str(data_dir), "--products", "30",
+              "--orders", "30", "--markets", "6", "--seed", "1"])
+        capsys.readouterr()
+        exit_code = main(["annotate", "--data", str(data_dir),
+                          "--sql", "SELECT M.seg FROM Market M WHERE M.rrp >= 0 LIMIT 5",
+                          "--method", "auto"])
+        assert exit_code == 0
+        lines = [line for line in capsys.readouterr().out.splitlines() if line.strip()]
+        assert len(lines) >= 2  # header plus at least one answer
+
+    def test_annotate_missing_data_directory(self, tmp_path, capsys):
+        exit_code = main(["annotate", "--data", str(tmp_path / "empty"),
+                          "--query-name", "unfair_discount"])
+        assert exit_code == 1
+
+    def test_requires_a_query_source(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["annotate", "--data", str(tmp_path)])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])

@@ -1,0 +1,181 @@
+"""Tests for atomic constraints and Boolean constraint formulae."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.atoms import Comparison, Constraint
+from repro.constraints.formula import (
+    And,
+    Atom,
+    FalseFormula,
+    Not,
+    Or,
+    TrueFormula,
+    conjunction,
+    disjunction,
+    dnf_formula,
+    dnf_size_bound,
+)
+from repro.constraints.polynomials import Polynomial
+
+
+def x() -> Polynomial:
+    return Polynomial.variable("x")
+
+
+def y() -> Polynomial:
+    return Polynomial.variable("y")
+
+
+def atom(polynomial, op=Comparison.LT) -> Atom:
+    return Atom(Constraint(polynomial=polynomial, op=op))
+
+
+class TestComparison:
+    def test_negation_is_involutive_and_complementary(self):
+        for op in Comparison:
+            assert op.negate().negate() is op
+            for value in (-1.0, 0.0, 1.0):
+                assert op.holds(value) != op.negate().holds(value)
+
+    def test_flip_mirrors_the_value(self):
+        for op in Comparison:
+            for value in (-2.0, 0.0, 3.0):
+                assert op.holds(value) == op.flip().holds(-value)
+
+    def test_holds_for_sign(self):
+        assert Comparison.LT.holds_for_sign(-1, False)
+        assert not Comparison.LT.holds_for_sign(1, False)
+        assert Comparison.LE.holds_for_sign(0, True)
+        assert not Comparison.LT.holds_for_sign(0, True)
+        assert Comparison.EQ.holds_for_sign(0, True)
+        assert not Comparison.EQ.holds_for_sign(1, False)
+        assert Comparison.NE.holds_for_sign(1, False)
+        assert not Comparison.NE.holds_for_sign(0, True)
+
+
+class TestConstraint:
+    def test_compare_builds_difference(self):
+        constraint = Constraint.compare(x(), Comparison.LT, y())
+        assert constraint.evaluate({"x": 1.0, "y": 2.0})
+        assert not constraint.evaluate({"x": 2.0, "y": 1.0})
+
+    def test_negate(self):
+        constraint = Constraint.compare(x(), Comparison.LE, 0.0)
+        negated = constraint.negate()
+        assert negated.evaluate({"x": 1.0})
+        assert not negated.evaluate({"x": -1.0})
+
+    def test_trivial_constraints(self):
+        constraint = Constraint.compare(Polynomial.constant(3.0), Comparison.GT, 1.0)
+        assert constraint.is_trivial()
+        assert constraint.trivial_value()
+        with pytest.raises(ValueError):
+            Constraint.compare(x(), Comparison.LT, 0.0).trivial_value()
+
+    def test_is_linear(self):
+        assert Constraint.compare(2.0 * x() + y(), Comparison.LT, 1.0).is_linear()
+        assert not Constraint.compare(x() * y(), Comparison.LT, 0.0).is_linear()
+
+
+class TestFormulaEvaluation:
+    def test_connectives(self):
+        positive = atom(-x(), Comparison.LT)       # x > 0
+        negative = atom(x(), Comparison.LT)        # x < 0
+        formula = Or((And((positive, Not(negative))), FalseFormula()))
+        assert formula.evaluate({"x": 1.0})
+        assert not formula.evaluate({"x": -1.0})
+
+    def test_constants(self):
+        assert TrueFormula().evaluate({})
+        assert not FalseFormula().evaluate({})
+
+    def test_variables_and_atoms(self):
+        formula = And((atom(x()), Or((atom(y()), TrueFormula()))))
+        assert formula.variables() == frozenset({"x", "y"})
+        assert len(list(formula.atoms())) == 2
+
+    def test_conjunction_disjunction_helpers(self):
+        assert isinstance(conjunction([]), TrueFormula)
+        assert isinstance(disjunction([]), FalseFormula)
+        single = atom(x())
+        assert conjunction([single]) is single
+        assert disjunction([single]) is single
+
+
+class TestNormalForms:
+    def test_nnf_pushes_negation_into_atoms(self):
+        formula = Not(And((atom(x(), Comparison.LT), atom(y(), Comparison.GE))))
+        nnf = formula.to_nnf()
+        assert isinstance(nnf, Or)
+        ops = sorted(constraint.op.value for constraint in nnf.atoms())
+        assert ops == ["<", ">="]
+
+    def test_double_negation(self):
+        formula = Not(Not(atom(x())))
+        assert isinstance(formula.to_nnf(), Atom)
+
+    def test_dnf_of_conjunction_of_disjunctions(self):
+        formula = And((Or((atom(x()), atom(y()))), Or((atom(x() + 1.0), atom(y() + 1.0)))))
+        disjuncts = formula.to_dnf()
+        assert len(disjuncts) == 4
+        assert all(len(disjunct) == 2 for disjunct in disjuncts)
+
+    def test_dnf_drops_false_and_true_atoms(self):
+        trivially_true = atom(Polynomial.constant(-1.0), Comparison.LT)
+        trivially_false = atom(Polynomial.constant(1.0), Comparison.LT)
+        formula = Or((And((trivially_true, atom(x()))), And((trivially_false, atom(y())))))
+        disjuncts = formula.to_dnf()
+        assert len(disjuncts) == 1
+        assert len(disjuncts[0]) == 1
+
+    def test_dnf_of_constants(self):
+        assert TrueFormula().to_dnf() == [[]]
+        assert FalseFormula().to_dnf() == []
+
+    def test_dnf_formula_round_trip(self):
+        formula = Or((And((atom(x()), atom(y()))), atom(x() - 1.0)))
+        rebuilt = dnf_formula(formula.to_dnf())
+        for point in ({"x": -2.0, "y": -2.0}, {"x": 0.5, "y": -3.0}, {"x": 2.0, "y": 2.0}):
+            assert rebuilt.evaluate(point) == formula.evaluate(point)
+
+    def test_dnf_size_bound(self):
+        small = And((Or((atom(x()), atom(y()))), atom(x() + 1.0)))
+        assert dnf_size_bound(small) == 2
+        wide = And(tuple(Or((atom(x() + float(i)), atom(y() + float(i))))
+                         for i in range(25)))
+        assert dnf_size_bound(wide, cap=1000) == 1000
+
+    def test_simplify_folds_constants(self):
+        formula = And((TrueFormula(), Or((FalseFormula(), atom(x())))))
+        simplified = formula.simplify()
+        assert isinstance(simplified, Atom)
+        contradiction = And((atom(Polynomial.constant(1.0), Comparison.LT), atom(x())))
+        assert isinstance(contradiction.simplify(), FalseFormula)
+
+    def test_is_linear(self):
+        assert And((atom(x() + y()), atom(x() - 2.0))).is_linear()
+        assert not Or((atom(x() * y()),)).is_linear()
+
+
+class TestFormulaProperties:
+    @given(st.floats(min_value=-4, max_value=4, allow_nan=False),
+           st.floats(min_value=-4, max_value=4, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_nnf_preserves_semantics(self, vx, vy):
+        formula = Not(Or((And((atom(x(), Comparison.LT), atom(y(), Comparison.GE))),
+                          Not(atom(x() - y(), Comparison.LE)))))
+        point = {"x": vx, "y": vy}
+        assert formula.to_nnf().evaluate(point) == formula.evaluate(point)
+
+    @given(st.floats(min_value=-4, max_value=4, allow_nan=False),
+           st.floats(min_value=-4, max_value=4, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_dnf_preserves_semantics(self, vx, vy):
+        formula = And((Or((atom(x(), Comparison.LT), atom(y(), Comparison.GT))),
+                       Not(And((atom(x() + y(), Comparison.GE), atom(x(), Comparison.GT))))))
+        point = {"x": vx, "y": vy}
+        assert dnf_formula(formula.to_dnf()).evaluate(point) == formula.evaluate(point)

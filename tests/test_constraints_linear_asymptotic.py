@@ -1,0 +1,170 @@
+"""Tests for linear-atom handling, homogenisation, cones, and asymptotic evaluation."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.asymptotic import (
+    asymptotic_truth,
+    atom_asymptotic_truth,
+    direction_assignment,
+)
+from repro.constraints.atoms import Comparison, Constraint
+from repro.constraints.formula import And, Atom, Not, Or
+from repro.constraints.linear import (
+    LinearAtom,
+    NonLinearConstraintError,
+    disjunct_to_cone,
+    formula_to_cones,
+    linearise,
+)
+from repro.constraints.polynomials import Polynomial
+
+
+def x() -> Polynomial:
+    return Polynomial.variable("x")
+
+
+def y() -> Polynomial:
+    return Polynomial.variable("y")
+
+
+class TestLinearAtom:
+    def test_extraction(self):
+        atom = linearise(Constraint.compare(2.0 * x() - y(), Comparison.LE, 3.0))
+        assert atom.coefficients == {"x": 2.0, "y": -1.0}
+        assert atom.constant == -3.0
+        assert atom.op is Comparison.LE
+
+    def test_rejects_nonlinear(self):
+        with pytest.raises(NonLinearConstraintError):
+            linearise(Constraint.compare(x() * y(), Comparison.LT, 0.0))
+
+    def test_homogenise_drops_constant(self):
+        atom = linearise(Constraint.compare(x(), Comparison.LT, 5.0)).homogenise()
+        assert atom.constant == 0.0
+        assert not atom.is_trivial()
+
+    def test_normal_vector_orientation(self):
+        atom = linearise(Constraint.compare(x(), Comparison.GT, y()))
+        normal = atom.normal_vector(["x", "y"])
+        assert normal == pytest.approx([-1.0, 1.0])
+        assert atom.oriented_op() is Comparison.LT
+
+
+class TestConeConversion:
+    def test_simple_conjunction(self):
+        disjunct = [Constraint.compare(x(), Comparison.LT, 0.0),
+                    Constraint.compare(y(), Comparison.LE, 1.0)]
+        cone = disjunct_to_cone(disjunct, ["x", "y"])
+        assert cone is not None
+        assert cone.strict.shape == (1, 2)
+        assert cone.weak.shape == (1, 2)
+
+    def test_equality_disjunct_is_dropped(self):
+        disjunct = [Constraint.compare(x(), Comparison.EQ, y())]
+        assert disjunct_to_cone(disjunct, ["x", "y"]) is None
+
+    def test_ne_atoms_are_measure_preserving_and_dropped(self):
+        disjunct = [Constraint.compare(x(), Comparison.NE, y()),
+                    Constraint.compare(x(), Comparison.LT, 0.0)]
+        cone = disjunct_to_cone(disjunct, ["x", "y"])
+        assert cone is not None
+        assert cone.num_constraints == 1
+
+    def test_trivially_false_atom_kills_disjunct(self):
+        disjunct = [Constraint.compare(Polynomial.constant(5.0), Comparison.LT, 0.0),
+                    Constraint.compare(x(), Comparison.LT, 0.0)]
+        assert disjunct_to_cone(disjunct, ["x", "y"]) is None
+
+    def test_trivially_true_atom_is_ignored(self):
+        disjunct = [Constraint.compare(Polynomial.constant(-5.0), Comparison.LT, 0.0),
+                    Constraint.compare(x(), Comparison.LT, 0.0)]
+        cone = disjunct_to_cone(disjunct, ["x", "y"])
+        assert cone is not None
+        assert cone.num_constraints == 1
+
+    def test_formula_to_cones(self):
+        formula = Or((
+            And((Atom(Constraint.compare(x(), Comparison.LT, 0.0)),
+                 Atom(Constraint.compare(y(), Comparison.LT, 0.0)))),
+            Atom(Constraint.compare(x(), Comparison.GT, 1.0)),
+        ))
+        cones = formula_to_cones(formula, ["x", "y"])
+        assert len(cones) == 2
+
+    def test_formula_to_cones_rejects_nonlinear(self):
+        formula = Atom(Constraint.compare(x() * x(), Comparison.LT, 1.0))
+        with pytest.raises(NonLinearConstraintError):
+            formula_to_cones(formula, ["x"])
+
+    def test_formula_to_cones_needs_variables(self):
+        formula = Atom(Constraint.compare(x(), Comparison.LT, 0.0))
+        with pytest.raises(ValueError):
+            formula_to_cones(formula, [])
+
+
+class TestAsymptotic:
+    def test_constant_shift_is_irrelevant(self):
+        # x < 5 and x < -5 have the same asymptotic behaviour along any direction.
+        low = Constraint.compare(x(), Comparison.LT, -5.0)
+        high = Constraint.compare(x(), Comparison.LT, 5.0)
+        for component in (0.3, -0.3):
+            direction = {"x": component}
+            assert atom_asymptotic_truth(low, direction) \
+                == atom_asymptotic_truth(high, direction) == (component < 0)
+
+    def test_leading_term_dominates(self):
+        # x^2 - 1000x > 0 is eventually true along any direction with x != 0.
+        constraint = Constraint.compare(x() * x(), Comparison.GT, 1000.0 * x())
+        assert atom_asymptotic_truth(constraint, {"x": 0.001})
+        assert atom_asymptotic_truth(constraint, {"x": -0.001})
+
+    def test_equality_is_eventually_false_unless_identically_zero(self):
+        nontrivial = Constraint.compare(x(), Comparison.EQ, y())
+        assert not atom_asymptotic_truth(nontrivial, {"x": 1.0, "y": 2.0})
+        identically_zero = Constraint.compare(x() - x(), Comparison.EQ, 0.0)
+        assert atom_asymptotic_truth(identically_zero, {"x": 1.0, "y": 2.0})
+
+    def test_orthogonal_direction_uses_constant_term(self):
+        # Along a direction with x = 0, the atom x + 1 > 0 is always true and
+        # x - 1 > 0 always false.
+        assert atom_asymptotic_truth(Constraint.compare(x() + 1.0, Comparison.GT, 0.0),
+                                     {"x": 0.0})
+        assert not atom_asymptotic_truth(Constraint.compare(x() - 1.0, Comparison.GT, 0.0),
+                                         {"x": 0.0})
+
+    def test_formula_connectives(self):
+        formula = And((Atom(Constraint.compare(x(), Comparison.GT, 0.0)),
+                       Not(Atom(Constraint.compare(y(), Comparison.GT, 0.0)))))
+        assert asymptotic_truth(formula, {"x": 1.0, "y": -1.0})
+        assert not asymptotic_truth(formula, {"x": 1.0, "y": 1.0})
+
+    def test_direction_assignment(self):
+        assignment = direction_assignment(["a", "b"], np.array([0.6, -0.8]))
+        assert assignment == {"a": 0.6, "b": -0.8}
+        with pytest.raises(ValueError):
+            direction_assignment(["a"], np.array([1.0, 2.0]))
+
+    @given(st.floats(min_value=-1, max_value=1, allow_nan=False).filter(lambda v: abs(v) > 1e-3),
+           st.floats(min_value=-1, max_value=1, allow_nan=False).filter(lambda v: abs(v) > 1e-3))
+    @settings(max_examples=80, deadline=None)
+    def test_asymptotic_agrees_with_evaluation_far_out(self, dx, dy):
+        formula = Or((
+            And((Atom(Constraint.compare(x() + 2.0 * y(), Comparison.LT, 7.0)),
+                 Atom(Constraint.compare(x(), Comparison.GT, -3.0)))),
+            Atom(Constraint.compare(x() * y(), Comparison.GT, 10.0)),
+        ))
+        direction = {"x": dx, "y": dy}
+        # Skip directions that lie on the zero set of some atom's leading form.
+        if abs(dx + 2 * dy) < 1e-2 or abs(dx) < 1e-2 or abs(dx * dy) < 1e-3:
+            return
+        limit = asymptotic_truth(formula, direction)
+        scale = 1e7
+        far_point = {"x": dx * scale, "y": dy * scale}
+        assert limit == formula.evaluate(far_point)

@@ -1,0 +1,185 @@
+"""Tests for the sparse multivariate polynomial algebra."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.polynomials import Polynomial
+
+
+def x() -> Polynomial:
+    return Polynomial.variable("x")
+
+
+def y() -> Polynomial:
+    return Polynomial.variable("y")
+
+
+class TestConstruction:
+    def test_constant_and_variable(self):
+        assert Polynomial.constant(3.0).evaluate({}) == 3.0
+        assert x().evaluate({"x": 2.0}) == 2.0
+
+    def test_zero(self):
+        assert Polynomial.zero().is_zero()
+        assert Polynomial.constant(0.0).is_zero()
+
+    def test_from_value(self):
+        assert Polynomial.from_value(2) == Polynomial.constant(2.0)
+        assert Polynomial.from_value(x()) == x()
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            Polynomial.variable("")
+        with pytest.raises(TypeError):
+            Polynomial.constant("not a number")
+
+
+class TestArithmetic:
+    def test_addition_and_subtraction(self):
+        p = x() + y() - 2.0
+        assert p.evaluate({"x": 3.0, "y": 1.0}) == pytest.approx(2.0)
+        assert (p - p).is_zero()
+
+    def test_multiplication(self):
+        p = (x() + 1.0) * (x() - 1.0)
+        assert p.evaluate({"x": 3.0}) == pytest.approx(8.0)
+        assert p.total_degree() == 2
+
+    def test_scalar_operations(self):
+        p = 2.0 * x() + 3.0
+        assert p.evaluate({"x": 1.0}) == pytest.approx(5.0)
+        assert (1.0 - x()).evaluate({"x": 4.0}) == pytest.approx(-3.0)
+
+    def test_power(self):
+        p = (x() + y()) ** 3
+        assert p.evaluate({"x": 1.0, "y": 2.0}) == pytest.approx(27.0)
+        assert (x() ** 0) == Polynomial.constant(1.0)
+        with pytest.raises(ValueError):
+            x() ** -1
+
+    def test_cancellation_removes_monomials(self):
+        p = x() * y() - x() * y()
+        assert p.is_zero()
+        assert p.variables() == frozenset()
+
+    def test_equality_and_hash(self):
+        assert x() + y() == y() + x()
+        assert hash(x() + y()) == hash(y() + x())
+        assert x() != y()
+
+
+class TestInspection:
+    def test_variables(self):
+        p = x() * y() + 3.0
+        assert p.variables() == frozenset({"x", "y"})
+
+    def test_degree_and_linearity(self):
+        assert (x() + 2.0 * y()).is_linear()
+        assert not (x() * y()).is_linear()
+        assert (x() * x()).total_degree() == 2
+        assert Polynomial.constant(5.0).total_degree() == 0
+
+    def test_linear_coefficients(self):
+        p = 2.0 * x() - 3.0 * y() + 7.0
+        assert p.linear_coefficients() == {"x": 2.0, "y": -3.0}
+        assert p.constant_term() == 7.0
+        with pytest.raises(ValueError):
+            (x() * y()).linear_coefficients()
+
+    def test_evaluate_missing_variable(self):
+        with pytest.raises(KeyError):
+            x().evaluate({})
+
+
+class TestSubstitution:
+    def test_substitute_constant(self):
+        p = x() * x() + y()
+        q = p.substitute({"x": 2.0})
+        assert q == y() + 4.0
+
+    def test_substitute_polynomial(self):
+        p = x() * x()
+        q = p.substitute({"x": y() + 1.0})
+        assert q.evaluate({"y": 2.0}) == pytest.approx(9.0)
+
+    def test_substitute_keeps_other_variables(self):
+        p = x() + y()
+        q = p.substitute({"x": 5.0})
+        assert q.variables() == frozenset({"y"})
+
+
+class TestDirectionalProfile:
+    def test_profile_of_linear_polynomial(self):
+        p = 2.0 * x() - y() + 3.0
+        profile = p.directional_profile({"x": 1.0, "y": 4.0})
+        assert profile == pytest.approx([3.0, -2.0])
+
+    def test_profile_groups_by_total_degree(self):
+        p = x() * y() + x() + 1.0
+        profile = p.directional_profile({"x": 2.0, "y": 3.0})
+        assert profile == pytest.approx([1.0, 2.0, 6.0])
+
+    def test_profile_missing_direction_component(self):
+        with pytest.raises(KeyError):
+            x().directional_profile({})
+
+
+# -- property-based tests -----------------------------------------------------
+
+variable_names = st.sampled_from(["x", "y", "z"])
+coefficients = st.floats(min_value=-10, max_value=10,
+                         allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def polynomials(draw, max_terms: int = 4, max_degree: int = 3) -> Polynomial:
+    total = Polynomial.zero()
+    for _ in range(draw(st.integers(0, max_terms))):
+        term = Polynomial.constant(draw(coefficients))
+        for _ in range(draw(st.integers(0, max_degree))):
+            term = term * Polynomial.variable(draw(variable_names))
+        total = total + term
+    return total
+
+
+assignments = st.fixed_dictionaries({
+    "x": st.floats(min_value=-5, max_value=5, allow_nan=False),
+    "y": st.floats(min_value=-5, max_value=5, allow_nan=False),
+    "z": st.floats(min_value=-5, max_value=5, allow_nan=False),
+})
+
+
+class TestPolynomialProperties:
+    @given(polynomials(), polynomials(), assignments)
+    @settings(max_examples=100, deadline=None)
+    def test_addition_is_pointwise(self, p, q, point):
+        assert (p + q).evaluate(point) == pytest.approx(
+            p.evaluate(point) + q.evaluate(point), rel=1e-6, abs=1e-6)
+
+    @given(polynomials(), polynomials(), assignments)
+    @settings(max_examples=100, deadline=None)
+    def test_multiplication_is_pointwise(self, p, q, point):
+        assert (p * q).evaluate(point) == pytest.approx(
+            p.evaluate(point) * q.evaluate(point), rel=1e-5, abs=1e-5)
+
+    @given(polynomials(), assignments)
+    @settings(max_examples=100, deadline=None)
+    def test_negation_is_pointwise(self, p, point):
+        assert (-p).evaluate(point) == pytest.approx(-p.evaluate(point))
+
+    @given(polynomials(), assignments, st.floats(min_value=0.1, max_value=4.0))
+    @settings(max_examples=100, deadline=None)
+    def test_directional_profile_sums_to_evaluation(self, p, point, scale):
+        profile = p.directional_profile(point)
+        total = sum(coefficient * scale**degree
+                    for degree, coefficient in enumerate(profile))
+        scaled = {name: value * scale for name, value in point.items()}
+        assert total == pytest.approx(p.evaluate(scaled), rel=1e-5, abs=1e-5)
+
+    @given(polynomials())
+    @settings(max_examples=100, deadline=None)
+    def test_linear_detection_consistent_with_degree(self, p):
+        assert p.is_linear() == (p.total_degree() <= 1)

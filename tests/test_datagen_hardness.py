@@ -1,0 +1,187 @@
+"""Tests for the data generators and the executable hardness reductions."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.certainty import afpras_formula_measure, certainty, exact_order_measure
+from repro.constraints.translate import translate
+from repro.datagen.experiments import (
+    EXPERIMENT_QUERIES,
+    FIGURE1_EPSILONS,
+    ExperimentScale,
+    generate_sales_database,
+    sales_schema,
+)
+from repro.datagen.generic import ColumnSpec, TableSpec, generate_database
+from repro.datagen.intro import intro_database, intro_query, intro_schema
+from repro.engine import annotate, parse_sql
+from repro.engine.translate_sql import sql_to_query
+from repro.hardness import (
+    Literal,
+    PropositionalCNF,
+    PropositionalDNF,
+    cnf_reduction,
+    count_satisfying_assignments,
+    diophantine_query,
+    dnf_reduction,
+    has_integer_root_within,
+)
+from repro.constraints.polynomials import Polynomial
+from repro.logic.typecheck import check_query
+
+
+class TestGenericGenerator:
+    def test_generates_requested_rows_and_nulls(self):
+        schema = sales_schema()
+        specs = {"Market": TableSpec(rows=50, columns={
+            "seg": ColumnSpec(choices=("a", "b")),
+            "rrp": ColumnSpec(uniform=(1.0, 10.0), null_rate=0.5),
+            "dis": ColumnSpec(uniform=(0.0, 1.0)),
+        })}
+        database = generate_database(schema, specs, rng=0)
+        assert len(database.relation("Market")) == 50
+        assert len(database.relation("Products")) == 0
+        assert 5 <= len(database.num_nulls()) <= 45
+
+    def test_reproducible_with_seed(self):
+        schema = sales_schema()
+        specs = {"Market": TableSpec(rows=20, columns={
+            "seg": ColumnSpec(choices=("a", "b")),
+            "rrp": ColumnSpec(uniform=(1.0, 10.0), null_rate=0.2),
+            "dis": ColumnSpec(serial="d"),
+        })}
+        with pytest.raises(Exception):
+            # serial columns produce strings, which are invalid in a numeric column
+            generate_database(schema, specs, rng=1)
+        specs["Market"].columns["dis"] = ColumnSpec(uniform=(0.0, 1.0))
+        first = generate_database(schema, specs, rng=1)
+        second = generate_database(schema, specs, rng=1)
+        assert set(first.relation("Market").tuples()) == set(second.relation("Market").tuples())
+
+    def test_missing_column_spec_is_an_error(self):
+        schema = sales_schema()
+        with pytest.raises(ValueError):
+            generate_database(schema, {"Market": TableSpec(rows=1, columns={})}, rng=0)
+
+    def test_column_spec_validation(self):
+        with pytest.raises(ValueError):
+            ColumnSpec()
+        with pytest.raises(ValueError):
+            ColumnSpec(choices=("a",), uniform=(0.0, 1.0))
+        with pytest.raises(ValueError):
+            ColumnSpec(choices=("a",), null_rate=1.5)
+
+
+class TestExperimentWorkload:
+    def test_scale_presets(self):
+        assert ExperimentScale.tiny().total_tuples < ExperimentScale().total_tuples
+        assert ExperimentScale.paper().total_tuples == pytest.approx(200_000, rel=0.05)
+        assert len(FIGURE1_EPSILONS) == 19
+        assert FIGURE1_EPSILONS[0] == pytest.approx(0.01)
+        assert FIGURE1_EPSILONS[-1] == pytest.approx(0.1)
+
+    def test_generated_database_matches_schema_and_scale(self, tiny_sales_database):
+        scale = ExperimentScale.tiny()
+        assert tiny_sales_database.total_tuples() == scale.total_tuples
+        assert len(tiny_sales_database.num_nulls()) > 0
+
+    def test_experiment_queries_parse_translate_and_annotate(self, tiny_sales_database):
+        for sql in EXPERIMENT_QUERIES.values():
+            select = parse_sql(sql)
+            query, _ = sql_to_query(select, tiny_sales_database.schema)
+            check_query(query, tiny_sales_database.schema)
+            answers = annotate(sql, tiny_sales_database, epsilon=0.1, rng=0)
+            assert all(0.0 <= answer.certainty.value <= 1.0 for answer in answers)
+
+
+class TestIntroWorkload:
+    def test_schema_and_instance(self):
+        database = intro_database()
+        assert set(database.relation_names()) == {"Products", "Competition", "Excluded"}
+        assert len(database.num_nulls()) == 2
+        assert len(database.base_nulls()) == 1
+        assert intro_schema().relation("Products").arity == 4
+
+    def test_query_typechecks(self):
+        check_query(intro_query(), intro_schema())
+
+
+class TestCountingReductions:
+    @pytest.mark.parametrize("terms", [
+        ((Literal("x1"),),),
+        ((Literal("x1"), Literal("x2")), (Literal("x2", False), Literal("x3")),),
+        ((Literal("x1"), Literal("x1", False)),),
+    ])
+    def test_dnf_reduction_measure_counts_models(self, terms):
+        formula = PropositionalDNF(terms=terms)
+        reduction = dnf_reduction(formula)
+        expected = Fraction(count_satisfying_assignments(formula), reduction.denominator)
+        assert exact_order_measure(reduction.translation()) == expected
+
+    @pytest.mark.parametrize("clauses", [
+        ((Literal("x1"), Literal("x2")), (Literal("x1", False), Literal("x3")),),
+        ((Literal("x1"),), (Literal("x1", False),),),
+        ((Literal("x1"), Literal("x2"), Literal("x3")),),
+    ])
+    def test_cnf_reduction_measure_counts_models(self, clauses):
+        formula = PropositionalCNF(clauses=clauses)
+        reduction = cnf_reduction(formula)
+        expected = Fraction(count_satisfying_assignments(formula), reduction.denominator)
+        assert exact_order_measure(reduction.translation()) == expected
+
+    def test_direct_formula_agrees_with_generic_translation_on_tiny_input(self):
+        formula = PropositionalDNF(terms=((Literal("x1"),),))
+        reduction = dnf_reduction(formula)
+        generic = translate(reduction.query, reduction.database)
+        via_query = certainty(reduction.query, reduction.database, method="afpras",
+                              epsilon=0.05, rng=0, translation=generic)
+        direct, _ = afpras_formula_measure(reduction.formula,
+                                           reduction.translation().relevant_variables,
+                                           epsilon=0.05, rng=0)
+        assert via_query.value == pytest.approx(direct, abs=0.08)
+        assert direct == pytest.approx(0.5, abs=0.05)
+
+    def test_query_shapes(self):
+        dnf = dnf_reduction(PropositionalDNF(terms=((Literal("a"), Literal("b")),)))
+        from repro.logic.fragments import classify_query
+
+        assert classify_query(dnf.query).conjunctive
+        cnf = cnf_reduction(PropositionalCNF(clauses=((Literal("a"),),)))
+        assert not classify_query(cnf.query).conjunctive
+        with pytest.raises(ValueError):
+            dnf_reduction(PropositionalDNF(terms=((Literal("a"),) * 4,)))
+
+    def test_propositional_toolkit(self):
+        formula = PropositionalCNF(clauses=((Literal("a"), Literal("b", False)),))
+        assert formula.variables() == ("a", "b")
+        assert count_satisfying_assignments(formula) == 3
+        assert Literal("a").negate() == Literal("a", False)
+        with pytest.raises(ValueError):
+            PropositionalDNF(terms=((),))
+
+
+class TestDiophantine:
+    def test_gadget_construction_and_measure(self):
+        x, y = Polynomial.variable("x"), Polynomial.variable("y")
+        polynomial = x * x + y * y - 3.0
+        query, database = diophantine_query(polynomial)
+        check_query(query, database.schema)
+        assert not has_integer_root_within(polynomial, bound=5)
+        # The measure is 1: the zero set of a non-zero polynomial is negligible.
+        result = certainty(query, database, method="afpras", epsilon=0.05, rng=0)
+        assert result.value == pytest.approx(1.0, abs=0.05)
+
+    def test_root_search(self):
+        x, y = Polynomial.variable("x"), Polynomial.variable("y")
+        assert has_integer_root_within(x * x - 4.0, bound=3)
+        assert has_integer_root_within(x * x - 2.0 * (y * y), bound=2)  # (0, 0)
+        assert not has_integer_root_within(x * x - 2.0, bound=10)
+        with pytest.raises(ValueError):
+            has_integer_root_within(x, bound=-1)
+
+    def test_requires_variables(self):
+        with pytest.raises(ValueError):
+            diophantine_query(Polynomial.constant(1.0))

@@ -1,0 +1,149 @@
+"""Tests for candidate-answer enumeration, lineage extraction and annotation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.certainty import certainty
+from repro.constraints.formula import TrueFormula
+from repro.engine.annotate import annotate
+from repro.engine.candidates import enumerate_candidates
+from repro.engine.sql.parser import parse_sql
+from repro.engine.translate_sql import sql_to_query
+from repro.relational.database import Database
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.values import BaseNull, NumNull
+
+
+@pytest.fixture
+def shop() -> Database:
+    schema = DatabaseSchema.of(
+        RelationSchema.of("Products", id="base", seg="base", rrp="num", dis="num"),
+        RelationSchema.of("Market", seg="base", rrp="num", dis="num"),
+    )
+    database = Database(schema)
+    database.add("Products", ("p1", "tools", 10.0, 0.5))        # discounted price 5
+    database.add("Products", ("p2", "tools", NumNull("rrp2"), 0.5))
+    database.add("Products", ("p3", "garden", 20.0, 1.0))
+    database.add("Products", (BaseNull("pid"), "garden", 4.0, 1.0))
+    database.add("Market", ("tools", 8.0, 1.0))                  # market price 8
+    database.add("Market", ("garden", 10.0, 0.5))                # market price 5
+    return database
+
+
+ADVANTAGE = ("SELECT P.id FROM Products P, Market M "
+             "WHERE P.seg = M.seg AND P.rrp * P.dis <= M.rrp * M.dis")
+
+
+class TestCandidateEnumeration:
+    def test_known_rows_get_ground_lineage(self, shop):
+        candidates = enumerate_candidates(parse_sql(ADVANTAGE), shop)
+        by_id = {candidate.values[0]: candidate for candidate in candidates}
+        # p1: 10*0.5=5 <= 8 certainly; its lineage is the constant True.
+        assert "p1" in by_id
+        assert isinstance(by_id["p1"].lineage.formula, TrueFormula)
+        # p3: 20*1.0=20 > 5: definitely not an answer, so it is not a candidate.
+        assert "p3" not in by_id
+        # p2 depends on the null rrp2: candidate with a non-trivial lineage.
+        assert "p2" in by_id
+        assert set(by_id["p2"].lineage.relevant_variables) == {"z_rrp2"}
+        # The base-null product joins on seg and satisfies 4 <= 5: certain.
+        assert BaseNull("pid") in by_id
+
+    def test_lineage_constraints_have_the_right_truth_values(self, shop):
+        candidates = enumerate_candidates(parse_sql(ADVANTAGE), shop)
+        lineage = next(candidate.lineage for candidate in candidates
+                       if candidate.values[0] == "p2")
+        # p2 is an answer iff rrp2 * 0.5 <= 8, i.e. rrp2 <= 16.
+        assert lineage.formula.evaluate({"z_rrp2": 10.0})
+        assert not lineage.formula.evaluate({"z_rrp2": 20.0})
+
+    def test_base_null_joins_only_with_itself(self):
+        schema = DatabaseSchema.of(
+            RelationSchema.of("L", key="base", v="num"),
+            RelationSchema.of("R", key="base", w="num"),
+        )
+        database = Database(schema)
+        database.add("L", (BaseNull("k"), 1.0))
+        database.add("L", ("known", 2.0))
+        database.add("R", (BaseNull("k"), 3.0))
+        database.add("R", ("known", 4.0))
+        database.add("R", (BaseNull("other"), 5.0))
+        select = parse_sql("SELECT L.key, R.w FROM L, R WHERE L.key = R.key")
+        candidates = enumerate_candidates(select, database)
+        values = {candidate.values for candidate in candidates}
+        assert (BaseNull("k"), 3.0) in values
+        assert ("known", 4.0) in values
+        assert len(values) == 2
+
+    def test_limit_counts_distinct_candidates(self, shop):
+        select = parse_sql(ADVANTAGE + " LIMIT 2")
+        candidates = enumerate_candidates(select, shop)
+        assert len(candidates) == 2
+        overridden = enumerate_candidates(select, shop, limit=1)
+        assert len(overridden) == 1
+
+    def test_multiple_witnesses_produce_a_disjunction(self):
+        schema = DatabaseSchema.of(
+            RelationSchema.of("T", id="base", v="num"),
+            RelationSchema.of("U", w="num"),
+        )
+        database = Database(schema)
+        database.add("T", ("a", NumNull("n")))
+        database.add("U", (5.0,))
+        database.add("U", (10.0,))
+        select = parse_sql("SELECT T.id FROM T, U WHERE T.v <= U.w")
+        candidates = enumerate_candidates(select, database)
+        assert len(candidates) == 1
+        candidate = candidates[0]
+        assert candidate.witnesses == 2
+        # The candidate holds iff n <= 5 or n <= 10, i.e. iff n <= 10.
+        assert candidate.lineage.formula.evaluate({"z_n": 7.0})
+        assert not candidate.lineage.formula.evaluate({"z_n": 11.0})
+
+    def test_division_in_conditions(self):
+        schema = DatabaseSchema.of(RelationSchema.of("O", id="base", q="num", dis="num"))
+        database = Database(schema)
+        database.add("O", ("o1", 2.0, NumNull("d")))
+        select = parse_sql("SELECT O.id FROM O WHERE O.dis / O.q >= 3")
+        candidates = enumerate_candidates(select, database)
+        assert len(candidates) == 1
+        lineage = candidates[0].lineage
+        assert lineage.formula.evaluate({"z_d": 7.0})
+        assert not lineage.formula.evaluate({"z_d": 5.0})
+
+    def test_select_star_projects_all_columns(self, shop):
+        select = parse_sql("SELECT * FROM Market")
+        candidates = enumerate_candidates(select, shop)
+        assert len(candidates) == 2
+        assert len(candidates[0].values) == 3
+        assert candidates[0].columns == ("M.seg", "M.rrp", "M.dis") or \
+            candidates[0].columns == ("Market.seg", "Market.rrp", "Market.dis")
+
+
+class TestAnnotation:
+    def test_annotate_matches_direct_certainty(self, shop):
+        answers = annotate(ADVANTAGE, shop, epsilon=0.03, method="afpras", rng=0)
+        by_id = {answer.values[0]: answer for answer in answers}
+        assert by_id["p1"].certainty.value == 1.0
+        # p2 is an answer iff rrp2 <= 16; asymptotically that is a half-line: 1/2.
+        assert by_id["p2"].certainty.value == pytest.approx(0.5, abs=0.05)
+
+    def test_annotation_agrees_with_query_level_measure(self, shop):
+        select = parse_sql(ADVANTAGE)
+        query, _ = sql_to_query(select, shop.schema)
+        answers = annotate(select, shop, epsilon=0.03, method="afpras", rng=0)
+        for answer in answers:
+            if answer.values[0] in ("p1", "p2"):
+                reference = certainty(query, shop, answer.values, method="afpras",
+                                      epsilon=0.03, rng=1)
+                assert answer.certainty.value == pytest.approx(reference.value, abs=0.06)
+
+    def test_annotate_accepts_exact_method(self, shop):
+        answers = annotate(ADVANTAGE, shop, method="auto", rng=0)
+        assert all(0.0 <= answer.certainty.value <= 1.0 for answer in answers)
+        assert any(answer.certainty.method == "exact" for answer in answers)
+
+    def test_as_dict_labels(self, shop):
+        answers = annotate(ADVANTAGE + " LIMIT 1", shop, rng=0)
+        assert list(answers[0].as_dict().keys()) == ["P.id"]

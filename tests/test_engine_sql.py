@@ -1,0 +1,148 @@
+"""Tests for the SQL lexer, parser and SQL-to-logic translation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.sql.ast import (
+    BinaryExpression,
+    ColumnExpression,
+    NumberLiteral,
+    StringLiteral,
+)
+from repro.engine.sql.lexer import SqlSyntaxError, TokenType, tokenize
+from repro.engine.sql.parser import parse_sql
+from repro.engine.translate_sql import SqlTranslationError, sql_to_query
+from repro.logic.fragments import classify_query
+from repro.logic.typecheck import check_query
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+@pytest.fixture
+def sales_schema() -> DatabaseSchema:
+    return DatabaseSchema.of(
+        RelationSchema.of("Products", id="base", seg="base", rrp="num", dis="num"),
+        RelationSchema.of("Market", seg="base", rrp="num", dis="num"),
+    )
+
+
+class TestLexer:
+    def test_tokenizes_keywords_identifiers_and_operators(self):
+        tokens = tokenize("SELECT P.seg FROM Products P WHERE P.rrp <= 10.5")
+        kinds = [token.type for token in tokens]
+        assert kinds[0] is TokenType.KEYWORD
+        assert TokenType.NUMBER in kinds
+        assert kinds[-1] is TokenType.END
+
+    def test_string_literals_and_escapes(self):
+        tokens = tokenize("SELECT a FROM T WHERE b = 'it''s'")
+        strings = [token for token in tokens if token.type is TokenType.STRING]
+        assert len(strings) == 1
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT @ FROM T")
+
+    def test_keywords_are_case_insensitive(self):
+        tokens = tokenize("select a from T")
+        assert tokens[0].matches(TokenType.KEYWORD, "SELECT")
+
+
+class TestParser:
+    def test_parses_the_competitive_advantage_query(self):
+        query = parse_sql(
+            "SELECT P.seg FROM Products P, Market M "
+            "WHERE P.seg = M.seg AND P.rrp * P.dis <= M.rrp * M.dis LIMIT 25")
+        assert [table.binding for table in query.tables] == ["P", "M"]
+        assert len(query.conditions) == 2
+        assert query.limit == 25
+        assert query.select == (ColumnExpression(column="seg", table="P"),)
+
+    def test_parses_arithmetic_with_precedence_and_parentheses(self):
+        query = parse_sql("SELECT a FROM T WHERE a + b * c <= (a - b) / 2")
+        condition = query.conditions[0]
+        assert isinstance(condition.left, BinaryExpression)
+        assert condition.left.operator == "+"
+        assert isinstance(condition.left.right, BinaryExpression)
+        assert condition.left.right.operator == "*"
+        assert isinstance(condition.right, BinaryExpression)
+        assert condition.right.operator == "/"
+
+    def test_parses_literals_and_unary_minus(self):
+        query = parse_sql("SELECT a FROM T WHERE a >= -2 AND b = 'x'")
+        first, second = query.conditions
+        assert isinstance(first.right, BinaryExpression)  # 0 - 2
+        assert isinstance(second.right, StringLiteral)
+
+    def test_select_star_and_distinct(self):
+        query = parse_sql("SELECT DISTINCT * FROM T LIMIT 3")
+        assert query.select_star and query.distinct
+        assert query.limit == 3
+
+    def test_aliases_with_and_without_as(self):
+        query = parse_sql("SELECT t.a FROM T AS t, S s WHERE t.a = s.a")
+        assert [table.binding for table in query.tables] == ["t", "s"]
+
+    def test_syntax_errors(self):
+        for bad in (
+            "FROM T",
+            "SELECT FROM T",
+            "SELECT a FROM",
+            "SELECT a FROM T WHERE",
+            "SELECT a FROM T WHERE a",
+            "SELECT a FROM T LIMIT x",
+            "SELECT a FROM T extra trailing",
+            "SELECT a FROM T WHERE a < (b",
+        ):
+            with pytest.raises(SqlSyntaxError):
+                parse_sql(bad)
+
+    def test_number_literal_values(self):
+        query = parse_sql("SELECT a FROM T WHERE a < 2.5e2")
+        assert isinstance(query.conditions[0].right, NumberLiteral)
+        assert query.conditions[0].right.value == pytest.approx(250.0)
+
+
+class TestSqlToLogic:
+    def test_produces_a_well_typed_conjunctive_query(self, sales_schema):
+        select = parse_sql(
+            "SELECT P.seg FROM Products P, Market M "
+            "WHERE P.seg = M.seg AND P.rrp * P.dis <= M.rrp * M.dis LIMIT 25")
+        query, bindings = sql_to_query(select, sales_schema)
+        check_query(query, sales_schema)
+        fragment = classify_query(query)
+        assert fragment.conjunctive
+        assert query.arity == 1
+        assert len(bindings) == 1
+
+    def test_base_equality_and_string_literals(self, sales_schema):
+        select = parse_sql("SELECT P.id FROM Products P WHERE P.seg = 'seg1'")
+        query, _ = sql_to_query(select, sales_schema)
+        check_query(query, sales_schema)
+
+    def test_unknown_table_and_column_are_rejected(self, sales_schema):
+        with pytest.raises(SqlTranslationError):
+            sql_to_query(parse_sql("SELECT a FROM Nope"), sales_schema)
+        with pytest.raises(SqlTranslationError):
+            sql_to_query(parse_sql("SELECT P.nope FROM Products P"), sales_schema)
+
+    def test_ambiguous_column_requires_alias(self, sales_schema):
+        with pytest.raises(SqlTranslationError):
+            sql_to_query(parse_sql("SELECT seg FROM Products P, Market M"), sales_schema)
+
+    def test_unambiguous_bare_column_is_resolved(self, sales_schema):
+        select = parse_sql("SELECT id FROM Products P WHERE dis <= 0.5")
+        query, _ = sql_to_query(select, sales_schema)
+        check_query(query, sales_schema)
+
+    def test_base_numeric_mixing_is_rejected(self, sales_schema):
+        with pytest.raises(SqlTranslationError):
+            sql_to_query(parse_sql("SELECT P.id FROM Products P WHERE P.seg < 3"),
+                         sales_schema)
+        with pytest.raises(SqlTranslationError):
+            sql_to_query(parse_sql("SELECT P.id FROM Products P WHERE P.rrp = P.seg"),
+                         sales_schema)
+
+    def test_duplicate_bindings_are_rejected(self, sales_schema):
+        with pytest.raises(SqlTranslationError):
+            sql_to_query(parse_sql("SELECT P.id FROM Products P, Products P"), sales_schema)

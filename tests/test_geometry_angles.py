@@ -1,0 +1,123 @@
+"""Tests for exact planar cone fractions (arcs on the circle)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.angles import (
+    cone_angle_between,
+    halfplane_arc,
+    intersect_arcs,
+    planar_cone_fraction,
+    planar_cones_union_fraction,
+    union_length,
+)
+
+
+class TestHalfplaneArc:
+    def test_arc_has_length_pi(self):
+        arc = halfplane_arc([1.0, 0.0])
+        assert arc is not None
+        assert arc[1] == pytest.approx(math.pi)
+
+    def test_zero_normal_is_unconstrained(self):
+        assert halfplane_arc([0.0, 0.0]) is None
+
+    def test_arc_contains_the_antinormal_direction(self):
+        # Directions satisfying (1,0).d <= 0 include (-1, 0), i.e. angle pi.
+        start, length = halfplane_arc([1.0, 0.0])
+        angle = math.pi
+        relative = (angle - start) % (2 * math.pi)
+        assert 0.0 <= relative <= length
+
+
+class TestConeFractions:
+    def test_single_halfplane_is_half(self):
+        assert planar_cone_fraction([[1.0, 0.0]]) == pytest.approx(0.5)
+
+    def test_quadrant_is_quarter(self):
+        assert planar_cone_fraction([[1.0, 0.0], [0.0, 1.0]]) == pytest.approx(0.25)
+
+    def test_empty_cone(self):
+        assert planar_cone_fraction([[1.0, 0.0], [-1.0, 0.0], [0.0, 1.0], [0.0, -1.0]]) \
+            == pytest.approx(0.0, abs=1e-12)
+
+    def test_no_constraints_is_full_plane(self):
+        assert planar_cone_fraction([]) == pytest.approx(1.0)
+        assert planar_cone_fraction([[0.0, 0.0]]) == pytest.approx(1.0)
+
+    def test_intro_example_value(self):
+        # Constraints of the paper's formula (1), homogenised:
+        # alpha' >= 0, alpha >= 0, 0.7*alpha' - alpha >= 0, over z = (alpha, alpha').
+        normals = [[0.0, -1.0], [-1.0, 0.0], [1.0, -0.7]]
+        expected = (math.pi / 2 - math.atan(10.0 / 7.0)) / (2 * math.pi)
+        assert planar_cone_fraction(normals) == pytest.approx(expected)
+
+    def test_proposition_61_value(self):
+        # x >= 0 and y <= alpha*x, i.e. normals (-1, 0) and (-alpha, 1).
+        for alpha in (0.0, 0.5, 1.0, 3.0, -2.0):
+            fraction = planar_cone_fraction([[-1.0, 0.0], [-alpha, 1.0]])
+            expected = 0.25 + math.atan(alpha) / (2 * math.pi)
+            assert fraction == pytest.approx(expected), f"alpha={alpha}"
+
+    @given(st.floats(min_value=0.0, max_value=2 * math.pi),
+           st.floats(min_value=0.05, max_value=math.pi))
+    @settings(max_examples=60, deadline=None)
+    def test_wedge_angle_matches_fraction(self, rotation, opening):
+        # A wedge of opening angle `opening`, rotated arbitrarily, built from
+        # its two bounding half-planes.
+        first_normal = [math.cos(rotation + math.pi / 2), math.sin(rotation + math.pi / 2)]
+        second_normal = [math.cos(rotation + opening - math.pi / 2),
+                         math.sin(rotation + opening - math.pi / 2)]
+        fraction = planar_cone_fraction([[-first_normal[0], -first_normal[1]],
+                                         [-second_normal[0], -second_normal[1]]])
+        assert fraction == pytest.approx(opening / (2 * math.pi), abs=1e-6)
+
+    def test_monte_carlo_agreement(self, rng):
+        normals = np.array([[1.0, -2.0], [-3.0, -1.0]])
+        fraction = planar_cone_fraction(normals)
+        points = rng.standard_normal((20000, 2))
+        hits = np.all(points @ normals.T <= 0, axis=1).mean()
+        assert fraction == pytest.approx(float(hits), abs=0.02)
+
+
+class TestUnions:
+    def test_union_of_opposite_halfplanes_is_everything(self):
+        fraction = planar_cones_union_fraction([[[1.0, 0.0]], [[-1.0, 0.0]]])
+        assert fraction == pytest.approx(1.0)
+
+    def test_union_of_disjoint_quadrants(self):
+        quadrant_pp = [[-1.0, 0.0], [0.0, -1.0]]
+        quadrant_nn = [[1.0, 0.0], [0.0, 1.0]]
+        fraction = planar_cones_union_fraction([quadrant_pp, quadrant_nn])
+        assert fraction == pytest.approx(0.5)
+
+    def test_union_with_overlap_is_not_double_counted(self):
+        half_right = [[-1.0, 0.0]]
+        quadrant_pp = [[-1.0, 0.0], [0.0, -1.0]]
+        fraction = planar_cones_union_fraction([half_right, quadrant_pp])
+        assert fraction == pytest.approx(0.5)
+
+    def test_union_length_full_circle(self):
+        assert union_length([(0.0, 2 * math.pi)]) == pytest.approx(2 * math.pi)
+        assert union_length([]) == 0.0
+
+    def test_intersect_arcs_empty(self):
+        arcs = [halfplane_arc([1.0, 0.0]), halfplane_arc([-1.0, 0.0]),
+                halfplane_arc([0.0, 1.0]), halfplane_arc([0.0, -1.0])]
+        assert intersect_arcs(arcs) == [] or \
+            sum(length for _, length in intersect_arcs(arcs)) < 1e-9
+
+
+class TestConeAngle:
+    def test_right_angle(self):
+        assert cone_angle_between([1.0, 0.0], [0.0, 1.0]) == pytest.approx(math.pi / 2)
+
+    def test_rejects_zero_rays(self):
+        with pytest.raises(ValueError):
+            cone_angle_between([0.0, 0.0], [1.0, 0.0])

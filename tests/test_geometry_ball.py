@@ -1,0 +1,103 @@
+"""Tests for ball volumes and uniform sampling."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.ball import (
+    as_generator,
+    ball_volume,
+    sample_ball,
+    sample_direction,
+    sample_sphere,
+    sphere_area,
+)
+
+
+class TestBallVolume:
+    def test_low_dimensions_match_closed_forms(self):
+        assert ball_volume(0) == 1.0
+        assert ball_volume(1) == pytest.approx(2.0)
+        assert ball_volume(2) == pytest.approx(math.pi)
+        assert ball_volume(3) == pytest.approx(4.0 / 3.0 * math.pi)
+
+    def test_radius_scaling(self):
+        assert ball_volume(2, radius=3.0) == pytest.approx(9.0 * math.pi)
+        assert ball_volume(3, radius=2.0) == pytest.approx(8.0 * ball_volume(3))
+
+    def test_zero_dimension_ignores_radius(self):
+        assert ball_volume(0, radius=17.0) == 1.0
+
+    def test_rejects_negative_dimension_and_radius(self):
+        with pytest.raises(ValueError):
+            ball_volume(-1)
+        with pytest.raises(ValueError):
+            ball_volume(2, radius=-0.5)
+
+    def test_recurrence_v_n_equals_v_n_minus_2_times_2pi_over_n(self):
+        for dimension in range(3, 12):
+            expected = ball_volume(dimension - 2) * 2.0 * math.pi / dimension
+            assert ball_volume(dimension) == pytest.approx(expected)
+
+    def test_sphere_area_is_derivative_of_volume(self):
+        for dimension in range(1, 8):
+            assert sphere_area(dimension) == pytest.approx(dimension * ball_volume(dimension))
+
+    @given(st.integers(min_value=1, max_value=30), st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=50, deadline=None)
+    def test_volume_positive_and_monotone_in_radius(self, dimension, radius):
+        assert ball_volume(dimension, radius) > 0
+        assert ball_volume(dimension, radius * 1.5) > ball_volume(dimension, radius)
+
+
+class TestSampling:
+    def test_sphere_samples_have_unit_norm(self, rng):
+        points = sample_sphere(5, rng, size=200)
+        norms = np.linalg.norm(points, axis=1)
+        assert np.allclose(norms, 1.0)
+
+    def test_ball_samples_are_inside(self, rng):
+        points = sample_ball(4, rng, size=500)
+        norms = np.linalg.norm(points, axis=1)
+        assert np.all(norms <= 1.0 + 1e-12)
+
+    def test_ball_radius_scaling(self, rng):
+        points = sample_ball(3, rng, size=200, radius=5.0)
+        assert np.all(np.linalg.norm(points, axis=1) <= 5.0 + 1e-9)
+        assert np.any(np.linalg.norm(points, axis=1) > 1.0)
+
+    def test_single_sample_shapes(self, rng):
+        assert sample_sphere(3, rng).shape == (3,)
+        assert sample_ball(3, rng).shape == (3,)
+        assert sample_direction(2, rng).shape == (2,)
+
+    def test_sampling_is_reproducible_with_seed(self):
+        first = sample_sphere(4, 42, size=10)
+        second = sample_sphere(4, 42, size=10)
+        assert np.allclose(first, second)
+
+    def test_sphere_mean_is_near_zero(self):
+        points = sample_sphere(3, 0, size=4000)
+        assert np.allclose(points.mean(axis=0), 0.0, atol=0.05)
+
+    def test_ball_fraction_in_halfspace_is_half(self):
+        points = sample_ball(3, 1, size=4000)
+        fraction = float((points[:, 0] > 0).mean())
+        assert fraction == pytest.approx(0.5, abs=0.03)
+
+    def test_invalid_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            sample_sphere(0)
+        with pytest.raises(ValueError):
+            sample_ball(0)
+
+    def test_as_generator_accepts_seed_generator_and_none(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+        assert isinstance(as_generator(3), np.random.Generator)
+        generator = np.random.default_rng(1)
+        assert as_generator(generator) is generator

@@ -1,0 +1,157 @@
+"""Tests for convex bodies, chords, cones and the hit-and-run sampler."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.bodies import Ball, HalfSpace, Intersection, halfspaces_and_ball
+from repro.geometry.cones import PolyhedralCone
+from repro.geometry.hitandrun import HitAndRunSampler
+
+
+class TestHalfSpace:
+    def test_membership(self):
+        halfspace = HalfSpace(normal=np.array([1.0, 0.0]))
+        assert halfspace.contains(np.array([-1.0, 5.0]))
+        assert halfspace.contains(np.array([0.0, 0.0]))
+        assert not halfspace.contains(np.array([0.5, 0.0]))
+
+    def test_offset(self):
+        halfspace = HalfSpace(normal=np.array([1.0, 0.0]), offset=2.0)
+        assert halfspace.contains(np.array([1.5, 0.0]))
+        assert not halfspace.contains(np.array([2.5, 0.0]))
+
+    def test_chord_crossing(self):
+        halfspace = HalfSpace(normal=np.array([1.0, 0.0]))
+        lower, upper = halfspace.chord(np.array([-1.0, 0.0]), np.array([1.0, 0.0]))
+        assert lower == -math.inf
+        assert upper == pytest.approx(1.0)
+
+    def test_chord_parallel_inside_and_outside(self):
+        halfspace = HalfSpace(normal=np.array([0.0, 1.0]))
+        inside = halfspace.chord(np.array([0.0, -1.0]), np.array([1.0, 0.0]))
+        assert inside == (-math.inf, math.inf)
+        outside = halfspace.chord(np.array([0.0, 1.0]), np.array([1.0, 0.0]))
+        assert outside[0] > outside[1]
+
+    def test_rejects_matrix_normal(self):
+        with pytest.raises(ValueError):
+            HalfSpace(normal=np.zeros((2, 2)))
+
+
+class TestBall:
+    def test_membership(self):
+        ball = Ball.unit(3)
+        assert ball.contains(np.zeros(3))
+        assert ball.contains(np.array([1.0, 0.0, 0.0]))
+        assert not ball.contains(np.array([1.1, 0.0, 0.0]))
+
+    def test_chord_through_center(self):
+        ball = Ball.unit(2)
+        lower, upper = ball.chord(np.zeros(2), np.array([1.0, 0.0]))
+        assert lower == pytest.approx(-1.0)
+        assert upper == pytest.approx(1.0)
+
+    def test_chord_missing_the_ball(self):
+        ball = Ball.unit(2)
+        lower, upper = ball.chord(np.array([0.0, 2.0]), np.array([1.0, 0.0]))
+        assert lower > upper
+
+    def test_rejects_negative_radius(self):
+        with pytest.raises(ValueError):
+            Ball(center=np.zeros(2), radius=-1.0)
+
+
+class TestIntersection:
+    def test_membership_requires_all_parts(self):
+        body = halfspaces_and_ball([np.array([1.0, 0.0]), np.array([0.0, 1.0])])
+        assert body.contains(np.array([-0.1, -0.1]))
+        assert not body.contains(np.array([0.1, -0.1]))
+        assert not body.contains(np.array([-2.0, -2.0]))  # outside the ball
+
+    def test_chord_is_intersection_of_chords(self):
+        body = halfspaces_and_ball([np.array([0.0, 1.0])])  # lower half-disc
+        # From (0, -0.5) upwards: the ball allows t in [-0.5, 1.5], the
+        # half-plane y <= 0 allows t <= 0.5.
+        lower, upper = body.chord(np.array([0.0, -0.5]), np.array([0.0, 1.0]))
+        assert lower == pytest.approx(-0.5)
+        assert upper == pytest.approx(0.5)
+
+    def test_requires_consistent_dimensions(self):
+        with pytest.raises(ValueError):
+            Intersection.of([Ball.unit(2), Ball.unit(3)])
+        with pytest.raises(ValueError):
+            Intersection.of([])
+
+
+class TestPolyhedralCone:
+    def test_membership_and_constraints(self):
+        cone = PolyhedralCone.from_rows(2, strict=[[1.0, 0.0]], weak=[[0.0, 1.0]])
+        assert cone.contains(np.array([-1.0, -1.0]))
+        assert cone.contains(np.array([-1.0, 0.0]))
+        assert not cone.contains(np.array([1.0, -1.0]))
+        assert cone.num_constraints == 2
+
+    def test_degenerate_by_equality(self):
+        cone = PolyhedralCone.from_rows(2, equality=[[1.0, -1.0]])
+        assert cone.is_degenerate()
+
+    def test_degenerate_by_contradiction(self):
+        cone = PolyhedralCone.from_rows(1, strict=[[1.0], [-1.0]])
+        assert cone.is_degenerate()
+
+    def test_full_space_is_not_degenerate(self):
+        cone = PolyhedralCone.from_rows(3)
+        assert not cone.is_degenerate()
+        assert np.allclose(cone.interior_point(), 0.0)
+
+    def test_interior_point_is_strictly_feasible(self):
+        cone = PolyhedralCone.from_rows(3, strict=[[1.0, 0.0, 0.0], [0.0, 1.0, 0.0]])
+        point = cone.interior_point()
+        assert point is not None
+        assert np.all(np.vstack([cone.strict]) @ point < 0)
+        assert np.linalg.norm(point) <= 1.0
+
+    def test_intersect(self):
+        first = PolyhedralCone.from_rows(2, strict=[[1.0, 0.0]])
+        second = PolyhedralCone.from_rows(2, strict=[[0.0, 1.0]])
+        both = first.intersect(second)
+        assert both.num_constraints == 2
+        with pytest.raises(ValueError):
+            first.intersect(PolyhedralCone.from_rows(3))
+
+    def test_body_contains_interior_point(self):
+        cone = PolyhedralCone.from_rows(2, strict=[[1.0, 1.0]])
+        body = cone.body()
+        assert body.contains(cone.interior_point())
+
+
+class TestHitAndRun:
+    def test_samples_stay_inside_the_body(self):
+        cone = PolyhedralCone.from_rows(3, strict=[[1.0, 0.0, 0.0]])
+        sampler = HitAndRunSampler(body=cone.body(), start=cone.interior_point(), rng=0)
+        samples = sampler.samples(100)
+        for sample in samples:
+            assert cone.body().contains(sample)
+
+    def test_requires_start_inside(self):
+        body = Ball.unit(2)
+        with pytest.raises(ValueError):
+            HitAndRunSampler(body=body, start=np.array([2.0, 0.0]), rng=0)
+
+    def test_approximate_uniformity_on_halfdisc(self):
+        # In the lower half-disc, roughly half the mass has x > 0.
+        body = halfspaces_and_ball([np.array([0.0, 1.0])])
+        sampler = HitAndRunSampler(body=body, start=np.array([0.0, -0.5]), rng=1)
+        samples = sampler.samples(800)
+        fraction = float((samples[:, 0] > 0).mean())
+        assert fraction == pytest.approx(0.5, abs=0.08)
+
+    def test_negative_count_rejected(self):
+        body = Ball.unit(2)
+        sampler = HitAndRunSampler(body=body, start=np.zeros(2), rng=0)
+        with pytest.raises(ValueError):
+            sampler.samples(-1)

@@ -1,0 +1,83 @@
+"""Tests for Monte-Carlo sample-size bounds and estimation helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.montecarlo import (
+    DEFAULT_DELTA,
+    IndicatorEstimate,
+    amplification_rounds,
+    estimate_indicator_mean,
+    hoeffding_sample_size,
+    median_of_means,
+    multiplicative_sample_size,
+)
+
+
+class TestSampleSizes:
+    def test_hoeffding_matches_formula(self):
+        assert hoeffding_sample_size(0.1, 0.25) == math.ceil(math.log(8.0) / 0.02)
+
+    def test_smaller_epsilon_needs_more_samples(self):
+        assert hoeffding_sample_size(0.01) > hoeffding_sample_size(0.1)
+
+    def test_smaller_delta_needs_more_samples(self):
+        assert hoeffding_sample_size(0.05, 0.01) > hoeffding_sample_size(0.05, 0.25)
+
+    def test_scales_roughly_as_inverse_epsilon_squared(self):
+        ratio = hoeffding_sample_size(0.01) / hoeffding_sample_size(0.1)
+        assert ratio == pytest.approx(100.0, rel=0.02)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            hoeffding_sample_size(0.0)
+        with pytest.raises(ValueError):
+            hoeffding_sample_size(1.5)
+        with pytest.raises(ValueError):
+            hoeffding_sample_size(0.1, delta=0.0)
+
+    def test_multiplicative_sample_size_uses_lower_bound(self):
+        assert multiplicative_sample_size(0.1, 0.5) == hoeffding_sample_size(0.05)
+        with pytest.raises(ValueError):
+            multiplicative_sample_size(0.1, 0.0)
+
+    @given(st.floats(min_value=0.01, max_value=1.0), st.floats(min_value=0.01, max_value=0.5))
+    @settings(max_examples=50, deadline=None)
+    def test_sample_size_is_always_positive(self, epsilon, delta):
+        assert hoeffding_sample_size(epsilon, delta) >= 1
+
+
+class TestEstimation:
+    def test_estimate_constant_indicator(self, rng):
+        estimate = estimate_indicator_mean(lambda generator: True, epsilon=0.1, rng=rng)
+        assert estimate.value == 1.0
+        assert estimate.positives == estimate.samples
+
+    def test_estimate_fair_coin(self):
+        estimate = estimate_indicator_mean(
+            lambda generator: generator.random() < 0.5, epsilon=0.05, rng=11)
+        assert estimate.value == pytest.approx(0.5, abs=0.05)
+
+    def test_interval_is_clipped_to_unit_interval(self):
+        estimate = IndicatorEstimate(value=0.02, samples=10, epsilon=0.1,
+                                     delta=0.25, positives=0)
+        low, high = estimate.interval()
+        assert low == 0.0
+        assert high == pytest.approx(0.12)
+
+    def test_median_of_means_is_median(self):
+        assert median_of_means([0.1, 0.9, 0.5]) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            median_of_means([])
+
+    def test_amplification_rounds(self):
+        assert amplification_rounds(DEFAULT_DELTA) == 1
+        assert amplification_rounds(0.3) == 1
+        assert amplification_rounds(0.01) > 1
+        with pytest.raises(ValueError):
+            amplification_rounds(0.0)

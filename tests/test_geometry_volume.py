@@ -1,0 +1,124 @@
+"""Tests for single-cone and union-of-cones volume estimation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.geometry.cones import PolyhedralCone
+from repro.geometry.union_volume import union_volume_fraction
+from repro.geometry.volume import cone_ball_fraction
+
+
+def orthant_cone(dimension: int) -> PolyhedralCone:
+    """The negative orthant ``{z : z_i <= 0}``, whose fraction is ``2^-d``."""
+    rows = [[1.0 if j == i else 0.0 for j in range(dimension)] for i in range(dimension)]
+    return PolyhedralCone.from_rows(dimension, weak=rows)
+
+
+class TestSingleCone:
+    def test_full_space(self):
+        estimate = cone_ball_fraction(PolyhedralCone.from_rows(3))
+        assert estimate.fraction == 1.0
+        assert estimate.method == "exact"
+
+    def test_degenerate_cone_is_zero(self):
+        cone = PolyhedralCone.from_rows(2, equality=[[1.0, -1.0]])
+        estimate = cone_ball_fraction(cone)
+        assert estimate.fraction == 0.0
+        assert estimate.method == "degenerate"
+
+    def test_one_dimensional_halfline(self):
+        cone = PolyhedralCone.from_rows(1, weak=[[1.0]])
+        assert cone_ball_fraction(cone).fraction == pytest.approx(0.5)
+
+    def test_one_dimensional_contradiction(self):
+        cone = PolyhedralCone.from_rows(1, strict=[[1.0], [-1.0]])
+        assert cone_ball_fraction(cone).fraction == 0.0
+
+    def test_two_dimensional_uses_exact_arcs(self):
+        estimate = cone_ball_fraction(orthant_cone(2))
+        assert estimate.method == "exact"
+        assert estimate.fraction == pytest.approx(0.25)
+
+    @pytest.mark.parametrize("dimension", [3, 4, 5])
+    def test_orthant_fraction_by_sampling(self, dimension):
+        estimate = cone_ball_fraction(orthant_cone(dimension), epsilon=0.02, rng=0)
+        assert estimate.fraction == pytest.approx(2.0**-dimension, abs=0.03)
+        assert estimate.samples > 0
+
+    def test_halfspace_in_high_dimension(self):
+        cone = PolyhedralCone.from_rows(6, strict=[[1.0, 0, 0, 0, 0, 0]])
+        estimate = cone_ball_fraction(cone, epsilon=0.03, rng=1)
+        assert estimate.fraction == pytest.approx(0.5, abs=0.04)
+
+    def test_telescoping_estimator_agrees(self):
+        cone = orthant_cone(3)
+        estimate = cone_ball_fraction(cone, epsilon=0.05, rng=2, method="telescoping")
+        assert estimate.fraction == pytest.approx(0.125, abs=0.05)
+        assert estimate.method == "telescoping"
+
+    def test_invalid_epsilon_and_method(self):
+        cone = orthant_cone(2)
+        with pytest.raises(ValueError):
+            cone_ball_fraction(cone, epsilon=0.0)
+        with pytest.raises(ValueError):
+            cone_ball_fraction(cone, method="nonsense")
+
+
+class TestUnionOfCones:
+    def test_empty_union(self):
+        assert union_volume_fraction([]).fraction == 0.0
+
+    def test_union_of_degenerate_cones(self):
+        cone = PolyhedralCone.from_rows(2, equality=[[1.0, 0.0]])
+        assert union_volume_fraction([cone, cone]).fraction == 0.0
+
+    def test_opposite_halfplanes_cover_everything_2d(self):
+        cones = [PolyhedralCone.from_rows(2, strict=[[1.0, 0.0]]),
+                 PolyhedralCone.from_rows(2, strict=[[-1.0, 0.0]])]
+        assert union_volume_fraction(cones).fraction == pytest.approx(1.0)
+
+    def test_unconstrained_member_short_circuits(self):
+        cones = [PolyhedralCone.from_rows(4), orthant_cone(4)]
+        estimate = union_volume_fraction(cones)
+        assert estimate.fraction == 1.0
+        assert estimate.method == "exact"
+
+    def test_one_dimensional_exact_union(self):
+        positive = PolyhedralCone.from_rows(1, weak=[[-1.0]])
+        negative = PolyhedralCone.from_rows(1, weak=[[1.0]])
+        assert union_volume_fraction([positive]).fraction == pytest.approx(0.5)
+        assert union_volume_fraction([positive, negative]).fraction == pytest.approx(1.0)
+
+    def test_karp_luby_on_disjoint_orthants_3d(self):
+        # The two opposite orthants of R^3 each cover 1/8 and are disjoint.
+        rows_negative = [[1.0, 0, 0], [0, 1.0, 0], [0, 0, 1.0]]
+        rows_positive = [[-1.0, 0, 0], [0, -1.0, 0], [0, 0, -1.0]]
+        cones = [PolyhedralCone.from_rows(3, weak=rows_negative),
+                 PolyhedralCone.from_rows(3, weak=rows_positive)]
+        estimate = union_volume_fraction(cones, epsilon=0.03, rng=3, method="karp-luby")
+        assert estimate.fraction == pytest.approx(0.25, abs=0.05)
+        assert estimate.method == "karp-luby"
+
+    def test_karp_luby_with_overlapping_cones(self):
+        # Half-space x<0 and the quadrant {x<0, y<0}: the union is the half-space.
+        half = PolyhedralCone.from_rows(3, strict=[[1.0, 0.0, 0.0]])
+        quad = PolyhedralCone.from_rows(3, strict=[[1.0, 0.0, 0.0], [0.0, 1.0, 0.0]])
+        estimate = union_volume_fraction([half, quad], epsilon=0.03, rng=4,
+                                         method="karp-luby")
+        assert estimate.fraction == pytest.approx(0.5, abs=0.06)
+
+    def test_direct_method_cross_check(self):
+        cones = [orthant_cone(3)]
+        estimate = union_volume_fraction(cones, epsilon=0.03, rng=5, method="direct")
+        assert estimate.fraction == pytest.approx(0.125, abs=0.04)
+
+    def test_mixed_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            union_volume_fraction([orthant_cone(2), orthant_cone(3)])
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            union_volume_fraction([orthant_cone(2)], epsilon=2.0)

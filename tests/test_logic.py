@@ -1,0 +1,199 @@
+"""Tests for the FO(+, ·, <) query language: terms, formulae, DSL, typechecking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.logic.builder import base_var, conj, disj, exists, forall, implies, neg, num, rel
+from repro.logic.formulas import (
+    BaseEquality,
+    Comparison,
+    ComparisonOperator,
+    Exists,
+    FOAnd,
+    FONot,
+    FOOr,
+    Forall,
+    Query,
+    RelationAtom,
+)
+from repro.logic.fragments import ArithmeticLevel, classify_query
+from repro.logic.terms import (
+    NumericConstant,
+    Sort,
+    TermOperation,
+    Variable,
+    term_variables,
+    uses_multiplication,
+)
+from repro.logic.typecheck import TypeCheckError, check_query, free_variables
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+@pytest.fixture
+def schema() -> DatabaseSchema:
+    return DatabaseSchema.of(
+        RelationSchema.of("R", name="base", value="num"),
+        RelationSchema.of("S", value="num", other="num"),
+    )
+
+
+class TestTerms:
+    def test_operator_overloading_builds_terms(self):
+        x, y = num_var_pair()
+        term = (x + 2.0) * y - 1.0
+        assert isinstance(term, TermOperation)
+        assert term.sort is Sort.NUM
+        assert term_variables(term) == frozenset({x, y})
+
+    def test_arithmetic_rejects_base_terms(self):
+        person = base_var("p")
+        with pytest.raises(TypeError):
+            _ = person + 1.0
+
+    def test_comparisons_build_formulae(self):
+        x, y = num_var_pair()
+        formula = x < y
+        assert isinstance(formula, Comparison)
+        assert formula.op is ComparisonOperator.LT
+        assert isinstance(x.equals(y), Comparison)
+        assert isinstance(base_var("a").equals(base_var("b")), BaseEquality)
+
+    def test_uses_multiplication_detects_products_of_variables(self):
+        x, y = num_var_pair()
+        assert uses_multiplication(x * y)
+        assert not uses_multiplication(2.0 * x)
+        assert not uses_multiplication(x + y)
+        assert uses_multiplication(x / y)
+        assert not uses_multiplication(x / 2.0)
+
+    def test_numeric_coercion(self):
+        x, _ = num_var_pair()
+        formula = x < 3
+        assert isinstance(formula.right, NumericConstant)
+        with pytest.raises(TypeError):
+            _ = x + "three"
+
+
+def num_var_pair():
+    from repro.logic.builder import num_var
+
+    return num_var("x"), num_var("y")
+
+
+class TestBuilder:
+    def test_rel_coerces_python_values(self):
+        atom = rel("R", "alice", 3.5)
+        assert isinstance(atom, RelationAtom)
+        assert atom.terms[0].sort is Sort.BASE
+        assert atom.terms[1].sort is Sort.NUM
+
+    def test_connective_helpers(self):
+        x, y = num_var_pair()
+        formula = conj(x < y, disj(x > 0, neg(y > 0)))
+        assert isinstance(formula, FOAnd)
+        assert isinstance(implies(x < y, y < x), FOOr)
+
+    def test_quantifier_helpers_nest_in_order(self):
+        x, y = num_var_pair()
+        formula = exists([x, y], x < y)
+        assert isinstance(formula, Exists)
+        assert formula.variable.name == "x"
+        assert isinstance(formula.body, Exists)
+        assert isinstance(forall(x, x > 0), Forall)
+        assert exists([], x < y) == (x < y)
+
+    def test_conjunction_flattening(self):
+        x, y = num_var_pair()
+        formula = conj(conj(x < y, y < x), x > 0)
+        assert isinstance(formula, FOAnd)
+        assert len(formula.conjuncts) == 3
+
+
+class TestQueries:
+    def test_query_heads(self):
+        x, _ = num_var_pair()
+        query = Query(head=(x,), body=rel("S", x, x))
+        assert query.arity == 1
+        assert not query.is_boolean
+        assert query.head_sorts() == (Sort.NUM,)
+        with pytest.raises(ValueError):
+            Query(head=(x, x), body=rel("S", x, x))
+
+    def test_free_variables(self):
+        x, y = num_var_pair()
+        person = base_var("p")
+        body = exists(y, rel("R", person, y) & (y < x))
+        assert free_variables(body) == frozenset({person, x})
+
+    def test_check_query_accepts_well_formed(self, schema):
+        x, y = num_var_pair()
+        person = base_var("p")
+        query = Query(head=(person,), body=exists([x, y], rel("R", person, x)
+                                                  & rel("S", x, y) & (y > x * x)))
+        check_query(query, schema)
+
+    def test_check_query_rejects_bad_arity(self, schema):
+        person = base_var("p")
+        query = Query(head=(), body=exists(person, rel("R", person)))
+        with pytest.raises(TypeCheckError):
+            check_query(query, schema)
+
+    def test_check_query_rejects_sort_mismatch(self, schema):
+        x, y = num_var_pair()
+        query = Query(head=(), body=exists([x, y], rel("R", x, y)))
+        with pytest.raises(TypeCheckError):
+            check_query(query, schema)
+
+    def test_check_query_rejects_unbound_head(self, schema):
+        x, y = num_var_pair()
+        person = base_var("p")
+        query = Query(head=(person,), body=exists([x, y], rel("S", x, y)))
+        with pytest.raises(TypeCheckError):
+            check_query(query, schema)
+
+    def test_check_query_rejects_inconsistent_variable_sorts(self, schema):
+        value = num_var_pair()[0]
+        clash = Variable(name="x", variable_sort=Sort.BASE)
+        query = Query(head=(), body=exists([value], rel("S", value, value))
+                      | exists([clash], rel("R", clash, 1.0) & BaseEquality(clash, clash)))
+        with pytest.raises(TypeCheckError):
+            check_query(query, schema)
+
+
+class TestFragments:
+    def test_cq_with_order_only(self):
+        x, y = num_var_pair()
+        query = Query(head=(), body=exists([x, y], rel("S", x, y) & (x < y)))
+        fragment = classify_query(query)
+        assert fragment.conjunctive
+        assert fragment.arithmetic is ArithmeticLevel.ORDER_ONLY
+        assert fragment.name == "CQ(<)"
+        assert fragment.has_fpras
+
+    def test_cq_with_linear_arithmetic(self):
+        x, y = num_var_pair()
+        query = Query(head=(), body=exists([x, y], rel("S", x, y) & (x + 2.0 * y < 3)))
+        fragment = classify_query(query)
+        assert fragment.name == "CQ(+,<)"
+        assert fragment.has_fpras
+
+    def test_polynomial_arithmetic(self):
+        x, y = num_var_pair()
+        query = Query(head=(), body=exists([x, y], rel("S", x, y) & (x * y < 3)))
+        fragment = classify_query(query)
+        assert fragment.arithmetic is ArithmeticLevel.POLYNOMIAL
+        assert not fragment.has_fpras
+
+    def test_fo_fragment(self):
+        x, y = num_var_pair()
+        query = Query(head=(), body=forall([x], exists(y, rel("S", x, y)) | (x < 0)))
+        fragment = classify_query(query)
+        assert not fragment.conjunctive
+        assert fragment.name == "FO(<)"
+        assert not fragment.has_fpras
+
+    def test_negation_breaks_conjunctivity(self):
+        x, y = num_var_pair()
+        query = Query(head=(), body=exists([x, y], rel("S", x, y) & neg(x < y)))
+        assert not classify_query(query).conjunctive

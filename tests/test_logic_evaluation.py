@@ -1,0 +1,113 @@
+"""Tests for the reference evaluator over complete databases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.logic.builder import base_var, exists, forall, implies, neg, num_var, rel
+from repro.logic.evaluation import (
+    EvaluationError,
+    evaluate_boolean,
+    evaluate_query,
+    query_holds_for,
+)
+from repro.logic.formulas import Query
+from repro.relational.database import Database
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.values import BaseNull, NumNull
+
+
+@pytest.fixture
+def store() -> Database:
+    schema = DatabaseSchema.of(
+        RelationSchema.of("Item", name="base", price="num"),
+        RelationSchema.of("Cheap", name="base"),
+    )
+    database = Database(schema)
+    database.add("Item", ("pen", 2.0))
+    database.add("Item", ("book", 15.0))
+    database.add("Item", ("laptop", 900.0))
+    database.add("Cheap", ("pen",))
+    return database
+
+
+class TestEvaluation:
+    def test_selection_with_arithmetic(self, store):
+        name, price = base_var("n"), num_var("p")
+        query = Query(head=(name,), body=exists(price, rel("Item", name, price)
+                                                & (price * 2.0 < 40.0)))
+        assert evaluate_query(query, store) == {("pen",), ("book",)}
+
+    def test_boolean_query(self, store):
+        name, price = base_var("n"), num_var("p")
+        query = Query(head=(), body=exists([name, price],
+                                           rel("Item", name, price) & (price > 100.0)))
+        assert evaluate_boolean(query, store)
+        impossible = Query(head=(), body=exists([name, price],
+                                                rel("Item", name, price) & (price > 10000.0)))
+        assert not evaluate_boolean(impossible, store)
+
+    def test_universal_quantification(self, store):
+        name, price = base_var("n"), num_var("p")
+        body = forall([name, price], implies(rel("Item", name, price), price > 1.0))
+        assert evaluate_boolean(Query(head=(), body=body), store)
+        body_false = forall([name, price], implies(rel("Item", name, price), price > 5.0))
+        assert not evaluate_boolean(Query(head=(), body=body_false), store)
+
+    def test_negation_and_base_equality(self, store):
+        name, price = base_var("n"), num_var("p")
+        query = Query(head=(name,), body=exists(price, rel("Item", name, price)
+                                                & neg(rel("Cheap", name))))
+        assert evaluate_query(query, store) == {("book",), ("laptop",)}
+
+    def test_query_holds_for(self, store):
+        name, price = base_var("n"), num_var("p")
+        query = Query(head=(name,), body=exists(price, rel("Item", name, price)
+                                                & (price < 10.0)))
+        assert query_holds_for(query, store, ("pen",))
+        assert not query_holds_for(query, store, ("book",))
+        with pytest.raises(EvaluationError):
+            query_holds_for(query, store, ("pen", "extra"))
+
+    def test_projection_head_with_numeric_variable(self, store):
+        name, price = base_var("n"), num_var("p")
+        query = Query(head=(price,), body=exists(name, rel("Item", name, price)
+                                                 & rel("Cheap", name)))
+        assert evaluate_query(query, store) == {(2.0,)}
+
+    def test_division_by_zero_is_false(self, store):
+        name, price = base_var("n"), num_var("p")
+        query = Query(head=(), body=exists([name, price], rel("Item", name, price)
+                                           & (price / (price - price) > 1.0)))
+        assert not evaluate_boolean(query, store)
+
+    def test_base_nulls_behave_as_fresh_constants(self):
+        schema = DatabaseSchema.of(RelationSchema.of("Likes", who="base", what="base"))
+        database = Database(schema)
+        database.add("Likes", (BaseNull("someone"), "coffee"))
+        who, what = base_var("w"), base_var("x")
+        query = Query(head=(), body=exists([who, what], rel("Likes", who, what)
+                                           & what.equals("coffee")))
+        assert evaluate_boolean(query, database)
+        specific = Query(head=(), body=exists([what], rel("Likes", base_var("w"), what)))
+        # The head/body mismatch is deliberate: "w" is free, so evaluate as a
+        # unary query instead.
+        unary = Query(head=(base_var("w"),), body=exists([what], rel("Likes", base_var("w"), what)))
+        answers = evaluate_query(unary, database)
+        assert answers == {(BaseNull("someone"),)}
+        assert specific is not None
+
+    def test_numeric_nulls_are_rejected(self):
+        schema = DatabaseSchema.of(RelationSchema.of("R", v="num"))
+        database = Database(schema)
+        database.add("R", (NumNull("n"),))
+        x = num_var("x")
+        query = Query(head=(), body=exists(x, rel("R", x)))
+        with pytest.raises(EvaluationError):
+            evaluate_boolean(query, database)
+
+    def test_boolean_evaluator_requires_boolean_query(self, store):
+        name = base_var("n")
+        query = Query(head=(name,), body=rel("Cheap", name))
+        with pytest.raises(EvaluationError):
+            evaluate_boolean(query, store)

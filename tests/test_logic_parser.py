@@ -1,0 +1,131 @@
+"""Tests for the FO(+, ·, <) text parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.certainty import certainty
+from repro.datagen.intro import (
+    EXPECTED_MEASURE_QUERY,
+    SEGMENT,
+    intro_database,
+    intro_query,
+    intro_schema,
+)
+from repro.logic.evaluation import evaluate_query
+from repro.logic.formulas import (
+    BaseEquality,
+    Comparison,
+    Exists,
+    FONot,
+    FOOr,
+    Forall,
+    RelationAtom,
+)
+from repro.logic.fragments import classify_query
+from repro.logic.parser import FOParseError, parse_formula, parse_query
+from repro.logic.terms import Sort
+from repro.logic.typecheck import check_query, free_variables
+from repro.relational.database import Database
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+class TestParseQuery:
+    def test_boolean_query(self):
+        query = parse_query("exists x: num, y: num . R(x, y) and x > y")
+        assert query.is_boolean
+        assert isinstance(query.body, Exists)
+        assert classify_query(query).conjunctive
+
+    def test_named_query_with_head(self):
+        query = parse_query("cheap(n: base) := exists p: num . Item(n, p) and p < 10")
+        assert query.name == "cheap"
+        assert query.arity == 1
+        assert query.head[0].sort is Sort.BASE
+
+    def test_operator_precedence(self):
+        query = parse_query(
+            "exists x: num . R(x, x) and x > 1 or not R(x, x) -> R(x, x)")
+        # The quantifier scopes maximally; inside it, the implication binds
+        # loosest, so the quantifier body is a disjunction ¬(...) ∨ R(x, x).
+        assert isinstance(query.body, Exists)
+        assert isinstance(query.body.body, FOOr)
+
+    def test_arithmetic_terms_and_parentheses(self):
+        query = parse_query(
+            "exists x: num, y: num . R(x, y) and (x + y) * 2 <= x / y - 1")
+        comparison = [atom for atom in query.body.atoms() if isinstance(atom, Comparison)]
+        assert len(comparison) == 1
+
+    def test_string_literals_and_base_equality(self):
+        query = parse_query("exists s: base, p: num . Market(s, p) and s = 'seg1'")
+        atoms = list(query.body.atoms())
+        assert any(isinstance(atom, BaseEquality) for atom in atoms)
+        negated = parse_query("exists s: base, p: num . Market(s, p) and s != 'seg1'")
+        assert any(isinstance(atom, FONot) or isinstance(atom, BaseEquality)
+                   for atom in negated.body.atoms())
+
+    def test_forall_and_implication(self):
+        query = parse_query(
+            "forall n: base, p: num . Item(n, p) -> p >= 0")
+        assert isinstance(query.body, Forall)
+
+    def test_undeclared_variable_is_an_error(self):
+        with pytest.raises(FOParseError):
+            parse_query("exists x: num . R(x, y)")
+
+    def test_sort_errors(self):
+        with pytest.raises(FOParseError):
+            parse_query("exists x: num, s: base . R(x, s) and s < x")
+        with pytest.raises(FOParseError):
+            parse_query("exists x: nonsense . R(x)")
+
+    def test_syntax_errors(self):
+        for bad in (
+            "exists . R(x)",
+            "exists x: num R(x)",
+            "exists x: num . R(x) and",
+            "exists x: num . (R(x)",
+            "q(x: num := R(x)",
+            "exists x: num . x ~ 1",
+        ):
+            with pytest.raises(FOParseError):
+                parse_query(bad)
+
+    def test_parse_formula_with_declared_free_variables(self):
+        formula = parse_formula("x > y and not x = y", {"x": Sort.NUM, "y": Sort.NUM})
+        names = {variable.name for variable in free_variables(formula)}
+        assert names == {"x", "y"}
+
+
+class TestParsedQueriesEndToEnd:
+    def test_parsed_query_evaluates_like_the_dsl(self):
+        schema = DatabaseSchema.of(RelationSchema.of("Item", name="base", price="num"))
+        database = Database(schema)
+        database.add("Item", ("pen", 2.0))
+        database.add("Item", ("laptop", 900.0))
+        query = parse_query("cheap(n: base) := exists p: num . Item(n, p) and p < 10")
+        check_query(query, schema)
+        assert evaluate_query(query, database) == {("pen",)}
+
+    def test_parsed_intro_query_matches_the_builder_version(self):
+        text = """
+        competitive(s: base) := forall i: base, r: num, d: num, i2: base, p: num .
+            (Products(i, s, r, d) and not Excluded(i, s) and Competition(i2, s, p))
+                -> (r * d <= p and r >= 0 and d >= 0 and p >= 0)
+        """
+        parsed = parse_query(text)
+        check_query(parsed, intro_schema())
+        database = intro_database()
+        from_text = certainty(parsed, database, (SEGMENT,), method="afpras",
+                              epsilon=0.03, rng=0)
+        from_builder = certainty(intro_query(), database, (SEGMENT,), method="afpras",
+                                 epsilon=0.03, rng=0)
+        assert from_text.value == pytest.approx(from_builder.value, abs=0.05)
+        assert from_text.value == pytest.approx(EXPECTED_MEASURE_QUERY, abs=0.05)
+
+    def test_relation_atom_vs_variable_ambiguity(self):
+        # A declared variable followed by "(" must not be read as a relation.
+        query = parse_query("exists x: num . R(x) and (x + 1) > 0")
+        atoms = [atom for atom in query.body.atoms() if isinstance(atom, RelationAtom)]
+        assert len(atoms) == 1

@@ -1,0 +1,174 @@
+"""Tests for the typed relational model: values, schemas, relations, databases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.relational.schema import DatabaseSchema, RelationSchema, SchemaError
+from repro.relational.types import Attribute, AttributeType
+from repro.relational.values import (
+    BaseNull,
+    NullFactory,
+    NumNull,
+    is_base_constant,
+    is_base_null,
+    is_null,
+    is_num_null,
+    is_numeric_constant,
+)
+
+
+class TestValues:
+    def test_null_kinds_are_distinct(self):
+        base = BaseNull("1")
+        num = NumNull("1")
+        assert is_base_null(base) and not is_num_null(base)
+        assert is_num_null(num) and not is_base_null(num)
+        assert is_null(base) and is_null(num)
+        assert base != num
+
+    def test_marked_nulls_compare_by_name(self):
+        assert BaseNull("a") == BaseNull("a")
+        assert NumNull("a") != NumNull("b")
+        assert len({NumNull("a"), NumNull("a"), NumNull("b")}) == 2
+
+    def test_numeric_constants_exclude_booleans(self):
+        assert is_numeric_constant(3)
+        assert is_numeric_constant(2.5)
+        assert not is_numeric_constant(True)
+        assert not is_numeric_constant("3")
+
+    def test_base_constants(self):
+        assert is_base_constant("hello")
+        assert not is_base_constant(3.0)
+        assert not is_base_constant(BaseNull("x"))
+        assert not is_base_constant(["unhashable"])
+
+    def test_null_factory_produces_fresh_names(self):
+        factory = NullFactory(prefix="t")
+        nulls = {factory.num() for _ in range(10)} | {factory.base() for _ in range(10)}
+        assert len(nulls) == 20
+
+    def test_empty_null_name_rejected(self):
+        with pytest.raises(ValueError):
+            BaseNull("")
+        with pytest.raises(ValueError):
+            NumNull("")
+
+    def test_num_null_variable_name(self):
+        assert NumNull("price").variable == "z_price"
+
+
+class TestSchemas:
+    def test_attribute_constructors(self):
+        assert Attribute.base("id").type is AttributeType.BASE
+        assert Attribute.num("price").is_numeric
+
+    def test_relation_schema_of(self):
+        schema = RelationSchema.of("R", id="base", price="num")
+        assert schema.arity == 2
+        assert schema.attribute_names == ("id", "price")
+        assert schema.numeric_positions() == (1,)
+        assert schema.base_positions() == (0,)
+        assert schema.position("price") == 1
+
+    def test_relation_schema_validation_errors(self):
+        with pytest.raises(SchemaError):
+            RelationSchema.of("R")
+        with pytest.raises(SchemaError):
+            RelationSchema.of("R", a="whatever")
+        with pytest.raises(SchemaError):
+            RelationSchema(name="R", attributes=(Attribute.base("a"), Attribute.base("a")))
+        schema = RelationSchema.of("R", id="base")
+        with pytest.raises(SchemaError):
+            schema.attribute("missing")
+
+    def test_tuple_validation(self):
+        schema = RelationSchema.of("R", id="base", price="num")
+        assert schema.validate_tuple(["a", 1.5]) == ("a", 1.5)
+        assert schema.validate_tuple([BaseNull("b"), NumNull("p")]) \
+            == (BaseNull("b"), NumNull("p"))
+        with pytest.raises(SchemaError):
+            schema.validate_tuple(["a"])
+        with pytest.raises(SchemaError):
+            schema.validate_tuple(["a", "not a number"])
+        with pytest.raises(SchemaError):
+            schema.validate_tuple([1.0, 2.0])
+        with pytest.raises(SchemaError):
+            schema.validate_tuple([NumNull("x"), 1.0])
+
+    def test_database_schema(self):
+        first = RelationSchema.of("R", a="base")
+        second = RelationSchema.of("S", b="num")
+        schema = DatabaseSchema.of(first, second)
+        assert "R" in schema and "S" in schema
+        assert len(schema) == 2
+        assert schema.relation("R") is first
+        with pytest.raises(SchemaError):
+            schema.relation("T")
+        with pytest.raises(SchemaError):
+            DatabaseSchema.of(first, first)
+        extended = schema.extend([RelationSchema.of("T", c="base")])
+        assert len(extended) == 3
+        with pytest.raises(SchemaError):
+            extended.extend([first])
+
+
+class TestRelation:
+    def test_insertion_deduplicates_and_keeps_order(self):
+        schema = RelationSchema.of("R", a="base", v="num")
+        relation = Relation(schema)
+        relation.add(("x", 1.0))
+        relation.add(("y", 2.0))
+        relation.add(("x", 1.0))
+        assert len(relation) == 2
+        assert relation.tuples() == (("x", 1.0), ("y", 2.0))
+        assert ("x", 1.0) in relation
+
+    def test_column_and_null_inventories(self):
+        schema = RelationSchema.of("R", a="base", v="num")
+        relation = Relation(schema, [("x", NumNull("n1")), (BaseNull("b1"), 2.0)])
+        assert relation.column("a") == ("x", BaseNull("b1"))
+        assert relation.num_nulls() == {NumNull("n1")}
+        assert relation.base_nulls() == {BaseNull("b1")}
+
+    def test_map_values(self):
+        schema = RelationSchema.of("R", v="num")
+        relation = Relation(schema, [(1.0,), (2.0,)])
+        doubled = relation.map_values(lambda value: value * 2)
+        assert doubled.tuples() == ((2.0,), (4.0,))
+
+
+class TestDatabase:
+    def test_inventories(self, mixed_database):
+        assert mixed_database.base_constants() >= {"pen", "book", "stationery"}
+        assert mixed_database.num_constants() == {2.5, 7.0}
+        assert mixed_database.base_nulls() == {BaseNull("mystery"), BaseNull("book_tag")}
+        assert mixed_database.num_nulls() == {NumNull("book_price")}
+        assert not mixed_database.is_complete()
+
+    def test_num_nulls_ordered_is_deterministic(self, mixed_database):
+        assert mixed_database.num_nulls_ordered() == (NumNull("book_price"),)
+
+    def test_from_dict_and_copy(self, mixed_schema):
+        database = Database.from_dict(mixed_schema, {
+            "Items": [("pen", 1.0)],
+            "Tags": [("pen", "office")],
+        })
+        assert database.total_tuples() == 2
+        duplicate = database.copy()
+        duplicate.add("Items", ("book", 2.0))
+        assert database.total_tuples() == 2
+        assert duplicate.total_tuples() == 3
+
+    def test_unknown_relation_rejected(self, mixed_database):
+        with pytest.raises(SchemaError):
+            mixed_database.add("Nope", ("a",))
+        with pytest.raises(SchemaError):
+            mixed_database.relation("Nope")
+
+    def test_relation_names_and_iteration(self, mixed_database):
+        assert set(mixed_database.relation_names()) == {"Items", "Tags"}
+        assert {relation.name for relation in mixed_database} == {"Items", "Tags"}

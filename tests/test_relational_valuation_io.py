@@ -1,0 +1,88 @@
+"""Tests for valuations, bijective base valuations and CSV round-tripping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational.csv_io import load_database, save_database
+from repro.relational.database import Database
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.valuation import Valuation, bijective_base_valuation
+from repro.relational.values import BaseNull, NumNull
+
+
+class TestValuation:
+    def test_applies_to_values_and_tuples(self):
+        valuation = Valuation(base_map={BaseNull("b"): "bob"},
+                              num_map={NumNull("n"): 3})
+        assert valuation.value(BaseNull("b")) == "bob"
+        assert valuation.value(NumNull("n")) == 3.0
+        assert valuation.value("constant") == "constant"
+        assert valuation.tuple((BaseNull("b"), 7.0, NumNull("n"))) == ("bob", 7.0, 3.0)
+
+    def test_uncovered_nulls_pass_through(self):
+        valuation = Valuation()
+        assert valuation.value(BaseNull("b")) == BaseNull("b")
+        assert valuation.value(NumNull("n")) == NumNull("n")
+
+    def test_database_application(self, mixed_database):
+        valuation = Valuation(base_map={BaseNull("mystery"): "eraser",
+                                        BaseNull("book_tag"): "reading"},
+                              num_map={NumNull("book_price"): 12.0})
+        complete = valuation.database(mixed_database)
+        assert complete.is_complete()
+        assert mixed_database.num_nulls()  # the original is untouched
+
+    def test_extend_merges_maps(self):
+        first = Valuation(base_map={BaseNull("a"): "x"})
+        second = Valuation(num_map={NumNull("b"): 1.0})
+        merged = first.extend(second)
+        assert merged.value(BaseNull("a")) == "x"
+        assert merged.value(NumNull("b")) == 1.0
+
+    def test_numeric_constructor(self):
+        valuation = Valuation.numeric({NumNull("n"): 2.5})
+        assert valuation.value(NumNull("n")) == 2.5
+
+
+class TestBijectiveBaseValuation:
+    def test_fresh_injective_and_disjoint(self, mixed_database):
+        valuation = bijective_base_valuation(mixed_database)
+        images = [valuation.value(null) for null in mixed_database.base_nulls()]
+        assert len(set(images)) == len(images)
+        assert not set(images) & mixed_database.base_constants()
+
+    def test_avoids_collisions_with_existing_constants(self):
+        schema = DatabaseSchema.of(RelationSchema.of("R", a="base"))
+        database = Database(schema)
+        database.add("R", ("fresh#x",))
+        database.add("R", (BaseNull("x"),))
+        valuation = bijective_base_valuation(database)
+        assert valuation.value(BaseNull("x")) != "fresh#x"
+
+    def test_leaves_numeric_nulls_alone(self, mixed_database):
+        valuation = bijective_base_valuation(mixed_database)
+        valued = valuation.database(mixed_database)
+        assert valued.num_nulls() == mixed_database.num_nulls()
+        assert not valued.base_nulls()
+
+
+class TestCsvRoundTrip:
+    def test_round_trip_preserves_everything(self, mixed_database, tmp_path):
+        save_database(mixed_database, tmp_path)
+        loaded = load_database(mixed_database.schema, tmp_path)
+        for relation in mixed_database:
+            assert set(loaded.relation(relation.name).tuples()) == set(relation.tuples())
+
+    def test_missing_files_load_as_empty(self, mixed_schema, tmp_path):
+        loaded = load_database(mixed_schema, tmp_path)
+        assert loaded.total_tuples() == 0
+
+    def test_header_mismatch_is_rejected(self, mixed_database, mixed_schema, tmp_path):
+        save_database(mixed_database, tmp_path)
+        other_schema = DatabaseSchema.of(
+            RelationSchema.of("Items", wrong="base", price="num"),
+            mixed_schema.relation("Tags"),
+        )
+        with pytest.raises(ValueError):
+            load_database(other_schema, tmp_path)

@@ -1,0 +1,151 @@
+"""Tests for the Proposition 5.3 translation into constraint formulae."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.constraints.formula import FalseFormula, TrueFormula
+from repro.constraints.translate import (
+    RationalTerm,
+    TranslationError,
+    translate,
+)
+from repro.constraints.polynomials import Polynomial
+from repro.logic.builder import base_var, exists, forall, implies, neg, num_var, rel
+from repro.logic.formulas import Query
+from repro.relational.database import Database
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.values import BaseNull, NumNull
+
+
+class TestRationalTerm:
+    def test_arithmetic(self):
+        x = RationalTerm.of(Polynomial.variable("x"))
+        two = RationalTerm.of(Polynomial.constant(2.0))
+        quotient = x.divide(two)
+        assert quotient.numerator == Polynomial.variable("x")
+        assert quotient.denominator == Polynomial.constant(2.0)
+        combined = (x + two) * x - two
+        assert combined.numerator.evaluate({"x": 3.0}) / combined.denominator.evaluate({"x": 3.0}) \
+            == pytest.approx((3.0 + 2.0) * 3.0 - 2.0)
+
+
+class TestTranslateBasics:
+    def test_pair_query_produces_single_inequality(self, pair_database):
+        x, y = num_var("x"), num_var("y")
+        query = Query(head=(), body=exists([x, y], rel("R", x, y) & (x > y)))
+        translation = translate(query, pair_database)
+        assert translation.dimension == 2
+        assert set(translation.relevant_variables) == {"z_1", "z_2"}
+        assert translation.formula.evaluate({"z_1": 2.0, "z_2": 1.0})
+        assert not translation.formula.evaluate({"z_1": 1.0, "z_2": 2.0})
+
+    def test_no_numeric_nulls_gives_ground_formula(self):
+        schema = DatabaseSchema.of(RelationSchema.of("R", v="num"))
+        database = Database(schema)
+        database.add("R", (5.0,))
+        x = num_var("x")
+        query_true = Query(head=(), body=exists(x, rel("R", x) & (x > 1.0)))
+        query_false = Query(head=(), body=exists(x, rel("R", x) & (x > 10.0)))
+        assert isinstance(translate(query_true, database).formula, TrueFormula)
+        assert isinstance(translate(query_false, database).formula, FalseFormula)
+
+    def test_candidate_arity_is_checked(self, pair_database):
+        x, y = num_var("x"), num_var("y")
+        query = Query(head=(x,), body=exists(y, rel("R", x, y)))
+        with pytest.raises(TranslationError):
+            translate(query, pair_database, ())
+        with pytest.raises(TranslationError):
+            translate(query, pair_database, ("wrong-sort",))
+
+    def test_candidate_null_binding(self, pair_database):
+        x, y = num_var("x"), num_var("y")
+        query = Query(head=(x,), body=exists(y, rel("R", x, y) & (x > y)))
+        translation = translate(query, pair_database, (NumNull("1"),))
+        # The candidate is the first null itself: the formula must say z_1 > z_2.
+        assert translation.formula.evaluate({"z_1": 3.0, "z_2": 1.0})
+        assert not translation.formula.evaluate({"z_1": 1.0, "z_2": 3.0})
+
+    def test_base_nulls_are_fresh_constants(self):
+        schema = DatabaseSchema.of(RelationSchema.of("Person", name="base"))
+        database = Database(schema)
+        database.add("Person", (BaseNull("unknown"),))
+        who = base_var("w")
+        query = Query(head=(), body=exists(who, rel("Person", who)
+                                           & who.equals("alice")))
+        # The null is almost surely not "alice": the formula is False.
+        assert isinstance(translate(query, database).formula, FalseFormula)
+        query_self = Query(head=(who,), body=rel("Person", who))
+        translation = translate(query_self, database, (BaseNull("unknown"),))
+        assert isinstance(translation.formula, TrueFormula)
+
+    def test_division_produces_sign_case_split(self):
+        schema = DatabaseSchema.of(RelationSchema.of("R", a="num", b="num"))
+        database = Database(schema)
+        database.add("R", (NumNull("a"), NumNull("b")))
+        a, b = num_var("a"), num_var("b")
+        query = Query(head=(), body=exists([a, b], rel("R", a, b) & (a / b > 1.0)))
+        translation = translate(query, database)
+        # a/b > 1 holds for (3, 2) and (-3, -2) but not (2, 3) or (3, -2).
+        assert translation.formula.evaluate({"z_a": 3.0, "z_b": 2.0})
+        assert translation.formula.evaluate({"z_a": -3.0, "z_b": -2.0})
+        assert not translation.formula.evaluate({"z_a": 2.0, "z_b": 3.0})
+        assert not translation.formula.evaluate({"z_a": 3.0, "z_b": -2.0})
+
+    def test_relevant_variables_subset(self):
+        schema = DatabaseSchema.of(RelationSchema.of("R", a="num", b="num"),
+                                   RelationSchema.of("S", c="num"))
+        database = Database(schema)
+        database.add("R", (NumNull("a"), NumNull("b")))
+        database.add("S", (NumNull("unrelated"),))
+        a, b = num_var("a"), num_var("b")
+        query = Query(head=(), body=exists([a, b], rel("R", a, b) & (a > b)))
+        translation = translate(query, database)
+        assert translation.dimension == 3
+        # The quantifier expansion may mention the unrelated null in
+        # measure-zero equality disjuncts, but the nulls of R must be there.
+        assert {"z_a", "z_b"} <= set(translation.relevant_variables)
+        assert set(translation.relevant_variables) <= {"z_a", "z_b", "z_unrelated"}
+
+
+class TestTranslateAgainstEvaluator:
+    """The translated formula must agree with the reference evaluator."""
+
+    @pytest.mark.parametrize("values", [
+        (2.0, 1.0, 5.0), (1.0, 2.0, 5.0), (4.0, 4.0, 1.0), (-3.0, -5.0, 2.0),
+    ])
+    def test_agreement_on_sampled_valuations(self, values):
+        schema = DatabaseSchema.of(RelationSchema.of("R", a="num", b="num"),
+                                   RelationSchema.of("T", c="num"))
+        database = Database(schema)
+        nulls = (NumNull("a"), NumNull("b"), NumNull("c"))
+        database.add("R", (nulls[0], nulls[1]))
+        database.add("T", (nulls[2],))
+        a, b, c = num_var("a"), num_var("b"), num_var("c")
+        query = Query(head=(), body=exists([a, b], rel("R", a, b)
+                                           & (a + b > 1.0)
+                                           & exists(c, rel("T", c) & (c * c > a))))
+        translation = translate(query, database)
+
+        from repro.logic.evaluation import evaluate_boolean
+        from repro.relational.valuation import Valuation
+
+        valuation = Valuation.numeric(dict(zip(nulls, values)))
+        expected = evaluate_boolean(query, valuation.database(database))
+        assignment = {null.variable: value for null, value in zip(nulls, values)}
+        assert translation.formula.evaluate(assignment) == expected
+
+    def test_intro_example_formula_matches_evaluator(self, intro_db, intro_q):
+        from repro.logic.evaluation import query_holds_for
+        from repro.relational.valuation import Valuation, bijective_base_valuation
+
+        translation = translate(intro_q, intro_db, ("s",))
+        base_valuation = bijective_base_valuation(intro_db)
+        nulls = intro_db.num_nulls_ordered()
+        for values in ((100.0, 5.0), (5.0, 100.0), (9.0, 10.0), (20.0, 20.0)):
+            valuation = base_valuation.extend(Valuation.numeric(dict(zip(nulls, values))))
+            expected = query_holds_for(intro_q, valuation.database(intro_db), ("s",))
+            assignment = {null.variable: value for null, value in zip(nulls, values)}
+            assert translation.formula.evaluate(assignment) == expected, values
