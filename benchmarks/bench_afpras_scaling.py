@@ -41,6 +41,32 @@ def chain_translation(dimension: int) -> TranslationResult:
 
 EPSILONS = (0.1, 0.05, 0.02, 0.01)
 DIMENSIONS = (2, 4, 8, 16, 32)
+ENGINES = ("scalar", "batched")
+
+
+def test_engine_speedup_table(capsys):
+    """Compiled batch kernels vs the scalar reference walk, same seed each."""
+    rows = []
+    for dimension in DIMENSIONS:
+        translation = chain_translation(dimension)
+        timings = {}
+        values = {}
+        for engine in ENGINES:
+            options = AfprasOptions(epsilon=0.02, engine=engine)
+            afpras_measure(translation, options, rng=0)  # warm compile cache
+            start = time.perf_counter()
+            values[engine] = afpras_measure(translation, options, rng=0).value
+            timings[engine] = time.perf_counter() - start
+        # Same seed => same directions => identical estimates across engines.
+        assert values["scalar"] == values["batched"]
+        rows.append((dimension, timings["scalar"], timings["batched"]))
+    with capsys.disabled():
+        print()
+        print("AFPRAS engines at eps = 0.02 (same seed, identical estimates):")
+        print("  nulls   scalar (s)   batched (s)   speedup")
+        for dimension, scalar_time, batched_time in rows:
+            print(f"  {dimension:5d}  {scalar_time:11.3f}  {batched_time:12.3f}"
+                  f"   {scalar_time / batched_time:7.1f}x")
 
 
 def test_epsilon_scaling_table(capsys):
@@ -78,17 +104,21 @@ def test_dimension_scaling_table(capsys):
     assert rows[0][2] == pytest.approx(0.5, abs=0.05)
 
 
+@pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("epsilon", EPSILONS)
-def test_afpras_epsilon_time(benchmark, epsilon):
+def test_afpras_epsilon_time(benchmark, epsilon, engine):
     translation = chain_translation(4)
     benchmark.pedantic(
-        lambda: afpras_measure(translation, AfprasOptions(epsilon=epsilon), rng=0),
+        lambda: afpras_measure(translation,
+                               AfprasOptions(epsilon=epsilon, engine=engine), rng=0),
         rounds=3, iterations=1, warmup_rounds=1)
 
 
+@pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("dimension", [2, 8, 32])
-def test_afpras_dimension_time(benchmark, dimension):
+def test_afpras_dimension_time(benchmark, dimension, engine):
     translation = chain_translation(dimension)
     benchmark.pedantic(
-        lambda: afpras_measure(translation, AfprasOptions(epsilon=0.05), rng=0),
+        lambda: afpras_measure(translation,
+                               AfprasOptions(epsilon=0.05, engine=engine), rng=0),
         rounds=3, iterations=1, warmup_rounds=1)

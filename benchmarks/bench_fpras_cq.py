@@ -79,12 +79,14 @@ def test_agreement_table(capsys):
                   f"{afpras_value:.4f}   {exact_text}")
 
 
+@pytest.mark.parametrize("engine", ["scalar", "batched"])
 @pytest.mark.parametrize("dimension", [2, 3, 5])
-def test_fpras_time(benchmark, dimension):
+def test_fpras_time(benchmark, dimension, engine):
     translation = random_linear_translation(dimension, disjuncts=3,
                                             atoms_per_disjunct=2, seed=dimension)
     benchmark.pedantic(
-        lambda: fpras_measure(translation, FprasOptions(epsilon=0.05), rng=0),
+        lambda: fpras_measure(translation,
+                              FprasOptions(epsilon=0.05, engine=engine), rng=0),
         rounds=3, iterations=1, warmup_rounds=1)
 
 

@@ -1,0 +1,196 @@
+#!/usr/bin/env python
+"""Perf harness for the Monte-Carlo schemes: scalar seed paths vs batched kernels.
+
+Measures wall-clock time of the AFPRAS (Theorem 8.1) and the CQ(+,<) FPRAS
+(Theorem 7.1) under both execution engines at fixed seeds and error levels,
+and writes the results to a JSON baseline so future PRs have a perf
+trajectory to beat.  The headline configuration is
+``bench_afpras_scaling.py``'s largest one -- the 32-null chain -- at
+``eps = 0.02``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py            # full run
+    PYTHONPATH=src python benchmarks/run_bench.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/run_bench.py --output BENCH_PR1.json
+
+See DESIGN.md ("Perf-measurement protocol") for how the numbers are taken.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.certainty import (
+    AfprasOptions,
+    FprasOptions,
+    afpras_measure,
+    fpras_measure,
+)
+from repro.constraints.atoms import Comparison, Constraint
+from repro.constraints.formula import And, Atom, disjunction
+from repro.constraints.polynomials import Polynomial
+from repro.constraints.translate import TranslationResult
+from repro.geometry.montecarlo import hoeffding_sample_size
+from repro.relational.values import NumNull
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_PR1.json"
+
+#: The headline configuration of the acceptance criterion: the largest
+#: dimension of bench_afpras_scaling.py at eps = 0.02.
+AFPRAS_HEADLINE = {"dimension": 32, "epsilon": 0.02, "seed": 0}
+
+
+def chain_translation(dimension: int) -> TranslationResult:
+    """The chain ``z_0 < z_1 < ... < z_{d-1}`` (bench_afpras_scaling's input)."""
+    names = tuple(f"z_c{i}" for i in range(dimension))
+    atoms = tuple(
+        Atom(Constraint(Polynomial.variable(names[i]) - Polynomial.variable(names[i + 1]),
+                        Comparison.LT))
+        for i in range(dimension - 1))
+    return TranslationResult(
+        formula=And(atoms),
+        all_variables=names,
+        relevant_variables=names,
+        null_by_variable={name: NumNull(name.removeprefix("z_")) for name in names},
+    )
+
+
+def random_linear_translation(dimension: int, disjuncts: int,
+                              atoms_per_disjunct: int, seed: int) -> TranslationResult:
+    """A random DNF of linear constraints (bench_fpras_cq's input)."""
+    generator = np.random.default_rng(seed)
+    names = tuple(f"z_n{i}" for i in range(dimension))
+    parts = []
+    for _ in range(disjuncts):
+        atoms = []
+        for _ in range(atoms_per_disjunct):
+            coefficients = generator.uniform(-1.0, 1.0, size=dimension)
+            polynomial = Polynomial.constant(float(generator.uniform(-1.0, 1.0)))
+            for name, coefficient in zip(names, coefficients):
+                polynomial = polynomial + float(coefficient) * Polynomial.variable(name)
+            atoms.append(Atom(Constraint(polynomial, Comparison.LE)))
+        parts.append(And(tuple(atoms)))
+    return TranslationResult(
+        formula=disjunction(parts),
+        all_variables=names,
+        relevant_variables=names,
+        null_by_variable={name: NumNull(name.removeprefix("z_")) for name in names},
+    )
+
+
+def _best_of(callable_, repeats: int) -> tuple[float, object]:
+    """Minimum wall-clock of ``repeats`` runs (after one warm-up), plus a result."""
+    callable_()  # warm caches: formula compilation, BLAS, scipy
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = callable_()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def bench_afpras(quick: bool) -> dict:
+    repeats = 1 if quick else 3
+    configs = [dict(AFPRAS_HEADLINE, headline=True)]
+    if not quick:
+        configs += [
+            {"dimension": 8, "epsilon": 0.02, "seed": 0},
+            {"dimension": 4, "epsilon": 0.01, "seed": 0},
+        ]
+    rows = []
+    for config in configs:
+        translation = chain_translation(config["dimension"])
+        row = {
+            **config,
+            "samples": hoeffding_sample_size(config["epsilon"]),
+        }
+        for engine in ("scalar", "batched"):
+            options = AfprasOptions(epsilon=config["epsilon"], engine=engine)
+            seconds, result = _best_of(
+                lambda options=options, translation=translation, config=config:
+                afpras_measure(translation, options, rng=config["seed"]),
+                repeats)
+            row[f"{engine}_seconds"] = seconds
+            row[f"{engine}_value"] = result.value
+        row["speedup"] = row["scalar_seconds"] / max(row["batched_seconds"], 1e-12)
+        rows.append(row)
+        print(f"afpras dim={config['dimension']:3d} eps={config['epsilon']:.3f}  "
+              f"scalar {row['scalar_seconds']*1e3:8.2f} ms   "
+              f"batched {row['batched_seconds']*1e3:8.2f} ms   "
+              f"speedup {row['speedup']:6.2f}x")
+    return {"scheme": "afpras", "configs": rows}
+
+
+def bench_fpras(quick: bool) -> dict:
+    repeats = 1 if quick else 3
+    configs = [{"dimension": 5, "disjuncts": 3, "atoms": 2,
+                "epsilon": 0.05, "seed": 5}]
+    if not quick:
+        configs.append({"dimension": 3, "disjuncts": 3, "atoms": 2,
+                        "epsilon": 0.03, "seed": 3})
+    rows = []
+    for config in configs:
+        translation = random_linear_translation(
+            config["dimension"], config["disjuncts"], config["atoms"], config["seed"])
+        row = dict(config)
+        for engine in ("scalar", "batched"):
+            options = FprasOptions(epsilon=config["epsilon"], engine=engine)
+            seconds, result = _best_of(
+                lambda options=options, translation=translation, config=config:
+                fpras_measure(translation, options, rng=config["seed"]),
+                repeats)
+            row[f"{engine}_seconds"] = seconds
+            row[f"{engine}_value"] = result.value
+        row["speedup"] = row["scalar_seconds"] / max(row["batched_seconds"], 1e-12)
+        rows.append(row)
+        print(f"fpras  dim={config['dimension']:3d} eps={config['epsilon']:.3f}  "
+              f"scalar {row['scalar_seconds']*1e3:8.2f} ms   "
+              f"batched {row['batched_seconds']*1e3:8.2f} ms   "
+              f"speedup {row['speedup']:6.2f}x")
+    return {"scheme": "fpras", "configs": rows}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="single repeat per config, headline configs only "
+                             "(CI smoke mode)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help=f"JSON baseline path (default: {DEFAULT_OUTPUT})")
+    args = parser.parse_args()
+
+    schemes = [bench_afpras(args.quick), bench_fpras(args.quick)]
+    headline = next(row for row in schemes[0]["configs"] if row.get("headline"))
+    baseline = {
+        "benchmark": "vectorized sampling engine (scalar seed paths vs batched kernels)",
+        "protocol": "best-of-N wall clock after one warm-up run, fixed seeds",
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "headline": {
+            "config": AFPRAS_HEADLINE,
+            "scalar_seconds": headline["scalar_seconds"],
+            "batched_seconds": headline["batched_seconds"],
+            "speedup": headline["speedup"],
+        },
+        "schemes": schemes,
+    }
+    args.output.write_text(json.dumps(baseline, indent=2) + "\n")
+    print(f"\nheadline speedup: {headline['speedup']:.2f}x "
+          f"(afpras dim=32, eps=0.02); baseline written to {args.output}")
+    if headline["speedup"] < 5.0 and not args.quick:
+        print("WARNING: headline speedup below the 5x acceptance threshold")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,8 +25,10 @@ from dataclasses import dataclass
 from fractions import Fraction
 from math import factorial
 
+import numpy as np
+
 from repro.certainty.result import CertaintyResult
-from repro.constraints.asymptotic import asymptotic_truth
+from repro.compile import compile_formula
 from repro.constraints.formula import ConstraintFormula, dnf_size_bound
 from repro.constraints.linear import formula_to_cones
 from repro.constraints.translate import TranslationResult
@@ -76,10 +78,19 @@ def is_order_style(formula: ConstraintFormula) -> bool:
 
 def _signed_ordering_measure(formula: ConstraintFormula,
                              variables: tuple[str, ...]) -> Fraction:
-    """Exact rational measure by enumerating signed orderings of the nulls."""
+    """Exact rational measure by enumerating signed orderings of the nulls.
+
+    The representative points of all ``(n+1) * n!`` signed-ordering cells are
+    stacked into one matrix and decided with a single batched Lemma 8.4
+    kernel call; the cell probabilities stay exact :class:`Fraction`\\ s.  The
+    representative coordinates are small integers, so the kernel's
+    floating-point sums are exact and its decisions match the scalar
+    :func:`asymptotic_truth` walk bit for bit.
+    """
     n = len(variables)
-    total = Fraction(0)
     indices = list(range(n))
+    rows: list[list[float]] = []
+    probabilities: list[Fraction] = []
     for negatives_count in range(n + 1):
         cell_probability = Fraction(
             1, (2**n) * factorial(negatives_count) * factorial(n - negatives_count))
@@ -87,14 +98,20 @@ def _signed_ordering_measure(formula: ConstraintFormula,
             positive_set = [index for index in indices if index not in negative_set]
             for negative_order in itertools.permutations(negative_set):
                 for positive_order in itertools.permutations(positive_set):
-                    assignment: dict[str, float] = {}
+                    point = [0.0] * n
                     # Negatives in increasing order: most negative first.
                     for rank, index in enumerate(negative_order):
-                        assignment[variables[index]] = float(rank - negatives_count)
+                        point[index] = float(rank - negatives_count)
                     for rank, index in enumerate(positive_order):
-                        assignment[variables[index]] = float(rank + 1)
-                    if asymptotic_truth(formula, assignment):
-                        total += cell_probability
+                        point[index] = float(rank + 1)
+                    rows.append(point)
+                    probabilities.append(cell_probability)
+    compiled = compile_formula(formula, variables)
+    decisions = compiled.asymptotic_truth_batch(np.asarray(rows, dtype=float))
+    total = Fraction(0)
+    for decision, cell_probability in zip(decisions, probabilities):
+        if decision:
+            total += cell_probability
     return total
 
 

@@ -28,6 +28,7 @@ from typing import Callable, Mapping, Optional, Sequence
 import numpy as np
 
 from repro.certainty.result import CertaintyResult
+from repro.compile import DEFAULT_BLOCK_SIZE, compile_formula
 from repro.constraints.asymptotic import asymptotic_truth, direction_assignment
 from repro.constraints.polynomials import Polynomial
 from repro.constraints.translate import TranslationResult
@@ -108,6 +109,31 @@ def constrained_certainty(translation: TranslationResult,
                    and (spec.lower is not None or spec.upper is not None)}
 
     samples = hoeffding_sample_size(epsilon, delta)
+    if not bounded and unbounded:
+        # No per-sample substitution: the formula compiles once and the
+        # directions are decided block-wise by the batched asymptotic kernel.
+        # The direction blocks come off the same generator stream as the
+        # scalar per-sample draws, so seeded results agree with the
+        # reference loop.
+        compiled = compile_formula(translation.formula, tuple(unbounded))
+        hits = 0
+        remaining = samples
+        while remaining:
+            count = min(remaining, DEFAULT_BLOCK_SIZE)
+            directions = sample_direction(len(unbounded), generator, size=count)
+            for index, name in enumerate(unbounded):
+                spec = half_bounds.get(name)
+                if spec is None:
+                    continue
+                # A one-sided range only constrains the sign of the direction.
+                if spec.lower is not None:
+                    directions[:, index] = np.abs(directions[:, index])
+                elif spec.upper is not None:
+                    directions[:, index] = -np.abs(directions[:, index])
+            hits += int(compiled.asymptotic_truth_batch(directions).sum())
+            remaining -= count
+        return _constrained_result(translation, hits, samples, epsilon, delta,
+                                   variables, bounded, half_bounds)
     hits = 0
     for _ in range(samples):
         concrete = {name: generator.uniform(spec.lower, spec.upper)
@@ -120,7 +146,6 @@ def constrained_certainty(translation: TranslationResult,
             direction = sample_direction(len(unbounded), generator)
             assignment = direction_assignment(unbounded, direction)
             for name, spec in half_bounds.items():
-                # A one-sided range only constrains the sign of the direction.
                 if spec.lower is not None:
                     assignment[name] = abs(assignment[name])
                 elif spec.upper is not None:
@@ -128,6 +153,15 @@ def constrained_certainty(translation: TranslationResult,
             satisfied = asymptotic_truth(formula, assignment)
         if satisfied:
             hits += 1
+    return _constrained_result(translation, hits, samples, epsilon, delta,
+                               variables, bounded, half_bounds)
+
+
+def _constrained_result(translation: TranslationResult, hits: int, samples: int,
+                        epsilon: float, delta: float,
+                        variables: Sequence[str],
+                        bounded: Mapping[str, Range],
+                        half_bounds: Mapping[str, Range]) -> CertaintyResult:
     return CertaintyResult(
         value=hits / samples,
         method="afpras",
@@ -159,11 +193,20 @@ def distributional_certainty(translation: TranslationResult,
         raise ValueError(f"no distribution supplied for nulls: {missing}")
     generator = as_generator(rng)
     samples = hoeffding_sample_size(epsilon, delta)
+    # Draw in the same per-sample, per-variable order as the scalar loop did
+    # (the samplers are opaque callables), but decide valuations block-wise
+    # with the compiled kernel.
+    compiled = compile_formula(translation.formula, tuple(variables))
     hits = 0
-    for _ in range(samples):
-        assignment = {name: float(distributions[name](generator)) for name in variables}
-        if translation.formula.evaluate(assignment):
-            hits += 1
+    remaining = samples
+    while remaining:
+        count = min(remaining, DEFAULT_BLOCK_SIZE)
+        points = np.empty((count, len(variables)))
+        for row in range(count):
+            for index, name in enumerate(variables):
+                points[row, index] = float(distributions[name](generator))
+        hits += int(compiled.evaluate_batch(points).sum())
+        remaining -= count
     return CertaintyResult(
         value=hits / samples,
         method="afpras",
@@ -199,16 +242,22 @@ def lattice_certainty(translation: TranslationResult,
     generator = as_generator(rng)
     samples = hoeffding_sample_size(epsilon, delta)
     bound = int(math.floor(radius))
+    compiled = compile_formula(translation.formula, tuple(variables))
+    # Vectorised rejection sampling from the lattice ball: draw candidate
+    # blocks from the enclosing cube, keep those inside the ball, and decide
+    # each accepted block with one kernel call.
     hits = 0
     drawn = 0
+    block_size = max(256, min(samples, DEFAULT_BLOCK_SIZE))
     while drawn < samples:
-        point = generator.integers(-bound, bound + 1, size=len(variables))
-        if float(np.linalg.norm(point)) > radius:
+        block = generator.integers(-bound, bound + 1,
+                                   size=(block_size, len(variables)))
+        accepted = block[np.linalg.norm(block, axis=1) <= radius]
+        if accepted.shape[0] == 0:
             continue
-        drawn += 1
-        assignment = {name: float(component) for name, component in zip(variables, point)}
-        if translation.formula.evaluate(assignment):
-            hits += 1
+        accepted = accepted[:samples - drawn]
+        drawn += accepted.shape[0]
+        hits += int(compiled.evaluate_batch(accepted.astype(float)).sum())
     return CertaintyResult(
         value=hits / samples,
         method="afpras",

@@ -1,0 +1,220 @@
+"""Lowering of constraint formulae to flat NumPy-friendly tables.
+
+The scalar evaluators in :mod:`repro.constraints` walk the formula tree once
+per sample point, looking every variable up in a dict.  The Monte-Carlo
+schemes of the paper draw ``ln(2/delta) / (2 eps^2)`` points per estimate, so
+that walk dominates the whole certainty subsystem.  This module performs the
+walk exactly once, producing three flat artefacts a NumPy kernel can replay
+over an entire ``(m, n)`` block of points at once:
+
+* an **atom table**: the distinct atomic constraints of the formula, with all
+  their monomials stacked into a single exponent matrix ``E`` of shape
+  ``(M, n)``, a coefficient vector ``c`` of length ``M``, and an index vector
+  mapping each monomial back to its atom.  Summing monomial values by atom is
+  then a single ``(m, M) @ (M, A)`` matrix product;
+* a **linear fast path**: when every atom is linear the table additionally
+  carries a dense ``(n, A)`` coefficient matrix and an ``(A,)`` constant
+  vector, so atom values are one ``points @ W + b``;
+* a **boolean program**: the connective structure flattened into a post-order
+  stack program (push atom column / negate / reduce the top ``k`` entries
+  with and/or) evaluated with NumPy logical ops on whole columns.
+
+The lowering preserves the scalar semantics exactly -- including the
+tolerance conventions of :meth:`Comparison.holds` and the relative-threshold
+leading-sign rule of Lemma 8.4 -- so the kernels of
+:mod:`repro.compile.kernels` can serve as drop-in replacements whose
+decisions match the scalar reference oracles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.constraints.atoms import Comparison, Constraint
+from repro.constraints.formula import (
+    And,
+    Atom,
+    ConstraintFormula,
+    FalseFormula,
+    Not,
+    Or,
+    TrueFormula,
+)
+
+# Boolean-program opcodes.  A program is a tuple of instructions; each
+# instruction is ``(opcode, operand)`` with the operand an atom column for
+# PUSH_ATOM, an arity for AND/OR, and ignored otherwise.
+PUSH_ATOM = 0
+PUSH_TRUE = 1
+PUSH_FALSE = 2
+OP_NOT = 3
+OP_AND = 4
+OP_OR = 5
+
+Instruction = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class AtomTable:
+    """The distinct atoms of a formula in stacked coefficient-matrix form.
+
+    Attributes
+    ----------
+    variables:
+        The ordered ambient variables; column ``j`` of a points block holds
+        the value of ``variables[j]``.
+    constraints:
+        The distinct atomic constraints, in first-occurrence order.
+    ops:
+        ``ops[a]`` is the comparison operator of atom ``a``.
+    exponents:
+        ``(M, n)`` integer matrix: row ``k`` holds the per-variable exponents
+        of the ``k``-th monomial (all zeros for a constant term).
+    coefficients:
+        ``(M,)`` float vector of monomial coefficients.
+    atom_index:
+        ``(M,)`` integer vector mapping each monomial to its atom.
+    degrees:
+        ``(M,)`` integer vector of monomial total degrees (the grouping key
+        of the Lemma 8.4 directional profile).
+    linear_matrix, linear_constant:
+        Dense ``(n, A)`` / ``(A,)`` fast path, present iff ``is_linear``.
+    """
+
+    variables: tuple[str, ...]
+    constraints: tuple[Constraint, ...]
+    ops: tuple[Comparison, ...]
+    exponents: np.ndarray
+    coefficients: np.ndarray
+    atom_index: np.ndarray
+    degrees: np.ndarray
+    linear_matrix: np.ndarray | None
+    linear_constant: np.ndarray | None
+
+    @property
+    def num_atoms(self) -> int:
+        return len(self.constraints)
+
+    @property
+    def num_monomials(self) -> int:
+        return int(self.coefficients.shape[0])
+
+    @property
+    def is_linear(self) -> bool:
+        return self.linear_matrix is not None
+
+    @property
+    def max_degree(self) -> int:
+        """Largest total degree over all monomials (0 for constant atoms)."""
+        if self.degrees.size == 0:
+            return 0
+        return int(self.degrees.max())
+
+
+class LoweringError(ValueError):
+    """Raised when a formula cannot be lowered over the given variables."""
+
+
+def _collect_atoms(formula: ConstraintFormula) -> list[Constraint]:
+    """Distinct atomic constraints in first-occurrence order."""
+    seen: dict[Constraint, int] = {}
+    for constraint in formula.atoms():
+        if constraint not in seen:
+            seen[constraint] = len(seen)
+    return list(seen)
+
+
+def _build_atom_table(constraints: Sequence[Constraint],
+                      variables: tuple[str, ...]) -> AtomTable:
+    column = {name: j for j, name in enumerate(variables)}
+    dimension = len(variables)
+    exponent_rows: list[np.ndarray] = []
+    coefficient_values: list[float] = []
+    atom_indices: list[int] = []
+    degree_values: list[int] = []
+    for index, constraint in enumerate(constraints):
+        unknown = constraint.variables() - set(variables)
+        if unknown:
+            raise LoweringError(
+                f"formula mentions variables not in the ambient tuple: {sorted(unknown)}")
+        for monomial, coefficient in constraint.polynomial.coefficients.items():
+            row = np.zeros(dimension, dtype=np.int64)
+            degree = 0
+            for name, exponent in monomial:
+                row[column[name]] = exponent
+                degree += exponent
+            exponent_rows.append(row)
+            coefficient_values.append(float(coefficient))
+            atom_indices.append(index)
+            degree_values.append(degree)
+
+    if exponent_rows:
+        exponents = np.vstack(exponent_rows)
+    else:
+        exponents = np.zeros((0, dimension), dtype=np.int64)
+    coefficients = np.asarray(coefficient_values, dtype=float)
+    atom_index = np.asarray(atom_indices, dtype=np.int64)
+    degrees = np.asarray(degree_values, dtype=np.int64)
+
+    linear_matrix = None
+    linear_constant = None
+    if all(constraint.is_linear() for constraint in constraints):
+        linear_matrix = np.zeros((dimension, len(constraints)))
+        linear_constant = np.zeros(len(constraints))
+        for index, constraint in enumerate(constraints):
+            linear_constant[index] = constraint.polynomial.constant_term()
+            for name, coefficient in constraint.polynomial.linear_coefficients().items():
+                linear_matrix[column[name], index] = coefficient
+
+    return AtomTable(
+        variables=variables,
+        constraints=tuple(constraints),
+        ops=tuple(constraint.op for constraint in constraints),
+        exponents=exponents,
+        coefficients=coefficients,
+        atom_index=atom_index,
+        degrees=degrees,
+        linear_matrix=linear_matrix,
+        linear_constant=linear_constant,
+    )
+
+
+def _lower_program(formula: ConstraintFormula,
+                   atom_slot: dict[Constraint, int],
+                   program: list[Instruction]) -> None:
+    if isinstance(formula, TrueFormula):
+        program.append((PUSH_TRUE, 0))
+    elif isinstance(formula, FalseFormula):
+        program.append((PUSH_FALSE, 0))
+    elif isinstance(formula, Atom):
+        program.append((PUSH_ATOM, atom_slot[formula.constraint]))
+    elif isinstance(formula, Not):
+        _lower_program(formula.child, atom_slot, program)
+        program.append((OP_NOT, 0))
+    elif isinstance(formula, And):
+        for child in formula.children:
+            _lower_program(child, atom_slot, program)
+        program.append((OP_AND, len(formula.children)))
+    elif isinstance(formula, Or):
+        for child in formula.children:
+            _lower_program(child, atom_slot, program)
+        program.append((OP_OR, len(formula.children)))
+    else:
+        raise LoweringError(f"unexpected formula node: {type(formula).__name__}")
+
+
+def lower(formula: ConstraintFormula,
+          variables: Sequence[str]) -> tuple[AtomTable, tuple[Instruction, ...]]:
+    """Lower a formula over an ordered variable tuple to (table, program)."""
+    variables = tuple(variables)
+    if len(set(variables)) != len(variables):
+        raise LoweringError(f"duplicate variables in ambient tuple: {variables}")
+    constraints = _collect_atoms(formula)
+    table = _build_atom_table(constraints, variables)
+    atom_slot = {constraint: index for index, constraint in enumerate(constraints)}
+    program: list[Instruction] = []
+    _lower_program(formula, atom_slot, program)
+    return table, tuple(program)

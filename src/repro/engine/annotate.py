@@ -47,20 +47,36 @@ def annotate_query(select: SelectQuery, database: Database,
                    method: str = "afpras",
                    limit: Optional[int] = None,
                    rng: RngLike = None,
-                   candidates: Optional[Sequence[CandidateAnswer]] = None) -> list[AnnotatedAnswer]:
+                   candidates: Optional[Sequence[CandidateAnswer]] = None,
+                   reuse_lineage_results: bool = True) -> list[AnnotatedAnswer]:
     """Annotate the candidate answers of a parsed SELECT query with confidences.
 
     ``candidates`` may be supplied to reuse a previous enumeration (the
     benchmarks do this to time the Monte-Carlo phase separately from the
     join, which is how the paper reports its numbers).
+
+    Distinct output rows frequently share a lineage formula -- ungrouped
+    (bag-semantics) runs emit one row per witness, and different tuples often
+    hit the same constraint pattern.  Since the measure only depends on the
+    formula and its variables, ``reuse_lineage_results`` (default on) computes
+    each distinct ``(formula, relevant variables)`` pair once and reuses the
+    result, which on top of the compiled-kernel cache makes repeated lineages
+    nearly free.  Disable it to force an independent Monte-Carlo run per row.
     """
     generator = as_generator(rng)
     if candidates is None:
         candidates = enumerate_candidates(select, database, limit=limit)
     annotated: list[AnnotatedAnswer] = []
+    cache: dict[tuple, CertaintyResult] = {}
     for candidate in candidates:
-        result = certainty_from_translation(candidate.lineage, epsilon=epsilon,
-                                            delta=delta, method=method, rng=generator)
+        key = (candidate.lineage.formula, candidate.lineage.relevant_variables)
+        result = cache.get(key) if reuse_lineage_results else None
+        if result is None:
+            result = certainty_from_translation(candidate.lineage, epsilon=epsilon,
+                                                delta=delta, method=method,
+                                                rng=generator)
+            if reuse_lineage_results:
+                cache[key] = result
         annotated.append(AnnotatedAnswer(values=candidate.values,
                                          columns=candidate.columns,
                                          certainty=result,

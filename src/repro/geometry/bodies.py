@@ -94,6 +94,25 @@ class HalfSpace:
             return (-math.inf, boundary)
         return (boundary, math.inf)
 
+    def chord_batch(self, points: np.ndarray,
+                    directions: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`chord` over ``(m, n)`` point/direction blocks."""
+        slopes = directions @ self.normal
+        intercepts = points @ self.normal - self.offset
+        lower = np.full(points.shape[0], -math.inf)
+        upper = np.full(points.shape[0], math.inf)
+        parallel = np.abs(slopes) <= EPSILON
+        outside = parallel & (intercepts > EPSILON)
+        lower[outside], upper[outside] = _EMPTY_CHORD
+        crossing = ~parallel
+        with np.errstate(divide="ignore", invalid="ignore"):
+            boundaries = np.where(crossing, -intercepts / slopes, 0.0)
+        positive = crossing & (slopes > 0)
+        negative = crossing & (slopes < 0)
+        upper[positive] = boundaries[positive]
+        lower[negative] = boundaries[negative]
+        return lower, upper
+
 
 @dataclass(frozen=True)
 class Ball:
@@ -138,6 +157,27 @@ class Ball:
         root = math.sqrt(discriminant)
         return ((-b - root) / (2.0 * a), (-b + root) / (2.0 * a))
 
+    def chord_batch(self, points: np.ndarray,
+                    directions: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`chord` over ``(m, n)`` point/direction blocks."""
+        deltas = points - self.center
+        a = np.einsum("ij,ij->i", directions, directions)
+        b = 2.0 * np.einsum("ij,ij->i", deltas, directions)
+        c = np.einsum("ij,ij->i", deltas, deltas) - self.radius * self.radius
+        count = points.shape[0]
+        lower = np.full(count, _EMPTY_CHORD[0])
+        upper = np.full(count, _EMPTY_CHORD[1])
+        degenerate = a <= EPSILON
+        inside = degenerate & (c <= EPSILON)
+        lower[inside], upper[inside] = -math.inf, math.inf
+        discriminants = b * b - 4.0 * a * c
+        solvable = ~degenerate & (discriminants >= 0.0)
+        roots = np.sqrt(discriminants[solvable])
+        denominators = 2.0 * a[solvable]
+        lower[solvable] = (-b[solvable] - roots) / denominators
+        upper[solvable] = (-b[solvable] + roots) / denominators
+        return lower, upper
+
 
 @dataclass(frozen=True)
 class Intersection:
@@ -175,6 +215,23 @@ class Intersection:
             if lower > upper:
                 return _EMPTY_CHORD
         return (lower, upper)
+
+    def chord_batch(self, points: np.ndarray,
+                    directions: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`chord`; rows with ``lower > upper`` are empty.
+
+        Taking the running max/min of the parts' intervals preserves
+        emptiness (an empty sentinel ``(1, 0)`` can only shrink further), so
+        no early exit is needed.
+        """
+        count = points.shape[0]
+        lower = np.full(count, -math.inf)
+        upper = np.full(count, math.inf)
+        for part in self.parts:
+            part_lower, part_upper = part.chord_batch(points, directions)
+            np.maximum(lower, part_lower, out=lower)
+            np.minimum(upper, part_upper, out=upper)
+        return lower, upper
 
 
 def halfspaces_and_ball(normals: Sequence[np.ndarray],

@@ -92,6 +92,26 @@ class PolyhedralCone:
             return False
         return True
 
+    def contains_batch(self, points: np.ndarray,
+                       strict_tolerance: float = EPSILON) -> np.ndarray:
+        """Vectorised membership oracle over an ``(m, dimension)`` block.
+
+        Returns an ``(m,)`` boolean array; row ``i`` matches
+        ``self.contains(points[i], strict_tolerance)``.
+        """
+        points = np.asarray(points, dtype=float)
+        if points.ndim != 2 or points.shape[1] != self.dimension:
+            raise ValueError(
+                f"points must have shape (m, {self.dimension}), got {points.shape}")
+        member = np.ones(points.shape[0], dtype=bool)
+        if self.strict.shape[0]:
+            member &= (points @ self.strict.T < strict_tolerance).all(axis=1)
+        if self.weak.shape[0]:
+            member &= (points @ self.weak.T <= strict_tolerance).all(axis=1)
+        if self.equality.shape[0]:
+            member &= (np.abs(points @ self.equality.T) <= strict_tolerance).all(axis=1)
+        return member
+
     def is_degenerate(self) -> bool:
         """Whether the cone has measure zero in ``R^dimension``.
 
@@ -176,3 +196,48 @@ class PolyhedralCone:
             weak=np.vstack([self.weak, other.weak]),
             equality=np.vstack([self.equality, other.equality]),
         )
+
+
+def membership_matrix(cones: Sequence[PolyhedralCone], points: np.ndarray,
+                      strict_tolerance: float = EPSILON) -> np.ndarray:
+    """Membership of every point in every cone as an ``(m, len(cones))`` matrix.
+
+    All cones' constraint rows are stacked into one matrix so the ``m x k``
+    signed slacks come out of a single ``points @ rows.T`` product; the
+    per-cone reductions then run on slices of that product.  This is the
+    batched counterpart of calling :meth:`PolyhedralCone.contains` in a
+    double loop, and the primitive behind the batched Karp--Luby and direct
+    union estimators.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim != 2:
+        raise ValueError(f"points must be 2-D, got shape {points.shape}")
+    count = points.shape[0]
+    if not cones:
+        return np.zeros((count, 0), dtype=bool)
+    dimensions = {cone.dimension for cone in cones}
+    if dimensions != {points.shape[1]}:
+        raise ValueError(
+            f"points have dimension {points.shape[1]} but cones have {sorted(dimensions)}")
+    stacked = np.vstack([np.vstack([cone.strict, cone.weak, cone.equality])
+                         for cone in cones])
+    slacks = points @ stacked.T if stacked.shape[0] else np.zeros((count, 0))
+    member = np.ones((count, len(cones)), dtype=bool)
+    offset = 0
+    for index, cone in enumerate(cones):
+        strict_rows = cone.strict.shape[0]
+        weak_rows = cone.weak.shape[0]
+        equality_rows = cone.equality.shape[0]
+        if strict_rows:
+            member[:, index] &= (slacks[:, offset:offset + strict_rows]
+                                 < strict_tolerance).all(axis=1)
+        offset += strict_rows
+        if weak_rows:
+            member[:, index] &= (slacks[:, offset:offset + weak_rows]
+                                 <= strict_tolerance).all(axis=1)
+        offset += weak_rows
+        if equality_rows:
+            member[:, index] &= (np.abs(slacks[:, offset:offset + equality_rows])
+                                 <= strict_tolerance).all(axis=1)
+        offset += equality_rows
+    return member

@@ -92,6 +92,42 @@ def estimate_indicator_mean(indicator: Callable[[np.random.Generator], bool],
     )
 
 
+def estimate_indicator_mean_batch(batch_indicator: Callable[[np.random.Generator, int], np.ndarray],
+                                  epsilon: float,
+                                  delta: float = DEFAULT_DELTA,
+                                  rng: RngLike = None,
+                                  block_size: int = 65_536) -> IndicatorEstimate:
+    """Batched variant of :func:`estimate_indicator_mean`.
+
+    ``batch_indicator`` receives the generator and a block size and must
+    return a boolean array of that length (one decision per draw).  The
+    Hoeffding sample count is split into blocks of at most ``block_size`` so
+    the callee's working set stays bounded; the sample size and guarantee are
+    identical to the scalar variant.
+    """
+    if block_size <= 0:
+        raise ValueError(f"block_size must be positive, got {block_size}")
+    generator = as_generator(rng)
+    samples = hoeffding_sample_size(epsilon, delta)
+    positives = 0
+    remaining = samples
+    while remaining:
+        count = min(remaining, block_size)
+        decisions = np.asarray(batch_indicator(generator, count))
+        if decisions.shape != (count,):
+            raise ValueError(
+                f"batch indicator returned shape {decisions.shape} for {count} draws")
+        positives += int(np.count_nonzero(decisions))
+        remaining -= count
+    return IndicatorEstimate(
+        value=positives / samples,
+        samples=samples,
+        epsilon=epsilon,
+        delta=delta,
+        positives=positives,
+    )
+
+
 def median_of_means(estimates: list[float]) -> float:
     """Median of independent estimates; boosts confidence of a constant-confidence estimator.
 

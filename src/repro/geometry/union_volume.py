@@ -13,6 +13,17 @@ top of the per-cone samplers and volume estimates of the sibling modules:
    ``1 / |{j : x ∈ X_j}|``;
 3. the union volume is ``(Σ V_i)`` times the average of the recorded values.
 
+The default **batched** engine pre-draws all cone indices with one
+``generator.choice(..., size=m)`` call, pulls each cone's points as one block
+from its hit-and-run sampler, and tests every point against every cone with
+one stacked matrix product (:func:`repro.geometry.cones.membership_matrix`).
+The original per-sample **scalar** loop is kept as the reference oracle.
+
+Hit-and-run points can drift numerically outside their own cone; the scalar
+seed silently clamped the covering count to one, which hides such escapes.
+Both engines now count them, report the count in the estimate's details, and
+warn when the escaped fraction exceeds :data:`ESCAPE_WARN_FRACTION`.
+
 In dimensions one and two the union is computed exactly (interval/arc
 arithmetic), which doubles as a ground truth in the tests.
 """
@@ -20,16 +31,24 @@ arithmetic), which doubles as a ground truth in the tests.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Sequence
+import warnings
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
 
 import numpy as np
 
 from repro.geometry.angles import planar_cones_union_fraction
 from repro.geometry.ball import RngLike, as_generator, sample_ball
-from repro.geometry.cones import PolyhedralCone
+from repro.geometry.cones import PolyhedralCone, membership_matrix
 from repro.geometry.hitandrun import HitAndRunSampler
 from repro.geometry.volume import VolumeEstimate, cone_ball_fraction
+
+#: Warn when more than this fraction of Karp--Luby points escaped their own
+#: cone: the per-cone samplers are then too inaccurate to trust the estimate.
+ESCAPE_WARN_FRACTION = 0.01
+
+#: Membership tolerance for the Karp--Luby covering counts.
+_COVERING_TOLERANCE = 1e-9
 
 
 @dataclass(frozen=True)
@@ -40,6 +59,9 @@ class UnionVolumeEstimate:
     method: str
     samples: int
     per_cone: tuple[VolumeEstimate, ...] = ()
+    #: Estimator diagnostics; Karp--Luby reports ``escaped`` (points that
+    #: fell outside the cone they were sampled from) and ``engine``.
+    details: Mapping[str, object] = field(default_factory=dict)
 
 
 def _exact_one_dimensional(cones: Sequence[PolyhedralCone]) -> float:
@@ -62,44 +84,105 @@ def _exact_one_dimensional(cones: Sequence[PolyhedralCone]) -> float:
     return (0.5 if covered_negative else 0.0) + (0.5 if covered_positive else 0.0)
 
 
+def _karp_luby_sample_size(epsilon: float) -> int:
+    return max(200, math.ceil(4.0 / (epsilon * epsilon)))
+
+
+def _warn_escapes(escaped: int, samples: int) -> None:
+    if samples and escaped / samples > ESCAPE_WARN_FRACTION:
+        warnings.warn(
+            f"Karp--Luby union estimator: {escaped} of {samples} sampled points "
+            f"escaped the cone they were drawn from (> {ESCAPE_WARN_FRACTION:.0%}); "
+            "the per-cone samplers look numerically unreliable",
+            RuntimeWarning, stacklevel=3)
+
+
 def _karp_luby(cones: Sequence[PolyhedralCone],
                estimates: Sequence[VolumeEstimate],
                epsilon: float,
-               rng: RngLike) -> tuple[float, int]:
+               rng: RngLike) -> tuple[float, int, int]:
+    """Batched Karp--Luby pass; returns ``(fraction, samples, escaped)``.
+
+    All cone indices are drawn up front, each cone's points come out of its
+    hit-and-run sampler as one block, and the covering counts for all points
+    against all cones are one stacked matrix product.
+    """
     generator = as_generator(rng)
     volumes = np.asarray([estimate.fraction for estimate in estimates], dtype=float)
     total = float(volumes.sum())
     if total <= 0.0:
-        return 0.0, 0
+        return 0.0, 0, 0
+    probabilities = volumes / total
+    samples = _karp_luby_sample_size(epsilon)
+    indices = generator.choice(len(cones), size=samples, p=probabilities)
+    counts = np.bincount(indices, minlength=len(cones))
+
+    points = np.empty((samples, cones[0].dimension))
+    for index, cone in enumerate(cones):
+        count = int(counts[index])
+        if count == 0:
+            continue
+        interior = cone.interior_point()
+        sampler = HitAndRunSampler(body=cone.body(), start=interior, rng=generator)
+        points[indices == index] = sampler.samples(count)
+
+    member = membership_matrix(cones, points, strict_tolerance=_COVERING_TOLERANCE)
+    covering = member.sum(axis=1)
+    escaped = int((~member[np.arange(samples), indices]).sum())
+    # Clamp after counting: a point outside every cone still contributes one
+    # covering unit (as in the seed), but is no longer silently invisible.
+    covering = np.maximum(covering, 1)
+    accumulator = float((1.0 / covering).sum())
+    return total * accumulator / samples, samples, escaped
+
+
+def _karp_luby_scalar(cones: Sequence[PolyhedralCone],
+                      estimates: Sequence[VolumeEstimate],
+                      epsilon: float,
+                      rng: RngLike) -> tuple[float, int, int]:
+    """The original per-sample Karp--Luby loop, kept as the reference oracle."""
+    generator = as_generator(rng)
+    volumes = np.asarray([estimate.fraction for estimate in estimates], dtype=float)
+    total = float(volumes.sum())
+    if total <= 0.0:
+        return 0.0, 0, 0
     probabilities = volumes / total
     samplers = []
     for cone in cones:
         interior = cone.interior_point()
         samplers.append(HitAndRunSampler(body=cone.body(), start=interior, rng=generator))
-    samples = max(200, math.ceil(4.0 / (epsilon * epsilon)))
+    samples = _karp_luby_sample_size(epsilon)
     accumulator = 0.0
+    escaped = 0
     for _ in range(samples):
         index = int(generator.choice(len(cones), p=probabilities))
         point = samplers[index].sample()
-        covering = sum(1 for cone in cones if cone.contains(point, strict_tolerance=1e-9))
+        if not cones[index].contains(point, strict_tolerance=_COVERING_TOLERANCE):
+            escaped += 1
+        covering = sum(1 for cone in cones
+                       if cone.contains(point, strict_tolerance=_COVERING_TOLERANCE))
         covering = max(covering, 1)
         accumulator += 1.0 / covering
-    return total * accumulator / samples, samples
+    return total * accumulator / samples, samples, escaped
 
 
 def union_volume_fraction(cones: Sequence[PolyhedralCone],
                           epsilon: float = 0.05,
                           rng: RngLike = None,
-                          method: str = "auto") -> UnionVolumeEstimate:
+                          method: str = "auto",
+                          engine: str = "batched") -> UnionVolumeEstimate:
     """Estimate ``Vol(∪ cone_i ∩ B^n_1) / Vol(B^n_1)``.
 
     Degenerate (measure-zero) cones are dropped first, mirroring the proof of
     Theorem 7.1.  ``method`` may be ``"auto"`` (exact in dimensions <= 2,
     Karp--Luby otherwise), ``"karp-luby"``, or ``"direct"`` (plain rejection
-    sampling from the ball, useful as a cross-check).
+    sampling from the ball, useful as a cross-check).  ``engine`` selects the
+    batched kernels (default) or the scalar reference loops.
     """
     if not 0.0 < epsilon <= 1.0:
         raise ValueError(f"epsilon must be in (0, 1], got {epsilon}")
+    if engine not in ("batched", "scalar"):
+        raise ValueError(f"unknown engine {engine!r}; expected 'batched' or 'scalar'")
     live_cones = [cone for cone in cones if not cone.is_degenerate()]
     if not live_cones:
         return UnionVolumeEstimate(fraction=0.0, method="degenerate", samples=0)
@@ -122,13 +205,20 @@ def union_volume_fraction(cones: Sequence[PolyhedralCone],
         generator = as_generator(rng)
         samples = max(200, math.ceil(2.0 / (epsilon * epsilon)))
         points = sample_ball(dimension, generator, size=samples)
-        hits = sum(1 for point in points
-                   if any(cone.contains(point) for cone in live_cones))
+        if engine == "batched":
+            hits = int(membership_matrix(live_cones, points).any(axis=1).sum())
+        else:
+            hits = sum(1 for point in points
+                       if any(cone.contains(point) for cone in live_cones))
         return UnionVolumeEstimate(fraction=hits / samples, method="direct",
-                                   samples=samples)
+                                   samples=samples, details={"engine": engine})
 
-    estimates = tuple(cone_ball_fraction(cone, epsilon=epsilon, rng=rng)
+    estimates = tuple(cone_ball_fraction(cone, epsilon=epsilon, rng=rng,
+                                         engine=engine)
                       for cone in live_cones)
-    fraction, samples = _karp_luby(live_cones, estimates, epsilon, rng)
+    karp_luby = _karp_luby if engine == "batched" else _karp_luby_scalar
+    fraction, samples, escaped = karp_luby(live_cones, estimates, epsilon, rng)
+    _warn_escapes(escaped, samples)
     return UnionVolumeEstimate(fraction=min(1.0, fraction), method="karp-luby",
-                               samples=samples, per_cone=estimates)
+                               samples=samples, per_cone=estimates,
+                               details={"engine": engine, "escaped": escaped})

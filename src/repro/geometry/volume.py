@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.geometry.angles import planar_cone_fraction
 from repro.geometry.ball import RngLike, as_generator, sample_ball
+from repro.geometry.bodies import EPSILON as BODY_EPSILON
 from repro.geometry.bodies import Ball, HalfSpace, Intersection
 from repro.geometry.cones import PolyhedralCone
 from repro.geometry.hitandrun import HitAndRunSampler
@@ -52,15 +53,19 @@ def _one_dimensional_fraction(cone: PolyhedralCone) -> float:
     return max(0.0, upper - lower) / 2.0
 
 
-def _direct_fraction(cone: PolyhedralCone, samples: int, rng: RngLike) -> float:
+def _direct_fraction(cone: PolyhedralCone, samples: int, rng: RngLike,
+                     engine: str = "batched") -> float:
     generator = as_generator(rng)
     points = sample_ball(cone.dimension, generator, size=samples)
-    hits = sum(1 for point in points if cone.contains(point))
+    if engine == "batched":
+        hits = int(cone.contains_batch(points).sum())
+    else:
+        hits = sum(1 for point in points if cone.contains(point))
     return hits / samples
 
 
 def _telescoping_fraction(cone: PolyhedralCone, samples_per_phase: int,
-                          rng: RngLike) -> float:
+                          rng: RngLike, engine: str = "batched") -> float:
     """Product of conditional acceptance ratios over a half-space elimination order."""
     generator = as_generator(rng)
     interior = cone.interior_point()
@@ -74,8 +79,12 @@ def _telescoping_fraction(cone: PolyhedralCone, samples_per_phase: int,
         body = Intersection.of(accepted_parts)
         sampler = HitAndRunSampler(body=body, start=interior, rng=generator)
         halfspace = HalfSpace(normal=row, offset=0.0)
-        hits = sum(1 for _ in range(samples_per_phase)
-                   if halfspace.contains(sampler.sample()))
+        if engine == "batched":
+            points = sampler.samples(samples_per_phase)
+            hits = int((points @ halfspace.normal <= halfspace.offset + BODY_EPSILON).sum())
+        else:
+            hits = sum(1 for _ in range(samples_per_phase)
+                       if halfspace.contains(sampler.sample()))
         ratio = hits / samples_per_phase
         if ratio <= 0.0:
             return 0.0
@@ -87,7 +96,8 @@ def _telescoping_fraction(cone: PolyhedralCone, samples_per_phase: int,
 def cone_ball_fraction(cone: PolyhedralCone,
                        epsilon: float = 0.05,
                        rng: RngLike = None,
-                       method: str = "auto") -> VolumeEstimate:
+                       method: str = "auto",
+                       engine: str = "batched") -> VolumeEstimate:
     """Estimate ``Vol(cone ∩ B^n_1) / Vol(B^n_1)``.
 
     Parameters
@@ -100,9 +110,14 @@ def cone_ball_fraction(cone: PolyhedralCone,
     method:
         ``"auto"`` (exact in dimension <= 2, direct sampling otherwise),
         ``"direct"``, or ``"telescoping"``.
+    engine:
+        ``"batched"`` (vectorised membership tests, the default) or
+        ``"scalar"`` (per-point loops, kept as the reference oracle).
     """
     if not 0.0 < epsilon <= 1.0:
         raise ValueError(f"epsilon must be in (0, 1], got {epsilon}")
+    if engine not in ("batched", "scalar"):
+        raise ValueError(f"unknown engine {engine!r}; expected 'batched' or 'scalar'")
     if cone.is_degenerate():
         return VolumeEstimate(fraction=0.0, method="degenerate", samples=0)
     if cone.num_constraints == 0:
@@ -116,12 +131,12 @@ def cone_ball_fraction(cone: PolyhedralCone,
                               method="exact", samples=0)
     if method in ("auto", "direct"):
         samples = max(100, math.ceil(2.0 / (epsilon * epsilon)))
-        return VolumeEstimate(fraction=_direct_fraction(cone, samples, rng),
+        return VolumeEstimate(fraction=_direct_fraction(cone, samples, rng, engine),
                               method="direct", samples=samples)
     if method == "telescoping":
         samples_per_phase = max(100, math.ceil(4.0 / (epsilon * epsilon)))
         total = samples_per_phase * cone.num_constraints
         return VolumeEstimate(
-            fraction=_telescoping_fraction(cone, samples_per_phase, rng),
+            fraction=_telescoping_fraction(cone, samples_per_phase, rng, engine),
             method="telescoping", samples=total)
     raise ValueError(f"unknown volume estimation method: {method!r}")

@@ -1,0 +1,154 @@
+"""Seeded reproducibility and engine agreement of the sampling schemes.
+
+Two families of guarantees:
+
+* **Reproducibility**: every randomized backend returns the same estimate
+  when run twice with the same seed;
+* **Engine agreement**: the batched AFPRAS draws its direction block off the
+  same generator stream as the scalar reference loop (NumPy fills Gaussian
+  blocks sequentially), so with a fixed seed the two engines see identical
+  directions and -- the kernels matching the scalar decisions -- must return
+  *exactly* the same estimate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.certainty import (
+    AfprasOptions,
+    FprasOptions,
+    afpras_measure,
+    fpras_measure,
+)
+from repro.constraints.atoms import Comparison, Constraint
+from repro.constraints.formula import And, Atom, disjunction
+from repro.constraints.polynomials import Polynomial
+from repro.constraints.translate import TranslationResult
+from repro.geometry.cones import PolyhedralCone
+from repro.geometry.montecarlo import (
+    estimate_indicator_mean,
+    estimate_indicator_mean_batch,
+)
+from repro.geometry.union_volume import union_volume_fraction
+from repro.relational.values import NumNull
+
+
+def linear_translation(dimension: int, disjuncts: int, seed: int) -> TranslationResult:
+    """A random DNF of linear constraints over ``dimension`` nulls."""
+    generator = np.random.default_rng(seed)
+    names = tuple(f"z_n{i}" for i in range(dimension))
+    parts = []
+    for _ in range(disjuncts):
+        atoms = []
+        for _ in range(2):
+            polynomial = Polynomial.constant(float(generator.uniform(-1.0, 1.0)))
+            for name in names:
+                polynomial = polynomial + \
+                    float(generator.uniform(-1.0, 1.0)) * Polynomial.variable(name)
+            atoms.append(Atom(Constraint(polynomial, Comparison.LE)))
+        parts.append(And(tuple(atoms)))
+    return TranslationResult(
+        formula=disjunction(parts),
+        all_variables=names,
+        relevant_variables=names,
+        null_by_variable={name: NumNull(name.removeprefix("z_")) for name in names},
+    )
+
+
+class TestSeededReproducibility:
+    @pytest.mark.parametrize("engine", ["batched", "scalar"])
+    def test_afpras_same_seed_same_estimate(self, engine: str):
+        translation = linear_translation(4, 2, seed=9)
+        options = AfprasOptions(epsilon=0.05, engine=engine)
+        first = afpras_measure(translation, options, rng=123)
+        second = afpras_measure(translation, options, rng=123)
+        assert first.value == second.value
+        assert first.samples == second.samples
+
+    @pytest.mark.parametrize("engine", ["batched", "scalar"])
+    def test_fpras_same_seed_same_estimate(self, engine: str):
+        translation = linear_translation(3, 2, seed=4)
+        options = FprasOptions(epsilon=0.05, engine=engine)
+        first = fpras_measure(translation, options, rng=7)
+        second = fpras_measure(translation, options, rng=7)
+        assert first.value == second.value
+        assert first.samples == second.samples
+
+    def test_fpras_delta_amplification_is_reproducible(self):
+        translation = linear_translation(3, 2, seed=4)
+        options = FprasOptions(epsilon=0.08, delta=0.05)
+        first = fpras_measure(translation, options, rng=11)
+        second = fpras_measure(translation, options, rng=11)
+        assert first.value == second.value
+        assert first.details["amplification_rounds"] > 1
+        assert first.samples == second.samples
+
+
+class TestEngineAgreement:
+    @pytest.mark.parametrize("dimension", [2, 4, 8])
+    def test_afpras_batched_equals_scalar_on_same_seed(self, dimension: int):
+        translation = linear_translation(dimension, 2, seed=dimension)
+        batched = afpras_measure(
+            translation, AfprasOptions(epsilon=0.05, engine="batched"), rng=42)
+        scalar = afpras_measure(
+            translation, AfprasOptions(epsilon=0.05, engine="scalar"), rng=42)
+        assert batched.value == scalar.value
+        assert batched.samples == scalar.samples
+
+    def test_afpras_batched_blocking_does_not_change_the_estimate(self):
+        translation = linear_translation(4, 2, seed=1)
+        whole = afpras_measure(
+            translation, AfprasOptions(epsilon=0.05, engine="batched"), rng=3)
+        blocked = afpras_measure(
+            translation,
+            AfprasOptions(epsilon=0.05, engine="batched", block_size=17), rng=3)
+        assert whole.value == blocked.value
+
+    def test_union_direct_engines_agree_on_same_seed(self):
+        cones = [
+            PolyhedralCone.from_rows(3, strict=[[1.0, 0.0, 0.0]]),
+            PolyhedralCone.from_rows(3, weak=[[0.0, 1.0, 0.0], [0.0, 0.0, 1.0]]),
+        ]
+        batched = union_volume_fraction(cones, epsilon=0.05, rng=0,
+                                        method="direct", engine="batched")
+        scalar = union_volume_fraction(cones, epsilon=0.05, rng=0,
+                                       method="direct", engine="scalar")
+        assert batched.fraction == scalar.fraction
+        assert batched.samples == scalar.samples
+
+    def test_karp_luby_reports_escaped_points(self):
+        cones = [
+            PolyhedralCone.from_rows(3, strict=[[1.0, 0.0, 0.0]]),
+            PolyhedralCone.from_rows(3, strict=[[0.0, 1.0, 0.0]]),
+        ]
+        estimate = union_volume_fraction(cones, epsilon=0.1, rng=5,
+                                         method="karp-luby")
+        assert estimate.details["engine"] == "batched"
+        assert estimate.details["escaped"] >= 0
+        assert estimate.samples > 0
+
+
+class TestIndicatorMeanBatch:
+    def test_matches_scalar_on_same_stream(self):
+        def indicator(generator: np.random.Generator) -> bool:
+            return bool(generator.random() < 0.37)
+
+        def batch_indicator(generator: np.random.Generator, count: int) -> np.ndarray:
+            return generator.random(count) < 0.37
+
+        scalar = estimate_indicator_mean(indicator, epsilon=0.05, rng=2)
+        batched = estimate_indicator_mean_batch(batch_indicator, epsilon=0.05, rng=2)
+        assert scalar.value == batched.value
+        assert scalar.samples == batched.samples
+        assert scalar.positives == batched.positives
+
+    def test_blocking_preserves_the_estimate(self):
+        def batch_indicator(generator: np.random.Generator, count: int) -> np.ndarray:
+            return generator.random(count) < 0.5
+
+        whole = estimate_indicator_mean_batch(batch_indicator, epsilon=0.05, rng=8)
+        blocked = estimate_indicator_mean_batch(batch_indicator, epsilon=0.05,
+                                                rng=8, block_size=13)
+        assert whole.value == blocked.value
