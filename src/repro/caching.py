@@ -1,0 +1,155 @@
+"""A small thread-safe LRU cache with hit/miss/eviction counters.
+
+Both the compiled-kernel memo (:mod:`repro.compile.kernels`) and the
+annotation service (:mod:`repro.service`) need bounded caches whose
+effectiveness can be reported: a long-lived serving process must not leak
+memory through an unbounded memo, and the service's stats report wants hit
+rates per cache.  This module provides the one implementation they share.
+It deliberately lives below both packages so neither has to import the
+other for a utility class.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Iterator, Optional
+
+#: Returned by :meth:`LruCache.get` misses when no default is supplied; a
+#: dedicated sentinel so ``None`` remains a storable value.
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time snapshot of one cache's counters."""
+
+    name: str
+    capacity: int
+    size: int
+    hits: int
+    misses: int
+    evictions: int
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when never used)."""
+        total = self.requests
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "capacity": self.capacity,
+            "size": self.size,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class LruCache:
+    """Least-recently-used cache with a fixed capacity and usage counters.
+
+    Lookups and insertions are O(1) (an :class:`~collections.OrderedDict`
+    keeps recency order) and guarded by a lock so the service's parallel
+    executor can share one instance across worker threads.
+    """
+
+    def __init__(self, capacity: int, name: str = "cache") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be at least 1, got {capacity}")
+        self._capacity = capacity
+        self._name = name
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # -- core operations ---------------------------------------------------
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Return the cached value (marking it most recently used) or ``default``."""
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self._misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert or refresh an entry, evicting the least recently used on overflow."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def get_or_compute(self, key: Hashable, factory: Callable[[], Any]) -> Any:
+        """Return the cached value, computing and storing it on a miss.
+
+        ``factory`` runs outside the lock, so two threads racing on the same
+        key may both compute; the second insert wins harmlessly (values for
+        one key are interchangeable by construction).
+        """
+        value = self.get(key, _MISSING)
+        if value is _MISSING:
+            value = factory()
+            self.put(key, value)
+        return value
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def keys(self) -> Iterator[Hashable]:
+        with self._lock:
+            return iter(tuple(self._entries.keys()))
+
+    # -- management --------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def resize(self, capacity: int) -> None:
+        """Change the capacity, evicting oldest entries if the cache shrank."""
+        if capacity < 1:
+            raise ValueError(f"capacity must be at least 1, got {capacity}")
+        with self._lock:
+            self._capacity = capacity
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self, reset_counters: bool = False) -> None:
+        with self._lock:
+            self._entries.clear()
+            if reset_counters:
+                self._hits = self._misses = self._evictions = 0
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                name=self._name,
+                capacity=self._capacity,
+                size=len(self._entries),
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+            )

@@ -1,6 +1,6 @@
-"""Command-line interface: generate workloads and annotate SQL answers.
+"""Command-line interface: generate workloads, annotate SQL answers, serve.
 
-Two subcommands cover the end-to-end workflow of the paper's experiments
+Three subcommands cover the end-to-end workflow of the paper's experiments
 without writing any Python:
 
 ``python -m repro.cli generate --out data/ --products 2000 --orders 2000``
@@ -8,10 +8,22 @@ without writing any Python:
     (marked nulls are encoded as ``⊤:name`` / ``⊥:name``).
 
 ``python -m repro.cli annotate --data data/ --sql "SELECT ..." --epsilon 0.05``
-    Load the CSV database, run the query through the engine and print every
-    candidate answer with its measure of certainty.  ``--query-name`` can be
-    used instead of ``--sql`` to run one of the paper's three decision-support
-    queries by name.
+    Load the CSV database, run the query through the annotation service and
+    print every candidate answer with its measure of certainty.
+    ``--query-name`` can be used instead of ``--sql`` to run one of the
+    paper's three decision-support queries by name; ``--jobs N`` spreads the
+    Monte-Carlo estimates over worker threads (bit-identical to serial at a
+    fixed ``--seed``), and ``--adaptive`` streams coarse estimates first.
+
+``python -m repro.cli serve --data data/``
+    Start a long-lived annotation service and read queries from stdin (a
+    REPL on a terminal, plain line protocol when piped).  Repeated and
+    structurally similar queries are answered from the service's caches;
+    ``\\stats`` prints the cache/amortisation report, ``\\quit`` exits.
+
+Errors in user input (SQL syntax, unknown tables/columns, missing data
+directories) terminate with exit code 2 and a one-line message on stderr --
+never a traceback.
 """
 
 from __future__ import annotations
@@ -27,8 +39,25 @@ from repro.datagen.experiments import (
     generate_sales_database,
     sales_schema,
 )
-from repro.engine.annotate import annotate
+from repro.engine.sql.lexer import SqlSyntaxError
+from repro.engine.translate_sql import SqlTranslationError
 from repro.relational.csv_io import load_database, save_database
+from repro.relational.schema import SchemaError
+from repro.service import SERVICE_METHODS, AnnotationService, ServiceOptions
+
+#: Exit code when the data directory holds no tuples (kept at 1 for
+#: backwards compatibility with pre-service scripts).
+EXIT_NO_DATA = 1
+
+#: Exit code for malformed user input (bad SQL, unknown columns, bad data).
+EXIT_USAGE = 2
+
+#: Exceptions that indicate a problem with the user's input, not a bug.
+_USER_ERRORS = (SqlSyntaxError, SqlTranslationError, SchemaError, ValueError)
+
+
+class _EmptyDataError(RuntimeError):
+    """Raised when the requested data directory contains no tuples."""
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -47,19 +76,38 @@ def _build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--null-rate", type=float, default=0.08)
     generate.add_argument("--seed", type=int, default=0)
 
+    def add_serving_arguments(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument("--data", required=True,
+                               help="directory of CSV files")
+        subparser.add_argument("--epsilon", type=float, default=0.05,
+                               help="additive error of the estimates (default 0.05)")
+        subparser.add_argument("--method", default="afpras",
+                               choices=SERVICE_METHODS)
+        subparser.add_argument("--limit", type=int, default=None)
+        subparser.add_argument("--seed", type=int, default=0,
+                               help="root seed; fixed seeds make runs "
+                                    "(including --jobs N) reproducible")
+        subparser.add_argument("--jobs", type=int, default=1,
+                               help="worker threads for the Monte-Carlo phase "
+                                    "(0 = one per CPU; results are identical "
+                                    "to --jobs 1 at a fixed seed)")
+        subparser.add_argument("--adaptive", action="store_true",
+                               help="serve coarse estimates first and refine "
+                                    "toward --epsilon; refinement stages "
+                                    "stream on stderr, the final table gains "
+                                    "an interval column")
+
     annotate_parser = subparsers.add_parser(
         "annotate", help="run a SQL query over a CSV database and print confidences")
-    annotate_parser.add_argument("--data", required=True, help="directory of CSV files")
     source = annotate_parser.add_mutually_exclusive_group(required=True)
     source.add_argument("--sql", help="SQL text of the query")
     source.add_argument("--query-name", choices=sorted(EXPERIMENT_QUERIES),
                         help="one of the paper's decision-support queries")
-    annotate_parser.add_argument("--epsilon", type=float, default=0.05,
-                                 help="additive error of the AFPRAS (default 0.05)")
-    annotate_parser.add_argument("--method", default="afpras",
-                                 choices=("afpras", "fpras", "exact", "auto"))
-    annotate_parser.add_argument("--limit", type=int, default=None)
-    annotate_parser.add_argument("--seed", type=int, default=0)
+    add_serving_arguments(annotate_parser)
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="start an annotation service reading queries from stdin")
+    add_serving_arguments(serve_parser)
 
     return parser
 
@@ -75,31 +123,123 @@ def _run_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_annotate(args: argparse.Namespace) -> int:
+def _load_service(args: argparse.Namespace) -> AnnotationService:
     database = load_database(sales_schema(), Path(args.data))
     if database.total_tuples() == 0:
-        print(f"no data found in {args.data}", file=sys.stderr)
-        return 1
-    sql = args.sql if args.sql is not None else EXPERIMENT_QUERIES[args.query_name]
-    answers = annotate(sql, database, epsilon=args.epsilon, method=args.method,
-                       limit=args.limit, rng=args.seed)
+        raise _EmptyDataError(f"no data found in {args.data}")
+    options = ServiceOptions(epsilon=args.epsilon, method=args.method,
+                             jobs=args.jobs, adaptive=args.adaptive,
+                             seed=args.seed)
+    return AnnotationService(database, options)
+
+
+def _print_answers(answers: Sequence, adaptive: bool) -> None:
     if not answers:
         print("no candidate answers")
-        return 0
+        return
     header = " | ".join(answers[0].columns)
     print(f"{header} | confidence | witnesses")
     for answer in answers:
         values = " | ".join(str(value) for value in answer.values)
-        print(f"{values} | {answer.certainty.value:.3f} | {answer.witnesses}")
+        line = f"{values} | {answer.certainty.value:.3f} | {answer.witnesses}"
+        if adaptive:
+            low, high = answer.certainty.details.get(
+                "interval", answer.certainty.interval())
+            line += f" | [{low:.3f}, {high:.3f}]"
+        print(line)
+
+
+def _adaptive_printer():
+    """Stream per-stage refinements to stderr (stdout stays a clean table).
+
+    With ``--jobs N`` the stages of different lineage groups interleave;
+    each line is self-identifying via the canonical-lineage digest prefix.
+    """
+    def show(group, update) -> None:
+        if update.samples == 0:
+            return  # exact lineages answer at stage 0 with nothing to refine
+        low, high = update.interval
+        marker = "  <- final" if update.final else ""
+        print(f".. lineage {group.canonical.digest.hex()[:8]} "
+              f"stage {update.stage + 1}/{update.stages}: "
+              f"mu={update.value:.3f} in [{low:.3f}, {high:.3f}] "
+              f"(eps={update.epsilon:.3f}, {update.samples} samples){marker}",
+              file=sys.stderr, flush=True)
+    return show
+
+
+def _run_annotate(args: argparse.Namespace) -> int:
+    service = _load_service(args)
+    sql = args.sql if args.sql is not None else EXPERIMENT_QUERIES[args.query_name]
+    response = service.submit(
+        sql, limit=args.limit,
+        on_update=_adaptive_printer() if args.adaptive else None)
+    _print_answers(response.answers, args.adaptive)
+    return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """Line-oriented serving loop: one SQL query per line, ``\\``-commands.
+
+    On a terminal this is a small REPL; piped input makes it a batch
+    protocol, so scripted clients (and the worked example under
+    ``examples/``) drive it the same way.
+    """
+    service = _load_service(args)
+    interactive = sys.stdin.isatty()
+    if interactive:
+        print(f"repro serve: {service.database.total_tuples()} tuples, "
+              f"method={args.method}, epsilon={args.epsilon}, jobs={args.jobs}; "
+              "\\stats for the cache report, \\quit to exit")
+    while True:
+        if interactive:
+            print("repro> ", end="", flush=True)
+        line = sys.stdin.readline()
+        if not line:
+            break
+        line = line.strip()
+        if not line or line.startswith("--") or line.startswith("#"):
+            continue
+        if line in ("\\quit", "\\q", "exit", "quit"):
+            break
+        if line in ("\\stats", "\\s"):
+            print(service.stats().report())
+            continue
+        try:
+            response = service.submit(
+                line, limit=args.limit,
+                on_update=_adaptive_printer() if args.adaptive else None)
+        except _USER_ERRORS as error:
+            print(f"error: {error}", file=sys.stderr)
+            continue
+        _print_answers(response.answers, args.adaptive)
+        stats = response.stats
+        print(f"-- {stats.candidates} answers in {stats.elapsed_seconds*1e3:.1f} ms "
+              f"({stats.groups} lineage groups: {stats.groups_computed} computed, "
+              f"{stats.groups_from_cache} cached; {stats.tuples_batched} tuples batched)")
+    if interactive:
+        print()
     return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point (used both by ``python -m repro.cli`` and the tests)."""
     args = _build_parser().parse_args(argv)
-    if args.command == "generate":
-        return _run_generate(args)
-    return _run_annotate(args)
+    try:
+        if args.command == "generate":
+            return _run_generate(args)
+        if args.command == "serve":
+            return _run_serve(args)
+        return _run_annotate(args)
+    except _EmptyDataError as error:
+        print(str(error), file=sys.stderr)
+        return EXIT_NO_DATA
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
+    except _USER_ERRORS as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via main() in tests

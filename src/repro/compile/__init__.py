@@ -15,8 +15,11 @@ DESIGN.md for the architecture notes and the perf-measurement protocol.
 
 from repro.compile.kernels import (
     DEFAULT_BLOCK_SIZE,
+    DEFAULT_COMPILE_CACHE_SIZE,
     CompiledFormula,
+    compile_cache_stats,
     compile_formula,
+    configure_compile_cache,
 )
 from repro.compile.lower import AtomTable, LoweringError, lower
 
@@ -24,7 +27,10 @@ __all__ = [
     "AtomTable",
     "CompiledFormula",
     "DEFAULT_BLOCK_SIZE",
+    "DEFAULT_COMPILE_CACHE_SIZE",
     "LoweringError",
+    "compile_cache_stats",
     "compile_formula",
+    "configure_compile_cache",
     "lower",
 ]

@@ -23,11 +23,11 @@ tests assert on randomized formulas.)
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
 from typing import Sequence
 
 import numpy as np
 
+from repro.caching import CacheStats, LruCache
 from repro.compile.lower import (
     OP_AND,
     OP_NOT,
@@ -305,11 +305,14 @@ def _build_compiled(table: AtomTable, program: tuple[Instruction, ...]) -> Compi
     )
 
 
-@lru_cache(maxsize=256)
-def _compile_cached(formula: ConstraintFormula,
-                    variables: tuple[str, ...]) -> CompiledFormula:
-    table, program = lower(formula, variables)
-    return _build_compiled(table, program)
+#: Default capacity of the compilation memo.  Bounded (unlike a plain
+#: ``functools.lru_cache`` left at its default in a long-lived server, whose
+#: CompiledFormula values -- dense selector matrices -- would accumulate):
+#: the annotation service keeps one entry per distinct canonical lineage in
+#: flight, so a few hundred covers realistic working sets.
+DEFAULT_COMPILE_CACHE_SIZE = 256
+
+_COMPILE_CACHE = LruCache(DEFAULT_COMPILE_CACHE_SIZE, name="compiled kernels")
 
 
 def compile_formula(formula: ConstraintFormula,
@@ -318,7 +321,34 @@ def compile_formula(formula: ConstraintFormula,
 
     Compilation is memoised on ``(formula, variables)`` -- both are hashable
     immutable values -- so repeated estimates over the same lineage formula
-    (the engine's annotate loop, amplification rounds, benchmarks) pay the
-    lowering cost once.
+    (the service's batch groups, amplification rounds, benchmarks) pay the
+    lowering cost once.  The memo is a bounded LRU with hit/miss counters;
+    see :func:`compile_cache_stats` and :func:`configure_compile_cache`.
     """
-    return _compile_cached(formula, tuple(variables))
+    key = (formula, tuple(variables))
+
+    def build() -> CompiledFormula:
+        table, program = lower(formula, key[1])
+        return _build_compiled(table, program)
+
+    return _COMPILE_CACHE.get_or_compute(key, build)
+
+
+def compile_cache_stats() -> CacheStats:
+    """Hit/miss/eviction counters of the compilation memo (service stats)."""
+    return _COMPILE_CACHE.stats()
+
+
+def configure_compile_cache(capacity: int | None = None,
+                            clear: bool = False) -> None:
+    """Resize (and optionally flush) the compilation memo.
+
+    Long-lived services with huge distinct-formula churn can lower the
+    capacity to bound memory; benchmarks flush it (``clear=True`` with no
+    capacity, which leaves the configured capacity untouched) to measure
+    cold paths.
+    """
+    if capacity is not None:
+        _COMPILE_CACHE.resize(capacity)
+    if clear:
+        _COMPILE_CACHE.clear(reset_counters=True)

@@ -5,40 +5,44 @@ This is the library-level equivalent of the paper's experimental setup
 and attach to every returned tuple the measure of certainty that it is really
 an answer, computed with the requested backend (by default the AFPRAS of
 Section 8, the algorithm the paper benchmarks).
+
+Since the service layer landed, these functions are thin wrappers over
+:class:`repro.service.AnnotationService`: each call spins up an ephemeral
+service around the database and runs one request through the full lifecycle
+(parse/plan caches, canonical-lineage batch scheduling, ``SeedSequence``-
+spawned per-task streams, optional adaptive refinement).  Long-lived callers
+that want caching *across* calls should hold an ``AnnotationService`` of
+their own; the wrappers keep the original one-shot API stable for tests,
+benchmarks and examples.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional, Sequence, Union
 
-from repro.certainty.measure import certainty_from_translation
-from repro.certainty.result import CertaintyResult
+import numpy as np
+
 from repro.engine.candidates import CandidateAnswer, enumerate_candidates
 from repro.engine.sql.ast import SelectQuery
 from repro.engine.sql.parser import parse_sql
-from repro.geometry.ball import RngLike, as_generator
+from repro.geometry.ball import RngLike
 from repro.geometry.montecarlo import DEFAULT_DELTA
 from repro.relational.database import Database
-from repro.relational.values import Value
+from repro.service import AnnotatedAnswer, AnnotationService
+
+__all__ = ["AnnotatedAnswer", "annotate", "annotate_query"]
 
 
-@dataclass(frozen=True)
-class AnnotatedAnswer:
-    """A candidate answer together with its measure of certainty."""
+def _root_seed(rng: RngLike):
+    """Fold the legacy ``rng`` argument into a service root seed.
 
-    values: tuple[Value, ...]
-    columns: tuple[str, ...]
-    certainty: CertaintyResult
-    witnesses: int
-
-    def as_dict(self) -> dict[str, Value]:
-        return dict(zip(self.columns, self.values))
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        rendered = ", ".join(f"{column}={value!r}"
-                             for column, value in zip(self.columns, self.values))
-        return f"AnnotatedAnswer({rendered}, mu≈{self.certainty.value:.3f})"
+    Seeds and ``None`` pass through; an existing generator contributes one
+    draw, so repeated calls with the same generator state stay reproducible
+    without the service sharing the caller's stream.
+    """
+    if isinstance(rng, np.random.Generator):
+        return int(rng.integers(0, 2**63))
+    return rng
 
 
 def annotate_query(select: SelectQuery, database: Database,
@@ -48,7 +52,9 @@ def annotate_query(select: SelectQuery, database: Database,
                    limit: Optional[int] = None,
                    rng: RngLike = None,
                    candidates: Optional[Sequence[CandidateAnswer]] = None,
-                   reuse_lineage_results: bool = True) -> list[AnnotatedAnswer]:
+                   reuse_lineage_results: bool = True,
+                   jobs: int = 1,
+                   adaptive: bool = False) -> list[AnnotatedAnswer]:
     """Annotate the candidate answers of a parsed SELECT query with confidences.
 
     ``candidates`` may be supplied to reuse a previous enumeration (the
@@ -57,31 +63,25 @@ def annotate_query(select: SelectQuery, database: Database,
 
     Distinct output rows frequently share a lineage formula -- ungrouped
     (bag-semantics) runs emit one row per witness, and different tuples often
-    hit the same constraint pattern.  Since the measure only depends on the
-    formula and its variables, ``reuse_lineage_results`` (default on) computes
-    each distinct ``(formula, relevant variables)`` pair once and reuses the
-    result, which on top of the compiled-kernel cache makes repeated lineages
-    nearly free.  Disable it to force an independent Monte-Carlo run per row.
+    hit the same constraint pattern even after renaming their nulls.  With
+    ``reuse_lineage_results`` (default on) the service's batch scheduler
+    computes each distinct *canonical* lineage once and reuses the result,
+    which on top of the compiled-kernel cache makes repeated lineages nearly
+    free.  Disable it to force an independent Monte-Carlo run per row.
+
+    ``jobs`` spreads the per-lineage estimates over that many worker
+    threads; results are bit-identical to the serial run at a fixed seed.
+    ``adaptive`` serves each estimate through the coarse-to-fine refinement
+    schedule (the final precision still meets ``epsilon``).
     """
-    generator = as_generator(rng)
+    service = AnnotationService(database, epsilon=epsilon, delta=delta,
+                                method=method, jobs=jobs, adaptive=adaptive,
+                                reuse_results=reuse_lineage_results)
     if candidates is None:
         candidates = enumerate_candidates(select, database, limit=limit)
-    annotated: list[AnnotatedAnswer] = []
-    cache: dict[tuple, CertaintyResult] = {}
-    for candidate in candidates:
-        key = (candidate.lineage.formula, candidate.lineage.relevant_variables)
-        result = cache.get(key) if reuse_lineage_results else None
-        if result is None:
-            result = certainty_from_translation(candidate.lineage, epsilon=epsilon,
-                                                delta=delta, method=method,
-                                                rng=generator)
-            if reuse_lineage_results:
-                cache[key] = result
-        annotated.append(AnnotatedAnswer(values=candidate.values,
-                                         columns=candidate.columns,
-                                         certainty=result,
-                                         witnesses=candidate.witnesses))
-    return annotated
+    response = service.submit(select, candidates=candidates,
+                              seed=_root_seed(rng))
+    return list(response.answers)
 
 
 def annotate(sql: Union[str, SelectQuery], database: Database,
@@ -90,7 +90,9 @@ def annotate(sql: Union[str, SelectQuery], database: Database,
              method: str = "afpras",
              limit: Optional[int] = None,
              rng: RngLike = None,
-             group_witnesses: bool = True) -> list[AnnotatedAnswer]:
+             group_witnesses: bool = True,
+             jobs: int = 1,
+             adaptive: bool = False) -> list[AnnotatedAnswer]:
     """Parse (if necessary) and annotate a SQL query over an incomplete database.
 
     Example
@@ -108,10 +110,8 @@ def annotate(sql: Union[str, SelectQuery], database: Database,
     witnesses.
     """
     select = parse_sql(sql) if isinstance(sql, str) else sql
-    candidates = None
-    if not group_witnesses:
-        candidates = enumerate_candidates(select, database, limit=limit,
-                                          group_witnesses=False)
-    return annotate_query(select, database, epsilon=epsilon, delta=delta,
-                          method=method, limit=limit, rng=rng,
-                          candidates=candidates)
+    service = AnnotationService(database, epsilon=epsilon, delta=delta,
+                                method=method, jobs=jobs, adaptive=adaptive)
+    response = service.submit(select, limit=limit, seed=_root_seed(rng),
+                              group_witnesses=group_witnesses)
+    return list(response.answers)

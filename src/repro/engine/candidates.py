@@ -206,15 +206,75 @@ class _ConditionCompiler:
 
 
 def _order_conditions(select: SelectQuery, compiler: _ConditionCompiler) -> list[list[Condition]]:
-    """Assign each condition to the earliest join step at which it is checkable."""
+    """Assign each condition to the earliest join step at which it is checkable.
+
+    Single-table conditions are *not* assigned to a step here: they are
+    pushed below the join entirely (:func:`_prefilter_tables`), pruning each
+    table before hash-join indexes are built or nested loops iterate it.
+    Only genuinely multi-table conditions remain in the per-step lists.
+    """
     bindings_order = [reference.binding for reference in select.tables]
     position = {binding: index for index, binding in enumerate(bindings_order)}
     steps: list[list[Condition]] = [[] for _ in bindings_order]
     for condition in select.conditions:
         involved = compiler.condition_bindings(condition)
+        if len(involved) == 1:
+            continue  # pushed down to the table scan
         last = max((position[binding] for binding in involved), default=0)
         steps[last].append(condition)
     return steps
+
+
+#: A pre-filtered table row: the tuple plus the residual (symbolic) formulas
+#: of its single-table conditions, evaluated once at scan time.
+_FilteredRow = tuple[tuple[Value, ...], tuple[ConstraintFormula, ...]]
+
+
+def _local_conditions(select: SelectQuery,
+                      compiler: _ConditionCompiler) -> list[list[Condition]]:
+    """The single-table conditions of each FROM table, by table position."""
+    position = {reference.binding: index
+                for index, reference in enumerate(select.tables)}
+    local: list[list[Condition]] = [[] for _ in select.tables]
+    for condition in select.conditions:
+        involved = compiler.condition_bindings(condition)
+        if len(involved) == 1:
+            (binding,) = involved
+            local[position[binding]].append(condition)
+    return local
+
+
+def _prefilter_rows(binding: str, rows: Sequence[tuple[Value, ...]],
+                    conditions: Sequence[Condition],
+                    compiler: _ConditionCompiler) -> list[_FilteredRow]:
+    """Push one table's single-table conditions below the join.
+
+    Rows with a certainly-false condition are dropped (they could never
+    produce a witness); conditions whose truth depends on numerical nulls
+    leave a residual formula attached to the row, conjoined into the lineage
+    when the row joins.  Selective filters therefore prune both the
+    hash-join build side and the nested-loop scans, and each single-table
+    condition is evaluated once per row instead of once per partial join
+    visiting the row.
+    """
+    if not conditions:
+        return [(row, ()) for row in rows]
+    scratch = _Row()
+    filtered: list[_FilteredRow] = []
+    for row in rows:
+        scratch.tuples = {binding: row}
+        residual: list[ConstraintFormula] = []
+        rejected = False
+        for condition in conditions:
+            formula = compiler.condition_formula(condition, scratch).simplify()
+            if isinstance(formula, FalseFormula):
+                rejected = True
+                break
+            if not isinstance(formula, TrueFormula):
+                residual.append(formula)
+        if not rejected:
+            filtered.append((row, tuple(residual)))
+    return filtered
 
 
 def _hash_join_key(condition: Condition, compiler: _ConditionCompiler,
@@ -255,6 +315,12 @@ def enumerate_candidates(select: SelectQuery, database: Database,
     measure of the output tuple.
     """
     compiler = _ConditionCompiler(database, select)
+    # Selection pushdown happens before the per-step condition ordering is
+    # computed: single-table filters prune each table at scan time (lazily,
+    # on the join's first touch of the table, so LIMIT early-exits never pay
+    # for tables they do not reach), and only the surviving rows feed the
+    # hash-join builds and nested loops below.
+    local_conditions = _local_conditions(select, compiler)
     steps = _order_conditions(select, compiler)
     effective_limit = limit if limit is not None else select.limit
 
@@ -277,19 +343,29 @@ def enumerate_candidates(select: SelectQuery, database: Database,
     witnesses_seen = 0
 
     bindings = [reference.binding for reference in select.tables]
-    tables = [database.relation(reference.table) for reference in select.tables]
+    schemas = [database.relation_schema(reference.table) for reference in select.tables]
 
-    # Build hash indexes lazily per (table index, column).
-    hash_indexes: dict[tuple[int, str], dict[Value, list[tuple[Value, ...]]]] = {}
+    filtered_tables: list[Optional[list[_FilteredRow]]] = [None] * len(bindings)
 
-    def index_for(step: int, column: str) -> dict[Value, list[tuple[Value, ...]]]:
+    def filtered_for(step: int) -> list[_FilteredRow]:
+        if filtered_tables[step] is None:
+            reference = select.tables[step]
+            filtered_tables[step] = _prefilter_rows(
+                reference.binding, database.relation(reference.table).tuples(),
+                local_conditions[step], compiler)
+        return filtered_tables[step]
+
+    # Build hash indexes lazily per (table index, column), over the rows
+    # that survived selection pushdown.
+    hash_indexes: dict[tuple[int, str], dict[Value, list[_FilteredRow]]] = {}
+
+    def index_for(step: int, column: str) -> dict[Value, list[_FilteredRow]]:
         key = (step, column)
         if key not in hash_indexes:
-            relation = tables[step]
-            position = relation.schema.position(column)
-            index: dict[Value, list[tuple[Value, ...]]] = {}
-            for row in relation:
-                index.setdefault(row[position], []).append(row)
+            position = schemas[step].position(column)
+            index: dict[Value, list[_FilteredRow]] = {}
+            for entry in filtered_for(step):
+                index.setdefault(entry[0][position], []).append(entry)
             hash_indexes[key] = index
         return hash_indexes[key]
 
@@ -337,11 +413,12 @@ def enumerate_candidates(select: SelectQuery, database: Database,
             probe_value = compiler.column_value(row, probe[0], probe[1])
             candidate_rows = index_for(step, build[1]).get(probe_value, [])
         else:
-            candidate_rows = tables[step].tuples()
+            candidate_rows = filtered_for(step)
 
-        for tuple_row in candidate_rows:
+        for tuple_row, residual in candidate_rows:
             row.tuples[binding] = tuple_row
             new_pending = list(pending)
+            new_pending.extend(residual)
             rejected = False
             for condition in step_conditions:
                 formula = compiler.condition_formula(condition, row).simplify()

@@ -1,0 +1,33 @@
+"""The annotated-answer record served back to clients.
+
+Historically this dataclass lived in :mod:`repro.engine.annotate`; it moved
+here when the annotate entry points became thin wrappers over the service,
+so that the service package never has to import the engine's annotate module
+(which imports the service -- the one cycle the layering must avoid).  The
+old import path still works via the re-export in ``repro.engine.annotate``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.certainty.result import CertaintyResult
+from repro.relational.values import Value
+
+
+@dataclass(frozen=True)
+class AnnotatedAnswer:
+    """A candidate answer together with its measure of certainty."""
+
+    values: tuple[Value, ...]
+    columns: tuple[str, ...]
+    certainty: CertaintyResult
+    witnesses: int
+
+    def as_dict(self) -> dict[str, Value]:
+        return dict(zip(self.columns, self.values))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        rendered = ", ".join(f"{column}={value!r}"
+                             for column, value in zip(self.columns, self.values))
+        return f"AnnotatedAnswer({rendered}, mu≈{self.certainty.value:.3f})"

@@ -1,0 +1,72 @@
+"""Deterministic per-task random streams via ``SeedSequence`` spawning.
+
+The sequential annotate loop of PR 1 drew every estimate from one shared
+generator stream, which makes the result of task ``k`` depend on how many
+draws tasks ``0..k-1`` consumed -- fatally order-dependent once tasks run in
+parallel.  The service instead gives every task its *own* stream, derived
+from the request's root :class:`numpy.random.SeedSequence` with a spawn key
+built from the task's canonical-lineage digest (:mod:`repro.service.canonical`)
+plus small integer tokens (adaptive stage index, per-member replica index).
+
+Spawn keys make the derivation associative and collision-resistant: NumPy
+hashes ``(entropy, spawn_key)`` through its internal mixing function, the
+same mechanism ``SeedSequence.spawn`` uses for its children.  Keying by
+content digest rather than task *index* has two consequences the service
+relies on:
+
+* **bit-identical parallelism** -- the stream of a task does not depend on
+  scheduling order or worker count, so ``jobs=4`` reproduces ``jobs=1``
+  exactly;
+* **cache coherence** -- the estimate for a canonical lineage at a given
+  ``(seed, epsilon, delta, method)`` is the same no matter which query it
+  first appeared in, so a cached result equals what a cold run would have
+  produced.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+#: Acceptable root seeds: an integer, a pre-built SeedSequence, or ``None``
+#: for fresh OS entropy.
+SeedLike = Union[int, np.random.SeedSequence, None]
+
+_WORD = 0xFFFFFFFF
+
+
+def root_sequence(seed: SeedLike = None) -> np.random.SeedSequence:
+    """The request-level root sequence all task streams are spawned from."""
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    return np.random.SeedSequence(seed)
+
+
+def _spawn_words(token: Union[int, bytes]) -> tuple[int, ...]:
+    """Break a token into uint32 words for use inside a spawn key."""
+    if isinstance(token, bytes):
+        token = int.from_bytes(token[:16], "big")
+    if token < 0:
+        raise ValueError(f"spawn tokens must be non-negative, got {token}")
+    words = []
+    while True:
+        words.append(token & _WORD)
+        token >>= 32
+        if not token:
+            return tuple(words)
+
+
+def spawn_stream(root: np.random.SeedSequence,
+                 *tokens: Union[int, bytes]) -> np.random.Generator:
+    """A generator spawned from ``root`` under a content-derived spawn key.
+
+    ``tokens`` may mix integers (stage/replica indices) and byte strings
+    (lineage digests, truncated to 128 bits).  The same ``(root, tokens)``
+    always yields the same stream, independent of call order.
+    """
+    key: tuple[int, ...] = tuple(root.spawn_key)
+    for token in tokens:
+        key += _spawn_words(token)
+    spawned = np.random.SeedSequence(entropy=root.entropy, spawn_key=key)
+    return np.random.default_rng(spawned)

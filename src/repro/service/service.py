@@ -1,0 +1,379 @@
+"""The annotation service: cached, parallel, adaptive-precision query serving.
+
+:class:`AnnotationService` owns the full request lifecycle that the PR 1
+pipeline re-ran from scratch on every ``annotate_query`` call:
+
+1. **parse** -- SQL text is canonicalised (whitespace-collapsed) and parsed
+   once per distinct query text (parse cache);
+2. **plan** -- candidate enumeration with lineage extraction runs once per
+   ``(query, limit, semantics)`` against the service's database snapshot
+   (plan cache);
+3. **schedule** -- candidates are grouped by the null-renaming-invariant
+   canonical form of their lineage (:mod:`repro.service.scheduler`), so one
+   compiled-kernel estimate decides a whole group;
+4. **execute** -- groups run across ``jobs`` worker threads, each drawing
+   from a stream spawned off the request's ``SeedSequence`` under a spawn
+   key derived from the lineage digest (:mod:`repro.service.rng`), which
+   makes parallel runs bit-identical to serial ones;
+5. **estimate** -- either single-shot at the requested ε, or adaptively
+   (coarse first, streamed refinement; :mod:`repro.service.adaptive`);
+   results land in the certainty cache keyed by
+   ``(canonical lineage, ε, δ, method, adaptive, seed)`` so structurally
+   repeated requests skip the Monte-Carlo phase entirely.
+
+The compiled-kernel memo of :mod:`repro.compile` sits underneath all of
+this; its hit/miss counters are surfaced in :meth:`AnnotationService.stats`
+alongside the service's own caches.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.caching import CacheStats, LruCache
+from repro.certainty.measure import certainty_from_translation
+from repro.certainty.result import CertaintyResult
+from repro.compile import compile_cache_stats
+from repro.geometry.montecarlo import DEFAULT_DELTA
+from repro.service.adaptive import (
+    DEFAULT_COARSE_EPSILON,
+    DEFAULT_REFINEMENT_FACTOR,
+    AdaptiveUpdate,
+    adaptive_certainty,
+)
+from repro.service.answers import AnnotatedAnswer
+from repro.service.canonical import CanonicalLineage
+from repro.service.executor import run_tasks
+from repro.service.rng import SeedLike, root_sequence, spawn_stream
+from repro.service.scheduler import TaskGroup, build_schedule
+
+#: Methods the service can dispatch on a pre-translated lineage.
+SERVICE_METHODS = ("auto", "exact", "afpras", "fpras")
+
+#: Callback receiving streamed adaptive refinements: ``(group, update)``.
+GroupUpdateCallback = Callable[[TaskGroup, AdaptiveUpdate], None]
+
+
+@dataclass(frozen=True)
+class ServiceOptions:
+    """Request defaults and cache sizing of an :class:`AnnotationService`."""
+
+    epsilon: float = 0.05
+    delta: float = DEFAULT_DELTA
+    method: str = "afpras"
+    #: Worker threads per request; 1 = serial, 0 = one per CPU.
+    jobs: int = 1
+    #: Serve coarse estimates first and refine toward the requested epsilon.
+    adaptive: bool = False
+    adaptive_coarse: float = DEFAULT_COARSE_EPSILON
+    adaptive_factor: float = DEFAULT_REFINEMENT_FACTOR
+    #: Root seed used when a request does not carry its own.
+    seed: SeedLike = None
+    #: Reuse certainty results across tuples and requests with the same
+    #: canonical lineage (the PR 1 ad-hoc annotate-loop reuse, generalised).
+    reuse_results: bool = True
+    parse_cache_size: int = 256
+    plan_cache_size: int = 128
+    result_cache_size: int = 4096
+
+
+@dataclass(frozen=True)
+class RequestStats:
+    """What one request cost and how much of it was amortised."""
+
+    candidates: int
+    #: Distinct canonical lineages scheduled.
+    groups: int
+    #: Groups answered straight from the certainty cache.
+    groups_from_cache: int
+    #: Groups actually estimated (kernel invocations) this request.
+    groups_computed: int
+    #: Tuples that shared another tuple's estimate (batching win).
+    tuples_batched: int
+    elapsed_seconds: float
+    seed_entropy: int
+
+
+@dataclass(frozen=True)
+class ServiceResponse:
+    """Annotated answers plus the request's amortisation accounting."""
+
+    answers: tuple[AnnotatedAnswer, ...]
+    stats: RequestStats
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Lifetime counters and per-cache snapshots for the stats report."""
+
+    requests: int
+    answers_served: int
+    estimates_computed: int
+    estimates_reused: int
+    tuples_batched: int
+    caches: tuple[CacheStats, ...] = field(default_factory=tuple)
+
+    def report(self) -> str:
+        """Human-readable multi-line report (the ``serve`` REPL's ``\\stats``)."""
+        lines = [
+            f"requests            {self.requests}",
+            f"answers served      {self.answers_served}",
+            f"estimates computed  {self.estimates_computed}",
+            f"estimates reused    {self.estimates_reused}",
+            f"tuples batched      {self.tuples_batched}",
+            "cache               cap    size   hits  misses  evict  hit-rate",
+        ]
+        for cache in self.caches:
+            lines.append(
+                f"{cache.name:<18} {cache.capacity:>5} {cache.size:>7} "
+                f"{cache.hits:>6} {cache.misses:>7} {cache.evictions:>6} "
+                f"{cache.hit_rate:>9.1%}")
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "answers_served": self.answers_served,
+            "estimates_computed": self.estimates_computed,
+            "estimates_reused": self.estimates_reused,
+            "tuples_batched": self.tuples_batched,
+            "caches": [cache.as_dict() for cache in self.caches],
+        }
+
+
+def _normalise_sql(sql: str) -> str:
+    """Whitespace-insensitive cache key for SQL text."""
+    return " ".join(sql.split())
+
+
+def _seed_token(root: np.random.SeedSequence) -> tuple:
+    """Hashable identity of a root sequence for the certainty-cache key.
+
+    Both the entropy *and* the spawn key matter: two children of the same
+    parent (``SeedSequence(0).spawn(2)``) share entropy but draw different
+    streams, so collapsing them onto one cache slot would serve an estimate
+    computed under a different stream than a cold run would use.
+    """
+    entropy = root.entropy
+    if isinstance(entropy, (list, tuple, np.ndarray)):
+        entropy = tuple(int(word) for word in entropy)
+    return (entropy, tuple(int(word) for word in root.spawn_key))
+
+
+class AnnotationService:
+    """Serve certainty-annotated answers for SQL queries over one database.
+
+    The service treats its database as a stable snapshot: every cache keys
+    off query text and formula structure only.  Call :meth:`invalidate`
+    after mutating the database.
+    """
+
+    def __init__(self, database, options: Optional[ServiceOptions] = None,
+                 **overrides) -> None:
+        if options is None:
+            options = ServiceOptions()
+        if overrides:
+            options = replace(options, **overrides)
+        if options.method not in SERVICE_METHODS:
+            raise ValueError(
+                f"unknown method {options.method!r}; expected one of {SERVICE_METHODS}")
+        self._database = database
+        self._options = options
+        self._dimension = len(database.num_nulls_ordered())
+        # The fallback root for requests without their own seed is drawn
+        # once per service: with ``options.seed=None`` this fixes fresh OS
+        # entropy at construction, so repeated seedless requests still share
+        # the certainty cache (a per-request fresh root would make every
+        # cache key unique and silently disable cross-request reuse).
+        self._default_root = root_sequence(options.seed)
+        self._parse_cache = LruCache(options.parse_cache_size, name="parsed sql")
+        self._plan_cache = LruCache(options.plan_cache_size, name="candidates")
+        self._result_cache = LruCache(options.result_cache_size, name="certainty")
+        self._requests = 0
+        self._answers_served = 0
+        self._estimates_computed = 0
+        self._estimates_reused = 0
+        self._tuples_batched = 0
+
+    # -- public API --------------------------------------------------------
+
+    @property
+    def database(self):
+        return self._database
+
+    @property
+    def options(self) -> ServiceOptions:
+        return self._options
+
+    def annotate(self, query, **request) -> list[AnnotatedAnswer]:
+        """Annotate and return just the answers (see :meth:`submit`)."""
+        return list(self.submit(query, **request).answers)
+
+    def submit(self, query, *,
+               candidates: Optional[Sequence] = None,
+               epsilon: Optional[float] = None,
+               delta: Optional[float] = None,
+               method: Optional[str] = None,
+               limit: Optional[int] = None,
+               seed: SeedLike = None,
+               jobs: Optional[int] = None,
+               adaptive: Optional[bool] = None,
+               group_witnesses: bool = True,
+               reuse_results: Optional[bool] = None,
+               on_update: Optional[GroupUpdateCallback] = None) -> ServiceResponse:
+        """Run one annotation request through the full service lifecycle.
+
+        ``query`` is SQL text or a parsed ``SelectQuery``; ``candidates``
+        may carry a pre-enumerated candidate list (the benchmarks use this
+        to time the Monte-Carlo phase separately from the join).  Request
+        parameters default to the service's :class:`ServiceOptions`.
+        """
+        started = time.perf_counter()
+        options = self._options
+        epsilon = options.epsilon if epsilon is None else epsilon
+        delta = options.delta if delta is None else delta
+        method = options.method if method is None else method
+        jobs = options.jobs if jobs is None else jobs
+        adaptive = options.adaptive if adaptive is None else adaptive
+        reuse = options.reuse_results if reuse_results is None else reuse_results
+        if method not in SERVICE_METHODS:
+            raise ValueError(
+                f"unknown method {method!r}; expected one of {SERVICE_METHODS}")
+        root = self._default_root if seed is None else root_sequence(seed)
+        seed_token = _seed_token(root)
+
+        select = self._parse(query)
+        if candidates is None:
+            candidates = self._plan(query, select, limit, group_witnesses)
+
+        if reuse:
+            schedule = build_schedule(candidates)
+        else:
+            # Independent estimates per tuple: one single-member group per
+            # candidate, each with a distinct replica token in its stream.
+            schedule = [TaskGroup(canonical=group.canonical, members=(index,))
+                        for group in build_schedule(candidates)
+                        for index in group.members]
+
+        def decide(group: TaskGroup) -> tuple[CertaintyResult, bool]:
+            key = (group.canonical.key, epsilon, delta, method, adaptive, seed_token)
+            if reuse:
+                cached = self._result_cache.get(key)
+                if cached is not None:
+                    return cached, True
+            replica = () if reuse else (group.members[0],)
+            result = self._estimate(group, epsilon, delta, method, adaptive,
+                                    root, replica, on_update)
+            if reuse:
+                self._result_cache.put(key, result)
+            return result, False
+
+        outcomes = run_tasks(
+            [lambda group=group: decide(group) for group in schedule], jobs=jobs)
+
+        by_candidate: dict[int, CertaintyResult] = {}
+        from_cache = 0
+        for group, (result, cached) in zip(schedule, outcomes):
+            if cached:
+                from_cache += 1
+            for member in group.members:
+                by_candidate[member] = result
+
+        answers = tuple(
+            AnnotatedAnswer(values=candidate.values, columns=candidate.columns,
+                            certainty=by_candidate[index],
+                            witnesses=candidate.witnesses)
+            for index, candidate in enumerate(candidates))
+
+        computed = len(schedule) - from_cache
+        batched = len(candidates) - len(schedule)
+        self._requests += 1
+        self._answers_served += len(answers)
+        self._estimates_computed += computed
+        self._estimates_reused += from_cache
+        self._tuples_batched += batched
+        stats = RequestStats(
+            candidates=len(candidates),
+            groups=len(schedule),
+            groups_from_cache=from_cache,
+            groups_computed=computed,
+            tuples_batched=batched,
+            elapsed_seconds=time.perf_counter() - started,
+            seed_entropy=seed_token[0] if isinstance(seed_token[0], int) else 0,
+        )
+        return ServiceResponse(answers=answers, stats=stats)
+
+    def stats(self) -> ServiceStats:
+        """Lifetime counters plus snapshots of every cache layer."""
+        return ServiceStats(
+            requests=self._requests,
+            answers_served=self._answers_served,
+            estimates_computed=self._estimates_computed,
+            estimates_reused=self._estimates_reused,
+            tuples_batched=self._tuples_batched,
+            caches=(
+                self._parse_cache.stats(),
+                self._plan_cache.stats(),
+                self._result_cache.stats(),
+                compile_cache_stats(),
+            ),
+        )
+
+    def invalidate(self) -> None:
+        """Drop every cached artefact (call after mutating the database)."""
+        self._parse_cache.clear()
+        self._plan_cache.clear()
+        self._result_cache.clear()
+
+    # -- lifecycle stages --------------------------------------------------
+
+    def _parse(self, query):
+        if not isinstance(query, str):
+            return query
+        from repro.engine.sql.parser import parse_sql
+        key = _normalise_sql(query)
+        return self._parse_cache.get_or_compute(key, lambda: parse_sql(query))
+
+    def _plan(self, query, select, limit: Optional[int],
+              group_witnesses: bool) -> tuple:
+        from repro.engine.candidates import enumerate_candidates
+
+        def enumerate_() -> tuple:
+            return tuple(enumerate_candidates(select, self._database, limit=limit,
+                                              group_witnesses=group_witnesses))
+
+        if not isinstance(query, str):
+            # No stable text key; planning an AST is not cached.
+            return enumerate_()
+        key = (_normalise_sql(query), limit, group_witnesses)
+        return self._plan_cache.get_or_compute(key, enumerate_)
+
+    def _estimate(self, group: TaskGroup, epsilon: float, delta: float,
+                  method: str, adaptive: bool, root: np.random.SeedSequence,
+                  replica: tuple[int, ...],
+                  on_update: Optional[GroupUpdateCallback]) -> CertaintyResult:
+        canonical = group.canonical
+        translation = canonical.translation()
+        if adaptive:
+            callback = None
+            if on_update is not None:
+                callback = lambda update: on_update(group, update)  # noqa: E731
+            result = adaptive_certainty(
+                translation, epsilon=epsilon, delta=delta, method=method,
+                stream_factory=lambda stage: spawn_stream(
+                    root, canonical.digest, *replica, stage),
+                on_update=callback,
+                coarse=self._options.adaptive_coarse,
+                factor=self._options.adaptive_factor)
+        else:
+            result = certainty_from_translation(
+                translation, epsilon=epsilon, delta=delta, method=method,
+                rng=spawn_stream(root, canonical.digest, *replica))
+        # The canonical translation deliberately forgets the database's
+        # ambient dimension; patch it back for faithful result metadata.
+        return replace(result, dimension=self._dimension,
+                       relevant_dimension=canonical.dimension)

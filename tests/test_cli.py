@@ -2,9 +2,21 @@
 
 from __future__ import annotations
 
+import io
+
 import pytest
 
 from repro.cli import main
+
+
+@pytest.fixture
+def data_dir(tmp_path, capsys):
+    """A small generated sales database on disk."""
+    directory = tmp_path / "data"
+    main(["generate", "--out", str(directory), "--products", "30",
+          "--orders", "30", "--markets", "6", "--null-rate", "0.2", "--seed", "1"])
+    capsys.readouterr()
+    return directory
 
 
 class TestCli:
@@ -49,3 +61,74 @@ class TestCli:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["bogus"])
+
+
+class TestCliHardening:
+    def test_sql_syntax_error_is_clean(self, data_dir, capsys):
+        exit_code = main(["annotate", "--data", str(data_dir),
+                          "--sql", "SELEC nonsense FROM nowhere"])
+        assert exit_code == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "Traceback" not in captured.err
+
+    def test_unknown_column_error_is_clean(self, data_dir, capsys):
+        exit_code = main(["annotate", "--data", str(data_dir),
+                          "--sql", "SELECT P.bogus FROM Products P"])
+        assert exit_code == 2
+        captured = capsys.readouterr()
+        assert "bogus" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_jobs_output_is_bit_identical(self, data_dir, capsys):
+        query = ["annotate", "--data", str(data_dir),
+                 "--query-name", "competitive_advantage",
+                 "--epsilon", "0.1", "--seed", "4"]
+        assert main(query + ["--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(query + ["--jobs", "4"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+    def test_adaptive_prints_intervals(self, data_dir, capsys):
+        exit_code = main(["annotate", "--data", str(data_dir),
+                          "--sql", "SELECT P.id FROM Products P WHERE P.rrp <= 40",
+                          "--adaptive", "--epsilon", "0.05", "--seed", "2"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "[" in output and "]" in output  # interval column present
+
+
+class TestServe:
+    def _serve(self, data_dir, monkeypatch, text, extra=()):
+        monkeypatch.setattr("sys.stdin", io.StringIO(text))
+        return main(["serve", "--data", str(data_dir), "--seed", "5",
+                     "--epsilon", "0.1", *extra])
+
+    def test_repeated_queries_are_served_from_cache(self, data_dir, monkeypatch,
+                                                    capsys):
+        query = "SELECT M.seg FROM Market M WHERE M.rrp >= 0 LIMIT 3\n"
+        exit_code = self._serve(data_dir, monkeypatch,
+                                query + query + "\\stats\n\\quit\n")
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert output.count("confidence") == 2
+        # The second run answers every lineage group from the cache.
+        assert "0 computed" in output
+        assert "estimates reused" in output
+
+    def test_bad_query_keeps_the_loop_alive(self, data_dir, monkeypatch, capsys):
+        exit_code = self._serve(
+            data_dir, monkeypatch,
+            "totally not sql\nSELECT M.seg FROM Market M LIMIT 1\n")
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert "confidence" in captured.out
+
+    def test_comments_and_blank_lines_are_skipped(self, data_dir, monkeypatch,
+                                                  capsys):
+        exit_code = self._serve(data_dir, monkeypatch,
+                                "\n# a comment\n-- another\n\\quit\n")
+        assert exit_code == 0
+        assert "confidence" not in capsys.readouterr().out

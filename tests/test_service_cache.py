@@ -1,0 +1,162 @@
+"""Tests for the LRU cache, the compile-formula memo, and canonicalisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.caching import LruCache
+from repro.compile import (
+    DEFAULT_COMPILE_CACHE_SIZE,
+    compile_cache_stats,
+    compile_formula,
+    configure_compile_cache,
+)
+from repro.constraints.atoms import Comparison, Constraint
+from repro.constraints.formula import And, Atom, Or
+from repro.constraints.polynomials import Polynomial
+from repro.service.canonical import CanonicalisationError, canonicalise
+from repro.service.rng import root_sequence, spawn_stream
+
+
+def atom(name: str, op: Comparison = Comparison.LE, bound: float = 16.0) -> Atom:
+    return Atom(Constraint(Polynomial.variable(name) - Polynomial.constant(bound), op))
+
+
+class TestLruCache:
+    def test_eviction_order_is_least_recently_used(self):
+        cache = LruCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a"; "b" is now oldest
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("a") == 1 and cache.get("c") == 3
+
+    def test_counters(self):
+        cache = LruCache(1, name="unit")
+        cache.get("missing")
+        cache.put("k", "v")
+        cache.get("k")
+        cache.put("other", "w")  # evicts "k"
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.evictions) == (1, 1, 1)
+        assert stats.name == "unit" and stats.size == 1
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_get_or_compute_only_computes_on_miss(self):
+        cache = LruCache(4)
+        calls = []
+        assert cache.get_or_compute("k", lambda: calls.append(1) or "value") == "value"
+        assert cache.get_or_compute("k", lambda: calls.append(1) or "other") == "value"
+        assert len(calls) == 1
+
+    def test_resize_shrinks_and_counts_evictions(self):
+        cache = LruCache(4)
+        for index in range(4):
+            cache.put(index, index)
+        cache.resize(2)
+        assert len(cache) == 2
+        assert cache.stats().evictions == 2
+        assert 3 in cache  # newest survive
+
+    def test_rejects_silly_capacity(self):
+        with pytest.raises(ValueError):
+            LruCache(0)
+        with pytest.raises(ValueError):
+            LruCache(4).resize(-1)
+
+
+@pytest.fixture
+def compile_cache():
+    """Run a test against a small, clean compile memo; restore afterwards."""
+    configure_compile_cache(capacity=4, clear=True)
+    yield
+    configure_compile_cache(capacity=DEFAULT_COMPILE_CACHE_SIZE, clear=True)
+
+
+class TestCompileFormulaMemo:
+    def test_hits_and_misses_are_counted(self, compile_cache):
+        formula = And((atom("x"), atom("y", Comparison.GT)))
+        compile_formula(formula, ("x", "y"))
+        compile_formula(formula, ("x", "y"))
+        stats = compile_cache_stats()
+        assert stats.misses == 1 and stats.hits == 1
+        assert stats.name == "compiled kernels"
+
+    def test_capacity_bounds_the_memo(self, compile_cache):
+        for index in range(8):
+            compile_formula(atom(f"x{index}"), (f"x{index}",))
+        stats = compile_cache_stats()
+        assert stats.size == 4
+        assert stats.evictions == 4
+
+    def test_recompilation_after_eviction_is_equivalent(self, compile_cache):
+        formula = atom("x")
+        first = compile_formula(formula, ("x",))
+        for index in range(6):  # flush "x" out of the 4-entry memo
+            compile_formula(atom(f"y{index}"), (f"y{index}",))
+        second = compile_formula(formula, ("x",))
+        assert first is not second
+        assert first.table.constraints == second.table.constraints
+
+
+class TestCanonicalisation:
+    def test_renaming_invariance(self):
+        left = canonicalise(atom("z_a"), ("z_a",))
+        right = canonicalise(atom("z_b"), ("z_b",))
+        assert left.key == right.key
+        assert left.digest == right.digest
+        assert left.variables == ("v0",)
+
+    def test_multivariate_renaming_follows_position(self):
+        chain = lambda a, b: And((  # noqa: E731 - tiny local helper
+            Atom(Constraint(Polynomial.variable(a) - Polynomial.variable(b),
+                            Comparison.LT)),
+            atom(b),
+        ))
+        left = canonicalise(chain("z_1", "z_2"), ("z_1", "z_2"))
+        right = canonicalise(chain("z_8", "z_9"), ("z_8", "z_9"))
+        assert left.key == right.key and left.digest == right.digest
+
+    def test_distinct_structures_get_distinct_digests(self):
+        le = canonicalise(atom("x", Comparison.LE), ("x",))
+        lt = canonicalise(atom("x", Comparison.LT), ("x",))
+        disjunct = canonicalise(Or((atom("x"), atom("x", Comparison.GT))), ("x",))
+        assert len({le.digest, lt.digest, disjunct.digest}) == 3
+
+    def test_dimension_is_part_of_the_key(self):
+        narrow = canonicalise(atom("x"), ("x",))
+        wide = canonicalise(atom("x"), ("x", "unused"))
+        assert narrow.digest != wide.digest
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(CanonicalisationError):
+            canonicalise(atom("mystery"), ("x",))
+
+    def test_translation_is_self_contained(self):
+        canonical = canonicalise(atom("z_q"), ("z_q",))
+        translation = canonical.translation()
+        assert translation.relevant_variables == ("v0",)
+        assert translation.formula.evaluate({"v0": 10.0})
+        assert not translation.formula.evaluate({"v0": 20.0})
+
+
+class TestSpawnedStreams:
+    def test_same_tokens_same_stream(self):
+        root = root_sequence(42)
+        first = spawn_stream(root, b"digest-bytes", 3).integers(0, 1 << 30, 8)
+        second = spawn_stream(root, b"digest-bytes", 3).integers(0, 1 << 30, 8)
+        assert list(first) == list(second)
+
+    def test_different_tokens_different_streams(self):
+        root = root_sequence(42)
+        first = spawn_stream(root, b"digest-bytes", 0).integers(0, 1 << 30, 8)
+        second = spawn_stream(root, b"digest-bytes", 1).integers(0, 1 << 30, 8)
+        third = spawn_stream(root, b"other-digest!", 0).integers(0, 1 << 30, 8)
+        assert list(first) != list(second)
+        assert list(first) != list(third)
+
+    def test_roots_differ_by_seed(self):
+        first = spawn_stream(root_sequence(1), 0).integers(0, 1 << 30, 8)
+        second = spawn_stream(root_sequence(2), 0).integers(0, 1 << 30, 8)
+        assert list(first) != list(second)
