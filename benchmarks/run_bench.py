@@ -1,22 +1,25 @@
 #!/usr/bin/env python
-"""Perf harness: batched kernels vs scalar paths, and the annotation service.
+"""Perf harness: batched kernels, the annotation service, and the join engine.
 
 Measures wall-clock time of the AFPRAS (Theorem 8.1) and the CQ(+,<) FPRAS
 (Theorem 7.1) under both execution engines at fixed seeds and error levels
-(the PR 1 scenario), plus the PR 2 service scenario: a repeated
-decision-support query served cold (empty caches) versus warm (parse, plan,
-and certainty caches populated by the first request).  Results go to a JSON
-baseline so future PRs have a perf trajectory to beat.
+(the PR 1 scenario), the PR 2 service scenario (a repeated decision-support
+query served cold versus warm), and the PR 3 storage scenario: candidate
+enumeration with lineage over a DataFiller-scale two-table equi-join
+(10^5 rows per table) under the row-at-a-time reference engine versus the
+vectorized columnar engine.  Results go to a JSON baseline so future PRs
+have a perf trajectory to beat.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py            # full run
     PYTHONPATH=src python benchmarks/run_bench.py --quick    # CI smoke
-    PYTHONPATH=src python benchmarks/run_bench.py --output BENCH_PR2.json
+    PYTHONPATH=src python benchmarks/run_bench.py --output BENCH_PR3.json
 
 The CI smoke run fails when the warm (cached) service path is not faster
-than the cold path; the full run additionally enforces the 5x acceptance
-thresholds on both headlines.  See DESIGN.md ("Perf-measurement protocol").
+than cold or when the columnar join is not faster than the row join; the
+full run additionally enforces the 5x acceptance thresholds on all three
+headlines.  See DESIGN.md ("Perf-measurement protocol").
 """
 
 from __future__ import annotations
@@ -41,11 +44,15 @@ from repro.constraints.formula import And, Atom, disjunction
 from repro.constraints.polynomials import Polynomial
 from repro.constraints.translate import TranslationResult
 from repro.datagen.experiments import EXPERIMENT_QUERIES, ExperimentScale, generate_sales_database
+from repro.datagen.generic import ColumnSpec, TableSpec, generate_database
+from repro.engine.candidates import enumerate_candidates
+from repro.engine.sql.parser import parse_sql
 from repro.geometry.montecarlo import hoeffding_sample_size
+from repro.relational.schema import DatabaseSchema, RelationSchema
 from repro.relational.values import NumNull
 from repro.service import AnnotationService
 
-DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_PR2.json"
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_PR3.json"
 
 #: The headline configuration of the acceptance criterion: the largest
 #: dimension of bench_afpras_scaling.py at eps = 0.02.
@@ -230,6 +237,88 @@ def bench_service(quick: bool) -> dict:
     return {"scheme": "service", "configs": rows}
 
 
+#: The PR 3 storage headline: a 10^5-row-per-table equi-join with an
+#: arithmetic filter and lineage extraction, columnar engine vs row engine.
+JOIN_HEADLINE = {"rows_per_table": 100_000, "null_rate": 0.02, "seed": 13,
+                 "limit": 25}
+
+JOIN_SQL = ("SELECT F.key FROM Fact F, Dim D "
+            "WHERE F.key = D.key AND F.val * D.ref <= 25 LIMIT 25")
+
+
+def _join_database(rows_per_table: int, null_rate: float, seed: int):
+    """A two-table star: every Fact row matches exactly one Dim row."""
+    schema = DatabaseSchema.of(
+        RelationSchema.of("Fact", key="base", val="num"),
+        RelationSchema.of("Dim", key="base", ref="num"),
+    )
+    keys = tuple(f"k{i}" for i in range(rows_per_table))
+    specs = {
+        "Fact": TableSpec(rows=rows_per_table, columns={
+            "key": ColumnSpec(choices=keys),
+            "val": ColumnSpec(uniform=(0.0, 10.0), null_rate=null_rate),
+        }),
+        "Dim": TableSpec(rows=rows_per_table, columns={
+            "key": ColumnSpec(serial="k"),
+            "ref": ColumnSpec(uniform=(0.0, 10.0), null_rate=null_rate),
+        }),
+    }
+    return generate_database(schema, specs, rng=seed, backend="columnar")
+
+
+def bench_join(quick: bool) -> dict:
+    """Candidate enumeration over large tables: columnar vs row backend.
+
+    The generated instance lands straight in columnar storage (vectorized
+    column draws, no per-row validation) and is converted once to the row
+    backend, so both engines see the identical snapshot.  The measured
+    quantity is :func:`enumerate_candidates` wall clock -- selection
+    pushdown, hash join, predicate pruning and lineage assembly -- which is
+    exactly the phase the columnar layout exists to accelerate.
+    """
+    configs = [dict(JOIN_HEADLINE, headline=True)]
+    if quick:
+        configs = [{"rows_per_table": 20_000, "null_rate": 0.02, "seed": 13,
+                    "limit": 25, "headline": True}]
+    else:
+        configs.append({"rows_per_table": 100_000, "null_rate": 0.0,
+                        "seed": 13, "limit": 25})
+    rows = []
+    for config in configs:
+        columnar_database = _join_database(
+            config["rows_per_table"], config["null_rate"], config["seed"])
+        row_database = columnar_database.with_backend("rows")
+        select = parse_sql(JOIN_SQL)
+        repeats = 1 if quick else 2
+
+        def run(database):
+            return enumerate_candidates(select, database,
+                                        limit=config["limit"])
+
+        columnar_seconds, columnar_result = _best_of(
+            lambda: run(columnar_database), repeats)
+        row_seconds, row_result = _best_of(lambda: run(row_database), repeats)
+        assert [c.values for c in columnar_result] == \
+            [c.values for c in row_result], "backends must agree on answers"
+        assert [c.witnesses for c in columnar_result] == \
+            [c.witnesses for c in row_result], "backends must agree on witnesses"
+        row = {
+            **config,
+            "candidates": len(columnar_result),
+            "total_witnesses": sum(c.witnesses for c in columnar_result),
+            "rows_seconds": row_seconds,
+            "columnar_seconds": columnar_seconds,
+            "speedup": row_seconds / max(columnar_seconds, 1e-12),
+        }
+        rows.append(row)
+        print(f"join   n={config['rows_per_table']:>7d} "
+              f"null_rate={config['null_rate']:.2f}  "
+              f"rows {row_seconds*1e3:8.2f} ms   "
+              f"columnar {columnar_seconds*1e3:8.2f} ms   "
+              f"speedup {row['speedup']:6.2f}x")
+    return {"scheme": "join", "configs": rows}
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
@@ -240,15 +329,20 @@ def main() -> int:
     args = parser.parse_args()
 
     schemes = [bench_afpras(args.quick), bench_fpras(args.quick),
-               bench_service(args.quick)]
+               bench_service(args.quick), bench_join(args.quick)]
     headline = next(row for row in schemes[0]["configs"] if row.get("headline"))
     service_headline = next(row for row in schemes[2]["configs"]
                             if row.get("headline"))
+    join_headline = next(row for row in schemes[3]["configs"]
+                         if row.get("headline"))
     baseline = {
-        "benchmark": "annotation service (warm vs cold) over the vectorized "
-                     "sampling engine (scalar vs batched kernels)",
+        "benchmark": "columnar vs row join engine, annotation service "
+                     "(warm vs cold), vectorized sampling kernels "
+                     "(scalar vs batched)",
         "protocol": "best-of-N wall clock, fixed seeds; service cold runs "
-                    "flush every cache, warm runs repeat the identical request",
+                    "flush every cache, warm runs repeat the identical "
+                    "request; join runs share one generated snapshot "
+                    "across backends",
         "quick": args.quick,
         "python": platform.python_version(),
         "numpy": np.__version__,
@@ -264,16 +358,30 @@ def main() -> int:
             "warm_seconds": service_headline["warm_seconds"],
             "speedup": service_headline["speedup"],
         },
+        "join_headline": {
+            "config": {key: join_headline[key]
+                       for key in ("rows_per_table", "null_rate", "seed", "limit")},
+            "sql": JOIN_SQL,
+            "rows_seconds": join_headline["rows_seconds"],
+            "columnar_seconds": join_headline["columnar_seconds"],
+            "speedup": join_headline["speedup"],
+        },
         "schemes": schemes,
     }
     args.output.write_text(json.dumps(baseline, indent=2) + "\n")
     print(f"\nkernel headline: {headline['speedup']:.2f}x "
           f"(afpras dim=32, eps=0.02); service headline: "
           f"{service_headline['speedup']:.2f}x warm-vs-cold "
-          f"({SERVICE_HEADLINE['query']}); baseline written to {args.output}")
+          f"({SERVICE_HEADLINE['query']}); join headline: "
+          f"{join_headline['speedup']:.2f}x columnar-vs-rows "
+          f"(n={join_headline['rows_per_table']}); "
+          f"baseline written to {args.output}")
     failed = False
     if service_headline["speedup"] <= 1.0:
         print("FAIL: cached (warm) service path is not faster than cold")
+        failed = True
+    if join_headline["speedup"] <= 1.0:
+        print("FAIL: columnar join engine is not faster than the row engine")
         failed = True
     if not args.quick:
         if headline["speedup"] < 5.0:
@@ -282,6 +390,10 @@ def main() -> int:
         if service_headline["speedup"] < 5.0:
             print("WARNING: service warm-vs-cold speedup below the 5x "
                   "acceptance threshold")
+            failed = True
+        if join_headline["speedup"] < 5.0:
+            print("WARNING: columnar join speedup below the 5x acceptance "
+                  "threshold")
             failed = True
     return 1 if failed else 0
 

@@ -96,6 +96,14 @@ def _build_parser() -> argparse.ArgumentParser:
                                     "toward --epsilon; refinement stages "
                                     "stream on stderr, the final table gains "
                                     "an interval column")
+        subparser.add_argument("--backend", default="rows",
+                               choices=("rows", "columnar"),
+                               help="storage/execution backend for candidate "
+                                    "enumeration: 'columnar' joins whole "
+                                    "NumPy columns at once (fastest on large "
+                                    "tables), 'rows' is the row-at-a-time "
+                                    "reference engine (default); answers are "
+                                    "identical either way")
 
     annotate_parser = subparsers.add_parser(
         "annotate", help="run a SQL query over a CSV database and print confidences")
@@ -129,7 +137,7 @@ def _load_service(args: argparse.Namespace) -> AnnotationService:
         raise _EmptyDataError(f"no data found in {args.data}")
     options = ServiceOptions(epsilon=args.epsilon, method=args.method,
                              jobs=args.jobs, adaptive=args.adaptive,
-                             seed=args.seed)
+                             seed=args.seed, backend=args.backend)
     return AnnotationService(database, options)
 
 

@@ -298,7 +298,8 @@ def _hash_join_key(condition: Condition, compiler: _ConditionCompiler,
 def enumerate_candidates(select: SelectQuery, database: Database,
                          limit: Optional[int] = None,
                          max_witnesses: int = 1_000_000,
-                         group_witnesses: bool = True) -> list[CandidateAnswer]:
+                         group_witnesses: bool = True,
+                         backend: Optional[str] = None) -> list[CandidateAnswer]:
     """Enumerate candidate answers of a SELECT query with their lineage.
 
     ``limit`` overrides the query's own LIMIT clause when given.  Candidates
@@ -313,7 +314,27 @@ def enumerate_candidates(select: SelectQuery, database: Database,
     certainty attached to such a row is the measure of "this particular join
     combination witnesses the answer", a lower bound on the set-semantics
     measure of the output tuple.
+
+    ``backend`` picks the execution strategy: ``"rows"`` is this module's
+    row-at-a-time reference implementation, ``"columnar"`` the vectorized
+    engine of :mod:`repro.engine.vectorized`.  The default ``None`` follows
+    the database's own storage backend.  Both produce identical candidates,
+    in the same order, with identical lineage formulas (the differential
+    harness in ``tests/test_columnar_differential.py`` enforces this); a
+    database stored under the other backend is converted first.
     """
+    chosen = backend if backend is not None else getattr(database, "backend", "rows")
+    if chosen == "columnar":
+        from repro.engine.vectorized import enumerate_candidates_columnar
+        if getattr(database, "backend", "rows") != "columnar":
+            database = database.with_backend("columnar")
+        return enumerate_candidates_columnar(
+            select, database, limit=limit, max_witnesses=max_witnesses,
+            group_witnesses=group_witnesses)
+    if chosen != "rows":
+        raise ValueError(f"unknown engine backend {chosen!r}")
+    if getattr(database, "backend", "rows") != "rows":
+        database = database.with_backend("rows")
     compiler = _ConditionCompiler(database, select)
     # Selection pushdown happens before the per-step condition ordering is
     # computed: single-table filters prune each table at scan time (lazily,
@@ -436,6 +457,20 @@ def enumerate_candidates(select: SelectQuery, database: Database,
 
     recurse(0, _Row(), [])
 
+    return _build_candidates(order, witness_formulae, witness_counts,
+                             row_values, columns, database)
+
+
+def _build_candidates(order: list, witness_formulae: dict, witness_counts: dict,
+                      row_values: dict, columns: tuple[str, ...],
+                      database: Database) -> list[CandidateAnswer]:
+    """Assemble :class:`CandidateAnswer` objects from accumulated witnesses.
+
+    Shared by the row-at-a-time path above and the vectorized columnar path
+    (:mod:`repro.engine.vectorized`): each candidate's lineage is the
+    simplified disjunction of its witnesses' constraint formulae, wrapped in
+    a :class:`TranslationResult` over the database's ambient null order.
+    """
     all_nulls = database.num_nulls_ordered()
     all_variables = tuple(null.variable for null in all_nulls)
     null_by_variable = {null.variable: null for null in all_nulls}

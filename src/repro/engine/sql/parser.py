@@ -20,6 +20,12 @@ _COMPARISON_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">")
 _ADDITIVE_OPERATORS = ("+", "-")
 _MULTIPLICATIVE_OPERATORS = ("*", "/")
 
+#: Maximum nesting depth of parenthesised / unary-minus expressions.  Deeply
+#: nested input (pathological or adversarial, e.g. ``((((...``) must fail
+#: with a clean :class:`SqlSyntaxError` rather than exhausting the Python
+#: recursion limit -- the SQL fuzz harness holds the parser to that.
+_MAX_EXPRESSION_DEPTH = 200
+
 
 class _Parser:
     """Stateful cursor over the token stream."""
@@ -27,6 +33,7 @@ class _Parser:
     def __init__(self, tokens: list[Token]) -> None:
         self._tokens = tokens
         self._index = 0
+        self._depth = 0
 
     # -- token plumbing ------------------------------------------------------
 
@@ -97,7 +104,13 @@ class _Parser:
             if token.type is not TokenType.NUMBER:
                 raise SqlSyntaxError(
                     f"expected a number after LIMIT at position {token.position}")
-            limit = int(float(self._advance().text))
+            text = self._advance().text
+            try:
+                limit = int(float(text))
+            except (OverflowError, ValueError) as error:
+                raise SqlSyntaxError(
+                    f"LIMIT value {text!r} at position {token.position} "
+                    "is out of range") from error
 
         self._accept_punctuation(";")
         end = self._peek()
@@ -154,9 +167,16 @@ class _Parser:
 
     def _parse_factor(self) -> Expression:
         token = self._peek()
+        if self._depth >= _MAX_EXPRESSION_DEPTH:
+            raise SqlSyntaxError(
+                f"expression nesting too deep at position {token.position}")
         if token.matches(TokenType.PUNCTUATION, "("):
             self._advance()
-            inner = self._parse_expression()
+            self._depth += 1
+            try:
+                inner = self._parse_expression()
+            finally:
+                self._depth -= 1
             if not self._accept_punctuation(")"):
                 raise SqlSyntaxError(f"missing ')' at position {self._peek().position}")
             return inner
@@ -168,7 +188,11 @@ class _Parser:
             return StringLiteral(value=token.text[1:-1].replace("''", "'"))
         if token.type is TokenType.OPERATOR and token.text == "-":
             self._advance()
-            inner = self._parse_factor()
+            self._depth += 1
+            try:
+                inner = self._parse_factor()
+            finally:
+                self._depth -= 1
             return BinaryExpression(operator="-", left=NumberLiteral(0.0), right=inner)
         if token.type is TokenType.IDENTIFIER:
             return self._parse_column_reference()

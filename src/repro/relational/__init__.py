@@ -12,6 +12,8 @@ implements that model:
 * :mod:`repro.relational.schema` -- relation and database schemas
   (``R(base^k num^m)`` declarations, with interleaving allowed);
 * :mod:`repro.relational.relation` -- relations as finite sets of tuples;
+* :mod:`repro.relational.columnar` -- the same relations stored column-wise
+  (NumPy arrays + interning dictionaries) for the vectorized join engine;
 * :mod:`repro.relational.database` -- incomplete databases, their active
   domains and null inventories;
 * :mod:`repro.relational.valuation` -- valuations ``v = (v_base, v_num)``
@@ -19,7 +21,8 @@ implements that model:
 * :mod:`repro.relational.csv_io` -- plain-text round-tripping of databases.
 """
 
-from repro.relational.database import Database
+from repro.relational.columnar import ColumnarRelation
+from repro.relational.database import BACKENDS, Database
 from repro.relational.relation import Relation
 from repro.relational.schema import DatabaseSchema, RelationSchema
 from repro.relational.types import Attribute, AttributeType
@@ -35,7 +38,9 @@ from repro.relational.values import (
 __all__ = [
     "Attribute",
     "AttributeType",
+    "BACKENDS",
     "BaseNull",
+    "ColumnarRelation",
     "Database",
     "DatabaseSchema",
     "NumNull",

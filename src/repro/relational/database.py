@@ -1,35 +1,49 @@
 """Incomplete databases over the two-sorted schema.
 
-A :class:`Database` holds one :class:`~repro.relational.relation.Relation`
-per schema relation and exposes the inventories the paper's definitions are
-phrased in terms of: the base and numerical constants appearing in the
-database (``C_base(D)``, ``C_num(D)``) and its base and numerical nulls
-(``N_base(D)``, ``N_num(D)``).
+A :class:`Database` holds one relation per schema relation and exposes the
+inventories the paper's definitions are phrased in terms of: the base and
+numerical constants appearing in the database (``C_base(D)``, ``C_num(D)``)
+and its base and numerical nulls (``N_base(D)``, ``N_num(D)``).
+
+Two storage backends are supported behind the same interface:
+
+* ``backend="rows"`` -- :class:`~repro.relational.relation.Relation`, Python
+  tuples in a list.  The reference representation; every code path was
+  originally written against it.
+* ``backend="columnar"`` -- :class:`~repro.relational.columnar.
+  ColumnarRelation`, one NumPy array per column.  The vectorized join
+  engine (:mod:`repro.engine.vectorized`) requires it; everything else
+  works on either backend through the shared relation protocol.
+
+``with_backend`` converts losslessly in both directions (up to numeric
+widening of ``int`` constants to the equal ``float``).
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Iterator, Mapping, Sequence
 
+from repro.relational.columnar import ColumnarRelation
 from repro.relational.relation import Relation
 from repro.relational.schema import DatabaseSchema, RelationSchema, SchemaError
-from repro.relational.values import (
-    BaseNull,
-    NumNull,
-    Value,
-    is_base_null,
-    is_num_null,
-    is_numeric_constant,
-)
+from repro.relational.values import BaseNull, NumNull, Value
+
+#: The supported storage backends.
+BACKENDS = ("rows", "columnar")
 
 
 class Database:
     """A database instance: one relation per relation schema, nulls allowed."""
 
-    def __init__(self, schema: DatabaseSchema) -> None:
+    def __init__(self, schema: DatabaseSchema, backend: str = "rows") -> None:
+        if backend not in BACKENDS:
+            raise SchemaError(
+                f"unknown storage backend {backend!r}; expected one of {BACKENDS}")
+        relation_class = ColumnarRelation if backend == "columnar" else Relation
         self._schema = schema
+        self._backend = backend
         self._relations: dict[str, Relation] = {
-            relation_schema.name: Relation(relation_schema)
+            relation_schema.name: relation_class(relation_schema)
             for relation_schema in schema
         }
 
@@ -37,9 +51,10 @@ class Database:
 
     @classmethod
     def from_dict(cls, schema: DatabaseSchema,
-                  contents: Mapping[str, Iterable[Sequence[Value]]]) -> "Database":
+                  contents: Mapping[str, Iterable[Sequence[Value]]],
+                  backend: str = "rows") -> "Database":
         """Build a database from ``{relation name: iterable of tuples}``."""
-        database = cls(schema)
+        database = cls(schema, backend=backend)
         for name, rows in contents.items():
             for row in rows:
                 database.add(name, row)
@@ -51,18 +66,67 @@ class Database:
             raise SchemaError(f"unknown relation {relation_name!r}")
         self._relations[relation_name].add(values)
 
+    def install_relation(self, relation) -> None:
+        """Replace a relation wholesale with a bulk-built instance.
+
+        The entry point for bulk loaders (the columnar data generator, bulk
+        imports) that build a relation outside the database and hand it
+        over: the relation must be declared by this database's schema and
+        stored in this database's backend, so the per-backend invariants
+        the tuple-at-a-time path maintains keep holding.
+        """
+        name = relation.name
+        if name not in self._relations:
+            raise SchemaError(f"unknown relation {name!r}")
+        if relation.schema != self._schema.relation(name):
+            raise SchemaError(
+                f"relation {name!r} does not match the database schema")
+        expected = ColumnarRelation if self._backend == "columnar" else Relation
+        if not isinstance(relation, expected):
+            raise SchemaError(
+                f"relation {name!r} is not a {expected.__name__}; this "
+                f"database uses the {self._backend!r} backend")
+        self._relations[name] = relation
+
     def copy(self) -> "Database":
         """A deep copy (tuples are immutable, so sharing them is safe)."""
-        duplicate = Database(self._schema)
+        duplicate = Database(self._schema, backend=self._backend)
         for name, relation in self._relations.items():
-            duplicate._relations[name].extend(relation)
+            duplicate._relations[name] = relation.copy()
         return duplicate
+
+    def with_backend(self, backend: str) -> "Database":
+        """This database under the requested storage backend.
+
+        Returns ``self`` when the backend already matches (databases are
+        treated as stable snapshots throughout the service layer); otherwise
+        converts every relation.  Conversion preserves content and tuple
+        order exactly, so query answers and lineage formulas are identical
+        across backends.
+        """
+        if backend == self._backend:
+            return self
+        if backend not in BACKENDS:
+            raise SchemaError(
+                f"unknown storage backend {backend!r}; expected one of {BACKENDS}")
+        converted = Database(self._schema, backend=backend)
+        for name, relation in self._relations.items():
+            if backend == "columnar":
+                converted._relations[name] = ColumnarRelation.from_relation(relation)
+            else:
+                converted._relations[name] = relation.to_relation()
+        return converted
 
     # -- access ------------------------------------------------------------
 
     @property
     def schema(self) -> DatabaseSchema:
         return self._schema
+
+    @property
+    def backend(self) -> str:
+        """Which storage backend this database uses (``rows`` or ``columnar``)."""
+        return self._backend
 
     def relation(self, name: str) -> Relation:
         if name not in self._relations:
@@ -88,24 +152,14 @@ class Database:
         """``C_base(D)``: base-type constants appearing in the database."""
         constants: set = set()
         for relation in self._relations.values():
-            base_positions = relation.schema.base_positions()
-            for row in relation:
-                for index in base_positions:
-                    value = row[index]
-                    if not is_base_null(value):
-                        constants.add(value)
+            constants.update(relation.base_constants())
         return constants
 
     def num_constants(self) -> set[float]:
         """``C_num(D)``: numerical constants appearing in the database."""
         constants: set[float] = set()
         for relation in self._relations.values():
-            numeric_positions = relation.schema.numeric_positions()
-            for row in relation:
-                for index in numeric_positions:
-                    value = row[index]
-                    if is_numeric_constant(value):
-                        constants.add(float(value))
+            constants.update(relation.num_constants())
         return constants
 
     def base_nulls(self) -> set[BaseNull]:
@@ -137,7 +191,7 @@ class Database:
 
     def map_values(self, mapping) -> "Database":
         """A new database with every stored value passed through ``mapping``."""
-        result = Database(self._schema)
+        result = Database(self._schema, backend=self._backend)
         for name, relation in self._relations.items():
             result._relations[name] = relation.map_values(mapping)
         return result

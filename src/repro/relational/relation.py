@@ -4,8 +4,13 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, Sequence
 
-from repro.relational.schema import RelationSchema
-from repro.relational.values import Value, is_base_null, is_num_null
+from repro.relational.schema import RelationSchema, SchemaError
+from repro.relational.values import (
+    Value,
+    is_base_null,
+    is_num_null,
+    is_numeric_constant,
+)
 
 
 class Relation:
@@ -55,7 +60,21 @@ class Relation:
         return iter(self._tuples)
 
     def __contains__(self, values: Sequence[Value]) -> bool:
-        return tuple(values) in self._seen
+        """Whether the relation holds the tuple, under ``add``'s normalisation.
+
+        The candidate tuple is pushed through the same
+        :meth:`~repro.relational.schema.RelationSchema.validate_tuple`
+        normalisation that ``add`` applies before storing, so membership
+        agrees exactly with what ``add`` would dedupe; tuples that could
+        never be stored (wrong arity, ill-typed values such as booleans in
+        numerical columns) are simply not members rather than false hits of
+        the raw-tuple lookup.
+        """
+        try:
+            normalised = self._schema.validate_tuple(values)
+        except SchemaError:
+            return False
+        return normalised in self._seen
 
     def tuples(self) -> tuple[tuple[Value, ...], ...]:
         """All tuples, in insertion order."""
@@ -73,6 +92,25 @@ class Relation:
     def num_nulls(self) -> set:
         """Numerical-type nulls occurring anywhere in the relation."""
         return {value for row in self._tuples for value in row if is_num_null(value)}
+
+    def base_constants(self) -> set:
+        """Base-type constants occurring anywhere in the relation."""
+        positions = self._schema.base_positions()
+        return {row[index] for row in self._tuples for index in positions
+                if not is_base_null(row[index])}
+
+    def num_constants(self) -> set[float]:
+        """Numerical constants occurring anywhere in the relation."""
+        positions = self._schema.numeric_positions()
+        return {float(row[index]) for row in self._tuples for index in positions
+                if is_numeric_constant(row[index])}
+
+    def copy(self) -> "Relation":
+        """A deep copy (tuples are immutable, so sharing them is safe)."""
+        duplicate = Relation(self._schema)
+        duplicate._tuples = list(self._tuples)
+        duplicate._seen = set(self._seen)
+        return duplicate
 
     def map_values(self, mapping) -> "Relation":
         """A new relation with every value passed through ``mapping(value)``."""

@@ -73,6 +73,12 @@ class ServiceOptions:
     adaptive_factor: float = DEFAULT_REFINEMENT_FACTOR
     #: Root seed used when a request does not carry its own.
     seed: SeedLike = None
+    #: Storage/execution backend for candidate enumeration: ``"rows"``
+    #: (row-at-a-time reference engine), ``"columnar"`` (vectorized engine
+    #: over NumPy column arrays), or ``None`` to follow the database's own
+    #: backend.  The service converts its database snapshot once at
+    #: construction, so every planned request runs on the chosen layout.
+    backend: Optional[str] = None
     #: Reuse certainty results across tuples and requests with the same
     #: canonical lineage (the PR 1 ad-hoc annotate-loop reuse, generalised).
     reuse_results: bool = True
@@ -181,6 +187,10 @@ class AnnotationService:
         if options.method not in SERVICE_METHODS:
             raise ValueError(
                 f"unknown method {options.method!r}; expected one of {SERVICE_METHODS}")
+        if options.backend is not None:
+            # One conversion at construction; the snapshot then serves every
+            # request under the requested layout.
+            database = database.with_backend(options.backend)
         self._database = database
         self._options = options
         self._dimension = len(database.num_nulls_ordered())

@@ -132,3 +132,32 @@ class TestServe:
                                 "\n# a comment\n-- another\n\\quit\n")
         assert exit_code == 0
         assert "confidence" not in capsys.readouterr().out
+
+
+class TestBackendFlag:
+    def test_backend_columnar_matches_rows_output(self, data_dir, capsys):
+        sql = ("SELECT P.seg FROM Products P, Market M "
+               "WHERE P.seg = M.seg AND P.rrp * P.dis <= M.rrp * M.dis LIMIT 5")
+        assert main(["annotate", "--data", str(data_dir), "--sql", sql,
+                     "--epsilon", "0.2", "--seed", "0",
+                     "--backend", "rows"]) == 0
+        rows_output = capsys.readouterr().out
+        assert main(["annotate", "--data", str(data_dir), "--sql", sql,
+                     "--epsilon", "0.2", "--seed", "0",
+                     "--backend", "columnar"]) == 0
+        columnar_output = capsys.readouterr().out
+        assert columnar_output == rows_output
+
+    def test_unknown_backend_rejected_by_argparse(self, data_dir):
+        with pytest.raises(SystemExit):
+            main(["annotate", "--data", str(data_dir), "--sql",
+                  "SELECT * FROM Market", "--backend", "arrow"])
+
+    def test_serve_accepts_backend(self, data_dir, monkeypatch, capsys):
+        monkeypatch.setattr("sys.stdin", io.StringIO(
+            "SELECT * FROM Market LIMIT 2\n\\stats\n\\quit\n"))
+        assert main(["serve", "--data", str(data_dir), "--epsilon", "0.3",
+                     "--seed", "0", "--backend", "columnar"]) == 0
+        output = capsys.readouterr().out
+        assert "confidence" in output
+        assert "requests" in output

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.relational.columnar import ColumnarRelation
 from repro.relational.database import Database
 from repro.relational.relation import Relation
 from repro.relational.schema import DatabaseSchema, RelationSchema, SchemaError
@@ -140,6 +141,92 @@ class TestRelation:
         doubled = relation.map_values(lambda value: value * 2)
         assert doubled.tuples() == ((2.0,), (4.0,))
 
+    @pytest.mark.parametrize("relation_class", [Relation, ColumnarRelation])
+    def test_contains_normalises_like_add(self, relation_class):
+        """Regression: membership goes through validate_tuple normalisation.
+
+        The raw ``tuple(values) in seen`` lookup reported ``(True,)`` as a
+        member whenever ``(1,)`` was stored (``hash(True) == hash(1)``) even
+        though ``add((True,))`` would raise rather than dedupe -- membership
+        and insertion disagreed.  Both backends must agree with ``add``.
+        """
+        schema = RelationSchema.of("R", a="base", v="num")
+        relation = relation_class(schema)
+        relation.add(("x", 1))
+        with pytest.raises(SchemaError):
+            relation.add(("x", True))
+        # A tuple that add() would reject is not a member...
+        assert ("x", True) not in relation
+        # ...nor is anything of the wrong arity (no exception either).
+        assert ("x",) not in relation
+        assert ("x", 1, 2) not in relation
+        # Well-typed tuples still behave as before.
+        assert ("x", 1) in relation
+        assert ("x", 1.0) in relation
+        assert ("y", 1) not in relation
+
+
+class TestColumnarRelation:
+    def test_round_trip_preserves_content_and_order(self):
+        schema = RelationSchema.of("R", a="base", v="num")
+        rows = [("x", 1.5), (BaseNull("b"), NumNull("n")), ("y", -2.0)]
+        relation = Relation(schema, rows)
+        columnar = ColumnarRelation.from_relation(relation)
+        assert columnar.tuples() == relation.tuples()
+        assert columnar.to_relation().tuples() == relation.tuples()
+        assert len(columnar) == 3
+        assert columnar.column("a") == relation.column("a")
+        assert columnar.row(1) == (BaseNull("b"), NumNull("n"))
+
+    def test_add_dedupes_and_interleaves_with_bulk_storage(self):
+        schema = RelationSchema.of("R", a="base", v="num")
+        columnar = ColumnarRelation.from_rows(schema, [("x", 1.0)])
+        columnar.add(("y", 2.0))
+        columnar.add(("x", 1.0))     # duplicate of a sealed row
+        columnar.add(("y", 2.0))     # duplicate of a buffered row
+        assert columnar.tuples() == (("x", 1.0), ("y", 2.0))
+        columnar.add(("z", NumNull("n")))
+        assert len(columnar) == 3
+        assert columnar.num_nulls() == {NumNull("n")}
+
+    def test_from_columns_dedupes_vectorized(self):
+        schema = RelationSchema.of("R", a="base", v="num")
+        columnar = ColumnarRelation.from_columns(schema, {
+            "a": ["x", "y", "x", "x", BaseNull("b")],
+            "v": [1.0, 2.0, 1.0, 3.0, NumNull("n")],
+        })
+        assert columnar.tuples() == (
+            ("x", 1.0), ("y", 2.0), ("x", 3.0), (BaseNull("b"), NumNull("n")))
+
+    def test_inventories_match_row_backend(self):
+        schema = RelationSchema.of("R", a="base", v="num")
+        rows = [("x", 1.0), ("x", NumNull("n")), (BaseNull("b"), 2.0)]
+        relation = Relation(schema, rows)
+        columnar = ColumnarRelation.from_relation(relation)
+        assert columnar.base_constants() == relation.base_constants() == {"x"}
+        assert columnar.num_constants() == relation.num_constants() == {1.0, 2.0}
+        assert columnar.base_nulls() == relation.base_nulls()
+        assert columnar.num_nulls() == relation.num_nulls()
+
+    def test_type_errors_surface_per_column(self):
+        schema = RelationSchema.of("R", a="base", v="num")
+        with pytest.raises(SchemaError):
+            ColumnarRelation.from_columns(schema, {"a": ["x"], "v": ["oops"]})
+        with pytest.raises(SchemaError):
+            ColumnarRelation.from_columns(schema, {"a": [2.0], "v": [1.0]})
+        with pytest.raises(SchemaError):
+            ColumnarRelation.from_columns(schema, {"a": ["x", "y"], "v": [1.0]})
+        with pytest.raises(SchemaError):
+            ColumnarRelation.from_columns(schema, {"a": ["x"]})
+
+    def test_copy_is_independent(self):
+        schema = RelationSchema.of("R", a="base", v="num")
+        columnar = ColumnarRelation.from_rows(schema, [("x", 1.0)])
+        duplicate = columnar.copy()
+        duplicate.add(("y", 2.0))
+        assert len(columnar) == 1
+        assert len(duplicate) == 2
+
 
 class TestDatabase:
     def test_inventories(self, mixed_database):
@@ -172,3 +259,44 @@ class TestDatabase:
     def test_relation_names_and_iteration(self, mixed_database):
         assert set(mixed_database.relation_names()) == {"Items", "Tags"}
         assert {relation.name for relation in mixed_database} == {"Items", "Tags"}
+
+    def test_backend_switch_round_trips(self, mixed_database):
+        assert mixed_database.backend == "rows"
+        columnar = mixed_database.with_backend("columnar")
+        assert columnar.backend == "columnar"
+        assert columnar.with_backend("columnar") is columnar
+        assert columnar.total_tuples() == mixed_database.total_tuples()
+        assert columnar.base_constants() == mixed_database.base_constants()
+        assert columnar.num_constants() == mixed_database.num_constants()
+        assert columnar.num_nulls_ordered() == mixed_database.num_nulls_ordered()
+        back = columnar.with_backend("rows")
+        for name in mixed_database.relation_names():
+            assert back.relation(name).tuples() == \
+                mixed_database.relation(name).tuples()
+
+    def test_install_relation_validates_schema_and_backend(self, mixed_schema):
+        columnar = Database(mixed_schema, backend="columnar")
+        bulk = ColumnarRelation.from_columns(
+            mixed_schema.relation("Items"), {"name": ["pen"], "price": [1.0]})
+        columnar.install_relation(bulk)
+        assert columnar.relation("Items").tuples() == (("pen", 1.0),)
+        with pytest.raises(SchemaError):
+            columnar.install_relation(ColumnarRelation(
+                RelationSchema.of("Nope", a="base")))
+        with pytest.raises(SchemaError):
+            columnar.install_relation(ColumnarRelation(
+                RelationSchema.of("Items", name="base", price="base")))
+        with pytest.raises(SchemaError):
+            columnar.install_relation(Relation(mixed_schema.relation("Items")))
+
+    def test_backend_validation_and_copy(self, mixed_schema, mixed_database):
+        with pytest.raises(SchemaError):
+            Database(mixed_schema, backend="arrow")
+        with pytest.raises(SchemaError):
+            mixed_database.with_backend("arrow")
+        columnar = mixed_database.with_backend("columnar")
+        duplicate = columnar.copy()
+        duplicate.add("Items", ("pencil", 0.5))
+        assert duplicate.backend == "columnar"
+        assert columnar.total_tuples() == mixed_database.total_tuples()
+        assert duplicate.total_tuples() == columnar.total_tuples() + 1

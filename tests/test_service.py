@@ -249,3 +249,33 @@ class TestWrapperCompatibility:
         response = AnnotationService(shop, method="auto").submit(ADVANTAGE, seed=0)
         assert all(0.0 <= a.certainty.value <= 1.0 for a in response.answers)
         assert any(a.certainty.method == "exact" for a in response.answers)
+
+
+class TestBackendWiring:
+    def test_columnar_backend_serves_identical_answers(self, shop):
+        reference = AnnotationService(shop, epsilon=0.05).submit(ADVANTAGE, seed=7)
+        columnar = AnnotationService(
+            shop, options=ServiceOptions(epsilon=0.05, backend="columnar")
+        ).submit(ADVANTAGE, seed=7)
+        assert [a.values for a in reference.answers] == \
+            [a.values for a in columnar.answers]
+        assert [a.witnesses for a in reference.answers] == \
+            [a.witnesses for a in columnar.answers]
+        # Same canonical lineage + same seed => bit-identical certainties.
+        assert [a.certainty.value for a in reference.answers] == \
+            [a.certainty.value for a in columnar.answers]
+
+    def test_backend_option_converts_the_snapshot_once(self, shop):
+        service = AnnotationService(shop, backend="columnar")
+        assert service.database.backend == "columnar"
+        assert service.database is not shop
+        # A matching backend leaves the snapshot alone.
+        same = AnnotationService(service.database, backend="columnar")
+        assert same.database is service.database
+
+    def test_columnar_database_is_served_natively(self, shop):
+        columnar = shop.with_backend("columnar")
+        service = AnnotationService(columnar)
+        assert service.database is columnar
+        response = service.submit(ADVANTAGE, seed=3)
+        assert len(response.answers) == 4
