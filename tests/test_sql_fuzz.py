@@ -1,0 +1,182 @@
+"""Seeded SQL fuzzer: malformed input must fail cleanly, never crash.
+
+Mutates valid SQL strings (truncation, slice deletion/duplication, token
+swaps, stray bytes, case flips) and asserts the lexer/parser contract: every
+input either parses to a ``SelectQuery`` or raises an error of the
+``SqlTranslationError`` family (``SqlSyntaxError`` included) -- never an
+unhandled exception such as ``OverflowError`` (huge ``LIMIT`` values) or
+``RecursionError`` (deep nesting), both of which this harness caught in
+earlier parser versions.  The CLI must translate any such failure into exit
+code 2 with a one-line message, never a traceback.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import EXIT_USAGE, main
+from repro.datagen.experiments import EXPERIMENT_QUERIES, ExperimentScale, generate_sales_database
+from repro.engine.sql.ast import SelectQuery
+from repro.engine.sql.lexer import SqlSyntaxError, tokenize
+from repro.engine.sql.parser import parse_sql
+from repro.engine.translate_sql import SqlTranslationError
+from repro.relational.csv_io import save_database
+
+#: The error family user-facing SQL handling is allowed to raise.
+CLEAN_ERRORS = (SqlSyntaxError, SqlTranslationError)
+
+CORPUS = tuple(EXPERIMENT_QUERIES.values()) + (
+    "SELECT * FROM Products",
+    "SELECT DISTINCT P.seg FROM Products P WHERE P.rrp >= 10 LIMIT 3",
+    "SELECT P.id FROM Products P WHERE (P.rrp + 1) * P.dis <> 2.5e1",
+    "SELECT O.id FROM Orders O WHERE O.dis / O.q >= 3 AND O.pr = 'p1'",
+    "SELECT M.seg FROM Market M WHERE M.seg = 'it''s' LIMIT 1;",
+)
+
+STRAY_BYTES = "\x00\x1b~`@$%^&[]{}|\\\"'();.,<>=*+-/ü⊥⊤\n\t"
+
+
+def _mutate(sql: str, rng: np.random.Generator) -> str:
+    """One random mutation of ``sql``."""
+    kind = rng.random()
+    if not sql:
+        return sql
+    if kind < 0.2:  # truncate at a random position
+        return sql[:int(rng.integers(0, len(sql)))]
+    if kind < 0.4:  # delete a random slice
+        start = int(rng.integers(0, len(sql)))
+        stop = min(len(sql), start + int(rng.integers(1, 12)))
+        return sql[:start] + sql[stop:]
+    if kind < 0.55:  # duplicate a random slice
+        start = int(rng.integers(0, len(sql)))
+        stop = min(len(sql), start + int(rng.integers(1, 12)))
+        return sql[:stop] + sql[start:stop] + sql[stop:]
+    if kind < 0.75:  # swap two whitespace-separated tokens
+        tokens = sql.split(" ")
+        if len(tokens) >= 2:
+            first = int(rng.integers(0, len(tokens)))
+            second = int(rng.integers(0, len(tokens)))
+            tokens[first], tokens[second] = tokens[second], tokens[first]
+        return " ".join(tokens)
+    if kind < 0.9:  # insert 1-3 stray bytes
+        for _ in range(int(rng.integers(1, 4))):
+            position = int(rng.integers(0, len(sql) + 1))
+            stray = STRAY_BYTES[int(rng.integers(0, len(STRAY_BYTES)))]
+            sql = sql[:position] + stray + sql[position:]
+        return sql
+    # flip the case of a random slice
+    start = int(rng.integers(0, len(sql)))
+    stop = min(len(sql), start + int(rng.integers(1, 20)))
+    return sql[:start] + sql[start:stop].swapcase() + sql[stop:]
+
+
+def _fuzz_inputs(count: int, seed: int) -> list[str]:
+    rng = np.random.default_rng(seed)
+    inputs = []
+    for _ in range(count):
+        sql = CORPUS[int(rng.integers(0, len(CORPUS)))]
+        for _ in range(int(rng.integers(1, 4))):  # stack 1-3 mutations
+            sql = _mutate(sql, rng)
+        inputs.append(sql)
+    return inputs
+
+
+@pytest.fixture(scope="module")
+def data_directory(tmp_path_factory):
+    """A tiny on-disk sales database for CLI runs."""
+    directory = tmp_path_factory.mktemp("fuzz-data")
+    database = generate_sales_database(ExperimentScale.tiny(), rng=3)
+    save_database(database, directory)
+    return directory
+
+
+class TestLexerParserFuzz:
+    def test_mutations_parse_or_fail_cleanly(self):
+        for sql in _fuzz_inputs(600, seed=20200614):
+            try:
+                result = parse_sql(sql)
+            except CLEAN_ERRORS:
+                continue
+            assert isinstance(result, SelectQuery), repr(sql)
+
+    def test_lexer_never_crashes(self):
+        for sql in _fuzz_inputs(300, seed=42):
+            try:
+                tokens = tokenize(sql)
+            except SqlSyntaxError:
+                continue
+            assert tokens and tokens[-1].text == ""
+
+    def test_huge_limit_is_a_clean_error(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT * FROM Products LIMIT 25e99999")
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT * FROM Products LIMIT " + "9" * 400)
+
+    def test_deep_nesting_is_a_clean_error(self):
+        nested = "SELECT * FROM T WHERE " + "(" * 5000 + "x" + ")" * 5000 + " = 1"
+        with pytest.raises(SqlSyntaxError):
+            parse_sql(nested)
+        minus_chain = "SELECT * FROM T WHERE x = " + "-" * 5000 + "1"
+        with pytest.raises(SqlSyntaxError):
+            parse_sql(minus_chain)
+
+    def test_moderate_nesting_still_parses(self):
+        depth = 50
+        sql = "SELECT * FROM T WHERE " + "(" * depth + "x" + ")" * depth + " = 1"
+        assert isinstance(parse_sql(sql), SelectQuery)
+
+
+class TestCliFuzz:
+    def test_rejected_sql_exits_with_usage_code(self, data_directory, capsys):
+        """Every mutant the parser rejects makes the CLI exit with code 2."""
+        checked = 0
+        for sql in _fuzz_inputs(400, seed=7):
+            try:
+                parse_sql(sql)
+            except CLEAN_ERRORS:
+                pass
+            else:
+                continue
+            code = main(["annotate", "--data", str(data_directory),
+                         "--sql", sql, "--limit", "2", "--epsilon", "0.4",
+                         "--seed", "0"])
+            capsys.readouterr()
+            assert code == EXIT_USAGE, repr(sql)
+            checked += 1
+            if checked >= 30:
+                break
+        assert checked >= 10
+
+    def test_semantically_invalid_sql_exits_with_usage_code(self, data_directory, capsys):
+        """Parseable but meaningless queries also fail cleanly with code 2."""
+        for sql in (
+            "SELECT P.id FROM Nowhere P",
+            "SELECT P.nope FROM Products P",
+            "SELECT id FROM Products P, Orders O",     # ambiguous column
+            "SELECT P.id FROM Products P WHERE P.seg < 3",  # base order compare
+        ):
+            code = main(["annotate", "--data", str(data_directory),
+                         "--sql", sql, "--seed", "0"])
+            captured = capsys.readouterr()
+            assert code == EXIT_USAGE, sql
+            assert "Traceback" not in captured.err, sql
+
+    def test_parseable_mutants_never_crash_the_cli(self, data_directory, capsys):
+        """Mutants that still parse run end to end or fail with code 2."""
+        checked = 0
+        for sql in _fuzz_inputs(400, seed=11):
+            try:
+                parse_sql(sql)
+            except CLEAN_ERRORS:
+                continue
+            code = main(["annotate", "--data", str(data_directory),
+                         "--sql", sql, "--limit", "2", "--epsilon", "0.4",
+                         "--seed", "0"])
+            capsys.readouterr()
+            assert code in (0, EXIT_USAGE), repr(sql)
+            checked += 1
+            if checked >= 15:
+                break
+        assert checked >= 5
