@@ -43,7 +43,12 @@ from repro.engine.sql.lexer import SqlSyntaxError
 from repro.engine.translate_sql import SqlTranslationError
 from repro.relational.csv_io import load_database, save_database
 from repro.relational.schema import SchemaError
-from repro.service import SERVICE_METHODS, AnnotationService, ServiceOptions
+from repro.service import (
+    EXECUTORS,
+    SERVICE_METHODS,
+    AnnotationService,
+    ServiceOptions,
+)
 
 #: Exit code when the data directory holds no tuples (kept at 1 for
 #: backwards compatibility with pre-service scripts).
@@ -88,9 +93,23 @@ def _build_parser() -> argparse.ArgumentParser:
                                help="root seed; fixed seeds make runs "
                                     "(including --jobs N) reproducible")
         subparser.add_argument("--jobs", type=int, default=1,
-                               help="worker threads for the Monte-Carlo phase "
-                                    "(0 = one per CPU; results are identical "
-                                    "to --jobs 1 at a fixed seed)")
+                               help="workers for the Monte-Carlo phase and "
+                                    "for sharded enumeration (0 = one per "
+                                    "CPU; results are identical to --jobs 1 "
+                                    "at a fixed seed)")
+        subparser.add_argument("--executor", default="thread",
+                               choices=EXECUTORS,
+                               help="what --jobs spans for the Monte-Carlo "
+                                    "phase: 'thread' shares the process, "
+                                    "'process' spans cores; answers are "
+                                    "bit-identical either way")
+        subparser.add_argument("--shards", type=int, default=1,
+                               help="hash-partition the columnar database "
+                                    "into this many key-aligned shards; "
+                                    "with --jobs N shard joins run across "
+                                    "worker processes (requires --backend "
+                                    "columnar to take effect; answers are "
+                                    "identical to --shards 1)")
         subparser.add_argument("--adaptive", action="store_true",
                                help="serve coarse estimates first and refine "
                                     "toward --epsilon; refinement stages "
@@ -135,9 +154,13 @@ def _load_service(args: argparse.Namespace) -> AnnotationService:
     database = load_database(sales_schema(), Path(args.data))
     if database.total_tuples() == 0:
         raise _EmptyDataError(f"no data found in {args.data}")
+    if args.shards < 1:
+        raise ValueError(f"--shards must be at least 1, got {args.shards}")
     options = ServiceOptions(epsilon=args.epsilon, method=args.method,
-                             jobs=args.jobs, adaptive=args.adaptive,
-                             seed=args.seed, backend=args.backend)
+                             jobs=args.jobs, executor=args.executor,
+                             adaptive=args.adaptive,
+                             seed=args.seed, backend=args.backend,
+                             shards=args.shards)
     return AnnotationService(database, options)
 
 

@@ -299,7 +299,10 @@ def enumerate_candidates(select: SelectQuery, database: Database,
                          limit: Optional[int] = None,
                          max_witnesses: int = 1_000_000,
                          group_witnesses: bool = True,
-                         backend: Optional[str] = None) -> list[CandidateAnswer]:
+                         backend: Optional[str] = None,
+                         shards: Optional[int] = None,
+                         jobs: int = 1,
+                         shard_stats: Optional[dict] = None) -> list[CandidateAnswer]:
     """Enumerate candidate answers of a SELECT query with their lineage.
 
     ``limit`` overrides the query's own LIMIT clause when given.  Candidates
@@ -322,15 +325,27 @@ def enumerate_candidates(select: SelectQuery, database: Database,
     in the same order, with identical lineage formulas (the differential
     harness in ``tests/test_columnar_differential.py`` enforces this); a
     database stored under the other backend is converted first.
+
+    ``shards`` splits the columnar engine's work into that many key-aligned
+    partitions (``None`` follows the database's own ``shards`` declaration)
+    and ``jobs`` spreads the shard frontiers over worker *processes* when
+    above 1; results are bit-identical to ``shards=1``/``jobs=1`` -- see
+    :func:`repro.engine.vectorized.enumerate_candidates_sharded`.  The row
+    backend ignores both: it stays the verbatim single-core oracle.
+    ``shard_stats``, if given, receives per-shard accounting for the
+    service's stats report.
     """
     chosen = backend if backend is not None else getattr(database, "backend", "rows")
     if chosen == "columnar":
         from repro.engine.vectorized import enumerate_candidates_columnar
         if getattr(database, "backend", "rows") != "columnar":
             database = database.with_backend("columnar")
+        effective_shards = shards if shards is not None \
+            else getattr(database, "shards", 1)
         return enumerate_candidates_columnar(
             select, database, limit=limit, max_witnesses=max_witnesses,
-            group_witnesses=group_witnesses)
+            group_witnesses=group_witnesses, shards=effective_shards,
+            jobs=jobs, shard_stats=shard_stats)
     if chosen != "rows":
         raise ValueError(f"unknown engine backend {chosen!r}")
     if getattr(database, "backend", "rows") != "rows":

@@ -32,7 +32,7 @@ per-row ``validate_tuple``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Optional, Sequence
 
 import numpy as np
@@ -57,6 +57,12 @@ class BaseColumnData:
     values: list
     #: Inverse of :attr:`values`.
     code_of: dict
+    #: Lazily memoised fixed-width encoding of :attr:`values` for
+    #: shared-memory shipping (:mod:`repro.relational.sharding`): ``None``
+    #: until first asked, ``False`` when the dictionary is unpackable, else
+    #: ``(texts, null_mask)`` arrays.  Excluded from comparisons -- it is a
+    #: cache of ``values``, not independent state.
+    packed: object = field(default=None, compare=False, repr=False)
 
     def value_objects(self) -> np.ndarray:
         """The column as an object array of the original values."""
@@ -369,6 +375,49 @@ class ColumnarRelation:
                     float(value)
                     for value in data.values[data.null_codes < 0].tolist())
         return constants
+
+    def take(self, indices: np.ndarray) -> "ColumnarRelation":
+        """The sub-relation of the rows at ``indices``, in that order.
+
+        This is the shard constructor of :mod:`repro.relational.sharding`:
+        row-aligned arrays are gathered with one fancy-indexing pass per
+        column, and each column's interning dictionary is *compacted* to
+        the values the taken rows actually use.  Compaction matters for
+        shard scaling -- the vectorized engine's dictionary remap loops and
+        the shared-memory payloads are dictionary-sized, so K shards over a
+        table with D distinct values must cost ``O(D)`` total, not
+        ``O(K*D)`` -- and it keeps the sub-relation's inventories
+        (``base_constants`` and friends) exact.  Code *numbering* changes
+        under compaction; only code equality carries meaning, which every
+        consumer honours.
+        """
+        self._flush()
+        indices = np.asarray(indices, dtype=np.int64)
+        result = ColumnarRelation(self._schema)
+        taken = []
+        for data in self._columns or []:
+            if isinstance(data, BaseColumnData):
+                codes = data.codes[indices]
+                used, compacted = np.unique(codes, return_inverse=True)
+                values = [data.values[code] for code in used.tolist()]
+                taken.append(BaseColumnData(
+                    codes=compacted.astype(np.int64),
+                    values=values,
+                    code_of={value: code for code, value in enumerate(values)}))
+            else:
+                null_codes = data.null_codes[indices]
+                used = np.unique(null_codes[null_codes >= 0])
+                compacted = np.where(
+                    null_codes >= 0,
+                    np.searchsorted(used, null_codes), -1).astype(np.int64)
+                taken.append(NumericColumnData(
+                    values=data.values[indices],
+                    null_codes=compacted,
+                    nulls=[data.nulls[code] for code in used.tolist()]))
+        result._columns = taken
+        result._sealed_rows = len(indices)
+        result._seen = None
+        return result
 
     def map_values(self, mapping) -> "ColumnarRelation":
         """A new columnar relation with every value passed through ``mapping``."""

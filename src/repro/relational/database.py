@@ -21,7 +21,7 @@ widening of ``int`` constants to the equal ``float``).
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Iterable, Iterator, Mapping, Optional, Sequence
 
 from repro.relational.columnar import ColumnarRelation
 from repro.relational.relation import Relation
@@ -33,15 +33,32 @@ BACKENDS = ("rows", "columnar")
 
 
 class Database:
-    """A database instance: one relation per relation schema, nulls allowed."""
+    """A database instance: one relation per relation schema, nulls allowed.
 
-    def __init__(self, schema: DatabaseSchema, backend: str = "rows") -> None:
+    ``shards`` declares how many key-aligned partitions the sharded
+    execution path (:mod:`repro.relational.sharding`) should split each
+    relation into at query time; ``shards=1`` (the default) keeps every
+    engine on its unsharded path.  The value is a property of the snapshot,
+    not of the storage: partitions are computed lazily per (table, key
+    column) when a shardable query first needs them and cached until the
+    database is mutated.
+    """
+
+    def __init__(self, schema: DatabaseSchema, backend: str = "rows",
+                 shards: int = 1) -> None:
         if backend not in BACKENDS:
             raise SchemaError(
                 f"unknown storage backend {backend!r}; expected one of {BACKENDS}")
+        if shards < 1:
+            raise SchemaError(f"shard count must be at least 1, got {shards}")
         relation_class = ColumnarRelation if backend == "columnar" else Relation
         self._schema = schema
         self._backend = backend
+        self._shards = int(shards)
+        #: ``(table, key column, shard count) -> list[RelationShard]``; small
+        #: (one entry per distinct join key actually queried) and dropped on
+        #: any mutation.
+        self._shard_cache: dict = {}
         self._relations: dict[str, Relation] = {
             relation_schema.name: relation_class(relation_schema)
             for relation_schema in schema
@@ -64,6 +81,7 @@ class Database:
         """Insert a tuple into the named relation."""
         if relation_name not in self._relations:
             raise SchemaError(f"unknown relation {relation_name!r}")
+        self._shard_cache.clear()
         self._relations[relation_name].add(values)
 
     def install_relation(self, relation) -> None:
@@ -86,36 +104,58 @@ class Database:
             raise SchemaError(
                 f"relation {name!r} is not a {expected.__name__}; this "
                 f"database uses the {self._backend!r} backend")
+        self._shard_cache.clear()
         self._relations[name] = relation
 
     def copy(self) -> "Database":
         """A deep copy (tuples are immutable, so sharing them is safe)."""
-        duplicate = Database(self._schema, backend=self._backend)
+        duplicate = Database(self._schema, backend=self._backend,
+                             shards=self._shards)
         for name, relation in self._relations.items():
             duplicate._relations[name] = relation.copy()
         return duplicate
 
-    def with_backend(self, backend: str) -> "Database":
+    def with_backend(self, backend: str,
+                     shards: Optional[int] = None) -> "Database":
         """This database under the requested storage backend.
 
-        Returns ``self`` when the backend already matches (databases are
-        treated as stable snapshots throughout the service layer); otherwise
-        converts every relation.  Conversion preserves content and tuple
-        order exactly, so query answers and lineage formulas are identical
-        across backends.
+        Returns ``self`` when the backend (and requested shard count)
+        already match (databases are treated as stable snapshots throughout
+        the service layer); otherwise converts every relation.  Conversion
+        preserves content and tuple order exactly, so query answers and
+        lineage formulas are identical across backends.  ``shards``
+        overrides the snapshot's shard count; ``None`` carries it over.
         """
-        if backend == self._backend:
-            return self
         if backend not in BACKENDS:
             raise SchemaError(
                 f"unknown storage backend {backend!r}; expected one of {BACKENDS}")
-        converted = Database(self._schema, backend=backend)
+        if backend == self._backend:
+            return self if shards is None else self.with_shards(shards)
+        converted = Database(self._schema, backend=backend,
+                             shards=self._shards if shards is None else shards)
         for name, relation in self._relations.items():
             if backend == "columnar":
                 converted._relations[name] = ColumnarRelation.from_relation(relation)
             else:
                 converted._relations[name] = relation.to_relation()
         return converted
+
+    def with_shards(self, shards: int) -> "Database":
+        """A snapshot view of this database with a different shard count.
+
+        Relations are shared, not copied (they are immutable snapshots in
+        every sharded code path), so this is cheap enough to call per
+        request; the partition cache is *not* shared because its entries
+        are keyed by shard count anyway.
+        """
+        if shards == self._shards:
+            return self
+        view = Database(self._schema, backend=self._backend, shards=shards)
+        view._relations = self._relations
+        # Shared on purpose: entries are keyed by shard count, and sharing
+        # means a mutation through either view invalidates both.
+        view._shard_cache = self._shard_cache
+        return view
 
     # -- access ------------------------------------------------------------
 
@@ -127,6 +167,37 @@ class Database:
     def backend(self) -> str:
         """Which storage backend this database uses (``rows`` or ``columnar``)."""
         return self._backend
+
+    @property
+    def shards(self) -> int:
+        """How many shards the sharded execution path splits relations into."""
+        return self._shards
+
+    def table_shards(self, table: str, key_column: Optional[str],
+                     shard_count: int):
+        """The named table's partition for ``(key_column, shard_count)``.
+
+        Returns ``(shards, hit)`` where ``shards`` is the cached-or-computed
+        ``list[RelationShard]`` and ``hit`` says whether the partition cache
+        already held it.  Only meaningful on the columnar backend (the
+        sharded engine is the sole caller); partitions are invalidated by
+        any mutation of the database.
+        """
+        from repro.relational.sharding import shard_relation
+
+        key = (table, key_column, shard_count)
+        cached = self._shard_cache.get(key)
+        if cached is not None:
+            return cached, True
+        key_columns = None if key_column is None else (key_column,)
+        computed = shard_relation(self.relation(table), shard_count,
+                                  key_columns)
+        self._shard_cache[key] = computed
+        return computed, False
+
+    def clear_shard_cache(self) -> None:
+        """Drop cached partitions (mutations do this automatically)."""
+        self._shard_cache.clear()
 
     def relation(self, name: str) -> Relation:
         if name not in self._relations:

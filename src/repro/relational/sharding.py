@@ -1,0 +1,406 @@
+"""Hash-partitioned shards of columnar relations, with lossless merge.
+
+The vectorized join engine of PR 3 made the per-core cost of candidate
+enumeration small; this module makes the *core count* part of the equation.
+A :class:`ColumnarRelation` is split into ``K`` shards by hashing its
+join-key column(s) -- the columns the query plan joins on -- so that rows
+with equal key values always land in the same shard.  Under such
+*key-aligned* partitioning an equi-join never produces a cross-shard pair:
+each shard can be joined independently (in another process, on another
+core) and the shard results merged back into exactly the answer the
+unsharded engine would produce.
+
+Three properties carry the whole design:
+
+* **alignment** -- the shard of a row depends only on the *values* of its
+  key columns, through a process-stable hash (:func:`stable_value_hash`).
+  Equal values hash equally in every table and every process, independent
+  of ``PYTHONHASHSEED``, so join partners always co-locate;
+* **order preservation** -- every shard remembers the original row index of
+  each of its rows (:attr:`RelationShard.offsets`, ascending).  Because the
+  reference DFS enumerates witnesses in ascending outer-row order and all
+  witnesses of one outer row live in one shard, a stable merge keyed by the
+  outer table's global row index restores the exact reference witness
+  order (:func:`merge_order`);
+* **zero-copy distribution** -- a shard's sealed NumPy arrays can be
+  exported into ``multiprocessing.shared_memory`` blocks
+  (:func:`export_shard` / :func:`attach_shard`), so worker processes map
+  the column data instead of unpickling a copy of it.  The small interning
+  dictionaries still travel by pickle; the row-aligned arrays do not.
+
+Queries without an equi-join plan (single-table scans) are partitioned
+round-robin instead, which balances load and still satisfies order
+preservation (no joins means the merge key is the scan's own row index).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.relational.columnar import (
+    BaseColumnData,
+    ColumnarRelation,
+    NumericColumnData,
+)
+from repro.relational.values import BaseNull, NumNull
+
+__all__ = [
+    "RelationShard",
+    "ShardPayload",
+    "attach_shard",
+    "export_shard",
+    "merge_order",
+    "partition_rows",
+    "release_payload",
+    "shard_relation",
+    "stable_value_hash",
+]
+
+#: Odd multiplier for combining multi-column key hashes (FNV-style mix).
+_HASH_MIX = np.uint64(0x100000001B3)
+
+
+def stable_value_hash(value) -> int:
+    """A 64-bit hash of a database value, stable across processes and runs.
+
+    Python's built-in ``hash`` is salted per process (``PYTHONHASHSEED``),
+    so it cannot decide shard placement: two processes would disagree on
+    where a key lives.  This hash is derived from a tagged byte encoding of
+    the value instead.  Values that compare equal under the engine's base
+    semantics produce equal bytes: a marked null is encoded by its kind and
+    name (a null equals only itself), strings by their UTF-8 bytes, and any
+    other (rare) hashable base constant by its ``repr``.
+    """
+    if isinstance(value, BaseNull):
+        data = b"\x00" + value.name.encode("utf-8")
+    elif isinstance(value, NumNull):
+        data = b"\x01" + value.name.encode("utf-8")
+    elif isinstance(value, str):
+        data = b"\x02" + value.encode("utf-8")
+    elif isinstance(value, bytes):
+        data = b"\x03" + value
+    else:
+        data = b"\x04" + repr(value).encode("utf-8")
+    return int.from_bytes(hashlib.blake2b(data, digest_size=8).digest(), "big")
+
+
+def _column_hashes(relation: ColumnarRelation, column: str) -> np.ndarray:
+    """Per-row 64-bit key hashes of one column, vectorized over the codes.
+
+    Base columns hash their (small) interning dictionary once and gather by
+    code; numerical columns hash constants by their float bits and nulls by
+    name, so the (unusual) numerical join key still aligns equal values.
+    """
+    data = relation.column_data(column)
+    if isinstance(data, BaseColumnData):
+        dictionary = np.fromiter(
+            (stable_value_hash(value) for value in data.values),
+            dtype=np.uint64, count=len(data.values))
+        if len(data.codes) == 0:
+            return np.empty(0, dtype=np.uint64)
+        return dictionary[data.codes]
+    assert isinstance(data, NumericColumnData)
+    hashes = data.values.view(np.uint64).copy()
+    # Normalise -0.0 to +0.0 so equal floats hash equally.
+    hashes[data.values == 0.0] = np.float64(0.0).view(np.uint64)
+    null_positions = np.flatnonzero(data.null_codes >= 0)
+    if len(null_positions):
+        # Hash each distinct null once, then gather -- a per-null masking
+        # loop would rescan the whole column per distinct null, quadratic
+        # under datagen's every-null-is-fresh convention.
+        null_hashes = np.fromiter(
+            (stable_value_hash(null) for null in data.nulls),
+            dtype=np.uint64, count=len(data.nulls))
+        hashes[null_positions] = null_hashes[data.null_codes[null_positions]]
+    return hashes
+
+
+def partition_rows(relation: ColumnarRelation, shards: int,
+                   key_columns: Optional[Sequence[str]] = None) -> list[np.ndarray]:
+    """Assign every row to a shard; returns one ascending index array per shard.
+
+    With ``key_columns`` the assignment is ``hash(key values) % shards``
+    (key-aligned: equal keys -> equal shard, in any relation); without, rows
+    are dealt round-robin, the load-balancing fallback for scans that never
+    join.  ``shards=1`` returns the identity partition.  Shards may come
+    back empty -- skewed keys, or fewer rows than shards -- which downstream
+    code must (and does) tolerate.
+    """
+    if shards < 1:
+        raise ValueError(f"shard count must be at least 1, got {shards}")
+    count = len(relation)
+    if shards == 1:
+        return [np.arange(count, dtype=np.int64)]
+    if not key_columns:
+        assignment = np.arange(count, dtype=np.uint64) % np.uint64(shards)
+    else:
+        combined = np.zeros(count, dtype=np.uint64)
+        for column in key_columns:
+            combined = combined * _HASH_MIX ^ _column_hashes(relation, column)
+        assignment = combined % np.uint64(shards)
+    return [np.flatnonzero(assignment == shard).astype(np.int64)
+            for shard in range(shards)]
+
+
+@dataclass(frozen=True)
+class RelationShard:
+    """One shard: a columnar sub-relation plus its rows' original indices.
+
+    ``offsets`` is ascending, so the shard preserves the relative order of
+    the rows it holds; ``offsets[local]`` recovers the global row index the
+    unsharded engine would have used, which is what the merge sorts by.
+    """
+
+    relation: ColumnarRelation
+    offsets: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.offsets)
+
+
+def shard_relation(relation: ColumnarRelation, shards: int,
+                   key_columns: Optional[Sequence[str]] = None) -> list[RelationShard]:
+    """Partition a columnar relation into :class:`RelationShard` sub-relations.
+
+    Each shard gathers its row-aligned arrays with one fancy-indexing pass
+    per column and carries a dictionary compacted to its own rows (see
+    :meth:`ColumnarRelation.take`), so per-shard costs -- engine remap
+    loops, shared-memory payloads -- scale with the shard, not with the
+    parent table's distinct-value count.
+    """
+    return [RelationShard(relation=relation.take(indices), offsets=indices)
+            for indices in partition_rows(relation, shards, key_columns)]
+
+
+def merge_order(outer_offsets: Sequence[np.ndarray]) -> np.ndarray:
+    """The permutation restoring global DFS order over concatenated shards.
+
+    ``outer_offsets[s]`` holds, per witness produced by shard ``s``, the
+    global row index of the witness's *outer* (first-joined) table row.  The
+    reference engine emits witnesses in ascending outer-row order, and
+    key-aligned partitioning puts all witnesses of one outer row into one
+    shard in their reference-relative order; a stable sort of the
+    concatenation by outer index is therefore exactly the reference order.
+    """
+    if not outer_offsets:
+        return np.empty(0, dtype=np.int64)
+    concatenated = np.concatenate([np.asarray(offsets, dtype=np.int64)
+                                   for offsets in outer_offsets])
+    return np.argsort(concatenated, kind="stable")
+
+
+# -- shared-memory shipping --------------------------------------------------
+#
+# A shard handed to a worker process consists of a handful of large
+# row-aligned arrays (codes, float values, null codes) and small Python
+# dictionaries (interned values, null marks).  The arrays go into named
+# shared-memory blocks -- the worker maps them in place -- and only the
+# dictionaries travel through the task pickle.  Lifecycle protocol:
+#
+#   parent:  payload = export_shard(relation)      (creates the blocks)
+#   worker:  relation = attach_shard(payload)      (maps, no copy)
+#   worker:  ... compute; results must not alias the mapped arrays ...
+#   parent:  release_payload(payload)              (close + unlink, once all
+#                                                   workers are done)
+#
+# Ownership: the parent creates every block and unlinks it exactly once.
+# CPython 3.10-3.12 registers shared memory with the resource tracker on
+# *attach* as well as on create.  Under the preferred ``fork`` start method
+# parent and workers share one tracker, so the worker's duplicate
+# registration collapses into the same name-set entry and the parent's
+# unlink-time unregister clears it -- workers must NOT unregister there (a
+# second unregister makes the tracker log KeyError noise).  Under ``spawn``
+# each worker owns a private tracker that would hold the name forever and
+# warn about "leaked shared_memory objects" at worker exit, so there -- and
+# only there -- the worker unregisters its attachment.
+
+
+@dataclass(frozen=True)
+class _ColumnPayload:
+    """One column's shipping manifest: array locations plus the dictionary.
+
+    ``dictionary`` is either ``("pickled", values...)`` -- the values ride
+    the task pickle -- or ``("packed",)``, in which case two extra entries
+    in ``arrays`` (a fixed-width unicode text array and a null mask) carry
+    the dictionary through shared memory instead.  Packing matters at
+    scale: a 10^5-distinct-key table would otherwise push hundreds of
+    kilobytes of strings through the (serial) task pickle per shard.
+    """
+
+    kind: str  # "base" | "num"
+    #: ``(shm name, dtype str, shape)`` per array, or inline ndarray
+    #: fallbacks when shared memory is unavailable on the platform.
+    arrays: tuple
+    dictionary: tuple
+
+
+@dataclass(frozen=True)
+class ShardPayload:
+    """A pickled-to-workers description of one shard relation."""
+
+    schema: object  # RelationSchema; typed loosely to keep pickling cheap
+    rows: int
+    columns: tuple[_ColumnPayload, ...]
+
+
+def _pack_dictionary(values) -> Optional[tuple[np.ndarray, np.ndarray]]:
+    """Encode a str/``BaseNull`` dictionary as fixed-width arrays, or ``None``.
+
+    Interned base dictionaries are overwhelmingly strings (plus marked
+    nulls); those pack losslessly into a fixed-width unicode array and a
+    null mask, both of which ship through shared memory.  Dictionaries
+    containing any other constant kind -- or empty ones, where NumPy cannot
+    infer a text dtype -- fall back to riding the task pickle.  So does any
+    dictionary the encoding cannot round-trip exactly: NumPy's fixed-width
+    unicode strips trailing NUL characters, which would merge ``"a\\x00"``
+    with ``"a"`` and silently change join results, so the round trip is
+    verified before the packed path is chosen.
+    """
+    if not values:
+        return None
+    texts = []
+    null_mask = []
+    for value in values:
+        if isinstance(value, BaseNull):
+            texts.append(value.name)
+            null_mask.append(True)
+        elif isinstance(value, str):
+            texts.append(value)
+            null_mask.append(False)
+        else:
+            return None
+    encoded = np.asarray(texts)
+    if encoded.tolist() != texts:
+        return None
+    return encoded, np.asarray(null_mask, dtype=bool)
+
+
+def _new_block(array: np.ndarray):
+    from multiprocessing import shared_memory
+
+    block = shared_memory.SharedMemory(create=True, size=max(1, array.nbytes))
+    view = np.ndarray(array.shape, dtype=array.dtype, buffer=block.buf)
+    view[:] = array
+    return block
+
+
+def export_shard(relation: ColumnarRelation) -> tuple[ShardPayload, list]:
+    """Ship a shard's sealed arrays into shared memory.
+
+    Returns ``(payload, blocks)``: the payload is what the worker task
+    receives (picklable, small), ``blocks`` are the live handles the parent
+    must keep until every worker finished, then hand to
+    :func:`release_payload`.  When shared memory cannot be created (e.g. a
+    platform without ``/dev/shm``), arrays are embedded in the payload and
+    travel by pickle instead -- slower, never wrong.
+    """
+    blocks: list = []
+
+    def ship(array: np.ndarray):
+        array = np.ascontiguousarray(array)
+        try:
+            block = _new_block(array)
+        except (OSError, ImportError):
+            return ("inline", array)
+        blocks.append(block)
+        return ("shm", block.name, array.dtype.str, array.shape)
+
+    columns = []
+    for position, attribute in enumerate(relation.schema.attributes):
+        data = relation.column_data(attribute.name)
+        if isinstance(data, BaseColumnData):
+            if data.packed is None:
+                encoded = _pack_dictionary(data.values)
+                data.packed = False if encoded is None else encoded
+            packed = data.packed or None
+            if packed is not None:
+                texts, null_mask = packed
+                columns.append(_ColumnPayload(
+                    kind="base",
+                    arrays=(ship(data.codes), ship(texts), ship(null_mask)),
+                    dictionary=("packed",)))
+            else:
+                columns.append(_ColumnPayload(
+                    kind="base",
+                    arrays=(ship(data.codes),),
+                    dictionary=("pickled",) + tuple(data.values)))
+        else:
+            columns.append(_ColumnPayload(
+                kind="num",
+                arrays=(ship(data.values), ship(data.null_codes)),
+                dictionary=("pickled",) + tuple(data.nulls)))
+    payload = ShardPayload(schema=relation.schema, rows=len(relation),
+                           columns=tuple(columns))
+    return payload, blocks
+
+
+def _attach_array(spec, keepalive: list) -> np.ndarray:
+    if spec[0] == "inline":
+        return spec[1]
+    from multiprocessing import shared_memory
+
+    _, name, dtype, shape = spec
+    block = shared_memory.SharedMemory(name=name)
+    # See the lifecycle note above: only non-fork workers (private resource
+    # tracker) undo the registration their attach just made.
+    import multiprocessing
+
+    if multiprocessing.get_start_method(allow_none=True) != "fork":
+        try:
+            from multiprocessing import resource_tracker
+            resource_tracker.unregister(block._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker layout varies
+            pass
+    keepalive.append(block)
+    return np.ndarray(shape, dtype=np.dtype(dtype), buffer=block.buf)
+
+
+def attach_shard(payload: ShardPayload) -> tuple[ColumnarRelation, list]:
+    """Reconstruct a shard relation from its payload, mapping shared blocks.
+
+    Returns ``(relation, handles)``; the worker must keep ``handles`` alive
+    while it touches the relation and ``close()`` each afterwards (results
+    returned to the parent must be fresh arrays, which every NumPy gather /
+    ``flatnonzero`` in the engine produces anyway).
+    """
+    keepalive: list = []
+    columns = []
+    for column in payload.columns:
+        if column.kind == "base":
+            codes = _attach_array(column.arrays[0], keepalive)
+            if column.dictionary[0] == "packed":
+                texts = _attach_array(column.arrays[1], keepalive)
+                null_mask = _attach_array(column.arrays[2], keepalive)
+                values = [BaseNull(text) if is_null else text
+                          for text, is_null in zip(texts.tolist(),
+                                                   null_mask.tolist())]
+            else:
+                values = list(column.dictionary[1:])
+            columns.append(BaseColumnData(
+                codes=codes, values=values,
+                code_of={value: code for code, value in enumerate(values)}))
+        else:
+            values = _attach_array(column.arrays[0], keepalive)
+            null_codes = _attach_array(column.arrays[1], keepalive)
+            columns.append(NumericColumnData(
+                values=values, null_codes=null_codes,
+                nulls=list(column.dictionary[1:])))
+    relation = ColumnarRelation(payload.schema)
+    relation._columns = columns
+    relation._sealed_rows = payload.rows
+    relation._seen = None
+    return relation, keepalive
+
+
+def release_payload(blocks: list) -> None:
+    """Close and unlink the parent-side handles of an exported shard."""
+    for block in blocks:
+        try:
+            block.close()
+            block.unlink()
+        except OSError:  # pragma: no cover - already released
+            pass

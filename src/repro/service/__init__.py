@@ -34,23 +34,32 @@ from repro.service.canonical import (
     canonicalise,
     canonicalise_lineage,
 )
-from repro.service.executor import run_tasks
+from repro.service.executor import (
+    EXECUTORS,
+    process_map,
+    run_tasks,
+    shutdown_pools,
+)
 from repro.service.rng import root_sequence, spawn_stream
 from repro.service.scheduler import TaskGroup, build_schedule
 from repro.service.service import (
     SERVICE_METHODS,
     AnnotationService,
+    BackendStats,
     RequestStats,
     ServiceOptions,
     ServiceResponse,
     ServiceStats,
+    ShardStats,
 )
 
 __all__ = [
+    "EXECUTORS",
     "SERVICE_METHODS",
     "AdaptiveUpdate",
     "AnnotatedAnswer",
     "AnnotationService",
+    "BackendStats",
     "CacheStats",
     "CanonicalLineage",
     "CanonicalisationError",
@@ -59,13 +68,16 @@ __all__ = [
     "ServiceOptions",
     "ServiceResponse",
     "ServiceStats",
+    "ShardStats",
     "TaskGroup",
     "adaptive_certainty",
     "adaptive_schedule",
     "build_schedule",
     "canonicalise",
     "canonicalise_lineage",
+    "process_map",
     "root_sequence",
     "run_tasks",
+    "shutdown_pools",
     "spawn_stream",
 ]

@@ -47,7 +47,7 @@ from repro.service.adaptive import (
 )
 from repro.service.answers import AnnotatedAnswer
 from repro.service.canonical import CanonicalLineage
-from repro.service.executor import run_tasks
+from repro.service.executor import EXECUTORS, process_map, run_tasks
 from repro.service.rng import SeedLike, root_sequence, spawn_stream
 from repro.service.scheduler import TaskGroup, build_schedule
 
@@ -65,8 +65,15 @@ class ServiceOptions:
     epsilon: float = 0.05
     delta: float = DEFAULT_DELTA
     method: str = "afpras"
-    #: Worker threads per request; 1 = serial, 0 = one per CPU.
+    #: Workers per request; 1 = serial, 0 = one per CPU.
     jobs: int = 1
+    #: What ``jobs`` spans: ``"thread"`` workers share the process (the
+    #: PR 2 executor; caches shared, zero shipping cost), ``"process"``
+    #: workers span cores for the CPU-bound Monte-Carlo phase.  Results are
+    #: bit-identical either way -- streams are content-keyed, not
+    #: scheduling-keyed.  Sharded candidate enumeration always uses
+    #: processes when ``jobs > 1``, independent of this knob.
+    executor: str = "thread"
     #: Serve coarse estimates first and refine toward the requested epsilon.
     adaptive: bool = False
     adaptive_coarse: float = DEFAULT_COARSE_EPSILON
@@ -79,6 +86,10 @@ class ServiceOptions:
     #: backend.  The service converts its database snapshot once at
     #: construction, so every planned request runs on the chosen layout.
     backend: Optional[str] = None
+    #: Key-aligned shard count for columnar candidate enumeration; ``None``
+    #: follows the database's own ``shards`` declaration.  With ``jobs > 1``
+    #: shard frontiers run across worker processes.
+    shards: Optional[int] = None
     #: Reuse certainty results across tuples and requests with the same
     #: canonical lineage (the PR 1 ad-hoc annotate-loop reuse, generalised).
     reuse_results: bool = True
@@ -113,6 +124,34 @@ class ServiceResponse:
 
 
 @dataclass(frozen=True)
+class BackendStats:
+    """Request and plan-cache counters attributed to one execution backend."""
+
+    backend: str
+    requests: int
+    plan_hits: int
+    plan_misses: int
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """Lifetime counters of one shard index of the sharded enumeration path."""
+
+    shard: int
+    #: Frontier computations this shard executed.
+    tasks: int
+    #: Input rows the shard's tables contributed across those tasks.
+    rows: int
+    #: Witnesses the shard produced (pre-merge frontier size).
+    witnesses: int
+    #: Sharded plans whose partitions (every queried table's) were served
+    #: from the partition cache vs. plans that had to partition at least
+    #: one table.
+    partition_hits: int
+    partition_misses: int
+
+
+@dataclass(frozen=True)
 class ServiceStats:
     """Lifetime counters and per-cache snapshots for the stats report."""
 
@@ -122,6 +161,8 @@ class ServiceStats:
     estimates_reused: int
     tuples_batched: int
     caches: tuple[CacheStats, ...] = field(default_factory=tuple)
+    backends: tuple[BackendStats, ...] = field(default_factory=tuple)
+    shards: tuple[ShardStats, ...] = field(default_factory=tuple)
 
     def report(self) -> str:
         """Human-readable multi-line report (the ``serve`` REPL's ``\\stats``)."""
@@ -138,6 +179,19 @@ class ServiceStats:
                 f"{cache.name:<18} {cache.capacity:>5} {cache.size:>7} "
                 f"{cache.hits:>6} {cache.misses:>7} {cache.evictions:>6} "
                 f"{cache.hit_rate:>9.1%}")
+        lines.append("backend            requests   plan-hits  plan-misses")
+        for backend in self.backends:
+            lines.append(
+                f"{backend.backend:<18} {backend.requests:>8} "
+                f"{backend.plan_hits:>11} {backend.plan_misses:>12}")
+        if self.shards:
+            lines.append(
+                "shard      tasks      rows  witnesses  part-hits  part-misses")
+            for shard in self.shards:
+                lines.append(
+                    f"shard[{shard.shard}] {shard.tasks:>8} {shard.rows:>9} "
+                    f"{shard.witnesses:>10} {shard.partition_hits:>10} "
+                    f"{shard.partition_misses:>12}")
         return "\n".join(lines)
 
     def as_dict(self) -> dict:
@@ -148,6 +202,17 @@ class ServiceStats:
             "estimates_reused": self.estimates_reused,
             "tuples_batched": self.tuples_batched,
             "caches": [cache.as_dict() for cache in self.caches],
+            "backends": [
+                {"backend": backend.backend, "requests": backend.requests,
+                 "plan_hits": backend.plan_hits,
+                 "plan_misses": backend.plan_misses}
+                for backend in self.backends],
+            "shards": [
+                {"shard": shard.shard, "tasks": shard.tasks,
+                 "rows": shard.rows, "witnesses": shard.witnesses,
+                 "partition_hits": shard.partition_hits,
+                 "partition_misses": shard.partition_misses}
+                for shard in self.shards],
         }
 
 
@@ -187,10 +252,16 @@ class AnnotationService:
         if options.method not in SERVICE_METHODS:
             raise ValueError(
                 f"unknown method {options.method!r}; expected one of {SERVICE_METHODS}")
+        if options.executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {options.executor!r}; expected one of {EXECUTORS}")
         if options.backend is not None:
             # One conversion at construction; the snapshot then serves every
             # request under the requested layout.
-            database = database.with_backend(options.backend)
+            database = database.with_backend(options.backend,
+                                             shards=options.shards)
+        elif options.shards is not None and hasattr(database, "with_shards"):
+            database = database.with_shards(options.shards)
         self._database = database
         self._options = options
         self._dimension = len(database.num_nulls_ordered())
@@ -208,6 +279,8 @@ class AnnotationService:
         self._estimates_computed = 0
         self._estimates_reused = 0
         self._tuples_batched = 0
+        #: shard index -> [tasks, rows, witnesses, partition hits, misses].
+        self._shard_counters: dict[int, list[int]] = {}
 
     # -- public API --------------------------------------------------------
 
@@ -231,6 +304,7 @@ class AnnotationService:
                limit: Optional[int] = None,
                seed: SeedLike = None,
                jobs: Optional[int] = None,
+               executor: Optional[str] = None,
                adaptive: Optional[bool] = None,
                group_witnesses: bool = True,
                reuse_results: Optional[bool] = None,
@@ -248,17 +322,21 @@ class AnnotationService:
         delta = options.delta if delta is None else delta
         method = options.method if method is None else method
         jobs = options.jobs if jobs is None else jobs
+        executor = options.executor if executor is None else executor
         adaptive = options.adaptive if adaptive is None else adaptive
         reuse = options.reuse_results if reuse_results is None else reuse_results
         if method not in SERVICE_METHODS:
             raise ValueError(
                 f"unknown method {method!r}; expected one of {SERVICE_METHODS}")
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; expected one of {EXECUTORS}")
         root = self._default_root if seed is None else root_sequence(seed)
         seed_token = _seed_token(root)
 
         select = self._parse(query)
         if candidates is None:
-            candidates = self._plan(query, select, limit, group_witnesses)
+            candidates = self._plan(query, select, limit, group_witnesses, jobs)
 
         if reuse:
             schedule = build_schedule(candidates)
@@ -269,8 +347,12 @@ class AnnotationService:
                         for group in build_schedule(candidates)
                         for index in group.members]
 
+        def cache_key(group: TaskGroup) -> tuple:
+            return (group.canonical.key, epsilon, delta, method, adaptive,
+                    seed_token)
+
         def decide(group: TaskGroup) -> tuple[CertaintyResult, bool]:
-            key = (group.canonical.key, epsilon, delta, method, adaptive, seed_token)
+            key = cache_key(group)
             if reuse:
                 cached = self._result_cache.get(key)
                 if cached is not None:
@@ -282,8 +364,17 @@ class AnnotationService:
                 self._result_cache.put(key, result)
             return result, False
 
-        outcomes = run_tasks(
-            [lambda group=group: decide(group) for group in schedule], jobs=jobs)
+        # Adaptive streaming callbacks need to run in this process, so the
+        # process executor only takes over callback-free requests; results
+        # are bit-identical either way (streams are content-keyed).
+        if executor == "process" and jobs > 1 and on_update is None:
+            outcomes = self._decide_in_processes(
+                schedule, cache_key, reuse, epsilon, delta, method, adaptive,
+                root, jobs)
+        else:
+            outcomes = run_tasks(
+                [lambda group=group: decide(group) for group in schedule],
+                jobs=jobs)
 
         by_candidate: dict[int, CertaintyResult] = {}
         from_cache = 0
@@ -319,6 +410,7 @@ class AnnotationService:
 
     def stats(self) -> ServiceStats:
         """Lifetime counters plus snapshots of every cache layer."""
+        plan_stats = self._plan_cache.stats()
         return ServiceStats(
             requests=self._requests,
             answers_served=self._answers_served,
@@ -327,10 +419,24 @@ class AnnotationService:
             tuples_batched=self._tuples_batched,
             caches=(
                 self._parse_cache.stats(),
-                self._plan_cache.stats(),
+                plan_stats,
                 self._result_cache.stats(),
                 compile_cache_stats(),
             ),
+            # A service has exactly one execution backend (fixed at
+            # construction), so the per-backend row is derived from the
+            # existing counters rather than tracked separately; the report
+            # shape stays ready for a multi-backend future.
+            backends=(BackendStats(
+                backend=getattr(self._database, "backend", "rows"),
+                requests=self._requests,
+                plan_hits=plan_stats.hits,
+                plan_misses=plan_stats.misses),),
+            shards=tuple(
+                ShardStats(shard=shard, tasks=counters[0], rows=counters[1],
+                           witnesses=counters[2], partition_hits=counters[3],
+                           partition_misses=counters[4])
+                for shard, counters in sorted(self._shard_counters.items())),
         )
 
     def invalidate(self) -> None:
@@ -338,6 +444,9 @@ class AnnotationService:
         self._parse_cache.clear()
         self._plan_cache.clear()
         self._result_cache.clear()
+        clear_shards = getattr(self._database, "clear_shard_cache", None)
+        if clear_shards is not None:
+            clear_shards()
 
     # -- lifecycle stages --------------------------------------------------
 
@@ -349,18 +458,79 @@ class AnnotationService:
         return self._parse_cache.get_or_compute(key, lambda: parse_sql(query))
 
     def _plan(self, query, select, limit: Optional[int],
-              group_witnesses: bool) -> tuple:
+              group_witnesses: bool, jobs: int) -> tuple:
         from repro.engine.candidates import enumerate_candidates
 
         def enumerate_() -> tuple:
-            return tuple(enumerate_candidates(select, self._database, limit=limit,
-                                              group_witnesses=group_witnesses))
+            sink: dict = {}
+            planned = tuple(enumerate_candidates(
+                select, self._database, limit=limit,
+                group_witnesses=group_witnesses, jobs=jobs,
+                shard_stats=sink))
+            self._record_shard_stats(sink)
+            return planned
 
         if not isinstance(query, str):
             # No stable text key; planning an AST is not cached.
             return enumerate_()
         key = (_normalise_sql(query), limit, group_witnesses)
         return self._plan_cache.get_or_compute(key, enumerate_)
+
+    def _record_shard_stats(self, sink: dict) -> None:
+        if not sink.get("sharded"):
+            return
+        # Partitioning is a per-request, all-shards-at-once event: count
+        # one hit per shard when every table's partition came from the
+        # cache, else one miss (not the sink's per-table totals, which
+        # would overcount by the table count on every shard row).
+        fully_cached = sink.get("partition_misses", 0) == 0
+        for entry in sink.get("per_shard", ()):
+            counters = self._shard_counters.setdefault(
+                entry["shard"], [0, 0, 0, 0, 0])
+            counters[0] += entry["tasks"]
+            counters[1] += entry["rows"]
+            counters[2] += entry["witnesses"]
+            counters[3] += 1 if fully_cached else 0
+            counters[4] += 0 if fully_cached else 1
+
+    def _decide_in_processes(self, schedule: Sequence[TaskGroup], cache_key,
+                             reuse: bool, epsilon: float, delta: float,
+                             method: str, adaptive: bool,
+                             root: np.random.SeedSequence,
+                             jobs: int) -> list[tuple[CertaintyResult, bool]]:
+        """The Monte-Carlo phase across worker processes, cache-coherent.
+
+        Cache lookups stay in this process (the caches are not shared with
+        workers); only the cache-missing groups ship out.  Payloads are
+        pure data -- translation, parameters, the root seed's identity --
+        and every worker re-derives its stream from the content digest, so
+        the outcome per group equals the thread executor's bit for bit.
+        """
+        outcomes: list = [None] * len(schedule)
+        payloads = []
+        positions = []
+        for position, group in enumerate(schedule):
+            if reuse:
+                cached = self._result_cache.get(cache_key(group))
+                if cached is not None:
+                    outcomes[position] = (cached, True)
+                    continue
+            replica = () if reuse else (group.members[0],)
+            payloads.append((
+                group.canonical.translation(), epsilon, delta, method,
+                adaptive, root.entropy, tuple(root.spawn_key),
+                group.canonical.digest, replica,
+                self._options.adaptive_coarse, self._options.adaptive_factor))
+            positions.append(position)
+        results = process_map(_estimate_task, payloads, jobs=jobs)
+        for position, result in zip(positions, results):
+            group = schedule[position]
+            result = replace(result, dimension=self._dimension,
+                             relevant_dimension=group.canonical.dimension)
+            if reuse:
+                self._result_cache.put(cache_key(group), result)
+            outcomes[position] = (result, False)
+        return outcomes
 
     def _estimate(self, group: TaskGroup, epsilon: float, delta: float,
                   method: str, adaptive: bool, root: np.random.SeedSequence,
@@ -387,3 +557,25 @@ class AnnotationService:
         # ambient dimension; patch it back for faithful result metadata.
         return replace(result, dimension=self._dimension,
                        relevant_dimension=canonical.dimension)
+
+
+def _estimate_task(payload) -> CertaintyResult:
+    """Process-pool twin of :meth:`AnnotationService._estimate`.
+
+    Module-level so it pickles; receives only content (translation, request
+    parameters, the root seed's entropy/spawn-key identity) and re-derives
+    the group's stream exactly as the in-process path does.  Dimension
+    metadata is patched back by the parent, which knows the database.
+    """
+    (translation, epsilon, delta, method, adaptive, entropy, spawn_key,
+     digest, replica, coarse, factor) = payload
+    root = np.random.SeedSequence(entropy=entropy, spawn_key=spawn_key)
+    if adaptive:
+        return adaptive_certainty(
+            translation, epsilon=epsilon, delta=delta, method=method,
+            stream_factory=lambda stage: spawn_stream(
+                root, digest, *replica, stage),
+            on_update=None, coarse=coarse, factor=factor)
+    return certainty_from_translation(
+        translation, epsilon=epsilon, delta=delta, method=method,
+        rng=spawn_stream(root, digest, *replica))
