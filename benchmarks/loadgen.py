@@ -1,0 +1,210 @@
+#!/usr/bin/env python
+"""Seeded load generator for the repro network server.
+
+Builds a reproducible mixed workload over the sales schema -- point
+selections, arithmetic filters, a join, a slice of adaptive requests --
+and drives it at a running server over N concurrent TCP connections,
+recording per-request latency and a protocol-error count.  The same
+workload object drives three consumers:
+
+* the **server bench scenario** of ``run_bench.py`` (serial vs concurrent
+  wall clock, p50/p99 latency, QPS);
+* the **nightly soak** (``server_soak.py``): loop the workload for a
+  duration and assert zero protocol errors;
+* the **determinism tests**, which replay the identical workload through a
+  local :class:`~repro.service.AnnotationService` and require bit-identical
+  answers.
+
+Requests are split round-robin across connections, preserving the seeded
+order within each connection; every request carries an explicit seed, so
+the servable results are a pure function of the workload -- not of timing,
+interleaving, or connection count.
+
+Standalone usage (against an already-running server)::
+
+    PYTHONPATH=src python benchmarks/loadgen.py --port 7464 \
+        --connections 8 --requests 200 --seed 42
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Query templates over the sales schema; ``{t}`` is a threshold, ``{k}``
+#: a LIMIT.  The parameter space is deliberately small so a seeded draw
+#: repeats queries -- that is what exercises the caches and the
+#: single-flight coalescing under concurrency.
+_TEMPLATES = (
+    "SELECT M.seg FROM Market M WHERE M.rrp >= {t} LIMIT {k}",
+    "SELECT P.id FROM Products P WHERE P.rrp <= {t} LIMIT {k}",
+    "SELECT P.id FROM Products P WHERE P.rrp * P.dis <= {t} LIMIT {k}",
+    "SELECT O.id FROM Orders O WHERE O.q * O.dis >= {t} LIMIT {k}",
+    "SELECT P.seg FROM Products P, Market M "
+    "WHERE P.seg = M.seg AND P.rrp * P.dis <= M.rrp LIMIT {k}",
+)
+
+_THRESHOLDS = (10, 20, 30, 40)
+_LIMITS = (3, 5, 8)
+_EPSILONS = (0.1, 0.2)
+
+
+def build_workload(seed: int, size: int,
+                   adaptive_share: float = 0.1) -> list[dict]:
+    """A reproducible list of ``{"sql": ..., "options": {...}}`` requests."""
+    generator = np.random.default_rng(seed)
+    workload = []
+    for index in range(size):
+        template = _TEMPLATES[int(generator.integers(len(_TEMPLATES)))]
+        sql = template.format(t=_THRESHOLDS[int(generator.integers(len(_THRESHOLDS)))],
+                              k=_LIMITS[int(generator.integers(len(_LIMITS)))])
+        options = {
+            "epsilon": _EPSILONS[int(generator.integers(len(_EPSILONS)))],
+            "seed": int(seed),
+            "adaptive": bool(generator.random() < adaptive_share),
+        }
+        workload.append({"sql": sql, "options": options})
+    return workload
+
+
+@dataclass
+class LoadReport:
+    """What one load run measured."""
+
+    connections: int
+    requests: int
+    wall_seconds: float
+    latencies: list[float] = field(default_factory=list)
+    #: Typed server errors (overloaded/draining) -- backpressure, expected
+    #: under deliberate overload, fatal in the soak.
+    rejected: int = 0
+    #: Everything else: transport drops, garbled frames, unexpected events.
+    protocol_errors: int = 0
+
+    @property
+    def completed(self) -> int:
+        return len(self.latencies)
+
+    @property
+    def qps(self) -> float:
+        return self.completed / self.wall_seconds if self.wall_seconds else 0.0
+
+    def percentile(self, q: float) -> float:
+        if not self.latencies:
+            return float("nan")
+        return float(np.percentile(np.asarray(self.latencies), q))
+
+    def as_dict(self) -> dict:
+        return {
+            "connections": self.connections,
+            "requests": self.requests,
+            "completed": self.completed,
+            "wall_seconds": self.wall_seconds,
+            "qps": self.qps,
+            "p50_ms": self.percentile(50) * 1e3,
+            "p99_ms": self.percentile(99) * 1e3,
+            "rejected": self.rejected,
+            "protocol_errors": self.protocol_errors,
+        }
+
+
+def _drive_connection(host: str, port: int, requests: list[dict],
+                      report: LoadReport, lock: threading.Lock) -> None:
+    from repro.client import ClientError, OverloadedError, ReproClient
+
+    try:
+        client = ReproClient(host, port)
+    except ClientError:
+        with lock:
+            report.protocol_errors += len(requests)
+        return
+    try:
+        for request in requests:
+            started = time.perf_counter()
+            try:
+                client.query(request["sql"], **request["options"])
+            except OverloadedError:
+                with lock:
+                    report.rejected += 1
+                continue
+            except ClientError:
+                with lock:
+                    report.protocol_errors += 1
+                continue
+            elapsed = time.perf_counter() - started
+            with lock:
+                report.latencies.append(elapsed)
+    finally:
+        client.close()
+
+
+def run_load(host: str, port: int, workload: list[dict],
+             connections: int) -> LoadReport:
+    """Drive ``workload`` over ``connections`` parallel TCP connections."""
+    report = LoadReport(connections=connections, requests=len(workload),
+                        wall_seconds=0.0)
+    lock = threading.Lock()
+    shares = [workload[index::connections] for index in range(connections)]
+    threads = [
+        threading.Thread(target=_drive_connection,
+                         args=(host, port, share, report, lock), daemon=True)
+        for share in shares if share]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.wall_seconds = time.perf_counter() - started
+    return report
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--connections", type=int, default=8)
+    parser.add_argument("--requests", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--adaptive-share", type=float, default=0.1)
+    parser.add_argument("--duration", type=float, default=None,
+                        help="loop the workload until this many seconds "
+                             "have elapsed (soak mode)")
+    args = parser.parse_args()
+
+    workload = build_workload(args.seed, args.requests, args.adaptive_share)
+    if args.duration is None:
+        report = run_load(args.host, args.port, workload, args.connections)
+        print(json.dumps(report.as_dict(), indent=2))
+        return 1 if report.protocol_errors else 0
+
+    # Soak mode: repeat the workload until the clock runs out, folding the
+    # rounds into one report.
+    total = LoadReport(connections=args.connections, requests=0,
+                       wall_seconds=0.0)
+    deadline = time.monotonic() + args.duration
+    rounds = 0
+    while time.monotonic() < deadline:
+        report = run_load(args.host, args.port, workload, args.connections)
+        total.requests += report.requests
+        total.wall_seconds += report.wall_seconds
+        total.latencies.extend(report.latencies)
+        total.rejected += report.rejected
+        total.protocol_errors += report.protocol_errors
+        rounds += 1
+    payload = total.as_dict()
+    payload["rounds"] = rounds
+    print(json.dumps(payload, indent=2))
+    return 1 if total.protocol_errors else 0
+
+
+if __name__ == "__main__":
+    import os
+    import sys
+
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+    raise SystemExit(main())

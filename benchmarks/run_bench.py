@@ -4,11 +4,13 @@
 Measures wall-clock time of the AFPRAS (Theorem 8.1) and the CQ(+,<) FPRAS
 (Theorem 7.1) under both execution engines at fixed seeds and error levels
 (the PR 1 scenario), the PR 2 service scenario (a repeated decision-support
-query served cold versus warm), and the PR 3 storage scenario: candidate
-enumeration with lineage over a DataFiller-scale two-table equi-join
-(10^5 rows per table) under the row-at-a-time reference engine versus the
-vectorized columnar engine.  Results go to a JSON baseline so future PRs
-have a perf trajectory to beat.
+query served cold versus warm), the PR 3 storage scenario (candidate
+enumeration with lineage over a DataFiller-scale two-table equi-join,
+10^5 rows per table, row engine versus columnar), the PR 4 sharded
+scenario, and the PR 5 serving scenario: the seeded loadgen workload
+through the network server at N concurrent connections versus the serial
+one-connection baseline (p50/p99 latency, QPS).  Results go to a JSON
+baseline so future PRs have a perf trajectory to beat.
 
 Usage::
 
@@ -53,7 +55,7 @@ from repro.relational.schema import DatabaseSchema, RelationSchema
 from repro.relational.values import NumNull
 from repro.service import AnnotationService
 
-DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_PR4.json"
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_PR5.json"
 
 #: The headline configuration of the acceptance criterion: the largest
 #: dimension of bench_afpras_scaling.py at eps = 0.02.
@@ -393,6 +395,77 @@ def bench_sharded(quick: bool) -> dict:
     return {"scheme": "sharded", "configs": rows}
 
 
+#: The PR 5 serving headline: the seeded loadgen workload through the
+#: network server, N concurrent connections against the one-connection
+#: serial baseline.  Concurrency can only pay on a multi-core host (the
+#: Monte-Carlo phase holds the GIL between NumPy kernels), so the
+#: acceptance threshold is enforced at >= 2 cores; single-core containers
+#: still measure and record the scenario.
+SERVER_HEADLINE = {"requests": 120, "connections": 8, "seed": 42,
+                   "adaptive_share": 0.1}
+
+
+def bench_server(quick: bool) -> dict:
+    """Server throughput/latency: concurrent connections vs serial baseline.
+
+    Both sides drive the *identical* seeded workload at a fresh embedded
+    server (own service, same database snapshot) after one warm-up pass,
+    so the measurement is the steady serving state: caches hot, worker
+    pool started, coalescing active.  Reported latency percentiles and QPS
+    come from the concurrent run; the headline ratio is serial wall clock
+    over concurrent wall clock.
+    """
+    from loadgen import build_workload, run_load
+
+    from repro.server import EmbeddedServer
+    from repro.service import AnnotationService, ServiceOptions
+
+    cpu_count = os.cpu_count() or 1
+    scale = ExperimentScale(products=120, orders=120, markets=12, null_rate=0.15)
+    database = generate_sales_database(scale, rng=7)
+    config = dict(SERVER_HEADLINE, headline=True)
+    if quick:
+        config["requests"] = 60
+    workload = build_workload(config["seed"], config["requests"],
+                              config["adaptive_share"])
+
+    def measure(connections: int) -> tuple:
+        service = AnnotationService(database, ServiceOptions(seed=0))
+        with EmbeddedServer(service, workers=max(4, connections),
+                            http=False) as server:
+            run_load(server.host, server.port, workload, connections)  # warm-up
+            report = run_load(server.host, server.port, workload, connections)
+            coalesced = server.app.stats()["server"]["coalesced"]
+        return report, coalesced
+
+    serial_report, _ = measure(1)
+    concurrent_report, coalesced = measure(config["connections"])
+    row = {
+        **config,
+        "cpu_count": cpu_count,
+        "enforced": cpu_count >= 2,
+        "serial_seconds": serial_report.wall_seconds,
+        "concurrent_seconds": concurrent_report.wall_seconds,
+        "speedup": serial_report.wall_seconds
+        / max(concurrent_report.wall_seconds, 1e-12),
+        "qps": concurrent_report.qps,
+        "p50_ms": concurrent_report.percentile(50) * 1e3,
+        "p99_ms": concurrent_report.percentile(99) * 1e3,
+        "coalesced": coalesced,
+        "protocol_errors": (serial_report.protocol_errors
+                            + concurrent_report.protocol_errors),
+        "rejected": serial_report.rejected + concurrent_report.rejected,
+    }
+    print(f"server n={config['requests']:>4d} "
+          f"conns={config['connections']} (cpus={cpu_count})  "
+          f"serial {row['serial_seconds']*1e3:8.2f} ms   "
+          f"concurrent {row['concurrent_seconds']*1e3:8.2f} ms   "
+          f"speedup {row['speedup']:6.2f}x   "
+          f"p50 {row['p50_ms']:6.2f} ms  p99 {row['p99_ms']:7.2f} ms  "
+          f"{row['qps']:7.1f} qps")
+    return {"scheme": "server", "configs": [row]}
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
@@ -404,7 +477,7 @@ def main() -> int:
 
     schemes = [bench_afpras(args.quick), bench_fpras(args.quick),
                bench_service(args.quick), bench_join(args.quick),
-               bench_sharded(args.quick)]
+               bench_sharded(args.quick), bench_server(args.quick)]
     headline = next(row for row in schemes[0]["configs"] if row.get("headline"))
     service_headline = next(row for row in schemes[2]["configs"]
                             if row.get("headline"))
@@ -412,6 +485,8 @@ def main() -> int:
                          if row.get("headline"))
     sharded_headline = next(row for row in schemes[4]["configs"]
                             if row.get("headline"))
+    server_headline = next(row for row in schemes[5]["configs"]
+                           if row.get("headline"))
     baseline = {
         "benchmark": "columnar vs row join engine, annotation service "
                      "(warm vs cold), vectorized sampling kernels "
@@ -454,6 +529,21 @@ def main() -> int:
             "sharded_seconds": sharded_headline["sharded_seconds"],
             "speedup": sharded_headline["speedup"],
         },
+        "server_headline": {
+            "config": {key: server_headline[key]
+                       for key in ("requests", "connections", "seed",
+                                   "adaptive_share")},
+            "cpu_count": server_headline["cpu_count"],
+            "enforced": server_headline["enforced"],
+            "serial_seconds": server_headline["serial_seconds"],
+            "concurrent_seconds": server_headline["concurrent_seconds"],
+            "speedup": server_headline["speedup"],
+            "qps": server_headline["qps"],
+            "p50_ms": server_headline["p50_ms"],
+            "p99_ms": server_headline["p99_ms"],
+            "coalesced": server_headline["coalesced"],
+            "protocol_errors": server_headline["protocol_errors"],
+        },
         "schemes": schemes,
     }
     args.output.write_text(json.dumps(baseline, indent=2) + "\n")
@@ -465,7 +555,11 @@ def main() -> int:
           f"(n={join_headline['rows_per_table']}); sharded headline: "
           f"{sharded_headline['speedup']:.2f}x over single-core "
           f"(K={SHARDED_HEADLINE['shards']}, jobs={SHARDED_HEADLINE['jobs']}, "
-          f"cpus={sharded_headline['cpu_count']}); "
+          f"cpus={sharded_headline['cpu_count']}); server headline: "
+          f"{server_headline['speedup']:.2f}x concurrent-vs-serial "
+          f"({SERVER_HEADLINE['connections']} connections, "
+          f"p99 {server_headline['p99_ms']:.1f} ms, "
+          f"{server_headline['qps']:.1f} qps); "
           f"baseline written to {args.output}")
     failed = False
     if service_headline["speedup"] <= 1.0:
@@ -474,6 +568,19 @@ def main() -> int:
     if join_headline["speedup"] <= 1.0:
         print("FAIL: columnar join engine is not faster than the row engine")
         failed = True
+    if server_headline["protocol_errors"] or server_headline["rejected"]:
+        print("FAIL: the server bench saw protocol errors or rejections "
+              f"({server_headline['protocol_errors']} errors, "
+              f"{server_headline['rejected']} rejected)")
+        failed = True
+    if server_headline["enforced"] and server_headline["speedup"] <= 1.0:
+        print("FAIL: concurrent serving is not faster than serial on a "
+              f"{server_headline['cpu_count']}-core host")
+        failed = True
+    elif not server_headline["enforced"]:
+        print(f"NOTE: server concurrency threshold not enforced on this "
+              f"{server_headline['cpu_count']}-core host (needs >= 2); "
+              "measured for the record only")
     if not args.quick:
         if headline["speedup"] < 5.0:
             print("WARNING: kernel headline speedup below the 5x acceptance threshold")

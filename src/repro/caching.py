@@ -7,6 +7,12 @@ memory through an unbounded memo, and the service's stats report wants hit
 rates per cache.  This module provides the one implementation they share.
 It deliberately lives below both packages so neither has to import the
 other for a utility class.
+
+:class:`SingleFlight` is the cache's concurrent companion: an LRU cache
+deduplicates *sequential* repeats, while a single-flight registry
+deduplicates *simultaneous* ones -- concurrent requests for the same key
+join the computation already in flight instead of racing it, so a burst of
+identical cold requests costs one computation and fills the cache once.
 """
 
 from __future__ import annotations
@@ -86,6 +92,18 @@ class LruCache:
             self._hits += 1
             return value
 
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Read an entry without touching counters or recency order.
+
+        For double-checks inside code paths that already counted their
+        lookup -- e.g. the single-flight fill re-probing the cache after
+        winning flight leadership -- so the hit/miss statistics keep
+        meaning "distinct logical lookups".
+        """
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            return default if value is _MISSING else value
+
     def put(self, key: Hashable, value: Any) -> None:
         """Insert or refresh an entry, evicting the least recently used on overflow."""
         with self._lock:
@@ -152,4 +170,108 @@ class LruCache:
                 hits=self._hits,
                 misses=self._misses,
                 evictions=self._evictions,
+            )
+
+
+@dataclass(frozen=True)
+class SingleFlightStats:
+    """A point-in-time snapshot of one single-flight registry's counters."""
+
+    name: str
+    #: Computations actually launched (one per flight leader).
+    launches: int
+    #: Callers that joined an already in-flight computation instead of
+    #: launching their own -- the work the registry saved.
+    joins: int
+    #: Leader computations that raised (followers re-raise the same error).
+    failures: int
+    #: Flights currently in progress.
+    in_flight: int
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "launches": self.launches,
+            "joins": self.joins,
+            "failures": self.failures,
+            "in_flight": self.in_flight,
+        }
+
+
+class _FlightSlot:
+    """One in-flight computation: an event the followers wait on."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: Any = None
+        self.error: Optional[BaseException] = None
+
+
+class SingleFlight:
+    """Coalesce concurrent computations of the same key onto one leader.
+
+    :meth:`run` returns ``(value, leader)``: the first caller for a key
+    becomes the *leader* and executes the factory; callers arriving while
+    the leader is still computing block until it finishes and receive the
+    leader's value (or re-raise its exception) without computing anything.
+    Once a flight lands, the key is forgotten -- persistent memoisation is
+    the neighbouring :class:`LruCache`'s job, and the two compose: check
+    the cache, and on a miss run the fill inside a flight.
+    """
+
+    def __init__(self, name: str = "flights") -> None:
+        self._name = name
+        self._slots: dict[Hashable, _FlightSlot] = {}
+        self._lock = threading.Lock()
+        self._launches = 0
+        self._joins = 0
+        self._failures = 0
+
+    def run(self, key: Hashable, factory: Callable[[], Any]) -> tuple[Any, bool]:
+        """Compute ``factory()`` for ``key``, or join the flight doing so."""
+        with self._lock:
+            slot = self._slots.get(key)
+            if slot is None:
+                slot = _FlightSlot()
+                self._slots[key] = slot
+                self._launches += 1
+                leader = True
+            else:
+                self._joins += 1
+                leader = False
+        if leader:
+            try:
+                slot.value = factory()
+            except BaseException as error:
+                slot.error = error
+                with self._lock:
+                    self._failures += 1
+                raise
+            finally:
+                # Remove before waking followers: a late arrival after the
+                # flight lands must start (or cache-hit) afresh, never join
+                # a finished slot.
+                with self._lock:
+                    del self._slots[key]
+                slot.event.set()
+            return slot.value, True
+        slot.event.wait()
+        if slot.error is not None:
+            raise slot.error
+        return slot.value, False
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._slots)
+
+    def stats(self) -> SingleFlightStats:
+        with self._lock:
+            return SingleFlightStats(
+                name=self._name,
+                launches=self._launches,
+                joins=self._joins,
+                failures=self._failures,
+                in_flight=len(self._slots),
             )

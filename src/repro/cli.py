@@ -20,6 +20,22 @@ without writing any Python:
     REPL on a terminal, plain line protocol when piped).  Repeated and
     structurally similar queries are answered from the service's caches;
     ``\\stats`` prints the cache/amortisation report, ``\\quit`` exits.
+    EOF and Ctrl-C both end the session cleanly (exit 0) and print the
+    ``\\stats`` summary on the way out.
+
+``python -m repro.cli server --data data/ --port 7464``
+    The same service behind the network front end: a TCP listener speaking
+    newline-delimited JSON plus an HTTP adapter (``POST /query``,
+    ``GET /healthz``, ``GET /stats``), with bounded admission control,
+    cross-connection single-flight coalescing, streamed ``--adaptive``
+    refinements, and graceful drain on SIGTERM.  ``--port 0`` binds an
+    ephemeral port (printed on startup), ``--no-http`` disables the HTTP
+    adapter.
+
+``python -m repro.cli client --sql "SELECT ..." --port 7464``
+    Query a running server over TCP and print the same table ``annotate``
+    prints; ``--probe stats`` / ``--probe health`` fetch the server's
+    reports instead.
 
 Errors in user input (SQL syntax, unknown tables/columns, missing data
 directories) terminate with exit code 2 and a one-line message on stderr --
@@ -136,6 +152,54 @@ def _build_parser() -> argparse.ArgumentParser:
         "serve", help="start an annotation service reading queries from stdin")
     add_serving_arguments(serve_parser)
 
+    server_parser = subparsers.add_parser(
+        "server", help="serve the annotation service over TCP (NDJSON) and HTTP")
+    add_serving_arguments(server_parser)
+    server_parser.add_argument("--host", default="127.0.0.1",
+                               help="interface to bind (default 127.0.0.1)")
+    server_parser.add_argument("--port", type=int, default=None,
+                               help="TCP wire-protocol port (default 7464; "
+                                    "0 picks an ephemeral port, printed on "
+                                    "startup)")
+    server_parser.add_argument("--http-port", type=int, default=None,
+                               help="HTTP adapter port (default: TCP port + 1; "
+                                    "0 picks an ephemeral port)")
+    server_parser.add_argument("--no-http", action="store_true",
+                               help="disable the HTTP adapter")
+    server_parser.add_argument("--max-pending", type=int, default=64,
+                               help="admission limit: computations queued or "
+                                    "running before new queries are rejected "
+                                    "with the typed 'overloaded' error "
+                                    "(default 64)")
+    server_parser.add_argument("--workers", type=int, default=4,
+                               help="compute threads serving requests "
+                                    "(default 4); each request may fan out "
+                                    "further via --jobs")
+    server_parser.add_argument("--drain-timeout", type=float, default=30.0,
+                               help="seconds SIGTERM waits for in-flight "
+                                    "requests before giving up (default 30)")
+
+    client_parser = subparsers.add_parser(
+        "client", help="query a running repro server over the TCP protocol")
+    client_parser.add_argument("--host", default="127.0.0.1")
+    client_parser.add_argument("--port", type=int, default=7464)
+    client_source = client_parser.add_mutually_exclusive_group(required=True)
+    client_source.add_argument("--sql", help="SQL text of the query")
+    client_source.add_argument("--query-name",
+                               choices=sorted(EXPERIMENT_QUERIES),
+                               help="one of the paper's decision-support queries")
+    client_source.add_argument("--probe", choices=("stats", "health", "ping"),
+                               help="fetch a server report instead of querying")
+    client_parser.add_argument("--epsilon", type=float, default=None)
+    client_parser.add_argument("--delta", type=float, default=None)
+    client_parser.add_argument("--method", default=None,
+                               choices=SERVICE_METHODS)
+    client_parser.add_argument("--limit", type=int, default=None)
+    client_parser.add_argument("--seed", type=int, default=None)
+    client_parser.add_argument("--adaptive", action="store_true",
+                               help="stream refinement stages (on stderr) "
+                                    "while the final table builds")
+
     return parser
 
 
@@ -180,22 +244,27 @@ def _print_answers(answers: Sequence, adaptive: bool) -> None:
         print(line)
 
 
+def _show_update(lineage: str, update) -> None:
+    """One streamed refinement line on stderr (stdout stays a clean table)."""
+    if update.samples == 0:
+        return  # exact lineages answer at stage 0 with nothing to refine
+    low, high = update.interval
+    marker = "  <- final" if update.final else ""
+    print(f".. lineage {lineage} "
+          f"stage {update.stage + 1}/{update.stages}: "
+          f"mu={update.value:.3f} in [{low:.3f}, {high:.3f}] "
+          f"(eps={update.epsilon:.3f}, {update.samples} samples){marker}",
+          file=sys.stderr, flush=True)
+
+
 def _adaptive_printer():
-    """Stream per-stage refinements to stderr (stdout stays a clean table).
+    """Adapter for the service's ``on_update`` callback shape.
 
     With ``--jobs N`` the stages of different lineage groups interleave;
     each line is self-identifying via the canonical-lineage digest prefix.
     """
     def show(group, update) -> None:
-        if update.samples == 0:
-            return  # exact lineages answer at stage 0 with nothing to refine
-        low, high = update.interval
-        marker = "  <- final" if update.final else ""
-        print(f".. lineage {group.canonical.digest.hex()[:8]} "
-              f"stage {update.stage + 1}/{update.stages}: "
-              f"mu={update.value:.3f} in [{low:.3f}, {high:.3f}] "
-              f"(eps={update.epsilon:.3f}, {update.samples} samples){marker}",
-              file=sys.stderr, flush=True)
+        _show_update(group.canonical.short, update)
     return show
 
 
@@ -214,7 +283,9 @@ def _run_serve(args: argparse.Namespace) -> int:
 
     On a terminal this is a small REPL; piped input makes it a batch
     protocol, so scripted clients (and the worked example under
-    ``examples/``) drive it the same way.
+    ``examples/``) drive it the same way.  The session always ends cleanly:
+    EOF and Ctrl-C (even mid-request) exit 0 and print the ``\\stats``
+    summary, so an interrupted session still reports what it amortised.
     """
     service = _load_service(args)
     interactive = sys.stdin.isatty()
@@ -222,34 +293,101 @@ def _run_serve(args: argparse.Namespace) -> int:
         print(f"repro serve: {service.database.total_tuples()} tuples, "
               f"method={args.method}, epsilon={args.epsilon}, jobs={args.jobs}; "
               "\\stats for the cache report, \\quit to exit")
-    while True:
-        if interactive:
-            print("repro> ", end="", flush=True)
-        line = sys.stdin.readline()
-        if not line:
-            break
-        line = line.strip()
-        if not line or line.startswith("--") or line.startswith("#"):
-            continue
-        if line in ("\\quit", "\\q", "exit", "quit"):
-            break
-        if line in ("\\stats", "\\s"):
-            print(service.stats().report())
-            continue
-        try:
-            response = service.submit(
-                line, limit=args.limit,
-                on_update=_adaptive_printer() if args.adaptive else None)
-        except _USER_ERRORS as error:
-            print(f"error: {error}", file=sys.stderr)
-            continue
-        _print_answers(response.answers, args.adaptive)
-        stats = response.stats
-        print(f"-- {stats.candidates} answers in {stats.elapsed_seconds*1e3:.1f} ms "
-              f"({stats.groups} lineage groups: {stats.groups_computed} computed, "
-              f"{stats.groups_from_cache} cached; {stats.tuples_batched} tuples batched)")
+    try:
+        while True:
+            if interactive:
+                print("repro> ", end="", flush=True)
+            line = sys.stdin.readline()
+            if not line:
+                break
+            line = line.strip()
+            if not line or line.startswith("--") or line.startswith("#"):
+                continue
+            if line in ("\\quit", "\\q", "exit", "quit"):
+                break
+            if line in ("\\stats", "\\s"):
+                print(service.stats().report())
+                continue
+            try:
+                response = service.submit(
+                    line, limit=args.limit,
+                    on_update=_adaptive_printer() if args.adaptive else None)
+            except _USER_ERRORS as error:
+                print(f"error: {error}", file=sys.stderr)
+                continue
+            _print_answers(response.answers, args.adaptive)
+            stats = response.stats
+            print(f"-- {stats.candidates} answers in {stats.elapsed_seconds*1e3:.1f} ms "
+                  f"({stats.groups} lineage groups: {stats.groups_computed} computed, "
+                  f"{stats.groups_from_cache} cached; {stats.tuples_batched} tuples batched)")
+    except KeyboardInterrupt:
+        # Ctrl-C mid-request is a normal way to leave the REPL, not a crash.
+        pass
     if interactive:
         print()
+    print("-- session stats --")
+    print(service.stats().report())
+    return 0
+
+
+def _run_server(args: argparse.Namespace) -> int:
+    """The network front end: TCP NDJSON + HTTP around one service."""
+    from repro.server import DEFAULT_PORT, serve
+
+    if args.max_pending < 1:
+        raise ValueError(f"--max-pending must be at least 1, got {args.max_pending}")
+    if args.workers < 1:
+        raise ValueError(f"--workers must be at least 1, got {args.workers}")
+    service = _load_service(args)
+    port = DEFAULT_PORT if args.port is None else args.port
+    if args.no_http:
+        http_port = None
+    elif args.http_port is not None:
+        http_port = args.http_port
+    else:
+        # Ephemeral TCP ports take an ephemeral HTTP port alongside.
+        http_port = port + 1 if port else 0
+    return serve(service, host=args.host, port=port, http_port=http_port,
+                 max_pending=args.max_pending, workers=args.workers,
+                 drain_timeout=args.drain_timeout)
+
+
+def _run_client(args: argparse.Namespace) -> int:
+    """One scripted interaction with a running server, annotate-style output."""
+    import json
+
+    from repro.client import ClientError, ReproClient, ServerError
+
+    try:
+        with ReproClient(args.host, args.port) as client:
+            if args.probe == "ping":
+                print("pong" if client.ping() else "no pong")
+                return 0
+            if args.probe in ("stats", "health"):
+                payload = client.stats() if args.probe == "stats" else client.health()
+                print(json.dumps(payload, indent=2))
+                return 0
+            sql = args.sql if args.sql is not None \
+                else EXPERIMENT_QUERIES[args.query_name]
+            on_update = (lambda event: _show_update(event.lineage[:8], event)) \
+                if args.adaptive else None
+            result = client.query(
+                sql, epsilon=args.epsilon, delta=args.delta,
+                method=args.method, limit=args.limit, seed=args.seed,
+                adaptive=args.adaptive or None, on_update=on_update)
+    except ServerError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE if error.code in ("bad_request", "invalid_query") else 1
+    except ClientError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    _print_answers(result.answers, args.adaptive)
+    stats = result.stats
+    print(f"-- {stats.get('candidates', len(result.answers))} answers in "
+          f"{stats.get('elapsed_seconds', 0.0)*1e3:.1f} ms "
+          f"({stats.get('groups', 0)} lineage groups: "
+          f"{stats.get('groups_computed', 0)} computed, "
+          f"{stats.get('groups_from_cache', 0)} cached)")
     return 0
 
 
@@ -261,6 +399,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_generate(args)
         if args.command == "serve":
             return _run_serve(args)
+        if args.command == "server":
+            return _run_server(args)
+        if args.command == "client":
+            return _run_client(args)
         return _run_annotate(args)
     except _EmptyDataError as error:
         print(str(error), file=sys.stderr)

@@ -1,0 +1,62 @@
+"""Async network serving for the annotation service.
+
+The compute stack (kernels -> columnar engine -> sharded execution ->
+:class:`~repro.service.AnnotationService`) answered queries fast but only
+for callers inside the process; this package is the network layer on top:
+
+* :mod:`repro.server.protocol` -- the NDJSON wire protocol: request
+  validation, typed error taxonomy, bit-exact answer serialisation, the
+  single-flight request key;
+* :mod:`repro.server.app` -- transport-independent serving: bounded
+  admission with typed backpressure, cross-connection single-flight
+  coalescing with streamed-update replay, adaptive streaming, drain;
+* :mod:`repro.server.netserver` -- the asyncio TCP listener, the SIGTERM
+  drain protocol and the blocking :func:`~repro.server.netserver.serve`
+  entry point the CLI uses;
+* :mod:`repro.server.http` -- a dependency-free HTTP/1.1 adapter
+  (``POST /query``, ``GET /healthz``, ``GET /stats``);
+* :mod:`repro.server.embedded` -- the same server on a background thread,
+  for tests, benchmarks and the load generator.
+
+The compute layers are untouched underneath: requests run through the
+ordinary ``AnnotationService.submit`` on a thread pool, so ``jobs``,
+``shards``, ``backend``, ``executor``, ``adaptive`` and ``seed`` behave
+exactly as they do in-process, and served answers are bit-identical to
+local ones.
+"""
+
+from repro.server.app import ServerApp
+from repro.server.embedded import EmbeddedServer
+from repro.server.netserver import (
+    DEFAULT_HTTP_PORT,
+    DEFAULT_PORT,
+    NetworkServer,
+    serve,
+)
+from repro.server.protocol import (
+    MAX_LINE_BYTES,
+    OverloadError,
+    ProtocolError,
+    decode_answer,
+    decode_value,
+    encode_answer,
+    encode_value,
+    request_key,
+)
+
+__all__ = [
+    "DEFAULT_HTTP_PORT",
+    "DEFAULT_PORT",
+    "EmbeddedServer",
+    "MAX_LINE_BYTES",
+    "NetworkServer",
+    "OverloadError",
+    "ProtocolError",
+    "ServerApp",
+    "decode_answer",
+    "decode_value",
+    "encode_answer",
+    "encode_value",
+    "request_key",
+    "serve",
+]

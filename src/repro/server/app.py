@@ -1,0 +1,262 @@
+"""The server application: admission, coalescing, and streamed execution.
+
+:class:`ServerApp` is the transport-independent middle of the network
+server -- both the TCP listener and the HTTP adapter reduce a query to
+"iterate :meth:`query_events`", and everything the acceptance criteria care
+about lives here:
+
+* **admission control** -- at most ``max_pending`` computations may be
+  queued or running; request ``max_pending + 1`` is rejected immediately
+  with the typed ``overloaded`` error instead of joining an unbounded queue
+  (clients see backpressure, the event loop never hides it);
+* **single-flight coalescing** -- requests are keyed by
+  :func:`~repro.server.protocol.request_key` *before* any work happens;
+  arrivals matching an in-flight key subscribe to the leader's flight and
+  receive replayed history plus live events, so N concurrent identical
+  queries cost one computation and one cache fill (the service underneath
+  additionally single-flights *estimates* on the canonical lineage digest,
+  which coalesces structurally identical work across different query
+  texts);
+* **streaming** -- ``adaptive`` requests push every tightened interval to
+  every subscriber as it lands: the service's ``on_update`` callback fires
+  on a worker thread and is marshalled onto the event loop with
+  ``call_soon_threadsafe``, which preserves per-lineage monotonic order;
+* **drain** -- :meth:`begin_drain` stops admitting, :meth:`wait_idle`
+  resolves once every in-flight flight has delivered its terminal event.
+
+Compute runs on a dedicated thread pool via ``run_in_executor``; the
+service's own ``jobs``/``executor``/``shards`` options apply unchanged
+inside each ``submit`` call.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, AsyncIterator, Optional
+
+from repro.engine.sql.lexer import SqlSyntaxError
+from repro.engine.translate_sql import SqlTranslationError
+from repro.relational.schema import SchemaError
+from repro.server.protocol import (
+    OverloadError,
+    ProtocolError,
+    error_event,
+    parse_query_request,
+    request_key,
+    result_event,
+    update_event,
+)
+
+#: Exceptions that indicate a problem with the query, not with the server.
+_QUERY_ERRORS = (SqlSyntaxError, SqlTranslationError, SchemaError, ValueError)
+
+#: Terminal event types: after one of these, a flight is over.
+_TERMINAL = ("result", "error")
+
+
+class _Flight:
+    """One in-flight computation with its subscribers.
+
+    ``history`` keeps every event already broadcast so a follower that
+    coalesces onto the flight mid-stream sees the full sequence -- replayed
+    history first, then live events, in the order the leader produced them.
+    Events are stored without a request id; each subscriber stamps its own.
+    """
+
+    __slots__ = ("key", "history", "queues")
+
+    def __init__(self, key: bytes) -> None:
+        self.key = key
+        self.history: list[dict] = []
+        self.queues: list[asyncio.Queue] = []
+
+    def subscribe(self) -> asyncio.Queue:
+        queue: asyncio.Queue = asyncio.Queue()
+        for event in self.history:
+            queue.put_nowait(event)
+        self.queues.append(queue)
+        return queue
+
+    def publish(self, event: dict) -> None:
+        self.history.append(event)
+        for queue in self.queues:
+            queue.put_nowait(event)
+
+
+class ServerApp:
+    """Transport-independent query serving over one annotation service."""
+
+    def __init__(self, service, *, max_pending: int = 64,
+                 workers: int = 4) -> None:
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be at least 1, got {max_pending}")
+        if workers < 1:
+            raise ValueError(f"workers must be at least 1, got {workers}")
+        self._service = service
+        self._max_pending = max_pending
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-server")
+        self._flights: dict[bytes, _Flight] = {}
+        self._started = time.monotonic()
+        self._draining = False
+        self._idle = asyncio.Event()
+        self._idle.set()
+        # Lifetime counters, all mutated on the event loop only.
+        self._requests = 0
+        self._launched = 0
+        self._coalesced = 0
+        self._overloads = 0
+        self._query_errors = 0
+        self._internal_errors = 0
+
+    # -- request defaults ----------------------------------------------------
+
+    @property
+    def service(self):
+        return self._service
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def request_defaults(self) -> dict[str, Any]:
+        """The option values a request inherits when it omits them."""
+        options = self._service.options
+        seed = options.seed
+        return {
+            "epsilon": options.epsilon,
+            "delta": options.delta,
+            "method": options.method,
+            "limit": None,
+            "seed": seed if isinstance(seed, int) else None,
+            "adaptive": options.adaptive,
+        }
+
+    # -- the query path ------------------------------------------------------
+
+    async def query_events(self, message: dict) -> AsyncIterator[dict]:
+        """Serve one query message as a stream of wire events.
+
+        Always yields at least one event and always ends with a terminal
+        one (``result`` or ``error``); protocol violations, overload and
+        engine errors all surface as typed error events rather than
+        exceptions, so transports can forward events verbatim.
+        """
+        self._requests += 1
+        try:
+            sql, options = parse_query_request(message, self.request_defaults())
+        except ProtocolError as error:
+            self._query_errors += 1
+            yield error.as_event()
+            return
+        if self._draining:
+            yield error_event(None, "draining",
+                              "server is draining; not accepting new queries")
+            return
+
+        key = request_key(sql, options)
+        flight = self._flights.get(key)
+        if flight is None:
+            if len(self._flights) >= self._max_pending:
+                self._overloads += 1
+                yield OverloadError(
+                    f"server is at its admission limit "
+                    f"({self._max_pending} pending computations); retry later"
+                ).as_event()
+                return
+            flight = _Flight(key)
+            self._flights[key] = flight
+            self._idle.clear()
+            self._launched += 1
+            asyncio.ensure_future(self._lead(flight, sql, options))
+        else:
+            self._coalesced += 1
+
+        queue = flight.subscribe()
+        while True:
+            event = await queue.get()
+            yield event
+            if event.get("type") in _TERMINAL:
+                return
+
+    async def _lead(self, flight: _Flight, sql: str, options: dict) -> None:
+        """Run the flight's one computation and broadcast its events."""
+        loop = asyncio.get_running_loop()
+
+        def on_update(group, update) -> None:
+            # Fires on a service worker thread mid-submit; marshal onto the
+            # loop.  call_soon_threadsafe is FIFO, so updates always land
+            # before the executor future's completion callback below.
+            loop.call_soon_threadsafe(
+                flight.publish,
+                update_event(None, group.canonical.digest.hex(), update))
+
+        def submit():
+            return self._service.submit(
+                sql,
+                epsilon=options["epsilon"], delta=options["delta"],
+                method=options["method"], limit=options["limit"],
+                seed=options["seed"], adaptive=options["adaptive"],
+                on_update=on_update if options["adaptive"] else None)
+
+        try:
+            response = await loop.run_in_executor(self._executor, submit)
+            terminal = result_event(None, response)
+        except _QUERY_ERRORS as error:
+            self._query_errors += 1
+            terminal = error_event(None, "invalid_query", str(error))
+        except BaseException as error:  # noqa: BLE001 - reported, not hidden
+            self._internal_errors += 1
+            terminal = error_event(None, "internal",
+                                   f"{type(error).__name__}: {error}")
+        del self._flights[flight.key]
+        if not self._flights:
+            self._idle.set()
+        flight.publish(terminal)
+
+    # -- auxiliary operations ------------------------------------------------
+
+    def health(self) -> dict:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "active": len(self._flights),
+            "max_pending": self._max_pending,
+            "uptime_seconds": time.monotonic() - self._started,
+        }
+
+    def stats(self) -> dict:
+        """The ``/stats`` payload: server counters plus the service report."""
+        return {
+            "server": {
+                "requests": self._requests,
+                "launched": self._launched,
+                "coalesced": self._coalesced,
+                "overloads": self._overloads,
+                "query_errors": self._query_errors,
+                "internal_errors": self._internal_errors,
+                "active": len(self._flights),
+                "max_pending": self._max_pending,
+                "draining": self._draining,
+            },
+            "service": self._service.stats().as_dict(),
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def begin_drain(self) -> None:
+        """Stop admitting queries; in-flight ones keep running."""
+        self._draining = True
+
+    async def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Resolve once every flight has delivered its terminal event."""
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout)
+            return True
+        except asyncio.TimeoutError:
+            return False
+
+    def close(self) -> None:
+        """Release the compute pool (after draining)."""
+        self._executor.shutdown(wait=False, cancel_futures=True)

@@ -1,0 +1,144 @@
+"""A minimal HTTP/1.1 adapter over the server app (no dependencies).
+
+Three routes, mirroring the TCP wire protocol one-to-one:
+
+``GET /healthz``
+    Liveness: ``200`` with the app's health object (status turns
+    ``draining`` during shutdown).
+``GET /stats``
+    The server/service counter report as JSON -- the same payload as the
+    TCP ``stats`` op, including the single-flight coalescing counters the
+    acceptance criteria audit.
+``POST /query``
+    Body is a TCP query message (``{"sql": ..., "options": {...}}``).  The
+    default response is one JSON object -- the terminal ``result`` or
+    ``error`` event, with ``error`` codes mapped onto status codes
+    (``bad_request``/``invalid_query`` -> 400, ``overloaded``/``draining``
+    -> 503, ``internal`` -> 500).  With ``"stream": true`` in the body the
+    response is ``application/x-ndjson``: every adaptive update event as
+    its own line, terminal event last, connection closed at the end
+    (HTTP/1.1 EOF-delimited body).
+
+Connections are single-request: the adapter always answers with
+``Connection: close``.  This keeps the parser ~80 lines and is exactly
+what health probes, curl and the benchmark harness need; long-lived
+multiplexed traffic belongs on the TCP protocol.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.server.protocol import MAX_LINE_BYTES, dump_line
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 413: "Payload Too Large",
+            500: "Internal Server Error", 503: "Service Unavailable"}
+
+#: Wire error codes -> HTTP status.
+_ERROR_STATUS = {"bad_request": 400, "invalid_query": 400,
+                 "overloaded": 503, "draining": 503, "internal": 500}
+
+
+def _response(status: int, body: bytes,
+              content_type: str = "application/json") -> bytes:
+    head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n")
+    return head.encode("latin-1") + body
+
+
+def _json_response(status: int, payload: dict) -> bytes:
+    return _response(status, json.dumps(payload).encode("utf-8"))
+
+
+async def _read_request(reader: asyncio.StreamReader):
+    """Parse one request; returns ``(method, target, body)`` or ``None``."""
+    request_line = await reader.readline()
+    if not request_line.strip():
+        return None
+    parts = request_line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise ValueError("malformed request line")
+    method, target, _version = parts
+    content_length = 0
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            try:
+                content_length = int(value.strip())
+            except ValueError:
+                raise ValueError("malformed Content-Length")
+    if content_length > MAX_LINE_BYTES:
+        raise ValueError("payload too large")
+    body = await reader.readexactly(content_length) if content_length else b""
+    return method, target.split("?", 1)[0], body
+
+
+async def handle_http_connection(server, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+    """Serve one HTTP request on a fresh connection, then close."""
+    try:
+        request = await _read_request(reader)
+    except (ValueError, asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+        writer.write(_json_response(400, {"error": "malformed HTTP request"}))
+        await writer.drain()
+        return
+    if request is None:
+        return
+    method, target, body = request
+    app = server.app
+
+    if target == "/healthz":
+        if method != "GET":
+            writer.write(_json_response(405, {"error": "use GET"}))
+        else:
+            writer.write(_json_response(200, app.health()))
+    elif target == "/stats":
+        if method != "GET":
+            writer.write(_json_response(405, {"error": "use GET"}))
+        else:
+            writer.write(_json_response(200, app.stats()))
+    elif target == "/query":
+        if method != "POST":
+            writer.write(_json_response(405, {"error": "use POST"}))
+        else:
+            server._enter_request()
+            try:
+                await _handle_query(app, body, writer)
+            finally:
+                server._exit_request()
+    else:
+        writer.write(_json_response(404, {"error": f"no route {target}"}))
+    await writer.drain()
+
+
+async def _handle_query(app, body: bytes, writer: asyncio.StreamWriter) -> None:
+    try:
+        message = json.loads(body)
+        if not isinstance(message, dict):
+            raise ValueError("body must be a JSON object")
+    except (ValueError, UnicodeDecodeError) as error:
+        writer.write(_json_response(400, {"error": f"malformed body: {error}"}))
+        return
+    streaming = bool(message.get("stream"))
+    if streaming:
+        writer.write(b"HTTP/1.1 200 OK\r\n"
+                     b"Content-Type: application/x-ndjson\r\n"
+                     b"Connection: close\r\n\r\n")
+        async for event in app.query_events(message):
+            writer.write(dump_line(event))
+            await writer.drain()
+        return
+    terminal = None
+    async for event in app.query_events(message):
+        terminal = event  # non-streaming: only the terminal event is sent
+    status = 200
+    if terminal.get("type") == "error":
+        status = _ERROR_STATUS.get(terminal.get("code"), 500)
+    writer.write(_json_response(status, terminal))

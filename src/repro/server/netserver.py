@@ -1,0 +1,257 @@
+"""The network front end: TCP NDJSON listener, HTTP adapter, drain protocol.
+
+:class:`NetworkServer` owns the asyncio listeners and the connection
+lifecycle around one :class:`~repro.server.app.ServerApp`:
+
+* the **TCP transport** speaks newline-delimited JSON -- one request object
+  per line in (``op``: ``query`` | ``stats`` | ``health`` | ``ping``), one
+  or more response objects per request out, every response stamped with the
+  request's ``id`` so clients can correlate;
+* the **HTTP transport** (:mod:`repro.server.http`) shares the app and the
+  drain machinery;
+* the **drain protocol** implements graceful SIGTERM shutdown: stop
+  accepting connections, refuse new queries with the typed ``draining``
+  error, wait for every in-flight flight to deliver its terminal event and
+  every connection handler to flush it, then close sockets and exit 0.
+
+Connections are served concurrently; *within* one connection requests are
+processed in arrival order (a client that wants parallelism opens more
+connections, which is what the load generator and the acceptance tests do).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import sys
+from typing import Optional
+
+from repro.server.app import ServerApp
+from repro.server.http import handle_http_connection
+from repro.server.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    dump_line,
+    error_event,
+    load_line,
+)
+
+#: Default ports: TCP wire protocol and the HTTP adapter next to it.
+DEFAULT_PORT = 7464
+DEFAULT_HTTP_PORT = 7465
+
+
+class NetworkServer:
+    """TCP + HTTP listeners around one :class:`ServerApp`."""
+
+    def __init__(self, service, *, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+                 http_port: Optional[int] = DEFAULT_HTTP_PORT,
+                 max_pending: int = 64, workers: int = 4,
+                 drain_timeout: float = 30.0) -> None:
+        self.app = ServerApp(service, max_pending=max_pending, workers=workers)
+        self._host = host
+        self._port = port
+        self._http_port = http_port
+        self._drain_timeout = drain_timeout
+        self._tcp_server: Optional[asyncio.AbstractServer] = None
+        self._http_server: Optional[asyncio.AbstractServer] = None
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._connection_tasks: set[asyncio.Task] = set()
+        self._serving = 0
+        self._flushed = asyncio.Event()
+        self._flushed.set()
+
+    # -- addresses -----------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._host
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (resolves ``port=0`` to the ephemeral choice)."""
+        assert self._tcp_server is not None, "server not started"
+        return self._tcp_server.sockets[0].getsockname()[1]
+
+    @property
+    def http_port(self) -> Optional[int]:
+        if self._http_server is None:
+            return None
+        return self._http_server.sockets[0].getsockname()[1]
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        self._tcp_server = await asyncio.start_server(
+            self._handle_tcp, self._host, self._port, limit=MAX_LINE_BYTES)
+        if self._http_port is not None:
+            self._http_server = await asyncio.start_server(
+                self._handle_http, self._host, self._http_port,
+                limit=MAX_LINE_BYTES)
+
+    async def drain(self) -> bool:
+        """Graceful shutdown; returns whether everything finished in time.
+
+        Order matters: stop accepting first (no new connections), then
+        refuse new queries on existing connections, then wait for in-flight
+        computations *and* for their terminal events to be flushed to the
+        clients that asked, and only then tear the sockets down.  A drain
+        that blows ``drain_timeout`` gives up for real: connection handlers
+        still waiting on a wedged flight are cancelled, so the process can
+        exit instead of hanging on ``wait_closed``.
+        """
+        for server in (self._tcp_server, self._http_server):
+            if server is not None:
+                server.close()
+        self.app.begin_drain()
+        clean = await self.app.wait_idle(self._drain_timeout)
+        try:
+            await asyncio.wait_for(self._flushed.wait(), self._drain_timeout)
+        except asyncio.TimeoutError:
+            clean = False
+        if not clean:
+            for task in tuple(self._connection_tasks):
+                task.cancel()
+        for writer in tuple(self._connections):
+            writer.close()
+        for server in (self._tcp_server, self._http_server):
+            if server is not None:
+                try:
+                    await asyncio.wait_for(server.wait_closed(), 5.0)
+                except asyncio.TimeoutError:  # pragma: no cover - wedged
+                    clean = False
+        self.app.close()
+        return clean
+
+    def _enter_request(self) -> None:
+        self._serving += 1
+        self._flushed.clear()
+
+    def _exit_request(self) -> None:
+        self._serving -= 1
+        if self._serving == 0:
+            self._flushed.set()
+
+    # -- the TCP wire protocol -----------------------------------------------
+
+    async def _handle_tcp(self, reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connection_tasks.add(task)
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._send(writer, error_event(
+                        None, "bad_request",
+                        f"request line exceeds {MAX_LINE_BYTES} bytes"))
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                self._enter_request()
+                try:
+                    await self._dispatch(writer, line)
+                finally:
+                    self._exit_request()
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            if task is not None:
+                self._connection_tasks.discard(task)
+            self._connections.discard(writer)
+            writer.close()
+
+    async def _dispatch(self, writer: asyncio.StreamWriter, line: bytes) -> None:
+        try:
+            message = load_line(line)
+        except ProtocolError as error:
+            await self._send(writer, error.as_event())
+            return
+        request_id = message.get("id")
+        op = message.get("op", "query")
+        if op == "ping":
+            await self._send(writer, {"id": request_id, "type": "pong"})
+        elif op == "health":
+            await self._send(writer, {"id": request_id, "type": "health",
+                                      **self.app.health()})
+        elif op == "stats":
+            await self._send(writer, {"id": request_id, "type": "stats",
+                                      "stats": self.app.stats()})
+        elif op == "query":
+            async for event in self.app.query_events(message):
+                stamped = dict(event)
+                stamped["id"] = request_id
+                await self._send(writer, stamped)
+        else:
+            await self._send(writer, error_event(
+                request_id, "bad_request", f"unknown op {op!r}"))
+
+    async def _send(self, writer: asyncio.StreamWriter, message: dict) -> None:
+        writer.write(dump_line(message))
+        await writer.drain()
+
+    async def _handle_http(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connection_tasks.add(task)
+        self._connections.add(writer)
+        try:
+            await handle_http_connection(self, reader, writer)
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            if task is not None:
+                self._connection_tasks.discard(task)
+            self._connections.discard(writer)
+            writer.close()
+
+
+async def _run_until_signalled(server: NetworkServer,
+                               announce: bool = True) -> bool:
+    await server.start()
+    if announce:
+        http = server.http_port
+        suffix = f" http={server.host}:{http}" if http is not None else ""
+        print(f"listening tcp={server.host}:{server.port}{suffix}", flush=True)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    registered = []
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+            registered.append(signum)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # non-Unix platforms: Ctrl-C surfaces as KeyboardInterrupt
+    try:
+        await stop.wait()
+    finally:
+        for signum in registered:
+            loop.remove_signal_handler(signum)
+    clean = await server.drain()
+    if announce:
+        print("drained" if clean else "drain timed out", flush=True)
+    return clean
+
+
+def serve(service, *, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+          http_port: Optional[int] = DEFAULT_HTTP_PORT, max_pending: int = 64,
+          workers: int = 4, drain_timeout: float = 30.0,
+          announce: bool = True) -> int:
+    """Run the server until SIGTERM/SIGINT; returns a process exit code."""
+    server = NetworkServer(service, host=host, port=port, http_port=http_port,
+                           max_pending=max_pending, workers=workers,
+                           drain_timeout=drain_timeout)
+    try:
+        clean = asyncio.run(_run_until_signalled(server, announce=announce))
+    except KeyboardInterrupt:  # pragma: no cover - non-Unix fallback
+        return 0
+    if not clean:
+        print("warning: drain timed out with requests still in flight",
+              file=sys.stderr)
+    return 0

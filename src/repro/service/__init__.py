@@ -21,7 +21,7 @@ scratch, :class:`AnnotationService` amortises each stage:
 are thin wrappers over this package.
 """
 
-from repro.caching import CacheStats, LruCache
+from repro.caching import CacheStats, LruCache, SingleFlight, SingleFlightStats
 from repro.service.adaptive import (
     AdaptiveUpdate,
     adaptive_certainty,
@@ -69,6 +69,8 @@ __all__ = [
     "ServiceResponse",
     "ServiceStats",
     "ShardStats",
+    "SingleFlight",
+    "SingleFlightStats",
     "TaskGroup",
     "adaptive_certainty",
     "adaptive_schedule",

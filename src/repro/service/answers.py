@@ -10,6 +10,7 @@ old import path still works via the re-export in ``repro.engine.annotate``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.certainty.result import CertaintyResult
 from repro.relational.values import Value
@@ -23,6 +24,12 @@ class AnnotatedAnswer:
     columns: tuple[str, ...]
     certainty: CertaintyResult
     witnesses: int
+    #: SHA-256 digest of the canonical lineage this answer's certainty was
+    #: decided under (``None`` when the answer bypassed the scheduler).  The
+    #: network server ships it to clients, which lets a remote caller verify
+    #: that two answers shared one estimate -- and lets tests compare served
+    #: answers against a local run digest for digest.
+    lineage_digest: Optional[bytes] = None
 
     def as_dict(self) -> dict[str, Value]:
         return dict(zip(self.columns, self.values))

@@ -70,6 +70,11 @@ class CanonicalLineage:
         return (self.formula, self.variables)
 
     @property
+    def short(self) -> str:
+        """Eight-hex-character digest prefix for logs and wire payloads."""
+        return self.digest.hex()[:8]
+
+    @property
     def dimension(self) -> int:
         return len(self.variables)
 

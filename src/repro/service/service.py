@@ -28,13 +28,15 @@ alongside the service's own caches.
 
 from __future__ import annotations
 
+import re
+import threading
 import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.caching import CacheStats, LruCache
+from repro.caching import CacheStats, LruCache, SingleFlight, SingleFlightStats
 from repro.certainty.measure import certainty_from_translation
 from repro.certainty.result import CertaintyResult
 from repro.compile import compile_cache_stats
@@ -163,6 +165,9 @@ class ServiceStats:
     caches: tuple[CacheStats, ...] = field(default_factory=tuple)
     backends: tuple[BackendStats, ...] = field(default_factory=tuple)
     shards: tuple[ShardStats, ...] = field(default_factory=tuple)
+    #: Cross-request estimate coalescing (concurrent identical lineages
+    #: joining one computation); ``None`` on snapshots predating the server.
+    single_flight: Optional[SingleFlightStats] = None
 
     def report(self) -> str:
         """Human-readable multi-line report (the ``serve`` REPL's ``\\stats``)."""
@@ -172,8 +177,14 @@ class ServiceStats:
             f"estimates computed  {self.estimates_computed}",
             f"estimates reused    {self.estimates_reused}",
             f"tuples batched      {self.tuples_batched}",
-            "cache               cap    size   hits  misses  evict  hit-rate",
         ]
+        if self.single_flight is not None:
+            lines.append(
+                f"estimate flights    {self.single_flight.launches} launched, "
+                f"{self.single_flight.joins} joined, "
+                f"{self.single_flight.in_flight} in flight")
+        lines.append(
+            "cache               cap    size   hits  misses  evict  hit-rate")
         for cache in self.caches:
             lines.append(
                 f"{cache.name:<18} {cache.capacity:>5} {cache.size:>7} "
@@ -213,12 +224,40 @@ class ServiceStats:
                  "partition_hits": shard.partition_hits,
                  "partition_misses": shard.partition_misses}
                 for shard in self.shards],
+            "single_flight": (None if self.single_flight is None
+                              else self.single_flight.as_dict()),
         }
 
 
-def _normalise_sql(sql: str) -> str:
-    """Whitespace-insensitive cache key for SQL text."""
-    return " ".join(sql.split())
+#: A single-quoted SQL string literal (``''`` escapes a quote), matching
+#: the lexer's own token shape.
+_SQL_LITERAL = re.compile(r"'(?:[^']|'')*'")
+
+
+def normalise_sql(sql: str) -> str:
+    """Whitespace-insensitive cache/coalescing key for SQL text.
+
+    Whitespace is collapsed only *outside* single-quoted string literals:
+    ``WHERE seg = 'a  b'`` and ``WHERE seg = 'a b'`` are different queries
+    and must never share a parse-cache entry or a coalescing flight, while
+    the same query reformatted across lines must.  Chunks are rejoined
+    around the verbatim literals with a NUL separator so a key is
+    unambiguous; it is a key, not re-parseable SQL.
+    """
+    parts: list[str] = []
+    last = 0
+    for match in _SQL_LITERAL.finditer(sql):
+        parts.append(" ".join(sql[last:match.start()].split()))
+        parts.append(match.group(0))
+        last = match.end()
+    parts.append(" ".join(sql[last:].split()))
+    if len(parts) == 1:
+        return parts[0]
+    return "\x00".join(parts)
+
+
+#: Backwards-compatible private alias (pre-PR 5 internal name).
+_normalise_sql = normalise_sql
 
 
 def _seed_token(root: np.random.SeedSequence) -> tuple:
@@ -274,6 +313,10 @@ class AnnotationService:
         self._parse_cache = LruCache(options.parse_cache_size, name="parsed sql")
         self._plan_cache = LruCache(options.plan_cache_size, name="candidates")
         self._result_cache = LruCache(options.result_cache_size, name="certainty")
+        # Concurrent requests (the network server runs submits on worker
+        # threads) racing on a cold canonical lineage join one estimate
+        # instead of computing it twice: one computation, one cache fill.
+        self._estimate_flights = SingleFlight(name="estimate flights")
         self._requests = 0
         self._answers_served = 0
         self._estimates_computed = 0
@@ -281,6 +324,10 @@ class AnnotationService:
         self._tuples_batched = 0
         #: shard index -> [tasks, rows, witnesses, partition hits, misses].
         self._shard_counters: dict[int, list[int]] = {}
+        # The network server calls ``submit`` from worker threads; unlocked
+        # read-modify-write would drop increments and skew the very
+        # counters the coalescing audit relies on.
+        self._counters_lock = threading.Lock()
 
     # -- public API --------------------------------------------------------
 
@@ -353,16 +400,38 @@ class AnnotationService:
 
         def decide(group: TaskGroup) -> tuple[CertaintyResult, bool]:
             key = cache_key(group)
-            if reuse:
-                cached = self._result_cache.get(key)
-                if cached is not None:
-                    return cached, True
-            replica = () if reuse else (group.members[0],)
-            result = self._estimate(group, epsilon, delta, method, adaptive,
-                                    root, replica, on_update)
-            if reuse:
+            if not reuse:
+                result = self._estimate(group, epsilon, delta, method,
+                                        adaptive, root, (group.members[0],),
+                                        on_update)
+                return result, False
+            cached = self._result_cache.get(key)
+            if cached is not None:
+                return cached, True
+
+            def compute() -> tuple[CertaintyResult, bool]:
+                # Re-probe under flight leadership: a racing request may
+                # have filled the cache between our miss above and winning
+                # this flight (its fill happens before its flight is
+                # vacated, so missing both is impossible).  This makes
+                # "exactly one computation per lineage" an invariant, not
+                # a fast path.
+                landed = self._result_cache.peek(key)
+                if landed is not None:
+                    return landed, False
+                result = self._estimate(group, epsilon, delta, method,
+                                        adaptive, root, (), on_update)
                 self._result_cache.put(key, result)
-            return result, False
+                return result, True
+
+            # Single-flight on the canonical lineage digest: a concurrent
+            # request racing on the same cold lineage joins this estimate
+            # rather than recomputing it.  Joined results are accounted as
+            # reuse -- exactly one computation and one cache fill happen.
+            (result, computed), leader = self._estimate_flights.run(
+                (group.canonical.digest, epsilon, delta, method, adaptive,
+                 seed_token), compute)
+            return result, not (leader and computed)
 
         # Adaptive streaming callbacks need to run in this process, so the
         # process executor only takes over callback-free requests; results
@@ -377,26 +446,30 @@ class AnnotationService:
                 jobs=jobs)
 
         by_candidate: dict[int, CertaintyResult] = {}
+        digest_by_candidate: dict[int, bytes] = {}
         from_cache = 0
         for group, (result, cached) in zip(schedule, outcomes):
             if cached:
                 from_cache += 1
             for member in group.members:
                 by_candidate[member] = result
+                digest_by_candidate[member] = group.canonical.digest
 
         answers = tuple(
             AnnotatedAnswer(values=candidate.values, columns=candidate.columns,
                             certainty=by_candidate[index],
-                            witnesses=candidate.witnesses)
+                            witnesses=candidate.witnesses,
+                            lineage_digest=digest_by_candidate[index])
             for index, candidate in enumerate(candidates))
 
         computed = len(schedule) - from_cache
         batched = len(candidates) - len(schedule)
-        self._requests += 1
-        self._answers_served += len(answers)
-        self._estimates_computed += computed
-        self._estimates_reused += from_cache
-        self._tuples_batched += batched
+        with self._counters_lock:
+            self._requests += 1
+            self._answers_served += len(answers)
+            self._estimates_computed += computed
+            self._estimates_reused += from_cache
+            self._tuples_batched += batched
         stats = RequestStats(
             candidates=len(candidates),
             groups=len(schedule),
@@ -411,12 +484,20 @@ class AnnotationService:
     def stats(self) -> ServiceStats:
         """Lifetime counters plus snapshots of every cache layer."""
         plan_stats = self._plan_cache.stats()
+        with self._counters_lock:
+            requests = self._requests
+            answers_served = self._answers_served
+            estimates_computed = self._estimates_computed
+            estimates_reused = self._estimates_reused
+            tuples_batched = self._tuples_batched
+            shard_counters = {shard: list(counters) for shard, counters
+                              in self._shard_counters.items()}
         return ServiceStats(
-            requests=self._requests,
-            answers_served=self._answers_served,
-            estimates_computed=self._estimates_computed,
-            estimates_reused=self._estimates_reused,
-            tuples_batched=self._tuples_batched,
+            requests=requests,
+            answers_served=answers_served,
+            estimates_computed=estimates_computed,
+            estimates_reused=estimates_reused,
+            tuples_batched=tuples_batched,
             caches=(
                 self._parse_cache.stats(),
                 plan_stats,
@@ -429,14 +510,15 @@ class AnnotationService:
             # shape stays ready for a multi-backend future.
             backends=(BackendStats(
                 backend=getattr(self._database, "backend", "rows"),
-                requests=self._requests,
+                requests=requests,
                 plan_hits=plan_stats.hits,
                 plan_misses=plan_stats.misses),),
             shards=tuple(
                 ShardStats(shard=shard, tasks=counters[0], rows=counters[1],
                            witnesses=counters[2], partition_hits=counters[3],
                            partition_misses=counters[4])
-                for shard, counters in sorted(self._shard_counters.items())),
+                for shard, counters in sorted(shard_counters.items())),
+            single_flight=self._estimate_flights.stats(),
         )
 
     def invalidate(self) -> None:
@@ -484,14 +566,15 @@ class AnnotationService:
         # cache, else one miss (not the sink's per-table totals, which
         # would overcount by the table count on every shard row).
         fully_cached = sink.get("partition_misses", 0) == 0
-        for entry in sink.get("per_shard", ()):
-            counters = self._shard_counters.setdefault(
-                entry["shard"], [0, 0, 0, 0, 0])
-            counters[0] += entry["tasks"]
-            counters[1] += entry["rows"]
-            counters[2] += entry["witnesses"]
-            counters[3] += 1 if fully_cached else 0
-            counters[4] += 0 if fully_cached else 1
+        with self._counters_lock:
+            for entry in sink.get("per_shard", ()):
+                counters = self._shard_counters.setdefault(
+                    entry["shard"], [0, 0, 0, 0, 0])
+                counters[0] += entry["tasks"]
+                counters[1] += entry["rows"]
+                counters[2] += entry["witnesses"]
+                counters[3] += 1 if fully_cached else 0
+                counters[4] += 0 if fully_cached else 1
 
     def _decide_in_processes(self, schedule: Sequence[TaskGroup], cache_key,
                              reuse: bool, epsilon: float, delta: float,
@@ -505,6 +588,11 @@ class AnnotationService:
         pure data -- translation, parameters, the root seed's identity --
         and every worker re-derives its stream from the content digest, so
         the outcome per group equals the thread executor's bit for bit.
+
+        Unlike the thread path, this batch route does not join the
+        cross-request estimate flights: concurrent process-executor
+        requests may duplicate a group's work (never its answer).  The
+        network server therefore serves with the thread executor.
         """
         outcomes: list = [None] * len(schedule)
         payloads = []

@@ -133,6 +133,90 @@ class TestServe:
         assert exit_code == 0
         assert "confidence" not in capsys.readouterr().out
 
+    def test_eof_exits_zero_and_prints_the_stats_summary(self, data_dir,
+                                                         monkeypatch, capsys):
+        """Regression: a piped session ending without ``\\quit`` must still
+        exit 0 and report what it served."""
+        exit_code = self._serve(data_dir, monkeypatch,
+                                "SELECT M.seg FROM Market M LIMIT 2\n")
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "-- session stats --" in output
+        assert "estimates computed" in output
+        assert "requests            1" in output
+
+    def test_keyboard_interrupt_exits_zero_with_stats(self, data_dir,
+                                                      monkeypatch, capsys):
+        """Regression: Ctrl-C mid-request used to die with a traceback."""
+        class InterruptingStdin:
+            def __init__(self):
+                self.lines = iter(["SELECT M.seg FROM Market M LIMIT 2\n"])
+
+            def readline(self):
+                try:
+                    return next(self.lines)
+                except StopIteration:
+                    raise KeyboardInterrupt
+
+            def isatty(self):
+                return False
+
+        monkeypatch.setattr("sys.stdin", InterruptingStdin())
+        exit_code = main(["serve", "--data", str(data_dir), "--seed", "5",
+                          "--epsilon", "0.1"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "confidence" in output  # the first query was served
+        assert "-- session stats --" in output
+
+    def test_interrupt_inside_a_request_is_still_clean(self, data_dir,
+                                                       monkeypatch, capsys):
+        """Ctrl-C while the service is computing (not between lines)."""
+        from repro.service import AnnotationService
+
+        original = AnnotationService.submit
+
+        def interrupted_submit(self, *args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(AnnotationService, "submit", interrupted_submit)
+        monkeypatch.setattr("sys.stdin", io.StringIO(
+            "SELECT M.seg FROM Market M LIMIT 2\n"))
+        exit_code = main(["serve", "--data", str(data_dir), "--seed", "5"])
+        monkeypatch.setattr(AnnotationService, "submit", original)
+        assert exit_code == 0
+        assert "-- session stats --" in capsys.readouterr().out
+
+
+class TestNetworkVerbs:
+    """Argument handling of ``repro server`` / ``repro client``.
+
+    Full network round-trips (spawn, query, SIGTERM drain) live in
+    tests/test_server.py and benchmarks/server_smoke.py; these tests cover
+    the argparse/validation surface that never opens a socket.
+    """
+
+    def test_server_rejects_silly_max_pending(self, data_dir, capsys):
+        assert main(["server", "--data", str(data_dir),
+                     "--max-pending", "0"]) == 2
+        assert "max-pending" in capsys.readouterr().err
+
+    def test_server_rejects_silly_workers(self, data_dir, capsys):
+        assert main(["server", "--data", str(data_dir), "--workers", "0"]) == 2
+        assert "workers" in capsys.readouterr().err
+
+    def test_client_requires_a_query_or_probe(self):
+        with pytest.raises(SystemExit):
+            main(["client", "--port", "7464"])
+
+    def test_client_reports_connection_failure(self, capsys):
+        exit_code = main(["client", "--port", "1", "--sql",
+                          "SELECT * FROM Market"])
+        assert exit_code == 1
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert "Traceback" not in captured.err
+
 
 class TestBackendFlag:
     def test_backend_columnar_matches_rows_output(self, data_dir, capsys):

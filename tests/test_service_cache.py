@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import threading
+import time
+
 import pytest
 
-from repro.caching import LruCache
+from repro.caching import LruCache, SingleFlight
 from repro.compile import (
     DEFAULT_COMPILE_CACHE_SIZE,
     compile_cache_stats,
@@ -64,6 +67,108 @@ class TestLruCache:
             LruCache(0)
         with pytest.raises(ValueError):
             LruCache(4).resize(-1)
+
+    def test_peek_reads_without_counting(self):
+        cache = LruCache(4, name="peeked")
+        cache.put("k", "v")
+        before = cache.stats()
+        assert cache.peek("k") == "v"
+        assert cache.peek("missing") is None
+        assert cache.peek("missing", "fallback") == "fallback"
+        after = cache.stats()
+        assert (after.hits, after.misses) == (before.hits, before.misses)
+
+
+class TestSingleFlight:
+    def test_follower_joins_the_leaders_flight(self):
+        flights = SingleFlight(name="unit")
+        entered = threading.Event()
+        release = threading.Event()
+        outcomes = []
+
+        def leader_factory():
+            entered.set()
+            assert release.wait(30)
+            return "computed"
+
+        def lead():
+            outcomes.append(("leader", *flights.run("k", leader_factory)))
+
+        def follow():
+            outcomes.append(("follower",
+                             *flights.run("k", lambda: "recomputed!")))
+
+        leader = threading.Thread(target=lead)
+        leader.start()
+        assert entered.wait(30)
+        follower = threading.Thread(target=follow)
+        follower.start()
+        while flights.stats().joins == 0 and follower.is_alive():
+            if not leader.is_alive():  # pragma: no cover - failure path
+                break
+            time.sleep(0.001)
+        release.set()
+        leader.join(30)
+        follower.join(30)
+        assert ("leader", "computed", True) in outcomes
+        assert ("follower", "computed", False) in outcomes, \
+            "the follower must receive the leader's value, not recompute"
+        stats = flights.stats()
+        assert stats.launches == 1 and stats.joins == 1
+        assert stats.in_flight == 0
+
+    def test_sequential_runs_do_not_coalesce(self):
+        flights = SingleFlight()
+        first, first_leader = flights.run("k", lambda: 1)
+        second, second_leader = flights.run("k", lambda: 2)
+        assert (first, first_leader) == (1, True)
+        assert (second, second_leader) == (2, True), \
+            "a landed flight must not serve later arrivals"
+
+    def test_distinct_keys_run_independently(self):
+        flights = SingleFlight()
+        assert flights.run("a", lambda: "x") == ("x", True)
+        assert flights.run("b", lambda: "y") == ("y", True)
+        assert flights.stats().launches == 2
+
+    def test_leader_exception_propagates_to_followers(self):
+        flights = SingleFlight()
+        entered = threading.Event()
+        release = threading.Event()
+        errors = []
+
+        def exploding():
+            entered.set()
+            assert release.wait(30)
+            raise RuntimeError("flight failed")
+
+        def lead():
+            try:
+                flights.run("k", exploding)
+            except RuntimeError as error:
+                errors.append(("leader", str(error)))
+
+        def follow():
+            try:
+                flights.run("k", lambda: "never")
+            except RuntimeError as error:
+                errors.append(("follower", str(error)))
+
+        leader = threading.Thread(target=lead)
+        leader.start()
+        assert entered.wait(30)
+        follower = threading.Thread(target=follow)
+        follower.start()
+        while flights.stats().joins == 0 and follower.is_alive():
+            if not leader.is_alive():  # pragma: no cover - failure path
+                break
+            time.sleep(0.001)
+        release.set()
+        leader.join(30)
+        follower.join(30)
+        assert ("leader", "flight failed") in errors
+        assert ("follower", "flight failed") in errors
+        assert flights.stats().failures == 1
 
 
 @pytest.fixture
