@@ -1,0 +1,231 @@
+#!/usr/bin/env python
+"""Measure the planner's cost-model coefficients on this machine.
+
+The cost-based planner (:mod:`repro.service.planner`) ships conservative
+built-in coefficients; this script replaces them with *measured* values --
+per-row enumeration costs of both engines, the fixed columnar and
+per-shard overheads, the fixed cost of one compiled-kernel launch, the
+marginal per-sample and per-fused-group costs, and the dispatch overheads
+of the two executors -- and writes them to ``benchmarks/calibration.json``,
+where :meth:`CostModel.load` finds them (or any path named by
+``$REPRO_CALIBRATION``).
+
+Every key written matches a ``DEFAULT_COEFFICIENTS`` key by name, so a
+partial or interrupted calibration still merges cleanly over the
+defaults.  Measured values are floored at a tiny positive epsilon: a
+coefficient of zero would make the planner blind to that cost.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/calibrate.py              # full run
+    PYTHONPATH=src python benchmarks/calibrate.py --quick      # coarse run
+    PYTHONPATH=src python benchmarks/calibrate.py --output /tmp/cal.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.constraints.atoms import Comparison, Constraint
+from repro.constraints.formula import And, Atom
+from repro.constraints.polynomials import Polynomial
+from repro.constraints.translate import TranslationResult
+from repro.datagen.generic import ColumnSpec, TableSpec, generate_database
+from repro.engine.candidates import enumerate_candidates
+from repro.engine.sql.parser import parse_sql
+from repro.geometry.montecarlo import hoeffding_sample_size
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.values import NumNull
+from repro.service import canonicalise, process_map, run_tasks
+from repro.service.fused import FusedTask, decide_fused_batch
+from repro.service.planner import DEFAULT_COEFFICIENTS
+from repro.service.rng import root_sequence
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent / "calibration.json"
+
+#: Coefficients are floored here: zero would blind the planner to a cost.
+FLOOR = 1e-9
+
+#: The union-bound failure budget every measurement samples at.
+DELTA = 0.05
+
+
+def _best_of(callable_, repeats: int) -> float:
+    """Minimum wall-clock of ``repeats`` runs after one warm-up."""
+    callable_()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _identity(payload):
+    """Module-level no-op for the process-pool dispatch measurement."""
+    return payload
+
+
+def _enumeration_database(rows: int):
+    schema = DatabaseSchema.of(RelationSchema.of("T0", key="base", x0="num"))
+    specs = {"T0": TableSpec(rows=rows, columns={
+        "key": ColumnSpec(choices=("a", "b", "c", "d")),
+        "x0": ColumnSpec(uniform=(-1.0, 1.0), null_rate=0.05),
+    })}
+    return generate_database(schema, specs, rng=17)
+
+
+def _scaled_translation(index: int) -> TranslationResult:
+    """A dim-1 linear lineage with its own constant (its own skeleton)."""
+    name = f"z_cal{index}"
+    poly = (Polynomial.variable(name) * (1.0 + index * 0.001)
+            - Polynomial.constant(1.0))
+    return TranslationResult(
+        formula=Atom(Constraint(poly, Comparison.LE)),
+        all_variables=(name,),
+        relevant_variables=(name,),
+        null_by_variable={name: NumNull(f"cal{index}")},
+    )
+
+
+def _chain_translation(dimension: int) -> TranslationResult:
+    names = tuple(f"z_chain{i}" for i in range(dimension))
+    atoms = tuple(
+        Atom(Constraint(
+            Polynomial.variable(names[i]) - Polynomial.variable(names[i + 1]),
+            Comparison.LT))
+        for i in range(dimension - 1))
+    return TranslationResult(
+        formula=And(atoms),
+        all_variables=names,
+        relevant_variables=names,
+        null_by_variable={name: NumNull(name.removeprefix("z_"))
+                          for name in names},
+    )
+
+
+def _task(translation: TranslationResult, index: int) -> FusedTask:
+    digest = canonicalise(translation.formula,
+                          tuple(translation.relevant_variables)).digest
+    return FusedTask(translation=translation, digest=digest,
+                     replica=(index,))
+
+
+def _decide(tasks, epsilon: float) -> None:
+    decide_fused_batch(tasks, epsilon=epsilon, delta=DELTA, adaptive=False,
+                       root=root_sequence(0), coarse=0.5, factor=2.0)
+
+
+def calibrate(quick: bool) -> dict[str, float]:
+    repeats = 2 if quick else 4
+    measured: dict[str, float] = {}
+
+    # -- enumeration: per-row costs and fixed overheads ---------------------
+    small_rows = 5_000 if quick else 20_000
+    big_rows = 20_000 if quick else 120_000
+    select = parse_sql("SELECT A.key FROM T0 A WHERE A.x0 <= 0.5")
+    small = _enumeration_database(small_rows)
+    big = _enumeration_database(big_rows)
+
+    rows_seconds = _best_of(
+        lambda: enumerate_candidates(select, big), repeats)
+    measured["rows_row_cost"] = max(rows_seconds / big_rows, FLOOR)
+
+    small_columnar = small.with_backend("columnar")
+    big_columnar = big.with_backend("columnar")
+    small_seconds = _best_of(
+        lambda: enumerate_candidates(select, small_columnar), repeats)
+    big_seconds = _best_of(
+        lambda: enumerate_candidates(select, big_columnar), repeats)
+    per_row = max((big_seconds - small_seconds) / (big_rows - small_rows),
+                  FLOOR)
+    measured["columnar_row_cost"] = per_row
+    measured["columnar_overhead"] = max(
+        small_seconds - per_row * small_rows, FLOOR)
+
+    shards = 4
+    sharded_seconds = _best_of(
+        lambda: enumerate_candidates(select, big_columnar, shards=shards),
+        repeats)
+    measured["shard_overhead"] = max(
+        (sharded_seconds - measured["columnar_overhead"]
+         - per_row * big_rows) / shards,
+        FLOOR)
+
+    # -- estimation: sampling, launch, and fused marginal costs -------------
+    # A deep estimate makes the launch cost negligible against sampling.
+    chain = [_task(_chain_translation(8), 0)]
+    deep_epsilon = 0.05 if quick else 0.02
+    deep_samples = hoeffding_sample_size(deep_epsilon, DELTA)
+    deep_seconds = _best_of(lambda: _decide(chain, deep_epsilon), repeats)
+    sample_coeff = max(deep_seconds / (deep_samples * 8), FLOOR)
+    measured["sample_coeff"] = sample_coeff
+
+    # Many shallow estimates make the launch cost dominate: one launch per
+    # group, a handful of samples each.
+    group_count = 128 if quick else 256
+    shallow_epsilon = 0.3
+    shallow_samples = hoeffding_sample_size(shallow_epsilon, DELTA)
+    groups = [_task(_scaled_translation(index), index)
+              for index in range(group_count)]
+    solo_seconds = _best_of(
+        lambda: [_decide([task], shallow_epsilon) for task in groups],
+        repeats)
+    kernel_launch = max(
+        solo_seconds / group_count - shallow_samples * sample_coeff, FLOOR)
+    measured["kernel_launch"] = kernel_launch
+
+    # The fused pass pays one launch for the whole batch plus a marginal
+    # per-group cost (stream draws, block stacking).
+    fused_seconds = _best_of(lambda: _decide(groups, shallow_epsilon),
+                             repeats)
+    measured["fused_group_coeff"] = max(
+        (fused_seconds - kernel_launch
+         - group_count * shallow_samples * sample_coeff) / group_count,
+        FLOOR)
+
+    # -- executor dispatch overheads ---------------------------------------
+    thread_tasks = [lambda: None] * 2_000
+    thread_seconds = _best_of(lambda: run_tasks(thread_tasks, jobs=2),
+                              repeats)
+    measured["thread_task"] = max(thread_seconds / len(thread_tasks), FLOOR)
+
+    payloads = list(range(32 if quick else 64))
+    process_seconds = _best_of(
+        lambda: process_map(_identity, payloads, jobs=2, chunksize=1),
+        repeats)
+    measured["process_task"] = max(process_seconds / len(payloads), FLOOR)
+
+    return measured
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workloads, fewer repeats")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help=f"where to write the JSON (default: "
+                             f"{DEFAULT_OUTPUT})")
+    args = parser.parse_args()
+
+    measured = calibrate(args.quick)
+    missing = set(DEFAULT_COEFFICIENTS) - set(measured)
+    if missing:
+        raise SystemExit(f"BUG: calibration left coefficients unmeasured: "
+                         f"{sorted(missing)}")
+    print(f"{'coefficient':<20} {'default':>12} {'measured':>12}")
+    for key in DEFAULT_COEFFICIENTS:
+        ratio = measured[key] / DEFAULT_COEFFICIENTS[key]
+        print(f"{key:<20} {DEFAULT_COEFFICIENTS[key]:>12.3e} "
+              f"{measured[key]:>12.3e}   ({ratio:>6.2f}x default)")
+    args.output.write_text(json.dumps(measured, indent=2, sort_keys=True)
+                           + "\n")
+    print(f"\ncalibration written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,10 +7,14 @@ Measures wall-clock time of the AFPRAS (Theorem 8.1) and the CQ(+,<) FPRAS
 query served cold versus warm), the PR 3 storage scenario (candidate
 enumeration with lineage over a DataFiller-scale two-table equi-join,
 10^5 rows per table, row engine versus columnar), the PR 4 sharded
-scenario, and the PR 5 serving scenario: the seeded loadgen workload
+scenario, the PR 5 serving scenario (the seeded loadgen workload
 through the network server at N concurrent connections versus the serial
-one-connection baseline (p50/p99 latency, QPS).  Results go to a JSON
-baseline so future PRs have a perf trajectory to beat.
+one-connection baseline, p50/p99 latency, QPS), and the PR 6 fusion
+scenario: a many-lineage annotation request decided through per-group
+kernel launches versus one block-diagonal fused pass per Monte-Carlo
+round, plus the cost-based planner against the best manual
+configuration.  Results go to a JSON baseline so future PRs have a perf
+trajectory to beat.
 
 Usage::
 
@@ -51,11 +55,12 @@ from repro.datagen.generic import ColumnSpec, TableSpec, generate_database
 from repro.engine.candidates import enumerate_candidates
 from repro.engine.sql.parser import parse_sql
 from repro.geometry.montecarlo import hoeffding_sample_size
+from repro.relational.database import Database
 from repro.relational.schema import DatabaseSchema, RelationSchema
 from repro.relational.values import NumNull
 from repro.service import AnnotationService
 
-DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_PR5.json"
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_PR6.json"
 
 #: The headline configuration of the acceptance criterion: the largest
 #: dimension of bench_afpras_scaling.py at eps = 0.02.
@@ -466,6 +471,129 @@ def bench_server(quick: bool) -> dict:
     return {"scheme": "server", "configs": [row]}
 
 
+#: The PR 6 fusion headline: one skeleton group per row (every tuple owns a
+#: private null scaled by its own concrete factor, so the batch scheduler
+#: cannot merge them), per-group kernel launches vs fused block-diagonal
+#: passes, down the adaptive epsilon ladder at the service's default
+#: epsilon.  The ladder is fusion's home turf *by design*: its coarse rungs
+#: draw a handful of samples per group, so per-group execution pays one
+#: kernel launch per group per rung while the fused path pays one per rung.
+FUSION_HEADLINE = {"groups": 400, "epsilon": 0.05, "adaptive": True,
+                   "seed": 0, "fusion": 64}
+
+
+def _fusion_workload(groups: int):
+    """A catalog whose every row produces its own lineage skeleton group."""
+    schema = DatabaseSchema.of(
+        RelationSchema.of("Catalog", id="base", price="num", factor="num"))
+    database = Database(schema)
+    for index in range(groups):
+        # Distinct concrete factors make the canonical lineages distinct:
+        # price_i * factor_i <= 8 never shares a skeleton across rows.
+        database.add("Catalog", (f"c{index}", NumNull(f"price{index}"),
+                                 0.5 + index * 0.01))
+    select = parse_sql("SELECT C.id FROM Catalog C "
+                       "WHERE C.price * C.factor <= 8")
+    candidates = enumerate_candidates(select, database)
+    return database, select, candidates
+
+
+def bench_fusion(quick: bool) -> dict:
+    """Fused vs per-group Monte-Carlo execution on a many-lineage request.
+
+    The headline runs the adaptive epsilon ladder (fused per rung); a
+    secondary unenforced row records the single-pass estimate at the same
+    epsilon, where per-group sampling -- which fusion deliberately keeps
+    bit-identical and therefore cannot amortise -- bounds the win lower.
+    Candidates are pre-enumerated and passed into ``submit`` so both sides
+    time exactly the Monte-Carlo phase the fusion targets; every timed run
+    uses a fresh service (the result cache would otherwise serve repeat
+    runs).  The same workload also gates the cost-based planner: ``auto``
+    must land within 10% of the best manually-picked configuration.
+    """
+    config = dict(FUSION_HEADLINE, headline=True)
+    if quick:
+        config["groups"] = 120
+    # More repeats than the other scenarios: the planner-vs-best-manual
+    # gate compares runs tens of milliseconds long, where dispatch noise
+    # is a visible fraction of the measurement.
+    repeats = 3 if quick else 5
+    database, select, candidates = _fusion_workload(config["groups"])
+
+    def timed(**kwargs):
+        def once():
+            service = AnnotationService(database, epsilon=config["epsilon"],
+                                        seed=config["seed"])
+            return service.submit(select, candidates=candidates,
+                                  method="afpras",
+                                  adaptive=config["adaptive"], **kwargs)
+        return _best_of(once, repeats)
+
+    solo_seconds, solo_response = timed()
+    fused_seconds, fused_response = timed(fusion=config["fusion"])
+    if [a.certainty for a in solo_response.answers] != \
+            [a.certainty for a in fused_response.answers]:
+        raise SystemExit("BUG: fused answers diverged from per-group answers")
+
+    manual_matrix = {"per-group": {}, "fused-8": {"fusion": 8},
+                     f"fused-{config['fusion']}": {"fusion": config["fusion"]}}
+    manual_seconds = {name: timed(**kwargs)[0]
+                      for name, kwargs in manual_matrix.items()}
+    best_manual = min(manual_seconds, key=manual_seconds.get)
+    auto_seconds, auto_response = timed(planner="auto")
+    if [a.certainty for a in solo_response.answers] != \
+            [a.certainty for a in auto_response.answers]:
+        raise SystemExit("BUG: planner auto changed the answers")
+
+    row = {
+        **config,
+        "solo_seconds": solo_seconds,
+        "fused_seconds": fused_seconds,
+        "speedup": solo_seconds / max(fused_seconds, 1e-12),
+        "fused_kernels": fused_response.stats.kernels_launched,
+        "tuples_fused": fused_response.stats.tuples_fused,
+        "manual_seconds": manual_seconds,
+        "best_manual": best_manual,
+        "best_manual_seconds": manual_seconds[best_manual],
+        "auto_seconds": auto_seconds,
+        "auto_ratio": auto_seconds / max(manual_seconds[best_manual], 1e-12),
+        "auto_plan": auto_response.stats.planned,
+    }
+    print(f"fusion G={config['groups']:>4d} eps={config['epsilon']} "
+          f"adaptive  per-group {solo_seconds*1e3:8.2f} ms   "
+          f"fused {fused_seconds*1e3:8.2f} ms   "
+          f"speedup {row['speedup']:6.2f}x   "
+          f"({row['fused_kernels']} fused launches)   "
+          f"auto {auto_seconds*1e3:8.2f} ms "
+          f"({row['auto_ratio']:.2f}x best manual {best_manual})")
+
+    # The single-pass estimate at the same epsilon, for the record: the
+    # per-group sample draws dominate here, so the fused win is smaller
+    # and this row never gates.
+    def single_pass(**kwargs):
+        def once():
+            service = AnnotationService(database, epsilon=config["epsilon"],
+                                        seed=config["seed"])
+            return service.submit(select, candidates=candidates,
+                                  method="afpras", **kwargs)
+        return _best_of(once, repeats)
+
+    flat_solo, _ = single_pass()
+    flat_fused, _ = single_pass(fusion=config["fusion"])
+    flat_row = {
+        "groups": config["groups"], "epsilon": config["epsilon"],
+        "adaptive": False, "seed": config["seed"],
+        "fusion": config["fusion"], "enforced": False,
+        "solo_seconds": flat_solo, "fused_seconds": flat_fused,
+        "speedup": flat_solo / max(flat_fused, 1e-12),
+    }
+    print(f"fusion G={config['groups']:>4d} eps={config['epsilon']} "
+          f"one-pass  per-group {flat_solo*1e3:8.2f} ms   "
+          f"fused {flat_fused*1e3:8.2f} ms   "
+          f"speedup {flat_row['speedup']:6.2f}x   (unenforced)")
+    return {"scheme": "fusion", "configs": [row, flat_row]}
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
@@ -477,7 +605,8 @@ def main() -> int:
 
     schemes = [bench_afpras(args.quick), bench_fpras(args.quick),
                bench_service(args.quick), bench_join(args.quick),
-               bench_sharded(args.quick), bench_server(args.quick)]
+               bench_sharded(args.quick), bench_server(args.quick),
+               bench_fusion(args.quick)]
     headline = next(row for row in schemes[0]["configs"] if row.get("headline"))
     service_headline = next(row for row in schemes[2]["configs"]
                             if row.get("headline"))
@@ -486,6 +615,8 @@ def main() -> int:
     sharded_headline = next(row for row in schemes[4]["configs"]
                             if row.get("headline"))
     server_headline = next(row for row in schemes[5]["configs"]
+                           if row.get("headline"))
+    fusion_headline = next(row for row in schemes[6]["configs"]
                            if row.get("headline"))
     baseline = {
         "benchmark": "columnar vs row join engine, annotation service "
@@ -544,6 +675,19 @@ def main() -> int:
             "coalesced": server_headline["coalesced"],
             "protocol_errors": server_headline["protocol_errors"],
         },
+        "fusion_headline": {
+            "config": {key: fusion_headline[key]
+                       for key in ("groups", "epsilon", "adaptive", "seed",
+                                   "fusion")},
+            "solo_seconds": fusion_headline["solo_seconds"],
+            "fused_seconds": fusion_headline["fused_seconds"],
+            "speedup": fusion_headline["speedup"],
+            "fused_kernels": fusion_headline["fused_kernels"],
+            "auto_seconds": fusion_headline["auto_seconds"],
+            "best_manual": fusion_headline["best_manual"],
+            "best_manual_seconds": fusion_headline["best_manual_seconds"],
+            "auto_ratio": fusion_headline["auto_ratio"],
+        },
         "schemes": schemes,
     }
     args.output.write_text(json.dumps(baseline, indent=2) + "\n")
@@ -559,9 +703,21 @@ def main() -> int:
           f"{server_headline['speedup']:.2f}x concurrent-vs-serial "
           f"({SERVER_HEADLINE['connections']} connections, "
           f"p99 {server_headline['p99_ms']:.1f} ms, "
-          f"{server_headline['qps']:.1f} qps); "
+          f"{server_headline['qps']:.1f} qps); fusion headline: "
+          f"{fusion_headline['speedup']:.2f}x fused-vs-per-group "
+          f"(G={fusion_headline['groups']}, adaptive ladder, planner auto at "
+          f"{fusion_headline['auto_ratio']:.2f}x best manual); "
           f"baseline written to {args.output}")
     failed = False
+    if fusion_headline["speedup"] <= 1.0:
+        print("FAIL: fused kernel execution is not faster than per-group "
+              "launches on the many-lineage workload")
+        failed = True
+    if fusion_headline["auto_ratio"] > 1.10:
+        print("FAIL: planner auto loses more than 10% to the best manual "
+              f"configuration ({fusion_headline['auto_ratio']:.2f}x vs "
+              f"{fusion_headline['best_manual']})")
+        failed = True
     if service_headline["speedup"] <= 1.0:
         print("FAIL: cached (warm) service path is not faster than cold")
         failed = True
@@ -582,6 +738,10 @@ def main() -> int:
               f"{server_headline['cpu_count']}-core host (needs >= 2); "
               "measured for the record only")
     if not args.quick:
+        if fusion_headline["speedup"] < 2.0:
+            print("FAIL: fused execution below the 2x acceptance threshold "
+                  "on the many-lineage headline")
+            failed = True
         if headline["speedup"] < 5.0:
             print("WARNING: kernel headline speedup below the 5x acceptance threshold")
             failed = True

@@ -61,6 +61,7 @@ from repro.relational.csv_io import load_database, save_database
 from repro.relational.schema import SchemaError
 from repro.service import (
     EXECUTORS,
+    PLANNER_MODES,
     SERVICE_METHODS,
     AnnotationService,
     ServiceOptions,
@@ -139,6 +140,19 @@ def _build_parser() -> argparse.ArgumentParser:
                                     "tables), 'rows' is the row-at-a-time "
                                     "reference engine (default); answers are "
                                     "identical either way")
+        subparser.add_argument("--planner", default="manual",
+                               choices=PLANNER_MODES,
+                               help="'auto' lets the calibrated cost model "
+                                    "pick backend, shards, jobs, executor "
+                                    "and fusion batch per query (explicit "
+                                    "flags still win); 'manual' (default) "
+                                    "runs exactly the flags given; answers "
+                                    "are identical either way")
+        subparser.add_argument("--fusion", type=int, default=0,
+                               help="decide group estimates this many "
+                                    "lineages at a time through one fused "
+                                    "kernel (0 = per-group kernels; answers "
+                                    "are bit-identical at any batch size)")
 
     annotate_parser = subparsers.add_parser(
         "annotate", help="run a SQL query over a CSV database and print confidences")
@@ -199,6 +213,11 @@ def _build_parser() -> argparse.ArgumentParser:
     client_parser.add_argument("--adaptive", action="store_true",
                                help="stream refinement stages (on stderr) "
                                     "while the final table builds")
+    client_parser.add_argument("--planner", default=None,
+                               choices=PLANNER_MODES,
+                               help="override the server's planner mode for "
+                                    "this query ('auto' = cost-based "
+                                    "execution planning)")
 
     return parser
 
@@ -220,11 +239,14 @@ def _load_service(args: argparse.Namespace) -> AnnotationService:
         raise _EmptyDataError(f"no data found in {args.data}")
     if args.shards < 1:
         raise ValueError(f"--shards must be at least 1, got {args.shards}")
+    if args.fusion < 0:
+        raise ValueError(f"--fusion must be non-negative, got {args.fusion}")
     options = ServiceOptions(epsilon=args.epsilon, method=args.method,
                              jobs=args.jobs, executor=args.executor,
                              adaptive=args.adaptive,
                              seed=args.seed, backend=args.backend,
-                             shards=args.shards)
+                             shards=args.shards,
+                             planner=args.planner, fusion=args.fusion)
     return AnnotationService(database, options)
 
 
@@ -374,7 +396,8 @@ def _run_client(args: argparse.Namespace) -> int:
             result = client.query(
                 sql, epsilon=args.epsilon, delta=args.delta,
                 method=args.method, limit=args.limit, seed=args.seed,
-                adaptive=args.adaptive or None, on_update=on_update)
+                adaptive=args.adaptive or None, planner=args.planner,
+                on_update=on_update)
     except ServerError as error:
         print(f"error: {error}", file=sys.stderr)
         return EXIT_USAGE if error.code in ("bad_request", "invalid_query") else 1

@@ -183,7 +183,8 @@ class ReproClient:
     def stream(self, sql: str, *, epsilon: Optional[float] = None,
                delta: Optional[float] = None, method: Optional[str] = None,
                limit: Optional[int] = None, seed: Optional[int] = None,
-               adaptive: Optional[bool] = None) -> Iterator[StreamEvent]:
+               adaptive: Optional[bool] = None,
+               planner: Optional[str] = None) -> Iterator[StreamEvent]:
         """Yield adaptive updates as they land, then the final result.
 
         Abandoning the iterator early (``break``) drains the request's
@@ -194,7 +195,7 @@ class ReproClient:
         try:
             self._send(_query_message(request_id, sql, dict(
                 epsilon=epsilon, delta=delta, method=method, limit=limit,
-                seed=seed, adaptive=adaptive)))
+                seed=seed, adaptive=adaptive, planner=planner)))
             while True:
                 event = self._recv(request_id)
                 kind = event.get("type")
@@ -312,7 +313,8 @@ class AsyncReproClient:
                      delta: Optional[float] = None,
                      method: Optional[str] = None,
                      limit: Optional[int] = None, seed: Optional[int] = None,
-                     adaptive: Optional[bool] = None
+                     adaptive: Optional[bool] = None,
+                     planner: Optional[str] = None
                      ) -> AsyncIterator[StreamEvent]:
         """Async iterator of adaptive updates, then the final result.
 
@@ -326,7 +328,7 @@ class AsyncReproClient:
         try:
             await self._send(_query_message(request_id, sql, dict(
                 epsilon=epsilon, delta=delta, method=method, limit=limit,
-                seed=seed, adaptive=adaptive)))
+                seed=seed, adaptive=adaptive, planner=planner)))
             while True:
                 event = await self._recv(request_id)
                 kind = event.get("type")

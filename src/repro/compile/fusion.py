@@ -1,0 +1,338 @@
+"""Block-diagonal fusion of many compiled lineage kernels into one artefact.
+
+The batch scheduler of :mod:`repro.service.scheduler` collapses candidate
+tuples sharing a formula skeleton into one group, but a request over a table
+whose rows carry *distinct* constants (every generated tuple owns private
+nulls multiplied by its own concrete values) still produces one skeleton
+group per row -- and the per-group scheduler then launches one kernel
+estimate per group.  At realistic epsilons an estimate is a few hundred
+directions, so each launch is dominated by fixed costs: generator spawning,
+tiny-matrix BLAS calls, Python dispatch.
+
+:func:`fuse_formulas` stacks many groups' lowering artefacts block-diagonally
+so a *single* kernel pass decides one Monte-Carlo round for every group at
+once:
+
+* exponent/coefficient tables are block-stacked -- the fused monomial matrix
+  has ``sum(M_g)`` rows over ``sum(n_g)`` variable columns, declaring one
+  ``(m, sum M) @ (sum M, sum A * width)`` profile operator;
+* linear fast-path groups fuse their dense ``(n_g, A_g)`` matrices into one
+  block-diagonal ``(sum n, sum A)`` matrix, keeping the one-matmul,
+  two-way-select decision of the unfused kernel.  Both operators are
+  *evaluated* block-wise (one small GEMM per group, scattered into the fused
+  atom axis): off-diagonal entries are structural zeros, so the dense product
+  would spend ``G``x the arithmetic computing exact no-ops -- everything
+  after the GEMMs (thresholding, sign decisions, the program sweep) runs
+  fused over the concatenated atom axis;
+* boolean programs are concatenated with their atom columns shifted by the
+  group's atom offset; the dominant flat shapes (one connective over plain
+  atoms) collapse into a single counts matmul over all groups -- the "one
+  program sweep" -- with the general stack machine as a per-group fallback.
+
+**Bit-identity contract.**  Fused results must be bit-identical to the
+per-group path, because the service's result cache and differential oracles
+compare floats exactly.  Three properties deliver that:
+
+1. groups are only fused with groups taking the *same* kernel branch
+   (:func:`fusion_mode`), so every value is produced by the same arithmetic
+   expression as the unfused kernel;
+2. each group keeps its own direction block (drawn from its own
+   digest-spawned stream -- sampling is never fused, only deciding), and the
+   block-wise evaluation feeds it to *the same GEMM call* the unfused kernel
+   makes -- the profile values are bit-identical by construction, and every
+   step after them (thresholds, sign decisions, the 0/1 counts sweep, whose
+   small-integer sums are exact in float64 under any association) is
+   elementwise per atom or per group;
+3. degree padding in the fused profile tensor adds all-zero columns, which
+   can never become the leading significant degree.
+
+The property-based differential suite asserts the contract end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.compile.kernels import CompiledFormula
+from repro.constraints.asymptotic import RELATIVE_ZERO_EPS
+
+#: The two kernel branches of ``asymptotic_truth_batch``; fusing across
+#: branches would mix arithmetic expressions and break bit-identity.
+FUSION_MODES = ("linear", "general")
+
+
+class FusionError(ValueError):
+    """Raised when a set of compiled formulas cannot be fused together."""
+
+
+def fusion_mode(compiled: CompiledFormula) -> str:
+    """Which fused batch a compiled formula may join.
+
+    Mirrors the branch predicate of
+    :meth:`CompiledFormula.asymptotic_truth_batch` exactly: the linear fast
+    path handles linear tables of width 2 (degrees 0 and 1); everything else
+    -- higher degrees, constant-only atoms, atom-free constants -- runs the
+    general profile sweep.
+    """
+    table = compiled.table
+    if table.num_atoms and table.is_linear and table.max_degree + 1 == 2:
+        return "linear"
+    return "general"
+
+
+@dataclass(frozen=True)
+class FusedFormula:
+    """Many compiled formulas stacked into one block-diagonal kernel.
+
+    ``asymptotic_truth_batch`` takes one direction block *per group* (each
+    drawn from that group's own stream) and returns an ``(m, G)`` decision
+    matrix whose column ``g`` is bit-identical to
+    ``compiled[g].asymptotic_truth_batch(blocks[g])``.
+    """
+
+    compiled: tuple[CompiledFormula, ...]
+    mode: str
+    #: Per-group ambient dimensions (``dimensions[g] == blocks[g].shape[1]``).
+    dimensions: tuple[int, ...]
+    #: Prefix offsets into the fused variable axis, length ``G + 1``.
+    variable_offsets: np.ndarray
+    #: Prefix offsets into the fused atom axis, length ``G + 1``.
+    atom_offsets: np.ndarray
+    #: Fused per-atom decision codes / zero-profile truths, ``(sum A,)``.
+    sign_codes: np.ndarray
+    zero_truth: np.ndarray
+    #: Linear mode: block-diagonal ``(sum n, sum A)`` matrix and ``(sum A,)``
+    #: constants; ``None`` in general mode.
+    linear_matrix: Optional[np.ndarray]
+    linear_constant: Optional[np.ndarray]
+    #: General mode: fused profile width (``max_g (D_g + 1)``), prefix
+    #: offsets into the fused monomial axis, and the block-stacked
+    #: ``(sum M, sum A * width)`` profile selector; ``None``/empty otherwise.
+    width: int
+    monomial_offsets: np.ndarray
+    profile_selector: Optional[np.ndarray]
+    #: The fused program sweep: ``sweep_selector`` is ``(sum A, K)`` with a
+    #: unit entry per (atom, sweep column), ``sweep_required[k]`` is the
+    #: true-atom count group ``sweep_groups[k]`` needs (its arity for "and",
+    #: 1 for "or"/"atom").  Groups not expressible as one connective over
+    #: plain atoms fall back to their own stack machine.
+    sweep_selector: Optional[np.ndarray]
+    sweep_required: Optional[np.ndarray]
+    sweep_groups: tuple[int, ...]
+    fallback_groups: tuple[int, ...]
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.compiled)
+
+    @property
+    def num_atoms(self) -> int:
+        return int(self.atom_offsets[-1])
+
+    @property
+    def num_monomials(self) -> int:
+        return int(self.monomial_offsets[-1])
+
+    def asymptotic_truth_batch(self, blocks: Sequence[np.ndarray]) -> np.ndarray:
+        """Decide one Monte-Carlo round for every fused group at once.
+
+        ``blocks[g]`` is the ``(m, n_g)`` direction block of group ``g``
+        (all groups share the round's ``m``); the result is ``(m, G)``.
+        """
+        blocks = self._check_blocks(blocks)
+        count = blocks[0].shape[0] if blocks else 0
+        truths = self._atom_truths(blocks, count)
+        return self._run_programs(truths, count)
+
+    # -- internals ---------------------------------------------------------
+
+    def _check_blocks(self, blocks: Sequence[np.ndarray]) -> list[np.ndarray]:
+        if len(blocks) != self.num_groups:
+            raise FusionError(
+                f"expected {self.num_groups} direction blocks, got {len(blocks)}")
+        checked = []
+        count = None
+        for index, block in enumerate(blocks):
+            block = np.asarray(block, dtype=float)
+            if block.ndim != 2 or block.shape[1] != self.dimensions[index]:
+                raise FusionError(
+                    f"block {index} must have shape (m, {self.dimensions[index]}), "
+                    f"got {block.shape}")
+            if count is None:
+                count = block.shape[0]
+            elif block.shape[0] != count:
+                raise FusionError(
+                    f"block {index} has {block.shape[0]} rows, expected {count}")
+            checked.append(block)
+        return checked
+
+    def _atom_truths(self, blocks: list[np.ndarray], count: int) -> np.ndarray:
+        num_atoms = self.num_atoms
+        if num_atoms == 0:
+            return np.zeros((count, 0), dtype=bool)
+        if self.mode == "linear":
+            # The block-diagonal product is evaluated block-wise: group g's
+            # columns only read group g's direction block, so one small GEMM
+            # per group computes exactly the dense result while skipping the
+            # structural-zero FLOPs (a 64-group batch of dim-1 lineages would
+            # otherwise pay 64x the arithmetic).  Each block GEMM is the
+            # *same call* the unfused kernel makes -- bit-identity by
+            # construction, not by the zeros-are-exact argument.
+            degree_one = np.empty((count, num_atoms))
+            for group, block in enumerate(blocks):
+                start, stop = self.atom_offsets[group], self.atom_offsets[group + 1]
+                if stop > start:
+                    degree_one[:, start:stop] = \
+                        block @ self.compiled[group].table.linear_matrix
+            degree_zero = self.linear_constant
+            magnitude_one = np.abs(degree_one)
+            scale = np.maximum(magnitude_one, np.abs(degree_zero)[None, :])
+            threshold = scale * RELATIVE_ZERO_EPS
+            significant_one = magnitude_one > threshold
+            significant_zero = np.abs(degree_zero)[None, :] > threshold
+            identically_zero = ~significant_one & ~significant_zero
+            positive = np.where(significant_one, degree_one > 0.0,
+                                degree_zero[None, :] > 0.0)
+        else:
+            # Same block-wise evaluation as the linear branch: each group's
+            # profile slab comes from its own (m, M_g) @ (M_g, A_g * w_g)
+            # product -- the unfused kernel's exact call -- scattered into
+            # the fused tensor at the group's atom offset.  The degree-pad
+            # columns beyond a group's own width stay exactly zero and can
+            # never become the leading significant degree.
+            width = self.width
+            profiles = np.zeros((count, num_atoms, width))
+            for group, compiled in enumerate(self.compiled):
+                table = compiled.table
+                start = self.atom_offsets[group]
+                stop = self.atom_offsets[group + 1]
+                if stop == start or not table.num_monomials:
+                    continue
+                group_width = table.max_degree + 1
+                term_values = compiled._term_values(blocks[group])
+                profiles[:, start:stop, :group_width] = (
+                    term_values @ compiled.profile_selector).reshape(
+                        count, stop - start, group_width)
+            magnitudes = np.abs(profiles)
+            scale = magnitudes.max(axis=2)
+            significant = magnitudes > (scale * RELATIVE_ZERO_EPS)[:, :, None]
+            identically_zero = ~significant.any(axis=2)
+            leading = (width - 1) - np.argmax(significant[:, :, ::-1], axis=2)
+            leading_values = np.take_along_axis(profiles, leading[:, :, None],
+                                                axis=2)[:, :, 0]
+            positive = leading_values > 0.0
+
+        codes = self.sign_codes[None, :]
+        truths = ((codes == -1) & ~positive) | ((codes == 1) & positive) | (codes == 2)
+        return np.where(identically_zero, self.zero_truth[None, :], truths)
+
+    def _run_programs(self, truths: np.ndarray, count: int) -> np.ndarray:
+        decisions = np.empty((count, self.num_groups), dtype=bool)
+        if self.sweep_groups:
+            # One counts matmul decides every flat-program group: a group is
+            # true where at least ``required`` of its atoms are (its arity
+            # for "and", 1 for "or"/"atom").  0/1 sums are exact in float64.
+            counts = truths @ self.sweep_selector
+            swept = counts >= (self.sweep_required[None, :] - 0.5)
+            decisions[:, list(self.sweep_groups)] = swept
+        for group in self.fallback_groups:
+            start = self.atom_offsets[group]
+            stop = self.atom_offsets[group + 1]
+            decisions[:, group] = self.compiled[group]._run_program(
+                truths[:, start:stop], count)
+        return decisions
+
+
+def fuse_formulas(compiled: Sequence[CompiledFormula]) -> FusedFormula:
+    """Stack compiled formulas of one :func:`fusion_mode` into a fused kernel."""
+    compiled = tuple(compiled)
+    if not compiled:
+        raise FusionError("cannot fuse an empty group list")
+    modes = {fusion_mode(entry) for entry in compiled}
+    if len(modes) != 1:
+        raise FusionError(
+            f"cannot fuse across kernel modes {sorted(modes)}; "
+            "partition by fusion_mode first")
+    mode = modes.pop()
+
+    dimensions = tuple(entry.dimension for entry in compiled)
+    variable_offsets = np.concatenate(
+        ([0], np.cumsum([entry.dimension for entry in compiled])))
+    atom_counts = [entry.table.num_atoms for entry in compiled]
+    atom_offsets = np.concatenate(([0], np.cumsum(atom_counts)))
+    total_atoms = int(atom_offsets[-1])
+
+    sign_codes = (np.concatenate([entry.sign_codes for entry in compiled])
+                  if total_atoms else np.zeros(0, dtype=np.int64))
+    zero_truth = (np.concatenate([entry.zero_truth for entry in compiled])
+                  if total_atoms else np.zeros(0, dtype=bool))
+
+    linear_matrix = None
+    linear_constant = None
+    width = 0
+    monomial_counts = [entry.table.num_monomials for entry in compiled]
+    monomial_offsets = np.concatenate(([0], np.cumsum(monomial_counts)))
+    profile_selector = None
+
+    if mode == "linear":
+        linear_matrix = np.zeros((int(variable_offsets[-1]), total_atoms))
+        for group, entry in enumerate(compiled):
+            linear_matrix[variable_offsets[group]:variable_offsets[group + 1],
+                          atom_offsets[group]:atom_offsets[group + 1]] = \
+                entry.table.linear_matrix
+        linear_constant = np.concatenate(
+            [entry.table.linear_constant for entry in compiled])
+    else:
+        width = max((entry.table.max_degree + 1 for entry in compiled),
+                    default=1)
+        total_monomials = int(monomial_offsets[-1])
+        profile_selector = np.zeros((total_monomials, total_atoms * width))
+        for group, entry in enumerate(compiled):
+            table = entry.table
+            if not table.num_monomials:
+                continue
+            rows = np.arange(table.num_monomials) + monomial_offsets[group]
+            columns = (atom_offsets[group] + table.atom_index) * width + table.degrees
+            profile_selector[rows, columns] = table.coefficients
+
+    sweep_entries: list[tuple[int, np.ndarray, int]] = []
+    fallback_groups: list[int] = []
+    for group, entry in enumerate(compiled):
+        fused_program = entry.fused_program
+        if fused_program is None:
+            fallback_groups.append(group)
+            continue
+        kind, columns = fused_program
+        required = len(columns) if kind == "and" else 1
+        sweep_entries.append((group, columns + atom_offsets[group], required))
+
+    sweep_selector = None
+    sweep_required = None
+    if sweep_entries:
+        sweep_selector = np.zeros((total_atoms, len(sweep_entries)))
+        sweep_required = np.zeros(len(sweep_entries))
+        for position, (_, columns, required) in enumerate(sweep_entries):
+            sweep_selector[columns, position] = 1.0
+            sweep_required[position] = required
+
+    return FusedFormula(
+        compiled=compiled,
+        mode=mode,
+        dimensions=dimensions,
+        variable_offsets=variable_offsets,
+        atom_offsets=atom_offsets,
+        sign_codes=sign_codes,
+        zero_truth=zero_truth,
+        linear_matrix=linear_matrix,
+        linear_constant=linear_constant,
+        width=width,
+        monomial_offsets=monomial_offsets,
+        profile_selector=profile_selector,
+        sweep_selector=sweep_selector,
+        sweep_required=sweep_required,
+        sweep_groups=tuple(entry[0] for entry in sweep_entries),
+        fallback_groups=tuple(fallback_groups),
+    )

@@ -23,7 +23,7 @@ tests assert on randomized formulas.)
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -37,6 +37,7 @@ from repro.compile.lower import (
     PUSH_TRUE,
     AtomTable,
     Instruction,
+    LoweringError,
     lower,
 )
 from repro.constraints.asymptotic import RELATIVE_ZERO_EPS
@@ -309,26 +310,68 @@ def _build_compiled(table: AtomTable, program: tuple[Instruction, ...]) -> Compi
 #: ``functools.lru_cache`` left at its default in a long-lived server, whose
 #: CompiledFormula values -- dense selector matrices -- would accumulate):
 #: the annotation service keeps one entry per distinct canonical lineage in
-#: flight, so a few hundred covers realistic working sets.
-DEFAULT_COMPILE_CACHE_SIZE = 256
+#: flight, and a many-lineage request can carry several hundred distinct
+#: skeletons at once -- a capacity below the working set makes the LRU
+#: cycle, so every round of every request recompiles everything.
+DEFAULT_COMPILE_CACHE_SIZE = 2048
 
 _COMPILE_CACHE = LruCache(DEFAULT_COMPILE_CACHE_SIZE, name="compiled kernels")
 
 
+def _canonical_key(formula: ConstraintFormula, variables: tuple[str, ...]):
+    """The memo key: the canonical lineage digest where one exists.
+
+    Keying by the null-renaming-invariant digest (instead of formula
+    identity) lets renamed variants of one skeleton share a single compiled
+    artefact: the canonical rename is positional and order-preserving, so
+    the artefact's point columns mean the same thing for every variant.
+    The import is deferred -- :mod:`repro.service.canonical` sits above this
+    package, and by the first compile both packages are fully initialised.
+    """
+    from repro.service.canonical import CanonicalisationError, canonicalise
+    try:
+        canonical = canonicalise(formula, variables)
+    except CanonicalisationError:
+        # Formulas the canonicaliser does not cover (unknown variables or
+        # node kinds) keep the identity key; ``lower`` raises its usual
+        # error for the truly malformed ones.
+        return (formula, variables), formula, variables
+    return canonical.digest, canonical.formula, canonical.variables
+
+
 def compile_formula(formula: ConstraintFormula,
-                    variables: Sequence[str]) -> CompiledFormula:
+                    variables: Sequence[str],
+                    *, digest: Optional[bytes] = None) -> CompiledFormula:
     """Compile ``formula`` over the ordered ``variables`` tuple.
 
-    Compilation is memoised on ``(formula, variables)`` -- both are hashable
-    immutable values -- so repeated estimates over the same lineage formula
-    (the service's batch groups, amplification rounds, benchmarks) pay the
-    lowering cost once.  The memo is a bounded LRU with hit/miss counters;
-    see :func:`compile_cache_stats` and :func:`configure_compile_cache`.
+    Compilation is memoised on the *canonical lineage digest* of
+    ``(formula, variables)``, so null-renamed variants of one skeleton --
+    every tuple of a generated table carrying its own private nulls through
+    the same arithmetic -- share one compiled artefact.  The returned kernel
+    is compiled over the canonical positional names; since the rename is
+    order-preserving, point columns keep their meaning for every variant.
+    The memo is a bounded LRU with hit/miss counters; see
+    :func:`compile_cache_stats` and :func:`configure_compile_cache`.
+
+    Callers that already hold the canonical digest of ``(formula,
+    variables)`` -- the service's schedule groups and fused tasks carry it
+    -- may pass it as ``digest``: a memo hit then costs one dict lookup
+    instead of a full re-canonicalisation of the lineage.
     """
-    key = (formula, tuple(variables))
+    variables = tuple(variables)
+    if len(set(variables)) != len(variables):
+        raise LoweringError(f"duplicate variables in ambient tuple: {variables}")
+    if digest is not None:
+        def build_from_digest() -> CompiledFormula:
+            _, build_formula, build_variables = _canonical_key(formula, variables)
+            table, program = lower(build_formula, build_variables)
+            return _build_compiled(table, program)
+
+        return _COMPILE_CACHE.get_or_compute(digest, build_from_digest)
+    key, build_formula, build_variables = _canonical_key(formula, variables)
 
     def build() -> CompiledFormula:
-        table, program = lower(formula, key[1])
+        table, program = lower(build_formula, build_variables)
         return _build_compiled(table, program)
 
     return _COMPILE_CACHE.get_or_compute(key, build)

@@ -132,6 +132,7 @@ class ServerApp:
             "limit": None,
             "seed": seed if isinstance(seed, int) else None,
             "adaptive": options.adaptive,
+            "planner": options.planner,
         }
 
     # -- the query path ------------------------------------------------------
@@ -199,6 +200,7 @@ class ServerApp:
                 epsilon=options["epsilon"], delta=options["delta"],
                 method=options["method"], limit=options["limit"],
                 seed=options["seed"], adaptive=options["adaptive"],
+                planner=options.get("planner"),
                 on_update=on_update if options["adaptive"] else None)
 
         try:

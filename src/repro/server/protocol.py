@@ -47,6 +47,7 @@ from typing import Any, Mapping
 
 from repro.certainty.result import CertaintyResult
 from repro.service.answers import AnnotatedAnswer
+from repro.service.planner import PLANNER_MODES
 from repro.service.service import SERVICE_METHODS, normalise_sql
 from repro.relational.values import BaseNull, NumNull
 
@@ -55,7 +56,8 @@ _NUM_NULL_PREFIX = "⊤:"
 _BASE_NULL_PREFIX = "⊥:"
 
 #: Option keys a query request may carry, with their validators.
-_OPTION_SCHEMA = ("epsilon", "delta", "method", "limit", "seed", "adaptive")
+_OPTION_SCHEMA = ("epsilon", "delta", "method", "limit", "seed", "adaptive",
+                  "planner")
 
 #: Longest accepted wire line (requests and responses), 16 MiB.  Bounds the
 #: per-connection buffer so one client cannot balloon the server's memory.
@@ -147,6 +149,14 @@ def _validate_options(options: Mapping[str, Any]) -> None:
                             f"seed must be a non-negative integer, got {seed!r}")
     if not isinstance(options.get("adaptive"), bool):
         raise ProtocolError("bad_request", "adaptive must be a boolean")
+    planner = options.get("planner")
+    if planner is not None and planner not in PLANNER_MODES:
+        # None means "the server's configured default" (and keeps defaults
+        # dicts from planner-unaware callers valid).
+        raise ProtocolError(
+            "bad_request",
+            f"planner must be one of {', '.join(PLANNER_MODES)}, "
+            f"got {planner!r}")
 
 
 def request_key(sql: str, options: Mapping[str, Any]) -> bytes:
@@ -330,5 +340,10 @@ def result_event(request_id: Any, response) -> dict:
             "groups_computed": stats.groups_computed,
             "tuples_batched": stats.tuples_batched,
             "elapsed_seconds": stats.elapsed_seconds,
+            "kernels_launched": stats.kernels_launched,
+            "tuples_fused": stats.tuples_fused,
+            "fusion_batches": stats.fusion_batches,
+            **({"planned": stats.planned}
+               if stats.planned is not None else {}),
         },
     }

@@ -26,6 +26,7 @@ from repro.service.adaptive import (
     AdaptiveUpdate,
     adaptive_certainty,
     adaptive_schedule,
+    intersect_intervals,
 )
 from repro.service.answers import AnnotatedAnswer
 from repro.service.canonical import (
@@ -36,16 +37,32 @@ from repro.service.canonical import (
 )
 from repro.service.executor import (
     EXECUTORS,
+    available_cpus,
     process_map,
     run_tasks,
     shutdown_pools,
 )
+from repro.service.fused import (
+    FusedTask,
+    FusionAccounting,
+    decide_fused_batch,
+    fusable_method,
+)
+from repro.service.planner import (
+    MAX_FUSION_BATCH,
+    PLANNER_MODES,
+    CostModel,
+    PlanDecision,
+    Planner,
+    PlannerStats,
+)
 from repro.service.rng import root_sequence, spawn_stream
-from repro.service.scheduler import TaskGroup, build_schedule
+from repro.service.scheduler import TaskGroup, build_schedule, partition_batches
 from repro.service.service import (
     SERVICE_METHODS,
     AnnotationService,
     BackendStats,
+    FusionStats,
     RequestStats,
     ServiceOptions,
     ServiceResponse,
@@ -55,6 +72,8 @@ from repro.service.service import (
 
 __all__ = [
     "EXECUTORS",
+    "MAX_FUSION_BATCH",
+    "PLANNER_MODES",
     "SERVICE_METHODS",
     "AdaptiveUpdate",
     "AnnotatedAnswer",
@@ -63,7 +82,14 @@ __all__ = [
     "CacheStats",
     "CanonicalLineage",
     "CanonicalisationError",
+    "CostModel",
+    "FusedTask",
+    "FusionAccounting",
+    "FusionStats",
     "LruCache",
+    "PlanDecision",
+    "Planner",
+    "PlannerStats",
     "RequestStats",
     "ServiceOptions",
     "ServiceResponse",
@@ -74,9 +100,14 @@ __all__ = [
     "TaskGroup",
     "adaptive_certainty",
     "adaptive_schedule",
+    "available_cpus",
     "build_schedule",
     "canonicalise",
     "canonicalise_lineage",
+    "decide_fused_batch",
+    "fusable_method",
+    "intersect_intervals",
+    "partition_batches",
     "process_map",
     "root_sequence",
     "run_tasks",

@@ -81,8 +81,13 @@ def adaptive_schedule(epsilon: float,
     return schedule
 
 
-def _intersect(previous: Optional[tuple[float, float]],
-               interval: tuple[float, float]) -> tuple[float, float]:
+def intersect_intervals(previous: Optional[tuple[float, float]],
+                        interval: tuple[float, float]) -> tuple[float, float]:
+    """Running intersection of stage intervals (the ladder's monotonicity).
+
+    Shared with the fused per-rung ladder (:mod:`repro.service.fused`),
+    which must intersect exactly as the per-group ladder does.
+    """
     if previous is None:
         return interval
     low = max(previous[0], interval[0])
@@ -93,6 +98,10 @@ def _intersect(previous: Optional[tuple[float, float]],
         midpoint = (low + high) / 2.0
         return (midpoint, midpoint)
     return (low, high)
+
+
+#: Backwards-compatible private alias (pre-PR 6 internal name).
+_intersect = intersect_intervals
 
 
 def adaptive_certainty(translation: TranslationResult,

@@ -43,9 +43,25 @@ P = TypeVar("P")
 EXECUTORS = ("thread", "process")
 
 
+def available_cpus() -> int:
+    """CPUs actually available to this process.
+
+    ``sched_getaffinity`` respects container/cgroup CPU masks where
+    ``os.cpu_count()`` reports the whole host -- the difference is exactly
+    the 1-core-host regression BENCH_PR4 documented, so the planner (and
+    ``jobs=0``) must see the real budget.
+    """
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return max(1, len(os.sched_getaffinity(0)))
+        except OSError:  # pragma: no cover - platform-specific failure
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
 def default_jobs() -> int:
     """A sensible worker count for ``jobs=0`` ("use all cores") requests."""
-    return max(1, os.cpu_count() or 1)
+    return available_cpus()
 
 
 def run_tasks(tasks: Sequence[Callable[[], T]], jobs: int = 1) -> list[T]:

@@ -1,0 +1,349 @@
+"""Cost-based execution planning: pick the configuration, not just run it.
+
+PRs 1-5 added the knobs -- ``--backend``, ``--shards``, ``--jobs``,
+``--executor``, and now fusion batching -- but left choosing them to the
+user, and BENCH_PR4 showed the wrong choice inverts the win (columnar and
+sharded overhead losing to the rows engine on small tables and 1-core
+hosts).  :class:`Planner` closes that loop with a calibrated cost model:
+
+* **calibration** -- ``benchmarks/calibrate.py`` measures the machine's
+  per-row enumeration costs, fixed backend overheads, kernel-launch and
+  dispatch costs, and writes them as JSON; :meth:`CostModel.load` picks the
+  file up from ``$REPRO_CALIBRATION`` or ``benchmarks/calibration.json``,
+  falling back to conservative built-ins;
+* **runtime feedback** -- the service feeds every request's observed
+  enumeration cost back through :meth:`Planner.observe_enumeration` (the
+  same counters ``\\stats`` reports), and the model blends observed per-row
+  costs over the calibrated priors once enough rows have been seen;
+* **two planning points** -- :meth:`Planner.plan_enumeration` runs before
+  candidate enumeration (all it can know is the query's table
+  cardinalities) and picks backend + shard count, including the
+  rows-for-tiny-tables fallback; :meth:`Planner.plan_execution` runs after
+  scheduling (when the group count and dimensions are known) and picks
+  jobs, executor, and the fusion batch size for the Monte-Carlo phase.
+
+The planner only ever changes *how* a request executes, never its answer:
+every configuration it may pick is bit-identical by construction (streams
+are content-keyed; fusion is bit-identical per :mod:`repro.compile.fusion`).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.geometry.montecarlo import hoeffding_sample_size
+from repro.service.adaptive import adaptive_schedule
+from repro.service.executor import available_cpus
+
+#: Planner modes accepted by the service, CLI, and server.
+PLANNER_MODES = ("manual", "auto")
+
+#: Largest fused batch the planner will schedule: beyond this the fused
+#: artefact's memory footprint grows without meaningfully amortising more
+#: launch overhead (the per-launch fixed cost is already split ~64 ways).
+MAX_FUSION_BATCH = 64
+
+#: Conservative built-in coefficients (seconds), used when no calibration
+#: file exists.  ``benchmarks/calibrate.py`` measures and overrides them.
+DEFAULT_COEFFICIENTS = {
+    #: Per input row, row-at-a-time candidate enumeration.
+    "rows_row_cost": 2.0e-6,
+    #: Per input row, vectorized columnar enumeration.
+    "columnar_row_cost": 1.5e-7,
+    #: Fixed per-request columnar overhead (mask allocation, column views).
+    "columnar_overhead": 4.0e-4,
+    #: Fixed per-shard overhead of the sharded process path (dispatch,
+    #: shared-memory attach, merge).
+    "shard_overhead": 2.5e-3,
+    #: Fixed cost of one compiled-kernel launch (argument marshalling,
+    #: small-matmul fixed costs).
+    "kernel_launch": 2.5e-4,
+    #: Per sample per dimension marginal sampling + deciding cost.
+    "sample_coeff": 1.2e-8,
+    #: Marginal per-group cost inside a fused launch (block stacking,
+    #: per-group stream draws).
+    "fused_group_coeff": 4.0e-5,
+    #: Per-task dispatch overhead of the thread executor.
+    "thread_task": 5.0e-5,
+    #: Per-task dispatch overhead of the process executor (pickling,
+    #: result shipping).
+    "process_task": 2.0e-3,
+}
+
+#: Block size of the Monte-Carlo loop (mirrors the kernels' schedule).
+_BLOCK = 65_536
+
+#: Observed rows per backend before runtime feedback outweighs calibration.
+_FEEDBACK_ROWS = 2_000
+
+
+def _calibration_candidates() -> list[Path]:
+    paths = []
+    override = os.environ.get("REPRO_CALIBRATION")
+    if override:
+        paths.append(Path(override))
+    paths.append(Path("benchmarks") / "calibration.json")
+    # The repo-root copy, for services launched from elsewhere.
+    paths.append(Path(__file__).resolve().parents[3] / "benchmarks"
+                 / "calibration.json")
+    return paths
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Calibrated cost coefficients plus the formulas the planner compares."""
+
+    coefficients: dict = field(default_factory=lambda: dict(DEFAULT_COEFFICIENTS))
+    source: str = "defaults"
+
+    @classmethod
+    def load(cls, path: Optional[str] = None) -> "CostModel":
+        """Coefficients from ``path``, ``$REPRO_CALIBRATION``, or
+        ``benchmarks/calibration.json``; built-in defaults otherwise.
+
+        Unknown keys in the file are kept (forward compatibility); missing
+        keys fall back to the defaults, so partial calibrations work.
+        """
+        candidates = [Path(path)] if path else _calibration_candidates()
+        for candidate in candidates:
+            try:
+                loaded = json.loads(candidate.read_text())
+            except (OSError, ValueError):
+                continue
+            if not isinstance(loaded, dict):
+                continue
+            coefficients = dict(DEFAULT_COEFFICIENTS)
+            coefficients.update({key: float(value)
+                                 for key, value in loaded.items()
+                                 if isinstance(value, (int, float))})
+            return cls(coefficients=coefficients, source=str(candidate))
+        return cls()
+
+    def __getitem__(self, key: str) -> float:
+        return self.coefficients[key]
+
+    def enumeration_cost(self, backend: str, rows: int, shards: int,
+                         cpus: int,
+                         row_cost: Optional[float] = None) -> float:
+        """Modelled seconds to enumerate candidates over ``rows`` input rows."""
+        if backend == "rows":
+            return (self["rows_row_cost"] if row_cost is None else row_cost) * rows
+        cost = self["columnar_overhead"]
+        per_row = self["columnar_row_cost"] if row_cost is None else row_cost
+        if shards > 1:
+            cost += shards * self["shard_overhead"]
+            cost += per_row * rows / max(1, min(shards, cpus))
+        else:
+            cost += per_row * rows
+        return cost
+
+    def estimation_cost(self, groups: int, samples: int, dimension: int,
+                        batch: int) -> float:
+        """Modelled seconds to decide ``groups`` at ``samples`` draws each.
+
+        ``batch`` is the fusion batch size (``<= 1`` means the per-group
+        path).  Launch overhead is paid once per kernel launch; fusion
+        amortises it across a batch at a small per-group marginal cost.
+        """
+        launches = max(1, math.ceil(samples / _BLOCK))
+        sampling = groups * samples * max(1, dimension) * self["sample_coeff"]
+        if batch <= 1:
+            return sampling + groups * launches * self["kernel_launch"]
+        batches = math.ceil(groups / batch)
+        return (sampling
+                + batches * launches * self["kernel_launch"]
+                + groups * launches * self["fused_group_coeff"])
+
+
+@dataclass(frozen=True)
+class PlanDecision:
+    """One request's planned execution configuration, with its cost estimate."""
+
+    backend: str
+    shards: int
+    jobs: int
+    executor: str
+    fusion: int
+    estimated_cost: float
+
+    def as_dict(self) -> dict:
+        return {"backend": self.backend, "shards": self.shards,
+                "jobs": self.jobs, "executor": self.executor,
+                "fusion": self.fusion,
+                "estimated_cost": self.estimated_cost}
+
+
+@dataclass(frozen=True)
+class PlannerStats:
+    """Lifetime planning counters for the stats report."""
+
+    plans: int
+    backend_choices: dict
+    fused_plans: int
+    observed_rows: dict
+    model_source: str
+
+    def as_dict(self) -> dict:
+        return {"plans": self.plans,
+                "backend_choices": dict(self.backend_choices),
+                "fused_plans": self.fused_plans,
+                "observed_rows": dict(self.observed_rows),
+                "model_source": self.model_source}
+
+
+class Planner:
+    """Pick backend/shards before enumeration, jobs/executor/fusion after.
+
+    Thread-safe: the network server plans concurrent requests from worker
+    threads, and runtime feedback mutates the observation state.
+    """
+
+    def __init__(self, model: Optional[CostModel] = None,
+                 cpus: Optional[int] = None) -> None:
+        self._model = CostModel.load() if model is None else model
+        self._cpus = available_cpus() if cpus is None else max(1, cpus)
+        self._lock = threading.Lock()
+        #: backend -> [observed rows, observed seconds].
+        self._observed: dict[str, list[float]] = {}
+        self._plans = 0
+        self._fused_plans = 0
+        self._backend_choices: dict[str, int] = {}
+
+    @property
+    def model(self) -> CostModel:
+        return self._model
+
+    @property
+    def cpus(self) -> int:
+        return self._cpus
+
+    # -- planning points ---------------------------------------------------
+
+    def plan_enumeration(self, cardinalities: Sequence[int]) -> tuple[str, int]:
+        """Backend + shard count for enumerating over these table sizes.
+
+        Tiny tables fall back to the rows engine (the fixed columnar
+        overhead dominates); large tables go columnar, sharded across the
+        CPUs when splitting the row work beats the per-shard overhead.
+        """
+        rows = int(sum(cardinalities))
+        options = [("rows", 1), ("columnar", 1)]
+        if self._cpus > 1:
+            options.append(("columnar", self._cpus))
+        best = min(options, key=lambda option: self._model.enumeration_cost(
+            option[0], rows, option[1], self._cpus,
+            row_cost=self._observed_row_cost(option[0])))
+        with self._lock:
+            self._plans += 1
+            self._backend_choices[best[0]] = (
+                self._backend_choices.get(best[0], 0) + 1)
+        return best
+
+    def plan_execution(self, group_count: int,
+                       dimensions: Sequence[int], *,
+                       epsilon: float, delta: float, method: str,
+                       adaptive: bool, coarse: float,
+                       factor: float) -> tuple[int, str, int]:
+        """``(jobs, executor, fusion batch)`` for the Monte-Carlo phase."""
+        if group_count == 0:
+            return 1, "thread", 0
+        samples = self._planned_samples(epsilon, delta, adaptive, coarse,
+                                        factor)
+        dimension = (int(sum(dimensions) / len(dimensions))
+                     if dimensions else 1)
+        fusable = method in ("afpras", "auto") and any(dimensions)
+        batch = 0
+        if fusable and group_count > 1:
+            solo = self._model.estimation_cost(group_count, samples,
+                                               dimension, 1)
+            candidate = min(group_count, MAX_FUSION_BATCH)
+            fused = self._model.estimation_cost(group_count, samples,
+                                                dimension, candidate)
+            if fused < solo:
+                batch = candidate
+        tasks = math.ceil(group_count / batch) if batch > 1 else group_count
+        per_task = self._model.estimation_cost(
+            max(1, group_count // max(1, tasks)), samples, dimension,
+            batch if batch > 1 else 1)
+        jobs = 1
+        executor = "thread"
+        if self._cpus > 1 and tasks > 1:
+            if per_task > 4 * self._model["process_task"]:
+                jobs = min(self._cpus, tasks)
+                executor = "process"
+            elif per_task > 4 * self._model["thread_task"]:
+                jobs = min(self._cpus, tasks)
+        if batch > 1 and jobs > 1:
+            # Re-balance: with several workers, smaller batches spread the
+            # fused work evenly without losing the amortisation win.
+            batch = max(2, min(batch, math.ceil(group_count / jobs)))
+        with self._lock:
+            if batch > 1:
+                self._fused_plans += 1
+        return jobs, executor, batch
+
+    def decide(self, cardinalities: Sequence[int], group_hint: int,
+               dimensions: Sequence[int], *, epsilon: float, delta: float,
+               method: str, adaptive: bool, coarse: float,
+               factor: float) -> PlanDecision:
+        """Full-request decision (both planning points), for introspection."""
+        backend, shards = self.plan_enumeration(cardinalities)
+        jobs, executor, fusion = self.plan_execution(
+            group_hint, dimensions, epsilon=epsilon, delta=delta,
+            method=method, adaptive=adaptive, coarse=coarse, factor=factor)
+        samples = self._planned_samples(epsilon, delta, adaptive, coarse,
+                                        factor)
+        dimension = (int(sum(dimensions) / len(dimensions))
+                     if dimensions else 1)
+        cost = (self._model.enumeration_cost(backend, int(sum(cardinalities)),
+                                             shards, self._cpus)
+                + self._model.estimation_cost(group_hint, samples, dimension,
+                                              fusion if fusion > 1 else 1))
+        return PlanDecision(backend=backend, shards=shards, jobs=jobs,
+                            executor=executor, fusion=fusion,
+                            estimated_cost=cost)
+
+    # -- runtime feedback --------------------------------------------------
+
+    def observe_enumeration(self, backend: str, rows: int,
+                            seconds: float) -> None:
+        """Feed an observed enumeration back into the per-row cost estimate."""
+        if rows <= 0 or seconds < 0:
+            return
+        with self._lock:
+            totals = self._observed.setdefault(backend, [0.0, 0.0])
+            totals[0] += rows
+            totals[1] += seconds
+
+    def _observed_row_cost(self, backend: str) -> Optional[float]:
+        """Observed per-row cost once enough rows back it; ``None`` before."""
+        with self._lock:
+            totals = self._observed.get(backend)
+            if totals is None or totals[0] < _FEEDBACK_ROWS:
+                return None
+            return totals[1] / totals[0]
+
+    def _planned_samples(self, epsilon: float, delta: float, adaptive: bool,
+                         coarse: float, factor: float) -> int:
+        if not adaptive:
+            return hoeffding_sample_size(epsilon, delta)
+        schedule = adaptive_schedule(epsilon, coarse=coarse, factor=factor)
+        stage_delta = delta / len(schedule)
+        return sum(hoeffding_sample_size(stage, stage_delta)
+                   for stage in schedule)
+
+    def stats(self) -> PlannerStats:
+        with self._lock:
+            return PlannerStats(
+                plans=self._plans,
+                backend_choices=dict(self._backend_choices),
+                fused_plans=self._fused_plans,
+                observed_rows={backend: int(totals[0]) for backend, totals
+                               in self._observed.items()},
+                model_source=self._model.source)

@@ -50,8 +50,16 @@ from repro.service.adaptive import (
 from repro.service.answers import AnnotatedAnswer
 from repro.service.canonical import CanonicalLineage
 from repro.service.executor import EXECUTORS, process_map, run_tasks
+from repro.service.fused import (
+    FusedTask,
+    decide_fused_batch,
+    fusable_method,
+    fused_payload,
+    run_fused_payload,
+)
+from repro.service.planner import PLANNER_MODES, Planner, PlannerStats
 from repro.service.rng import SeedLike, root_sequence, spawn_stream
-from repro.service.scheduler import TaskGroup, build_schedule
+from repro.service.scheduler import TaskGroup, build_schedule, partition_batches
 
 #: Methods the service can dispatch on a pre-translated lineage.
 SERVICE_METHODS = ("auto", "exact", "afpras", "fpras")
@@ -95,6 +103,17 @@ class ServiceOptions:
     #: Reuse certainty results across tuples and requests with the same
     #: canonical lineage (the PR 1 ad-hoc annotate-loop reuse, generalised).
     reuse_results: bool = True
+    #: ``"manual"`` executes exactly the configuration given (today's
+    #: behavior, byte for byte); ``"auto"`` lets the cost-based planner
+    #: (:mod:`repro.service.planner`) pick backend, shards, jobs, executor
+    #: and fusion batch size per request.  Explicit per-request arguments
+    #: always win over the planner.  Answers are identical either way.
+    planner: str = "manual"
+    #: Fusion batch size for the Monte-Carlo phase: group estimates are
+    #: decided ``fusion`` lineages at a time through one block-diagonal
+    #: fused kernel (:mod:`repro.compile.fusion`).  ``0``/``1`` keeps the
+    #: per-group path.  Results are bit-identical at any batch size.
+    fusion: int = 0
     parse_cache_size: int = 256
     plan_cache_size: int = 128
     result_cache_size: int = 4096
@@ -115,6 +134,14 @@ class RequestStats:
     tuples_batched: int
     elapsed_seconds: float
     seed_entropy: int
+    #: Fused kernel launches this request (0 when fusion was off).
+    kernels_launched: int = 0
+    #: Tuples whose estimates rode a fused launch.
+    tuples_fused: int = 0
+    #: Fused batches executed (one per mode-partitioned group batch).
+    fusion_batches: int = 0
+    #: The planner's decision for this request (``None`` in manual mode).
+    planned: Optional[dict] = None
 
 
 @dataclass(frozen=True)
@@ -154,6 +181,26 @@ class ShardStats:
 
 
 @dataclass(frozen=True)
+class FusionStats:
+    """Lifetime fused-execution counters (the do-more-per-launch ledger)."""
+
+    #: Fused kernel launches (one per Monte-Carlo block per fused batch).
+    kernels_launched: int
+    #: Tuples whose estimates were decided through a fused launch.
+    tuples_fused: int
+    #: Fused batches executed.
+    batches: int
+    #: Recent fused batch sizes (most recent last, bounded window).
+    batch_sizes: tuple[int, ...] = ()
+
+    def as_dict(self) -> dict:
+        return {"kernels_launched": self.kernels_launched,
+                "tuples_fused": self.tuples_fused,
+                "batches": self.batches,
+                "batch_sizes": list(self.batch_sizes)}
+
+
+@dataclass(frozen=True)
 class ServiceStats:
     """Lifetime counters and per-cache snapshots for the stats report."""
 
@@ -168,6 +215,10 @@ class ServiceStats:
     #: Cross-request estimate coalescing (concurrent identical lineages
     #: joining one computation); ``None`` on snapshots predating the server.
     single_flight: Optional[SingleFlightStats] = None
+    #: Fused-execution counters; ``None`` on snapshots predating fusion.
+    fusion: Optional[FusionStats] = None
+    #: Cost-based planner counters; ``None`` when no request was planned.
+    planner: Optional[PlannerStats] = None
 
     def report(self) -> str:
         """Human-readable multi-line report (the ``serve`` REPL's ``\\stats``)."""
@@ -183,6 +234,18 @@ class ServiceStats:
                 f"estimate flights    {self.single_flight.launches} launched, "
                 f"{self.single_flight.joins} joined, "
                 f"{self.single_flight.in_flight} in flight")
+        if self.fusion is not None:
+            lines.append(
+                f"fused kernels       {self.fusion.kernels_launched} launched, "
+                f"{self.fusion.tuples_fused} tuples in "
+                f"{self.fusion.batches} batches")
+        if self.planner is not None and self.planner.plans:
+            choices = ", ".join(
+                f"{backend}:{count}" for backend, count
+                in sorted(self.planner.backend_choices.items()))
+            lines.append(
+                f"planner             {self.planner.plans} plans "
+                f"({choices or 'none'}), {self.planner.fused_plans} fused")
         lines.append(
             "cache               cap    size   hits  misses  evict  hit-rate")
         for cache in self.caches:
@@ -226,6 +289,9 @@ class ServiceStats:
                 for shard in self.shards],
             "single_flight": (None if self.single_flight is None
                               else self.single_flight.as_dict()),
+            "fusion": None if self.fusion is None else self.fusion.as_dict(),
+            "planner": (None if self.planner is None
+                        else self.planner.as_dict()),
         }
 
 
@@ -294,6 +360,13 @@ class AnnotationService:
         if options.executor not in EXECUTORS:
             raise ValueError(
                 f"unknown executor {options.executor!r}; expected one of {EXECUTORS}")
+        if options.planner not in PLANNER_MODES:
+            raise ValueError(
+                f"unknown planner mode {options.planner!r}; "
+                f"expected one of {PLANNER_MODES}")
+        if options.fusion < 0:
+            raise ValueError(
+                f"fusion batch size must be non-negative, got {options.fusion}")
         if options.backend is not None:
             # One conversion at construction; the snapshot then serves every
             # request under the requested layout.
@@ -322,6 +395,19 @@ class AnnotationService:
         self._estimates_computed = 0
         self._estimates_reused = 0
         self._tuples_batched = 0
+        self._kernels_launched = 0
+        self._tuples_fused = 0
+        self._fusion_batches = 0
+        #: Recent fused batch sizes (bounded window for the stats report).
+        self._fusion_batch_sizes: list[int] = []
+        #: backend name -> requests executed on it (auto mode may route a
+        #: request to a different snapshot than the constructed one).
+        self._backend_requests: dict[str, int] = {}
+        # The cost-based planner and its alternate-backend snapshots are
+        # created lazily: a manual-only service never pays for either.
+        self._planner_instance: Optional[Planner] = None
+        self._database_views: dict[tuple[str, int], object] = {}
+        self._views_lock = threading.Lock()
         #: shard index -> [tasks, rows, witnesses, partition hits, misses].
         self._shard_counters: dict[int, list[int]] = {}
         # The network server calls ``submit`` from worker threads; unlocked
@@ -355,6 +441,8 @@ class AnnotationService:
                adaptive: Optional[bool] = None,
                group_witnesses: bool = True,
                reuse_results: Optional[bool] = None,
+               planner: Optional[str] = None,
+               fusion: Optional[int] = None,
                on_update: Optional[GroupUpdateCallback] = None) -> ServiceResponse:
         """Run one annotation request through the full service lifecycle.
 
@@ -362,9 +450,16 @@ class AnnotationService:
         may carry a pre-enumerated candidate list (the benchmarks use this
         to time the Monte-Carlo phase separately from the join).  Request
         parameters default to the service's :class:`ServiceOptions`.
+
+        With ``planner="auto"`` the cost-based planner fills every execution
+        knob the caller left unset (backend, shards, jobs, executor, fusion
+        batch); explicit arguments always win.  Answers are identical under
+        every configuration the planner may pick.
         """
         started = time.perf_counter()
         options = self._options
+        requested_jobs, requested_executor, requested_fusion = (
+            jobs, executor, fusion)
         epsilon = options.epsilon if epsilon is None else epsilon
         delta = options.delta if delta is None else delta
         method = options.method if method is None else method
@@ -372,18 +467,47 @@ class AnnotationService:
         executor = options.executor if executor is None else executor
         adaptive = options.adaptive if adaptive is None else adaptive
         reuse = options.reuse_results if reuse_results is None else reuse_results
+        planner = options.planner if planner is None else planner
+        fusion = options.fusion if fusion is None else fusion
         if method not in SERVICE_METHODS:
             raise ValueError(
                 f"unknown method {method!r}; expected one of {SERVICE_METHODS}")
         if executor not in EXECUTORS:
             raise ValueError(
                 f"unknown executor {executor!r}; expected one of {EXECUTORS}")
+        if planner not in PLANNER_MODES:
+            raise ValueError(
+                f"unknown planner mode {planner!r}; "
+                f"expected one of {PLANNER_MODES}")
+        if fusion < 0:
+            raise ValueError(
+                f"fusion batch size must be non-negative, got {fusion}")
         root = self._default_root if seed is None else root_sequence(seed)
         seed_token = _seed_token(root)
 
         select = self._parse(query)
+        database = self._database
+        plan_engine: Optional[Planner] = None
+        planned: Optional[dict] = None
+        if planner == "auto":
+            plan_engine = self._get_planner()
+            if candidates is None:
+                from repro.engine.candidates import workload_cardinalities
+                try:
+                    cardinalities = workload_cardinalities(select,
+                                                           self._database)
+                except Exception:
+                    cardinalities = ()
+                if cardinalities:
+                    backend, shards = plan_engine.plan_enumeration(
+                        cardinalities)
+                    database = self._database_for(backend, shards)
+                    if requested_jobs is None and shards > 1:
+                        # Sharded enumeration wants one worker per shard.
+                        jobs = min(plan_engine.cpus, shards)
         if candidates is None:
-            candidates = self._plan(query, select, limit, group_witnesses, jobs)
+            candidates = self._plan(query, select, limit, group_witnesses,
+                                    jobs, database)
 
         if reuse:
             schedule = build_schedule(candidates)
@@ -393,6 +517,25 @@ class AnnotationService:
             schedule = [TaskGroup(canonical=group.canonical, members=(index,))
                         for group in build_schedule(candidates)
                         for index in group.members]
+
+        if plan_engine is not None:
+            plan_jobs, plan_executor, plan_fusion = plan_engine.plan_execution(
+                len(schedule),
+                [group.canonical.dimension for group in schedule],
+                epsilon=epsilon, delta=delta, method=method,
+                adaptive=adaptive, coarse=options.adaptive_coarse,
+                factor=options.adaptive_factor)
+            if requested_jobs is None:
+                # Enumeration (above) already used the shard-aligned worker
+                # count; from here ``jobs`` governs the Monte-Carlo phase.
+                jobs = plan_jobs
+            if requested_executor is None:
+                executor = plan_executor
+            if requested_fusion is None:
+                fusion = plan_fusion
+            planned = {"backend": getattr(database, "backend", "rows"),
+                       "shards": getattr(database, "shards", 1),
+                       "jobs": jobs, "executor": executor, "fusion": fusion}
 
         def cache_key(group: TaskGroup) -> tuple:
             return (group.canonical.key, epsilon, delta, method, adaptive,
@@ -436,7 +579,12 @@ class AnnotationService:
         # Adaptive streaming callbacks need to run in this process, so the
         # process executor only takes over callback-free requests; results
         # are bit-identical either way (streams are content-keyed).
-        if executor == "process" and jobs > 1 and on_update is None:
+        fusion_counters: Optional[dict] = None
+        if fusion > 1 and len(schedule) > 1:
+            outcomes, fusion_counters = self._decide_with_fusion(
+                schedule, decide, cache_key, reuse, epsilon, delta, method,
+                adaptive, root, jobs, executor, fusion, on_update)
+        elif executor == "process" and jobs > 1 and on_update is None:
             outcomes = self._decide_in_processes(
                 schedule, cache_key, reuse, epsilon, delta, method, adaptive,
                 root, jobs)
@@ -464,12 +612,27 @@ class AnnotationService:
 
         computed = len(schedule) - from_cache
         batched = len(candidates) - len(schedule)
+        kernels_launched = tuples_fused = fusion_batches = 0
+        if fusion_counters is not None:
+            kernels_launched = fusion_counters["kernels_launched"]
+            tuples_fused = fusion_counters["tuples_fused"]
+            fusion_batches = fusion_counters["batches"]
         with self._counters_lock:
             self._requests += 1
             self._answers_served += len(answers)
             self._estimates_computed += computed
             self._estimates_reused += from_cache
             self._tuples_batched += batched
+            self._kernels_launched += kernels_launched
+            self._tuples_fused += tuples_fused
+            self._fusion_batches += fusion_batches
+            if fusion_counters is not None:
+                self._fusion_batch_sizes.extend(
+                    fusion_counters["batch_sizes"])
+                del self._fusion_batch_sizes[:-32]
+            backend_name = getattr(database, "backend", "rows")
+            self._backend_requests[backend_name] = (
+                self._backend_requests.get(backend_name, 0) + 1)
         stats = RequestStats(
             candidates=len(candidates),
             groups=len(schedule),
@@ -478,6 +641,10 @@ class AnnotationService:
             tuples_batched=batched,
             elapsed_seconds=time.perf_counter() - started,
             seed_entropy=seed_token[0] if isinstance(seed_token[0], int) else 0,
+            kernels_launched=kernels_launched,
+            tuples_fused=tuples_fused,
+            fusion_batches=fusion_batches,
+            planned=planned,
         )
         return ServiceResponse(answers=answers, stats=stats)
 
@@ -490,8 +657,29 @@ class AnnotationService:
             estimates_computed = self._estimates_computed
             estimates_reused = self._estimates_reused
             tuples_batched = self._tuples_batched
+            kernels_launched = self._kernels_launched
+            tuples_fused = self._tuples_fused
+            fusion_batches = self._fusion_batches
+            fusion_batch_sizes = tuple(self._fusion_batch_sizes)
+            backend_requests = dict(self._backend_requests)
             shard_counters = {shard: list(counters) for shard, counters
                               in self._shard_counters.items()}
+        base_backend = getattr(self._database, "backend", "rows")
+        base_requests = (backend_requests.pop(base_backend, 0)
+                         if backend_requests else requests)
+        backends = [BackendStats(
+            backend=base_backend,
+            requests=base_requests,
+            plan_hits=plan_stats.hits,
+            plan_misses=plan_stats.misses)]
+        # Auto-planned requests may have run on other snapshots; report
+        # those backends too (plan-cache counters are shared, so they are
+        # attributed to the base row only).
+        for backend_name, count in sorted(backend_requests.items()):
+            backends.append(BackendStats(backend=backend_name, requests=count,
+                                         plan_hits=0, plan_misses=0))
+        planner_stats = (None if self._planner_instance is None
+                         else self._planner_instance.stats())
         return ServiceStats(
             requests=requests,
             answers_served=answers_served,
@@ -504,21 +692,18 @@ class AnnotationService:
                 self._result_cache.stats(),
                 compile_cache_stats(),
             ),
-            # A service has exactly one execution backend (fixed at
-            # construction), so the per-backend row is derived from the
-            # existing counters rather than tracked separately; the report
-            # shape stays ready for a multi-backend future.
-            backends=(BackendStats(
-                backend=getattr(self._database, "backend", "rows"),
-                requests=requests,
-                plan_hits=plan_stats.hits,
-                plan_misses=plan_stats.misses),),
+            backends=tuple(backends),
             shards=tuple(
                 ShardStats(shard=shard, tasks=counters[0], rows=counters[1],
                            witnesses=counters[2], partition_hits=counters[3],
                            partition_misses=counters[4])
                 for shard, counters in sorted(shard_counters.items())),
             single_flight=self._estimate_flights.stats(),
+            fusion=FusionStats(kernels_launched=kernels_launched,
+                               tuples_fused=tuples_fused,
+                               batches=fusion_batches,
+                               batch_sizes=fusion_batch_sizes),
+            planner=planner_stats,
         )
 
     def invalidate(self) -> None:
@@ -526,6 +711,10 @@ class AnnotationService:
         self._parse_cache.clear()
         self._plan_cache.clear()
         self._result_cache.clear()
+        with self._views_lock:
+            # Alternate-backend snapshots were converted from the (now
+            # stale) database content; rebuild them on demand.
+            self._database_views.clear()
         clear_shards = getattr(self._database, "clear_shard_cache", None)
         if clear_shards is not None:
             clear_shards()
@@ -540,22 +729,33 @@ class AnnotationService:
         return self._parse_cache.get_or_compute(key, lambda: parse_sql(query))
 
     def _plan(self, query, select, limit: Optional[int],
-              group_witnesses: bool, jobs: int) -> tuple:
+              group_witnesses: bool, jobs: int, database=None) -> tuple:
         from repro.engine.candidates import enumerate_candidates
+
+        if database is None:
+            database = self._database
 
         def enumerate_() -> tuple:
             sink: dict = {}
+            enumeration_started = time.perf_counter()
             planned = tuple(enumerate_candidates(
-                select, self._database, limit=limit,
+                select, database, limit=limit,
                 group_witnesses=group_witnesses, jobs=jobs,
                 shard_stats=sink))
+            elapsed = time.perf_counter() - enumeration_started
             self._record_shard_stats(sink)
+            self._observe_enumeration(select, database, elapsed)
             return planned
 
         if not isinstance(query, str):
             # No stable text key; planning an AST is not cached.
             return enumerate_()
-        key = (_normalise_sql(query), limit, group_witnesses)
+        # Backend and shard count are part of the key: the auto planner may
+        # route the same query text to different snapshots, whose candidate
+        # lists carry layout-dependent internals.
+        key = (_normalise_sql(query), limit, group_witnesses,
+               getattr(database, "backend", "rows"),
+               getattr(database, "shards", 1))
         return self._plan_cache.get_or_compute(key, enumerate_)
 
     def _record_shard_stats(self, sink: dict) -> None:
@@ -575,6 +775,159 @@ class AnnotationService:
                 counters[2] += entry["witnesses"]
                 counters[3] += 1 if fully_cached else 0
                 counters[4] += 0 if fully_cached else 1
+
+    def _get_planner(self) -> Planner:
+        """The service's cost-based planner, created on first auto request."""
+        with self._views_lock:
+            if self._planner_instance is None:
+                self._planner_instance = Planner()
+            return self._planner_instance
+
+    def _database_for(self, backend: str, shards: int):
+        """The database snapshot under ``(backend, shards)``, converted once.
+
+        The constructed snapshot serves matching requests directly;
+        alternate layouts are converted lazily and cached for the service's
+        lifetime (content is identical across layouts, so every snapshot
+        yields the same answers and lineage digests).
+        """
+        base = self._database
+        if (getattr(base, "backend", "rows") == backend
+                and getattr(base, "shards", 1) == shards):
+            return base
+        key = (backend, shards)
+        with self._views_lock:
+            view = self._database_views.get(key)
+            if view is None:
+                view = base.with_backend(backend, shards=shards)
+                self._database_views[key] = view
+            return view
+
+    def _observe_enumeration(self, select, database, elapsed: float) -> None:
+        """Feed an observed enumeration cost back into the planner's model."""
+        plan_engine = self._planner_instance
+        if plan_engine is None:
+            return
+        try:
+            from repro.engine.candidates import workload_cardinalities
+            rows = sum(workload_cardinalities(select, database))
+        except Exception:
+            return
+        plan_engine.observe_enumeration(getattr(database, "backend", "rows"),
+                                        rows, elapsed)
+
+    def _decide_with_fusion(self, schedule: Sequence[TaskGroup], decide,
+                            cache_key, reuse: bool, epsilon: float,
+                            delta: float, method: str, adaptive: bool,
+                            root: np.random.SeedSequence, jobs: int,
+                            executor: str, batch_size: int,
+                            on_update: Optional[GroupUpdateCallback]
+                            ) -> tuple[list, dict]:
+        """The Monte-Carlo phase with block-diagonal kernel fusion.
+
+        Cache-missing groups whose resolved method is AFPRAS sampling are
+        batched ``batch_size`` at a time (schedule order) and decided
+        through fused kernels (:mod:`repro.service.fused`); every other
+        group keeps the standard per-group ``decide`` path, so exact folds
+        and FPRAS fallbacks run through exactly the historical ladder.
+        Results are bit-identical to the unfused path throughout.
+
+        Like :meth:`_decide_in_processes`, fused batches fill the result
+        cache but do not join the cross-request estimate flights:
+        concurrent requests may duplicate a fused group's work, never its
+        answer.
+        """
+        outcomes: list = [None] * len(schedule)
+        solo_positions: list[int] = []
+        fusable_positions: list[int] = []
+        for position, group in enumerate(schedule):
+            if reuse:
+                cached = self._result_cache.get(cache_key(group))
+                if cached is not None:
+                    outcomes[position] = (cached, True)
+                    continue
+            if fusable_method(method, group.canonical.translation()):
+                fusable_positions.append(position)
+            else:
+                solo_positions.append(position)
+        batches = partition_batches(fusable_positions, batch_size)
+
+        def batch_tasks(positions: Sequence[int]) -> list[FusedTask]:
+            return [FusedTask(
+                translation=schedule[p].canonical.translation(),
+                digest=schedule[p].canonical.digest,
+                replica=() if reuse else (schedule[p].members[0],))
+                for p in positions]
+
+        counters = {"kernels_launched": 0, "tuples_fused": 0, "batches": 0,
+                    "batch_sizes": []}
+
+        def account(launches: int, sizes: Sequence[int],
+                    positions: Sequence[int]) -> None:
+            counters["kernels_launched"] += launches
+            counters["batches"] += len(sizes)
+            counters["batch_sizes"].extend(sizes)
+            counters["tuples_fused"] += sum(
+                schedule[p].size for p in positions)
+
+        def land(positions: Sequence[int], results: Sequence) -> None:
+            for position, result in zip(positions, results):
+                group = schedule[position]
+                result = replace(result, dimension=self._dimension,
+                                 relevant_dimension=group.canonical.dimension)
+                if reuse:
+                    self._result_cache.put(cache_key(group), result)
+                outcomes[position] = (result, False)
+
+        if executor == "process" and jobs > 1 and on_update is None:
+            if solo_positions:
+                solo_outcomes = self._decide_in_processes(
+                    [schedule[p] for p in solo_positions], cache_key, reuse,
+                    epsilon, delta, method, adaptive, root, jobs)
+                for position, outcome in zip(solo_positions, solo_outcomes):
+                    outcomes[position] = outcome
+            payloads = [fused_payload(
+                batch_tasks(positions), epsilon, delta, adaptive, root,
+                self._options.adaptive_coarse, self._options.adaptive_factor)
+                for positions in batches]
+            shipped = process_map(run_fused_payload, payloads, jobs=jobs,
+                                  chunksize=1)
+            for positions, (results, launches, sizes) in zip(batches, shipped):
+                land(positions, results)
+                account(launches, sizes, positions)
+        else:
+            # One worker task per fused batch (plus one per solo group);
+            # accounting objects come back in the results, so no shared
+            # mutation races across worker threads.
+            def solo_task(position: int):
+                return ("solo", position, decide(schedule[position]))
+
+            def fused_task(positions: Sequence[int]):
+                callback = None
+                if on_update is not None:
+                    callback = lambda slot, update: on_update(  # noqa: E731
+                        schedule[positions[slot]], update)
+                results, accounting = decide_fused_batch(
+                    batch_tasks(positions), epsilon=epsilon, delta=delta,
+                    adaptive=adaptive, root=root,
+                    coarse=self._options.adaptive_coarse,
+                    factor=self._options.adaptive_factor,
+                    on_update=callback)
+                return ("fused", positions, (results, accounting))
+
+            thunks = [lambda p=position: solo_task(p)
+                      for position in solo_positions]
+            thunks.extend(lambda ps=positions: fused_task(ps)
+                          for positions in batches)
+            for kind, where, payload in run_tasks(thunks, jobs=jobs):
+                if kind == "solo":
+                    outcomes[where] = payload
+                else:
+                    results, accounting = payload
+                    land(where, results)
+                    account(accounting.kernels_launched,
+                            accounting.batch_sizes, where)
+        return outcomes, counters
 
     def _decide_in_processes(self, schedule: Sequence[TaskGroup], cache_key,
                              reuse: bool, epsilon: float, delta: float,

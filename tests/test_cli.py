@@ -301,3 +301,44 @@ class TestShardingFlags:
         with pytest.raises(SystemExit):
             main(["annotate", "--data", str(data_dir), "--sql",
                   "SELECT * FROM Market", "--executor", "greenlet"])
+
+
+class TestPlannerAndFusionFlags:
+    QUERY = ["annotate", "--query-name", "competitive_advantage",
+             "--epsilon", "0.15", "--seed", "6"]
+
+    def test_fusion_output_is_bit_identical(self, data_dir, capsys):
+        query = self.QUERY + ["--data", str(data_dir)]
+        assert main(query) == 0
+        solo = capsys.readouterr().out
+        assert main(query + ["--fusion", "8"]) == 0
+        fused = capsys.readouterr().out
+        assert fused == solo
+
+    def test_planner_auto_output_is_bit_identical(self, data_dir, capsys):
+        query = self.QUERY + ["--data", str(data_dir)]
+        assert main(query + ["--planner", "manual"]) == 0
+        manual = capsys.readouterr().out
+        assert main(query + ["--planner", "auto"]) == 0
+        auto = capsys.readouterr().out
+        assert auto == manual
+
+    def test_unknown_planner_rejected_by_argparse(self, data_dir):
+        with pytest.raises(SystemExit):
+            main(["annotate", "--data", str(data_dir), "--sql",
+                  "SELECT * FROM Market", "--planner", "cascades"])
+
+    def test_negative_fusion_rejected(self, data_dir, capsys):
+        assert main(["annotate", "--data", str(data_dir),
+                     "--query-name", "unfair_discount", "--fusion", "-1"]) == 2
+        assert "fusion" in capsys.readouterr().err
+
+    def test_serve_stats_report_fused_kernels(self, data_dir, monkeypatch,
+                                              capsys):
+        monkeypatch.setattr("sys.stdin", io.StringIO(
+            "SELECT P.id FROM Products P WHERE P.rrp <= 20\n"
+            "\\stats\n\\quit\n"))
+        assert main(["serve", "--data", str(data_dir), "--epsilon", "0.3",
+                     "--seed", "0", "--fusion", "8"]) == 0
+        output = capsys.readouterr().out
+        assert "fused kernels" in output

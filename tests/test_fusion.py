@@ -1,0 +1,295 @@
+"""Unit tests for block-diagonal kernel fusion (:mod:`repro.compile.fusion`).
+
+The fused artefact promises column-for-column bit-identity with the
+per-group kernels it stacks; these tests check the artefact's layout
+(offsets, mode partition, program sweep vs fallback split) and the
+bit-identity promise on randomized formulas and direction blocks.  The
+end-to-end promise -- fused *service answers* equal unfused ones -- lives
+in tests/test_fused_differential.py.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compile import (
+    FUSION_MODES,
+    FusionError,
+    compile_formula,
+    fuse_formulas,
+    fusion_mode,
+)
+from repro.constraints.atoms import Comparison, Constraint
+from repro.constraints.formula import And, Atom, Not, Or
+from repro.constraints.polynomials import Polynomial
+
+
+def linear_atom(name: str, bound: float = 1.0,
+                op: Comparison = Comparison.LE) -> Atom:
+    return Atom(Constraint(
+        Polynomial.variable(name) - Polynomial.constant(bound), op))
+
+
+def quadratic_atom(name: str, bound: float = 1.0,
+                   op: Comparison = Comparison.GT) -> Atom:
+    square = Polynomial.variable(name) * Polynomial.variable(name)
+    return Atom(Constraint(square - Polynomial.constant(bound), op))
+
+
+def random_linear_formula(rng: np.random.Generator, variables: tuple[str, ...]):
+    atoms = []
+    for _ in range(int(rng.integers(1, 4))):
+        name = str(rng.choice(variables))
+        op = (Comparison.LE, Comparison.LT, Comparison.GE,
+              Comparison.GT)[int(rng.integers(0, 4))]
+        poly = Polynomial.variable(name) * float(rng.uniform(-3.0, 3.0))
+        if rng.random() < 0.7:
+            other = str(rng.choice(variables))
+            poly = poly + Polynomial.variable(other) * float(rng.uniform(-2.0, 2.0))
+        atoms.append(Atom(Constraint(
+            poly - Polynomial.constant(float(rng.uniform(-1.0, 1.0))), op)))
+    if len(atoms) == 1:
+        return atoms[0]
+    connective = And if rng.random() < 0.5 else Or
+    return connective(tuple(atoms))
+
+
+def random_general_formula(rng: np.random.Generator, variables: tuple[str, ...]):
+    atoms = []
+    for _ in range(int(rng.integers(1, 4))):
+        name = str(rng.choice(variables))
+        op = (Comparison.LE, Comparison.GT)[int(rng.integers(0, 2))]
+        poly = (Polynomial.variable(name) ** int(rng.integers(2, 4))
+                * float(rng.uniform(-2.0, 2.0)))
+        if rng.random() < 0.6:
+            other = str(rng.choice(variables))
+            poly = poly + Polynomial.variable(other) * float(rng.uniform(-2.0, 2.0))
+        atoms.append(Atom(Constraint(
+            poly - Polynomial.constant(float(rng.uniform(-1.0, 1.0))), op)))
+    if len(atoms) == 1:
+        return atoms[0]
+    connective = And if rng.random() < 0.5 else Or
+    return connective(tuple(atoms))
+
+
+def compile_random(rng: np.random.Generator, count: int, kind: str):
+    compiled = []
+    for index in range(count):
+        dimension = int(rng.integers(1, 4))
+        variables = tuple(f"g{index}v{position}"
+                          for position in range(dimension))
+        builder = (random_linear_formula if kind == "linear"
+                   else random_general_formula)
+        compiled.append(compile_formula(builder(rng, variables), variables))
+    return compiled
+
+
+def assert_fused_identical(fused, compiled, rng, rounds: int = 3,
+                           count: int = 64) -> None:
+    for _ in range(rounds):
+        blocks = [rng.standard_normal((count, kernel.dimension))
+                  for kernel in compiled]
+        decisions = fused.asymptotic_truth_batch(blocks)
+        assert decisions.shape == (count, len(compiled))
+        for group, kernel in enumerate(compiled):
+            solo = kernel.asymptotic_truth_batch(blocks[group])
+            assert np.array_equal(decisions[:, group], solo), \
+                f"group {group} diverged from its unfused kernel"
+
+
+class TestFusionMode:
+    def test_linear_width_two_formulas_take_the_linear_branch(self):
+        compiled = compile_formula(linear_atom("x"), ("x",))
+        assert fusion_mode(compiled) == "linear"
+        assert fusion_mode(compiled) in FUSION_MODES
+
+    def test_higher_degrees_take_the_general_branch(self):
+        compiled = compile_formula(quadratic_atom("x"), ("x",))
+        assert fusion_mode(compiled) == "general"
+
+    def test_mixed_degree_conjunction_is_general(self):
+        formula = And((linear_atom("x"), quadratic_atom("y")))
+        compiled = compile_formula(formula, ("x", "y"))
+        assert fusion_mode(compiled) == "general"
+
+
+class TestFusedLayout:
+    def test_offsets_are_prefix_sums(self):
+        rng = np.random.default_rng(5)
+        compiled = compile_random(rng, 5, "linear")
+        fused = fuse_formulas(compiled)
+        assert fused.num_groups == 5
+        assert fused.mode == "linear"
+        dims = [kernel.dimension for kernel in compiled]
+        atoms = [kernel.table.num_atoms for kernel in compiled]
+        assert list(fused.dimensions) == dims
+        assert list(fused.variable_offsets) == \
+            list(np.concatenate(([0], np.cumsum(dims))))
+        assert list(fused.atom_offsets) == \
+            list(np.concatenate(([0], np.cumsum(atoms))))
+        assert fused.num_atoms == sum(atoms)
+        assert fused.linear_matrix.shape == (sum(dims), sum(atoms))
+        assert fused.linear_constant.shape == (sum(atoms),)
+
+    def test_linear_matrix_is_block_diagonal(self):
+        rng = np.random.default_rng(6)
+        compiled = compile_random(rng, 4, "linear")
+        fused = fuse_formulas(compiled)
+        matrix = fused.linear_matrix.copy()
+        for group in range(fused.num_groups):
+            matrix[fused.variable_offsets[group]:fused.variable_offsets[group + 1],
+                   fused.atom_offsets[group]:fused.atom_offsets[group + 1]] = 0.0
+        assert not matrix.any(), "entries outside the blocks must be zero"
+
+    def test_general_mode_pads_profiles_to_the_widest_degree(self):
+        cubic = compile_formula(
+            Atom(Constraint(Polynomial.variable("x") ** 3
+                            - Polynomial.constant(1.0), Comparison.GT)),
+            ("x",))
+        quadratic = compile_formula(quadratic_atom("y"), ("y",))
+        fused = fuse_formulas([cubic, quadratic])
+        assert fused.mode == "general"
+        assert fused.width == 4  # degrees 0..3
+        assert fused.profile_selector.shape == \
+            (fused.num_monomials, fused.num_atoms * fused.width)
+
+    def test_flat_programs_join_the_sweep_nested_ones_fall_back(self):
+        flat = compile_formula(And((linear_atom("x"), linear_atom("y", 2.0))),
+                               ("x", "y"))
+        nested = compile_formula(
+            And((Or((linear_atom("a"), linear_atom("b", 2.0))),
+                 Not(linear_atom("a", 3.0)))),
+            ("a", "b"))
+        assert flat.fused_program is not None
+        assert nested.fused_program is None
+        fused = fuse_formulas([flat, nested])
+        assert fused.sweep_groups == (0,)
+        assert fused.fallback_groups == (1,)
+        assert_fused_identical(fused, [flat, nested], np.random.default_rng(7))
+
+
+class TestFusionErrors:
+    def test_empty_batch_rejected(self):
+        with pytest.raises(FusionError):
+            fuse_formulas([])
+
+    def test_mixed_modes_rejected(self):
+        linear = compile_formula(linear_atom("x"), ("x",))
+        general = compile_formula(quadratic_atom("y"), ("y",))
+        with pytest.raises(FusionError, match="kernel modes"):
+            fuse_formulas([linear, general])
+
+    def test_wrong_block_count_rejected(self):
+        fused = fuse_formulas([compile_formula(linear_atom("x"), ("x",)),
+                               compile_formula(linear_atom("y", 2.0), ("y",))])
+        with pytest.raises(FusionError, match="direction blocks"):
+            fused.asymptotic_truth_batch([np.zeros((4, 1))])
+
+    def test_wrong_block_width_rejected(self):
+        fused = fuse_formulas([compile_formula(linear_atom("x"), ("x",))])
+        with pytest.raises(FusionError, match="shape"):
+            fused.asymptotic_truth_batch([np.zeros((4, 3))])
+
+    def test_mismatched_row_counts_rejected(self):
+        fused = fuse_formulas([compile_formula(linear_atom("x"), ("x",)),
+                               compile_formula(linear_atom("y", 2.0), ("y",))])
+        with pytest.raises(FusionError, match="rows"):
+            fused.asymptotic_truth_batch([np.zeros((4, 1)), np.zeros((5, 1))])
+
+
+class TestFusedBitIdentity:
+    def test_single_group_fusion_is_the_identity(self):
+        rng = np.random.default_rng(11)
+        compiled = compile_formula(
+            And((linear_atom("x"), linear_atom("y", -0.5, Comparison.GT))),
+            ("x", "y"))
+        fused = fuse_formulas([compiled])
+        assert_fused_identical(fused, [compiled], rng)
+
+    def test_random_linear_batches_are_bit_identical(self):
+        rng = np.random.default_rng(12)
+        for _ in range(10):
+            compiled = compile_random(rng, int(rng.integers(2, 9)), "linear")
+            assert_fused_identical(fuse_formulas(compiled), compiled, rng)
+
+    def test_random_general_batches_are_bit_identical(self):
+        rng = np.random.default_rng(13)
+        for _ in range(10):
+            compiled = compile_random(rng, int(rng.integers(2, 7)), "general")
+            assert_fused_identical(fuse_formulas(compiled), compiled, rng)
+
+    def test_zero_directions_agree_with_the_unfused_kernel(self):
+        # All-zero profiles exercise the identically-zero override, where
+        # the zero-truth table (not the sign of 0.0) decides.
+        compiled = [compile_formula(linear_atom("x", 0.0, op), ("x",))
+                    for op in (Comparison.LE, Comparison.LT,
+                               Comparison.GE, Comparison.GT)]
+        fused = fuse_formulas(compiled)
+        blocks = [np.zeros((3, 1)) for _ in compiled]
+        decisions = fused.asymptotic_truth_batch(blocks)
+        for group, kernel in enumerate(compiled):
+            solo = kernel.asymptotic_truth_batch(blocks[group])
+            assert np.array_equal(decisions[:, group], solo)
+
+    def test_duplicate_kernels_fuse_cleanly(self):
+        # The compile memo may hand the same CompiledFormula object to many
+        # groups (renamed nulls share one canonical artefact); fusion must
+        # treat each occurrence as its own block.
+        rng = np.random.default_rng(14)
+        kernel = compile_formula(linear_atom("x"), ("x",))
+        fused = fuse_formulas([kernel, kernel, kernel])
+        assert_fused_identical(fused, [kernel, kernel, kernel], rng)
+
+
+class TestFusionMemos:
+    """The artefact memos: digest-keyed compile hits and the fused-batch LRU."""
+
+    def test_digest_keyed_compile_hit_skips_canonicalisation(self):
+        # A caller holding the canonical digest (the service's schedule
+        # groups, FusedTask) gets the same artefact the plain path caches.
+        from repro.compile import compile_cache_stats
+        from repro.service import canonicalise
+
+        formula = linear_atom("memo_x", 0.25)
+        plain = compile_formula(formula, ("memo_x",))
+        digest = canonicalise(formula, ("memo_x",)).digest
+        before = compile_cache_stats()
+        keyed = compile_formula(formula, ("memo_x",), digest=digest)
+        after = compile_cache_stats()
+        assert keyed is plain
+        assert after.hits == before.hits + 1
+        assert after.misses == before.misses
+
+    def test_fused_batches_are_memoised_by_digest_tuple(self):
+        from repro.constraints.translate import TranslationResult
+        from repro.relational.values import NumNull
+        from repro.service.fused import _FUSED_CACHE, FusedTask, decide_fused_batch
+        from repro.service.rng import root_sequence
+
+        def task(index: int) -> FusedTask:
+            from repro.service import canonicalise
+            name = f"memo_g{index}"
+            poly = (Polynomial.variable(name) * (1.0 + index)
+                    - Polynomial.constant(1.0))
+            formula = Atom(Constraint(poly, Comparison.LE))
+            translation = TranslationResult(
+                formula=formula, all_variables=(name,),
+                relevant_variables=(name,),
+                null_by_variable={name: NumNull(name)})
+            return FusedTask(translation=translation,
+                             digest=canonicalise(formula, (name,)).digest,
+                             replica=(index,))
+
+        tasks = [task(index) for index in range(5)]
+
+        def decide():
+            return decide_fused_batch(
+                tasks, epsilon=0.3, delta=0.1, adaptive=False,
+                root=root_sequence(7), coarse=0.5, factor=2.0)
+
+        first, _ = decide()
+        hits_before = _FUSED_CACHE.stats().hits
+        second, _ = decide()
+        assert _FUSED_CACHE.stats().hits > hits_before
+        assert [r.value for r in first] == [r.value for r in second]

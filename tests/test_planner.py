@@ -1,0 +1,305 @@
+"""Tests for the cost-based planner: model, decisions, service/server wiring."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.relational.database import Database
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.values import NumNull
+from repro.server.protocol import ProtocolError, parse_query_request, result_event
+from repro.service import (
+    MAX_FUSION_BATCH,
+    PLANNER_MODES,
+    AnnotationService,
+    CostModel,
+    Planner,
+)
+from repro.service.planner import DEFAULT_COEFFICIENTS
+
+
+@pytest.fixture
+def shop() -> Database:
+    schema = DatabaseSchema.of(
+        RelationSchema.of("Products", id="base", seg="base", rrp="num", dis="num"),
+        RelationSchema.of("Market", seg="base", rrp="num", dis="num"),
+    )
+    database = Database(schema)
+    database.add("Products", ("p1", "tools", 10.0, 0.5))
+    database.add("Products", ("p2", "tools", NumNull("rrp2"), 0.5))
+    database.add("Products", ("p3", "tools", NumNull("rrp3"), 0.5))
+    database.add("Products", ("p4", "garden", NumNull("rrp4"), 1.0))
+    database.add("Market", ("tools", 8.0, 1.0))
+    database.add("Market", ("garden", 10.0, 0.5))
+    return database
+
+
+ADVANTAGE = ("SELECT P.id FROM Products P, Market M "
+             "WHERE P.seg = M.seg AND P.rrp * P.dis <= M.rrp * M.dis")
+
+
+class TestCostModel:
+    def test_defaults_are_the_builtin_coefficients(self):
+        model = CostModel()
+        assert model.source == "defaults"
+        for key, value in DEFAULT_COEFFICIENTS.items():
+            assert model[key] == value
+
+    def test_load_merges_partial_calibrations_over_defaults(self, tmp_path):
+        calibration = tmp_path / "calibration.json"
+        calibration.write_text(json.dumps({
+            "kernel_launch": 9.9e-4,
+            "future_coefficient": 1.0,  # unknown keys kept, not rejected
+        }))
+        model = CostModel.load(str(calibration))
+        assert model["kernel_launch"] == 9.9e-4
+        assert model["future_coefficient"] == 1.0
+        assert model["rows_row_cost"] == DEFAULT_COEFFICIENTS["rows_row_cost"]
+        assert model.source == str(calibration)
+
+    def test_load_honours_the_environment_override(self, tmp_path, monkeypatch):
+        calibration = tmp_path / "env.json"
+        calibration.write_text(json.dumps({"shard_overhead": 0.5}))
+        monkeypatch.setenv("REPRO_CALIBRATION", str(calibration))
+        monkeypatch.chdir(tmp_path)  # hide any repo-local calibration.json
+        model = CostModel.load()
+        assert model["shard_overhead"] == 0.5
+
+    def test_unreadable_or_malformed_files_fall_back(self, tmp_path,
+                                                     monkeypatch):
+        broken = tmp_path / "broken.json"
+        broken.write_text("{not json")
+        assert CostModel.load(str(broken)).source == "defaults"
+        assert CostModel.load(str(tmp_path / "missing.json")).source == "defaults"
+        scalar = tmp_path / "scalar.json"
+        scalar.write_text("42")
+        assert CostModel.load(str(scalar)).source == "defaults"
+
+    def test_enumeration_cost_shapes(self):
+        model = CostModel()
+        tiny_rows = model.enumeration_cost("rows", 10, 1, 4)
+        tiny_columnar = model.enumeration_cost("columnar", 10, 1, 4)
+        assert tiny_rows < tiny_columnar, \
+            "fixed columnar overhead must dominate on tiny tables"
+        big_rows = model.enumeration_cost("rows", 500_000, 1, 4)
+        big_columnar = model.enumeration_cost("columnar", 500_000, 1, 4)
+        assert big_columnar < big_rows
+        huge_sharded = model.enumeration_cost("columnar", 50_000_000, 4, 4)
+        huge_single = model.enumeration_cost("columnar", 50_000_000, 1, 4)
+        assert huge_sharded < huge_single
+
+    def test_estimation_cost_rewards_fusion_on_many_groups(self):
+        model = CostModel()
+        solo = model.estimation_cost(64, 300, 2, 1)
+        fused = model.estimation_cost(64, 300, 2, 64)
+        assert fused < solo
+        # One group cannot amortise anything.
+        assert model.estimation_cost(1, 300, 2, 1) <= \
+            model.estimation_cost(1, 300, 2, 64) + model["kernel_launch"]
+
+
+class TestPlanner:
+    def test_tiny_tables_fall_back_to_rows(self):
+        planner = Planner(model=CostModel(), cpus=4)
+        backend, shards = planner.plan_enumeration([4, 2])
+        assert (backend, shards) == ("rows", 1)
+
+    def test_large_tables_go_columnar(self):
+        planner = Planner(model=CostModel(), cpus=1)
+        backend, shards = planner.plan_enumeration([400_000, 200_000])
+        assert backend == "columnar"
+        assert shards == 1, "a 1-core host must not pay sharding overhead"
+
+    def test_huge_tables_shard_across_cpus(self):
+        planner = Planner(model=CostModel(), cpus=4)
+        backend, shards = planner.plan_enumeration([80_000_000])
+        assert (backend, shards) == ("columnar", 4)
+
+    def test_plan_execution_fuses_many_sampled_groups(self):
+        planner = Planner(model=CostModel(), cpus=1)
+        jobs, executor, batch = planner.plan_execution(
+            50, [2] * 50, epsilon=0.05, delta=0.05, method="afpras",
+            adaptive=False, coarse=0.5, factor=2.0)
+        assert 1 < batch <= MAX_FUSION_BATCH
+        assert planner.stats().fused_plans == 1
+
+    def test_plan_execution_never_fuses_exact_methods(self):
+        planner = Planner(model=CostModel(), cpus=4)
+        for method in ("exact", "fpras"):
+            _, _, batch = planner.plan_execution(
+                50, [2] * 50, epsilon=0.05, delta=0.05, method=method,
+                adaptive=False, coarse=0.5, factor=2.0)
+            assert batch == 0
+
+    def test_plan_execution_zero_dimensional_groups_stay_solo(self):
+        planner = Planner(model=CostModel(), cpus=4)
+        _, _, batch = planner.plan_execution(
+            50, [0] * 50, epsilon=0.05, delta=0.05, method="afpras",
+            adaptive=False, coarse=0.5, factor=2.0)
+        assert batch == 0
+
+    def test_plan_execution_empty_schedule(self):
+        planner = Planner(model=CostModel(), cpus=4)
+        assert planner.plan_execution(
+            0, [], epsilon=0.05, delta=0.05, method="afpras",
+            adaptive=False, coarse=0.5, factor=2.0) == (1, "thread", 0)
+
+    def test_runtime_feedback_outweighs_the_prior(self):
+        planner = Planner(model=CostModel(), cpus=4)
+        assert planner._observed_row_cost("rows") is None
+        planner.observe_enumeration("rows", 500, 1.0)
+        assert planner._observed_row_cost("rows") is None, \
+            "too few rows observed to trust the feedback yet"
+        planner.observe_enumeration("rows", 4_500, 9.0)
+        assert planner._observed_row_cost("rows") == pytest.approx(2.0e-3)
+        # With rows observed to be 1000x the calibrated prior, even a small
+        # table now plans columnar.
+        backend, _ = planner.plan_enumeration([600])
+        assert backend == "columnar"
+        assert planner.stats().observed_rows == {"rows": 5_000}
+
+    def test_invalid_observations_are_ignored(self):
+        planner = Planner(model=CostModel(), cpus=1)
+        planner.observe_enumeration("rows", 0, 1.0)
+        planner.observe_enumeration("rows", -5, 1.0)
+        planner.observe_enumeration("rows", 10, -1.0)
+        assert planner.stats().observed_rows == {}
+
+    def test_decide_reports_the_full_configuration(self):
+        planner = Planner(model=CostModel(), cpus=2)
+        decision = planner.decide(
+            [1_000_000], 40, [2] * 40, epsilon=0.05, delta=0.05,
+            method="afpras", adaptive=True, coarse=0.5, factor=2.0)
+        assert decision.backend == "columnar"
+        assert decision.fusion > 1
+        assert decision.estimated_cost > 0
+        as_dict = decision.as_dict()
+        assert set(as_dict) == {"backend", "shards", "jobs", "executor",
+                                "fusion", "estimated_cost"}
+
+    def test_stats_counts_plans_and_choices(self):
+        planner = Planner(model=CostModel(), cpus=4)
+        planner.plan_enumeration([5])
+        planner.plan_enumeration([5])
+        planner.plan_enumeration([900_000])
+        stats = planner.stats()
+        assert stats.plans == 3
+        assert stats.backend_choices == {"rows": 2, "columnar": 1}
+        assert stats.model_source == "defaults"
+        assert set(stats.as_dict()) == {"plans", "backend_choices",
+                                        "fused_plans", "observed_rows",
+                                        "model_source"}
+
+
+class TestServicePlannerWiring:
+    def test_invalid_planner_mode_rejected(self, shop):
+        with pytest.raises(ValueError, match="planner"):
+            AnnotationService(shop, planner="optimizer")
+        service = AnnotationService(shop)
+        with pytest.raises(ValueError, match="planner"):
+            service.submit(ADVANTAGE, planner="optimizer")
+        with pytest.raises(ValueError, match="fusion"):
+            service.submit(ADVANTAGE, fusion=-1)
+
+    def test_auto_mode_records_its_plan(self, shop):
+        service = AnnotationService(shop, epsilon=0.2)
+        response = service.submit(ADVANTAGE, seed=3, planner="auto")
+        planned = response.stats.planned
+        assert planned is not None
+        assert planned["backend"] == "rows", \
+            "the tiny shop database must take the rows fallback"
+        assert planned["shards"] == 1
+        stats = service.stats()
+        assert stats.planner is not None
+        assert stats.planner.plans >= 1
+        assert stats.planner.backend_choices.get("rows", 0) >= 1
+        assert "planner" in stats.report()
+        assert stats.as_dict()["planner"]["plans"] >= 1
+
+    def test_manual_mode_reports_no_planner(self, shop):
+        service = AnnotationService(shop, epsilon=0.2)
+        response = service.submit(ADVANTAGE, seed=3)
+        assert response.stats.planned is None
+        stats = service.stats()
+        assert stats.planner is None
+        assert "planner" not in stats.report()
+
+    def test_auto_matches_manual_answers(self, shop):
+        manual = AnnotationService(shop, epsilon=0.1).submit(ADVANTAGE, seed=9)
+        auto = AnnotationService(shop, epsilon=0.1).submit(
+            ADVANTAGE, seed=9, planner="auto")
+        assert [a.certainty for a in manual.answers] == \
+            [a.certainty for a in auto.answers]
+        assert [a.lineage_digest for a in manual.answers] == \
+            [a.lineage_digest for a in auto.answers]
+
+    def test_explicit_arguments_beat_the_planner(self, shop):
+        service = AnnotationService(shop, epsilon=0.2)
+        response = service.submit(ADVANTAGE, seed=3, planner="auto",
+                                  jobs=1, executor="thread", fusion=0)
+        planned = response.stats.planned
+        assert planned["jobs"] == 1
+        assert planned["executor"] == "thread"
+        assert planned["fusion"] == 0
+        assert response.stats.kernels_launched == 0
+
+    def test_fusion_counters_flow_to_stats(self, shop):
+        service = AnnotationService(shop, epsilon=0.2)
+        response = service.submit(ADVANTAGE, seed=5, fusion=8)
+        assert response.stats.kernels_launched > 0
+        assert response.stats.tuples_fused > 0
+        assert response.stats.fusion_batches > 0
+        stats = service.stats()
+        assert stats.fusion.kernels_launched == response.stats.kernels_launched
+        assert stats.fusion.tuples_fused == response.stats.tuples_fused
+        assert stats.fusion.batches == response.stats.fusion_batches
+        assert stats.fusion.batch_sizes
+        assert "fused kernels" in stats.report()
+        as_dict = stats.as_dict()
+        assert as_dict["fusion"]["kernels_launched"] > 0
+
+    def test_fused_requests_still_fill_the_result_cache(self, shop):
+        service = AnnotationService(shop, epsilon=0.2)
+        cold = service.submit(ADVANTAGE, seed=5, fusion=8)
+        warm = service.submit(ADVANTAGE, seed=5)
+        assert warm.stats.groups_from_cache == warm.stats.groups
+        assert [a.certainty for a in cold.answers] == \
+            [a.certainty for a in warm.answers]
+
+
+class TestServerPlannerSurface:
+    DEFAULTS = {"epsilon": 0.05, "delta": 0.05, "method": "afpras",
+                "limit": None, "seed": 0, "adaptive": False,
+                "planner": "manual"}
+
+    def test_planner_option_accepted_and_defaulted(self):
+        message = {"type": "query", "sql": "SELECT * FROM T",
+                   "options": {"planner": "auto"}}
+        _, options = parse_query_request(message, dict(self.DEFAULTS))
+        assert options["planner"] == "auto"
+        _, options = parse_query_request(
+            {"type": "query", "sql": "SELECT * FROM T"}, dict(self.DEFAULTS))
+        assert options["planner"] == "manual"
+
+    def test_invalid_planner_option_rejected(self):
+        message = {"type": "query", "sql": "SELECT * FROM T",
+                   "options": {"planner": "cboe"}}
+        with pytest.raises(ProtocolError, match="planner"):
+            parse_query_request(message, dict(self.DEFAULTS))
+
+    def test_result_event_carries_fusion_counters(self, shop):
+        response = AnnotationService(shop, epsilon=0.2).submit(
+            ADVANTAGE, seed=5, fusion=8, planner="auto")
+        event = result_event("r1", response)
+        stats = event["stats"]
+        assert stats["kernels_launched"] == response.stats.kernels_launched
+        assert stats["tuples_fused"] == response.stats.tuples_fused
+        assert stats["fusion_batches"] == response.stats.fusion_batches
+        assert stats["planned"] == response.stats.planned
+        manual = AnnotationService(shop, epsilon=0.2).submit(ADVANTAGE, seed=5)
+        assert "planned" not in result_event("r2", manual)["stats"]
+
+    def test_planner_mode_tuple_is_the_single_source_of_truth(self):
+        assert PLANNER_MODES == ("manual", "auto")

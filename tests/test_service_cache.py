@@ -188,9 +188,22 @@ class TestCompileFormulaMemo:
         assert stats.misses == 1 and stats.hits == 1
         assert stats.name == "compiled kernels"
 
+    def test_null_renamed_variants_share_one_artefact(self, compile_cache):
+        # The memo keys by canonical lineage digest: the same formula
+        # skeleton over differently-named nulls is one compiled kernel.
+        first = compile_formula(atom("rrp_1"), ("rrp_1",))
+        second = compile_formula(atom("rrp_2"), ("rrp_2",))
+        assert first is second
+        stats = compile_cache_stats()
+        assert stats.misses == 1 and stats.hits == 1
+        assert stats.size == 1
+
     def test_capacity_bounds_the_memo(self, compile_cache):
+        # Distinct bounds make structurally distinct lineages (same-shape
+        # formulas over renamed nulls would share one canonical entry).
         for index in range(8):
-            compile_formula(atom(f"x{index}"), (f"x{index}",))
+            compile_formula(atom(f"x{index}", bound=float(index)),
+                            (f"x{index}",))
         stats = compile_cache_stats()
         assert stats.size == 4
         assert stats.evictions == 4
@@ -199,7 +212,8 @@ class TestCompileFormulaMemo:
         formula = atom("x")
         first = compile_formula(formula, ("x",))
         for index in range(6):  # flush "x" out of the 4-entry memo
-            compile_formula(atom(f"y{index}"), (f"y{index}",))
+            compile_formula(atom(f"y{index}", bound=float(index + 100)),
+                            (f"y{index}",))
         second = compile_formula(formula, ("x",))
         assert first is not second
         assert first.table.constraints == second.table.constraints
