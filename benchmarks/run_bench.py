@@ -31,6 +31,7 @@ headlines.  See DESIGN.md ("Perf-measurement protocol").
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import os
 import platform
@@ -60,7 +61,7 @@ from repro.relational.schema import DatabaseSchema, RelationSchema
 from repro.relational.values import NumNull
 from repro.service import AnnotationService
 
-DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_PR6.json"
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_PR7.json"
 
 #: The headline configuration of the acceptance criterion: the largest
 #: dimension of bench_afpras_scaling.py at eps = 0.02.
@@ -594,6 +595,96 @@ def bench_fusion(quick: bool) -> dict:
     return {"scheme": "fusion", "configs": [row, flat_row]}
 
 
+OBS_HEADLINE = {"queries": 12, "epsilon": 0.1, "seed": 2}
+
+
+def bench_obs(quick: bool) -> dict:
+    """Observability overhead: instrumented serving versus the bare service.
+
+    Both sides run the identical request mix on identical fresh services;
+    the instrumented side additionally carries a live
+    :class:`~repro.obs.Recorder` (latency/phase histograms + slow-query
+    log) and per-request span tracing.  The ratio is the PR 7 acceptance
+    gate: metrics + tracing must cost at most 5% of end-to-end latency,
+    and must never change answers.
+    """
+    from repro.obs import Recorder
+
+    scale = ExperimentScale(products=150, orders=150, markets=20,
+                            null_rate=0.15)
+    database = generate_sales_database(scale, rng=7)
+    config = dict(OBS_HEADLINE)
+    repeats = 10 if quick else 14
+    queries = [EXPERIMENT_QUERIES[name]
+               for name in sorted(EXPERIMENT_QUERIES)]
+
+    # One cold compile up front; after that every run does the same warm
+    # parse/plan/enumerate/estimate work on a fresh service.  Clearing the
+    # compile memo per run would measure compiler variance, not the
+    # instrumentation overhead this gate is about.
+    configure_compile_cache(clear=True)
+
+    def once(instrumented: bool):
+        service = AnnotationService(
+            database, epsilon=config["epsilon"],
+            recorder=Recorder() if instrumented else None)
+        answers, latencies = [], []
+        for index in range(config["queries"]):
+            start = time.perf_counter()
+            response = service.submit(
+                queries[index % len(queries)], limit=25,
+                seed=config["seed"] * 100 + index,
+                trace=True if instrumented else None)
+            latencies.append(time.perf_counter() - start)
+            answers.append([a.certainty.value for a in response.answers])
+        return answers, latencies
+
+    # Noise discipline, because this gate is a tight <= 5%: the two sides
+    # are interleaved with the order alternating per repeat (so neither
+    # always runs in the post-collect sweet spot), the cyclic GC runs
+    # between runs instead of inside timed requests (the instrumented side
+    # allocates more, which would otherwise bill collector pauses to it),
+    # and the comparison sums **per-request minima** across repeats --
+    # taking the best whole run instead would let one preempted request
+    # anywhere in a block spoil that block's total.
+    bare_answers, _ = once(False)
+    instrumented_answers, _ = once(True)  # warm-up both sides
+    best = {False: [float("inf")] * config["queries"],
+            True: [float("inf")] * config["queries"]}
+    answers = {}
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for repeat in range(repeats):
+            order = (False, True) if repeat % 2 == 0 else (True, False)
+            for instrumented in order:
+                gc.collect()
+                answers[instrumented], latencies = once(instrumented)
+                best[instrumented] = [min(*pair) for pair
+                                      in zip(best[instrumented], latencies)]
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    bare_answers, instrumented_answers = answers[False], answers[True]
+    bare_seconds = sum(best[False])
+    instrumented_seconds = sum(best[True])
+    if bare_answers != instrumented_answers:
+        raise AssertionError(
+            "observability perturbed answers: traced/instrumented runs "
+            "must be bit-identical to bare runs")
+    row = {
+        **config, "headline": True,
+        "bare_seconds": bare_seconds,
+        "instrumented_seconds": instrumented_seconds,
+        "overhead_ratio": instrumented_seconds / max(bare_seconds, 1e-12),
+    }
+    print(f"obs     Q={config['queries']:>4d} eps={config['epsilon']} "
+          f"bare {bare_seconds*1e3:8.2f} ms   "
+          f"instrumented {instrumented_seconds*1e3:8.2f} ms   "
+          f"overhead {100.0 * (row['overhead_ratio'] - 1.0):+6.2f}%")
+    return {"scheme": "obs", "configs": [row]}
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true",
@@ -606,7 +697,7 @@ def main() -> int:
     schemes = [bench_afpras(args.quick), bench_fpras(args.quick),
                bench_service(args.quick), bench_join(args.quick),
                bench_sharded(args.quick), bench_server(args.quick),
-               bench_fusion(args.quick)]
+               bench_fusion(args.quick), bench_obs(args.quick)]
     headline = next(row for row in schemes[0]["configs"] if row.get("headline"))
     service_headline = next(row for row in schemes[2]["configs"]
                             if row.get("headline"))
@@ -618,6 +709,8 @@ def main() -> int:
                            if row.get("headline"))
     fusion_headline = next(row for row in schemes[6]["configs"]
                            if row.get("headline"))
+    obs_headline = next(row for row in schemes[7]["configs"]
+                        if row.get("headline"))
     baseline = {
         "benchmark": "columnar vs row join engine, annotation service "
                      "(warm vs cold), vectorized sampling kernels "
@@ -688,6 +781,12 @@ def main() -> int:
             "best_manual_seconds": fusion_headline["best_manual_seconds"],
             "auto_ratio": fusion_headline["auto_ratio"],
         },
+        "obs_headline": {
+            "config": OBS_HEADLINE,
+            "bare_seconds": obs_headline["bare_seconds"],
+            "instrumented_seconds": obs_headline["instrumented_seconds"],
+            "overhead_ratio": obs_headline["overhead_ratio"],
+        },
         "schemes": schemes,
     }
     args.output.write_text(json.dumps(baseline, indent=2) + "\n")
@@ -707,8 +806,16 @@ def main() -> int:
           f"{fusion_headline['speedup']:.2f}x fused-vs-per-group "
           f"(G={fusion_headline['groups']}, adaptive ladder, planner auto at "
           f"{fusion_headline['auto_ratio']:.2f}x best manual); "
+          f"obs headline: "
+          f"{100.0 * (obs_headline['overhead_ratio'] - 1.0):+.2f}% "
+          f"metrics+tracing overhead; "
           f"baseline written to {args.output}")
     failed = False
+    if obs_headline["overhead_ratio"] > 1.05:
+        print("FAIL: metrics + tracing cost more than 5% of end-to-end "
+              f"latency ({100.0 * (obs_headline['overhead_ratio'] - 1.0):.2f}% "
+              "overhead on the repeated decision-support mix)")
+        failed = True
     if fusion_headline["speedup"] <= 1.0:
         print("FAIL: fused kernel execution is not faster than per-group "
               "launches on the many-lineage workload")

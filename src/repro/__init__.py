@@ -43,7 +43,25 @@ from repro.relational import (
     Valuation,
 )
 
-__version__ = "0.1.0"
+#: Single source of truth for the package version: the build backend reads
+#: this attribute (``[tool.setuptools.dynamic]`` in pyproject.toml), and
+#: :func:`package_version` serves it at runtime.
+__version__ = "0.7.0"
+
+
+def package_version() -> str:
+    """The installed package's version (falls back to :data:`__version__`).
+
+    Prefers :mod:`importlib.metadata` so an installed wheel reports the
+    version it was built with; source checkouts (no distribution metadata)
+    fall back to the in-tree attribute, which is the same value.
+    """
+    try:
+        from importlib.metadata import version
+        return version("repro")
+    except Exception:
+        return __version__
+
 
 __all__ = [
     "Attribute",
@@ -61,5 +79,6 @@ __all__ = [
     "__version__",
     "certainty",
     "certainty_from_translation",
+    "package_version",
     "translate",
 ]

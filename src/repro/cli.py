@@ -35,7 +35,18 @@ without writing any Python:
 ``python -m repro.cli client --sql "SELECT ..." --port 7464``
     Query a running server over TCP and print the same table ``annotate``
     prints; ``--probe stats`` / ``--probe health`` fetch the server's
-    reports instead.
+    reports instead (aligned tables by default, ``--json`` for the raw
+    payload), ``--probe metrics`` dumps the Prometheus exposition.
+
+``python -m repro.cli top --http-port 7465``
+    Live operator console: polls a running server's ``/metrics`` and
+    ``/stats`` and renders refreshing tables of throughput, windowed
+    p50/p99 latency, cache hit rates, coalescing, planner decisions and
+    fusion counters.
+
+``annotate`` is also available as ``query``; ``repro query --trace
+out.json`` additionally writes the request's span tree as a Chrome
+trace-event file (load it in ``chrome://tracing`` or Perfetto).
 
 Errors in user input (SQL syntax, unknown tables/columns, missing data
 directories) terminate with exit code 2 and a one-line message on stderr --
@@ -49,6 +60,7 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from repro import package_version
 from repro.datagen.experiments import (
     EXPERIMENT_QUERIES,
     ExperimentScale,
@@ -56,6 +68,7 @@ from repro.datagen.experiments import (
     sales_schema,
 )
 from repro.engine.sql.lexer import SqlSyntaxError
+from repro.obs.logsetup import LOG_FORMATS, LOG_LEVELS, configure_logging
 from repro.engine.translate_sql import SqlTranslationError
 from repro.relational.csv_io import load_database, save_database
 from repro.relational.schema import SchemaError
@@ -87,6 +100,8 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Measures of certainty for queries with arithmetic on "
                     "incomplete databases (PODS 2020 reproduction).")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {package_version()}")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     generate = subparsers.add_parser(
@@ -155,12 +170,17 @@ def _build_parser() -> argparse.ArgumentParser:
                                     "are bit-identical at any batch size)")
 
     annotate_parser = subparsers.add_parser(
-        "annotate", help="run a SQL query over a CSV database and print confidences")
+        "annotate", aliases=["query"],
+        help="run a SQL query over a CSV database and print confidences")
     source = annotate_parser.add_mutually_exclusive_group(required=True)
     source.add_argument("--sql", help="SQL text of the query")
     source.add_argument("--query-name", choices=sorted(EXPERIMENT_QUERIES),
                         help="one of the paper's decision-support queries")
     add_serving_arguments(annotate_parser)
+    annotate_parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write the request's span tree (parse/plan/enumerate/schedule/"
+             "estimate/serialize) as a Chrome trace-event JSON file")
 
     serve_parser = subparsers.add_parser(
         "serve", help="start an annotation service reading queries from stdin")
@@ -192,6 +212,14 @@ def _build_parser() -> argparse.ArgumentParser:
     server_parser.add_argument("--drain-timeout", type=float, default=30.0,
                                help="seconds SIGTERM waits for in-flight "
                                     "requests before giving up (default 30)")
+    server_parser.add_argument("--log-level", default="info",
+                               choices=LOG_LEVELS,
+                               help="verbosity of the structured server log "
+                                    "on stderr (default info)")
+    server_parser.add_argument("--log-format", default="text",
+                               choices=LOG_FORMATS,
+                               help="'text' for classic operator lines, "
+                                    "'json' for one JSON object per line")
 
     client_parser = subparsers.add_parser(
         "client", help="query a running repro server over the TCP protocol")
@@ -202,8 +230,12 @@ def _build_parser() -> argparse.ArgumentParser:
     client_source.add_argument("--query-name",
                                choices=sorted(EXPERIMENT_QUERIES),
                                help="one of the paper's decision-support queries")
-    client_source.add_argument("--probe", choices=("stats", "health", "ping"),
+    client_source.add_argument("--probe",
+                               choices=("stats", "health", "ping", "metrics"),
                                help="fetch a server report instead of querying")
+    client_parser.add_argument("--json", action="store_true",
+                               help="print probe reports as raw JSON instead "
+                                    "of aligned tables")
     client_parser.add_argument("--epsilon", type=float, default=None)
     client_parser.add_argument("--delta", type=float, default=None)
     client_parser.add_argument("--method", default=None,
@@ -218,6 +250,18 @@ def _build_parser() -> argparse.ArgumentParser:
                                help="override the server's planner mode for "
                                     "this query ('auto' = cost-based "
                                     "execution planning)")
+
+    top_parser = subparsers.add_parser(
+        "top", help="live operator console over a running server's HTTP port")
+    top_parser.add_argument("--host", default="127.0.0.1")
+    top_parser.add_argument("--http-port", type=int, default=7465,
+                            help="the server's HTTP adapter port "
+                                 "(default 7465)")
+    top_parser.add_argument("--interval", type=float, default=2.0,
+                            help="seconds between polls (default 2)")
+    top_parser.add_argument("--count", type=int, default=None,
+                            help="render this many frames then exit "
+                                 "(default: run until Ctrl-C)")
 
     return parser
 
@@ -293,10 +337,15 @@ def _adaptive_printer():
 def _run_annotate(args: argparse.Namespace) -> int:
     service = _load_service(args)
     sql = args.sql if args.sql is not None else EXPERIMENT_QUERIES[args.query_name]
+    trace_path = getattr(args, "trace", None)
     response = service.submit(
-        sql, limit=args.limit,
+        sql, limit=args.limit, trace=bool(trace_path),
         on_update=_adaptive_printer() if args.adaptive else None)
     _print_answers(response.answers, args.adaptive)
+    if trace_path:
+        path = response.trace.write_chrome(trace_path)
+        print(f"-- wrote {len(response.trace.spans)} spans to {path}",
+              file=sys.stderr)
     return 0
 
 
@@ -309,7 +358,12 @@ def _run_serve(args: argparse.Namespace) -> int:
     EOF and Ctrl-C (even mid-request) exit 0 and print the ``\\stats``
     summary, so an interrupted session still reports what it amortised.
     """
+    from repro.obs import Recorder
+
     service = _load_service(args)
+    # A recorder makes the interactive ``\stats`` report include latency
+    # quantiles-to-be and the slow-query ring at zero extra flags.
+    service.use_recorder(Recorder())
     interactive = sys.stdin.isatty()
     if interactive:
         print(f"repro serve: {service.database.total_tuples()} tuples, "
@@ -356,6 +410,7 @@ def _run_server(args: argparse.Namespace) -> int:
     """The network front end: TCP NDJSON + HTTP around one service."""
     from repro.server import DEFAULT_PORT, serve
 
+    configure_logging(level=args.log_level, format=args.log_format)
     if args.max_pending < 1:
         raise ValueError(f"--max-pending must be at least 1, got {args.max_pending}")
     if args.workers < 1:
@@ -385,9 +440,21 @@ def _run_client(args: argparse.Namespace) -> int:
             if args.probe == "ping":
                 print("pong" if client.ping() else "no pong")
                 return 0
+            if args.probe == "metrics":
+                print(client.metrics(), end="")
+                return 0
             if args.probe in ("stats", "health"):
                 payload = client.stats() if args.probe == "stats" else client.health()
-                print(json.dumps(payload, indent=2))
+                if args.json:
+                    print(json.dumps(payload, indent=2))
+                elif args.probe == "stats":
+                    from repro.obs.console import render_stats_tables
+                    print(render_stats_tables(payload))
+                else:
+                    from repro.obs.console import render_table
+                    print("\n".join(render_table(
+                        ("health", "value"),
+                        [(key, str(value)) for key, value in payload.items()])))
                 return 0
             sql = args.sql if args.sql is not None \
                 else EXPERIMENT_QUERIES[args.query_name]
@@ -414,6 +481,21 @@ def _run_client(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_top(args: argparse.Namespace) -> int:
+    """Live operator console over a running server's HTTP adapter."""
+    from urllib.error import URLError
+
+    from repro.obs.console import run_top
+
+    base_url = f"http://{args.host}:{args.http_port}"
+    try:
+        frames = run_top(base_url, interval=args.interval, count=args.count)
+    except (URLError, OSError) as error:
+        print(f"error: cannot reach {base_url}: {error}", file=sys.stderr)
+        return 1
+    return 0 if frames else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point (used both by ``python -m repro.cli`` and the tests)."""
     args = _build_parser().parse_args(argv)
@@ -426,6 +508,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_server(args)
         if args.command == "client":
             return _run_client(args)
+        if args.command == "top":
+            return _run_top(args)
         return _run_annotate(args)
     except _EmptyDataError as error:
         print(str(error), file=sys.stderr)

@@ -230,6 +230,12 @@ class ReproClient:
         self._send({"op": "stats", "id": request_id})
         return self._recv(request_id)["stats"]
 
+    def metrics(self) -> str:
+        """The server's Prometheus text exposition (the ``metrics`` op)."""
+        request_id = self._roundtrip_id()
+        self._send({"op": "metrics", "id": request_id})
+        return self._recv(request_id)["metrics"]
+
     def health(self) -> dict:
         request_id = self._roundtrip_id()
         self._send({"op": "health", "id": request_id})
@@ -364,6 +370,14 @@ class AsyncReproClient:
             request_id = self._next_id
             await self._send({"op": "stats", "id": request_id})
             return (await self._recv(request_id))["stats"]
+
+    async def metrics(self) -> str:
+        """The server's Prometheus text exposition (the ``metrics`` op)."""
+        async with self._lock:
+            self._next_id += 1
+            request_id = self._next_id
+            await self._send({"op": "metrics", "id": request_id})
+            return (await self._recv(request_id))["metrics"]
 
     async def health(self) -> dict:
         async with self._lock:

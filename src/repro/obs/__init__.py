@@ -1,0 +1,96 @@
+"""Observability: metrics registry, span tracing, slow-query log, console.
+
+The package is dependency-free (stdlib only) and built around one
+contract: *instrumentation must be zero-cost when disabled and must never
+perturb answers*.  The disabled path is a pair of shared no-op singletons
+(:data:`NULL_RECORDER`, :data:`NULL_TRACE`) so uninstrumented services pay
+one attribute check per request; the enabled path never touches random
+streams, so traced runs stay bit-identical to untraced ones.
+
+Layers:
+
+* :mod:`repro.obs.metrics` -- counters/gauges/histograms with Prometheus
+  text exposition (``GET /metrics``) and scrape-time collectors;
+* :mod:`repro.obs.trace` -- per-request span trees with Chrome trace-event
+  export (``repro query --trace out.json``);
+* :mod:`repro.obs.slowlog` -- ring-buffered top-K slow-query log;
+* :mod:`repro.obs.logsetup` -- structured stdlib logging (text/json);
+* :mod:`repro.obs.recorder` -- the facade the service talks to;
+* :mod:`repro.obs.console` -- the ``repro top`` live dashboard.
+"""
+
+from repro.obs.console import (
+    ConsoleSample,
+    fetch_sample,
+    render_frame,
+    render_stats_tables,
+    render_table,
+    run_top,
+    window_quantiles,
+)
+from repro.obs.logsetup import (
+    LOG_FORMATS,
+    LOG_LEVELS,
+    JsonFormatter,
+    configure_logging,
+    get_logger,
+)
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    Sample,
+    counters_family,
+    histogram_quantile,
+    parse_exposition,
+)
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    NullRecorder,
+    Recorder,
+    process_collector,
+    service_stats_collector,
+)
+from repro.obs.slowlog import SlowQuery, SlowQueryLog
+from repro.obs.trace import NULL_TRACE, AnyTrace, NullTrace, Span, SpanRecord, Trace
+
+__all__ = [
+    "LATENCY_BUCKETS",
+    "LOG_FORMATS",
+    "LOG_LEVELS",
+    "NULL_RECORDER",
+    "NULL_TRACE",
+    "AnyTrace",
+    "ConsoleSample",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonFormatter",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NullRecorder",
+    "NullTrace",
+    "Recorder",
+    "Sample",
+    "Span",
+    "SpanRecord",
+    "SlowQuery",
+    "SlowQueryLog",
+    "Trace",
+    "configure_logging",
+    "counters_family",
+    "fetch_sample",
+    "get_logger",
+    "histogram_quantile",
+    "parse_exposition",
+    "process_collector",
+    "render_frame",
+    "render_stats_tables",
+    "render_table",
+    "run_top",
+    "service_stats_collector",
+    "window_quantiles",
+]

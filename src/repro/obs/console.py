@@ -1,0 +1,349 @@
+"""The live operator console behind ``repro top``.
+
+Polls a running server's ``GET /metrics`` and ``GET /stats`` endpoints and
+renders a refreshing terminal dashboard: request throughput and windowed
+latency quantiles (computed by *subtracting consecutive histogram
+snapshots* bucket-for-bucket and running
+:func:`~repro.obs.metrics.histogram_quantile` on the delta -- the fixed
+log-spaced buckets make the subtraction well-defined), cache hit rates,
+single-flight coalescing, planner decisions, fusion counters, and the
+slow-query log.
+
+The fetching side is a plain injectable callable so the console is testable
+without sockets, and ``count=`` bounds the number of frames so tests (and
+``repro top --count 1``) terminate.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, TextIO
+
+from repro.obs.metrics import histogram_quantile, parse_exposition
+
+#: ANSI: clear screen + home the cursor (used between frames on a tty).
+_CLEAR = "\x1b[2J\x1b[H"
+
+MetricsMap = dict
+
+
+@dataclass
+class ConsoleSample:
+    """One poll: wall-clock time plus both endpoint payloads."""
+
+    time: float
+    stats: dict
+    metrics: MetricsMap = field(default_factory=dict)
+
+
+def fetch_sample(base_url: str, timeout: float = 5.0) -> ConsoleSample:
+    """Poll ``/stats`` and ``/metrics`` over HTTP."""
+    base = base_url.rstrip("/")
+    with urllib.request.urlopen(f"{base}/stats", timeout=timeout) as response:
+        stats = json.loads(response.read().decode("utf-8"))
+    metrics: MetricsMap = {}
+    try:
+        with urllib.request.urlopen(f"{base}/metrics",
+                                    timeout=timeout) as response:
+            metrics = parse_exposition(response.read().decode("utf-8"))
+    except urllib.error.HTTPError:
+        # An older server without /metrics still gets a /stats-only console.
+        metrics = {}
+    return ConsoleSample(time=time.time(), stats=stats, metrics=metrics)
+
+
+# -- derived numbers ----------------------------------------------------------
+
+
+def _metric(metrics: MetricsMap, name: str, **labels: str) -> Optional[float]:
+    return metrics.get((name, tuple(sorted(labels.items()))))
+
+
+def _histogram_buckets(metrics: MetricsMap, name: str,
+                       **labels: str) -> list[tuple[float, float]]:
+    """Cumulative ``(le, count)`` pairs of one histogram child."""
+    buckets: list[tuple[float, float]] = []
+    for (metric_name, label_items), value in metrics.items():
+        if metric_name != f"{name}_bucket":
+            continue
+        label_map = dict(label_items)
+        bound_text = label_map.pop("le", None)
+        if bound_text is None or label_map != labels:
+            continue
+        bound = float("inf") if bound_text == "+Inf" else float(bound_text)
+        buckets.append((bound, value))
+    buckets.sort(key=lambda item: item[0])
+    return buckets
+
+
+def _bucket_delta(current: Sequence[tuple[float, float]],
+                  previous: Sequence[tuple[float, float]],
+                  ) -> list[tuple[float, float]]:
+    earlier = dict(previous)
+    return [(bound, max(0.0, count - earlier.get(bound, 0.0)))
+            for bound, count in current]
+
+
+def window_quantiles(current: ConsoleSample,
+                     previous: Optional[ConsoleSample],
+                     name: str = "repro_request_seconds",
+                     quantiles: Sequence[float] = (0.5, 0.99),
+                     ) -> list[Optional[float]]:
+    """Latency quantiles over the window between two polls.
+
+    Falls back to lifetime quantiles on the first frame (no previous
+    sample to subtract).
+    """
+    buckets = _histogram_buckets(current.metrics, name)
+    if previous is not None:
+        buckets = _bucket_delta(
+            buckets, _histogram_buckets(previous.metrics, name))
+    return [histogram_quantile(buckets, quantile) for quantile in quantiles]
+
+
+def _rate(current: ConsoleSample, previous: Optional[ConsoleSample],
+          name: str, **labels: str) -> Optional[float]:
+    """Per-second increase of a counter between two polls."""
+    if previous is None:
+        return None
+    now = _metric(current.metrics, name, **labels)
+    then = _metric(previous.metrics, name, **labels)
+    elapsed = current.time - previous.time
+    if now is None or then is None or elapsed <= 0:
+        return None
+    return max(0.0, now - then) / elapsed
+
+
+# -- formatting ---------------------------------------------------------------
+
+
+def _fmt_seconds(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value < 0.001:
+        return f"{value * 1e6:.0f}us"
+    if value < 1.0:
+        return f"{value * 1e3:.1f}ms"
+    return f"{value:.2f}s"
+
+
+def _fmt_rate(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:.1f}/s"
+
+
+def _fmt_ratio(hits: float, misses: float) -> str:
+    total = hits + misses
+    if total <= 0:
+        return "-"
+    return f"{100.0 * hits / total:.1f}%"
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]],
+                 ) -> list[str]:
+    """Plain aligned columns; first column left-, the rest right-aligned."""
+    if not rows:
+        rows = []
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        parts = [cells[0].ljust(widths[0])]
+        parts.extend(cell.rjust(width)
+                     for cell, width in zip(cells[1:], widths[1:]))
+        return "  ".join(parts).rstrip()
+    lines = [line(headers), line(["-" * width for width in widths])]
+    lines.extend(line(row) for row in rows)
+    return lines
+
+
+def render_frame(current: ConsoleSample,
+                 previous: Optional[ConsoleSample]) -> str:
+    """One full dashboard frame as text."""
+    server = current.stats.get("server", {})
+    service = current.stats.get("service", {})
+    out: list[str] = []
+
+    qps = _rate(current, previous, "repro_service_requests_total")
+    p50, p99 = window_quantiles(current, previous)
+    window = "lifetime" if previous is None \
+        else f"{current.time - previous.time:.1f}s window"
+    out.append(f"repro top  -  {time.strftime('%H:%M:%S', time.localtime(current.time))}"
+               f"  ({window})")
+    out.append("")
+    out.extend(render_table(
+        ("throughput", "value"),
+        [("requests total", str(server.get("requests",
+                                           service.get("requests", 0)))),
+         ("qps", _fmt_rate(qps)),
+         ("p50 latency", _fmt_seconds(p50)),
+         ("p99 latency", _fmt_seconds(p99)),
+         ("active flights", str(server.get("active", "-"))),
+         ("overloads", str(server.get("overloads", 0))),
+         ("query errors", str(server.get("query_errors", 0)))]))
+
+    launched = server.get("launched", 0)
+    coalesced = server.get("coalesced", 0)
+    out.append("")
+    out.extend(render_table(
+        ("coalescing", "launched", "joined", "join rate"),
+        [("server flights", str(launched), str(coalesced),
+          _fmt_ratio(coalesced, launched))]))
+
+    caches = service.get("caches", [])
+    if caches:
+        rows = []
+        for cache in caches:
+            hits = cache.get("hits", 0)
+            misses = cache.get("misses", 0)
+            rows.append((cache.get("name", "?"), str(cache.get("size", 0)),
+                         str(hits), str(misses), _fmt_ratio(hits, misses)))
+        out.append("")
+        out.extend(render_table(
+            ("cache", "size", "hits", "misses", "hit rate"), rows))
+
+    planner = service.get("planner")
+    if planner and planner.get("plans"):
+        choices = ", ".join(f"{backend}={count}" for backend, count
+                            in sorted(planner.get("backend_choices",
+                                                  {}).items()))
+        out.append("")
+        out.extend(render_table(
+            ("planner", "value"),
+            [("plans", str(planner.get("plans", 0))),
+             ("fused plans", str(planner.get("fused_plans", 0))),
+             ("backend choices", choices or "-")]))
+
+    fusion = service.get("fusion")
+    if fusion and (fusion.get("batches") or fusion.get("kernels_launched")):
+        out.append("")
+        out.extend(render_table(
+            ("fusion", "value"),
+            [("batches", str(fusion.get("batches", 0))),
+             ("kernels launched", str(fusion.get("kernels_launched", 0))),
+             ("tuples fused", str(fusion.get("tuples_fused", 0)))]))
+
+    slow = service.get("slow_queries", [])
+    if slow:
+        rows = []
+        for entry in slow[:5]:
+            phases = entry.get("phases", {})
+            top_phase = max(phases.items(), key=lambda item: item[1])[0] \
+                if phases else "-"
+            rows.append((entry.get("sql", "?")[:48],
+                         _fmt_seconds(entry.get("elapsed_seconds")),
+                         str(entry.get("candidates", 0)), top_phase))
+        out.append("")
+        out.extend(render_table(
+            ("slow query", "elapsed", "candidates", "hottest phase"), rows))
+
+    return "\n".join(out) + "\n"
+
+
+def render_stats_tables(stats: dict) -> str:
+    """A ``/stats`` payload as aligned tables (``repro client --probe
+    stats`` without ``--json``)."""
+    out: list[str] = []
+    server = stats.get("server", {})
+    if server:
+        out.extend(render_table(
+            ("server", "value"),
+            [(key, str(value)) for key, value in server.items()]))
+    service = stats.get("service", {})
+    scalar_keys = ("requests", "answers_served", "estimates_computed",
+                   "estimates_reused", "tuples_batched")
+    scalars = [(key, str(service[key])) for key in scalar_keys
+               if key in service]
+    if scalars:
+        out.append("")
+        out.extend(render_table(("service", "value"), scalars))
+    caches = service.get("caches", [])
+    if caches:
+        out.append("")
+        out.extend(render_table(
+            ("cache", "cap", "size", "hits", "misses", "evictions"),
+            [(cache.get("name", "?"), str(cache.get("capacity", 0)),
+              str(cache.get("size", 0)), str(cache.get("hits", 0)),
+              str(cache.get("misses", 0)), str(cache.get("evictions", 0)))
+             for cache in caches]))
+    backends = service.get("backends", [])
+    if backends:
+        out.append("")
+        out.extend(render_table(
+            ("backend", "requests", "plan hits", "plan misses"),
+            [(backend.get("backend", "?"), str(backend.get("requests", 0)),
+              str(backend.get("plan_hits", 0)),
+              str(backend.get("plan_misses", 0)))
+             for backend in backends]))
+    flight = service.get("single_flight")
+    if flight:
+        out.append("")
+        out.extend(render_table(
+            ("single flight", "launched", "joined", "failed", "in flight"),
+            [(flight.get("name", "flights"), str(flight.get("launches", 0)),
+              str(flight.get("joins", 0)), str(flight.get("failures", 0)),
+              str(flight.get("in_flight", 0)))]))
+    planner = service.get("planner")
+    if planner and planner.get("plans"):
+        choices = ", ".join(f"{backend}={count}" for backend, count
+                            in sorted(planner.get("backend_choices",
+                                                  {}).items()))
+        out.append("")
+        out.extend(render_table(
+            ("planner", "value"),
+            [("plans", str(planner.get("plans", 0))),
+             ("fused plans", str(planner.get("fused_plans", 0))),
+             ("backend choices", choices or "-")]))
+    fusion = service.get("fusion")
+    if fusion and (fusion.get("batches") or fusion.get("kernels_launched")):
+        out.append("")
+        out.extend(render_table(
+            ("fusion", "value"),
+            [("batches", str(fusion.get("batches", 0))),
+             ("kernels launched", str(fusion.get("kernels_launched", 0))),
+             ("tuples fused", str(fusion.get("tuples_fused", 0)))]))
+    slow = service.get("slow_queries", [])
+    if slow:
+        out.append("")
+        out.extend(render_table(
+            ("slow query", "elapsed", "candidates"),
+            [(entry.get("sql", "?")[:60],
+              _fmt_seconds(entry.get("elapsed_seconds")),
+              str(entry.get("candidates", 0))) for entry in slow]))
+    return "\n".join(out)
+
+
+def run_top(base_url: str, *, interval: float = 2.0,
+            count: Optional[int] = None, stream: Optional[TextIO] = None,
+            clear: Optional[bool] = None,
+            fetch: Optional[Callable[[str], ConsoleSample]] = None) -> int:
+    """Poll and render until interrupted (or ``count`` frames).
+
+    Returns the number of frames rendered.  ``fetch`` is injectable so
+    tests can drive the console from canned samples.
+    """
+    stream = stream if stream is not None else sys.stdout
+    fetch = fetch if fetch is not None else fetch_sample
+    if clear is None:
+        clear = getattr(stream, "isatty", lambda: False)()
+    previous: Optional[ConsoleSample] = None
+    frames = 0
+    try:
+        while count is None or frames < count:
+            if frames > 0:
+                time.sleep(interval)
+            current = fetch(base_url)
+            if clear:
+                stream.write(_CLEAR)
+            stream.write(render_frame(current, previous))
+            stream.flush()
+            previous = current
+            frames += 1
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    return frames

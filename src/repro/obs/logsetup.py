@@ -1,0 +1,97 @@
+"""Structured logging for the serving stack (stdlib ``logging`` only).
+
+Every module logs through ``logging.getLogger("repro.<area>")``;
+:func:`configure_logging` wires the root ``repro`` logger to stderr in one
+of two formats:
+
+``text``
+    ``2026-08-08 12:00:00,123 INFO repro.server: listening ...`` -- the
+    classic operator-readable line.
+
+``json``
+    One JSON object per line (``ts``, ``level``, ``logger``, ``message``
+    plus any ``extra=`` fields), for log shippers and ``jq``.
+
+The handler goes on the ``repro`` logger, not the root logger, so
+embedding applications keep their own logging configuration untouched;
+``propagate`` is disabled for the same reason.  Calling
+:func:`configure_logging` again reconfigures idempotently (the CLI and the
+tests both rely on that).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import Any, Optional, TextIO
+
+#: Log formats the CLI accepts.
+LOG_FORMATS = ("text", "json")
+
+#: Levels the CLI accepts (lowercase, mapped onto stdlib levels).
+LOG_LEVELS = ("debug", "info", "warning", "error", "critical")
+
+#: Fields of every LogRecord; anything else came in via ``extra=`` and is
+#: forwarded into the JSON document.
+_RECORD_FIELDS = frozenset(logging.LogRecord(
+    "", 0, "", 0, "", (), None).__dict__) | {"message", "asctime",
+                                             "taskName"}
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record; ``extra=`` fields ride along."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        document: dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _RECORD_FIELDS and not key.startswith("_"):
+                try:
+                    json.dumps(value)
+                    document[key] = value
+                except (TypeError, ValueError):
+                    document[key] = str(value)
+        if record.exc_info and record.exc_info[0] is not None:
+            document["exception"] = self.formatException(record.exc_info)
+        return json.dumps(document, ensure_ascii=False)
+
+
+def configure_logging(level: str = "info", format: str = "text",
+                      stream: Optional[TextIO] = None) -> logging.Logger:
+    """Configure the ``repro`` logger tree; returns the configured logger."""
+    if level not in LOG_LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r}; expected one of {LOG_LEVELS}")
+    if format not in LOG_FORMATS:
+        raise ValueError(
+            f"unknown log format {format!r}; expected one of {LOG_FORMATS}")
+    logger = logging.getLogger("repro")
+    logger.setLevel(getattr(logging, level.upper()))
+    handler = logging.StreamHandler(stream if stream is not None
+                                    else sys.stderr)
+    if format == "json":
+        handler.setFormatter(JsonFormatter())
+    else:
+        handler.setFormatter(logging.Formatter(
+            "%(asctime)s %(levelname)s %(name)s: %(message)s"))
+    # Idempotent reconfiguration: replace our handlers, keep foreign ones
+    # (an embedding app may have attached its own).
+    for existing in list(logger.handlers):
+        if getattr(existing, "_repro_managed", False):
+            logger.removeHandler(existing)
+    handler._repro_managed = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` tree (``get_logger("server")``)."""
+    if name.startswith("repro"):
+        return logging.getLogger(name)
+    return logging.getLogger(f"repro.{name}")

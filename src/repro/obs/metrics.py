@@ -1,0 +1,506 @@
+"""A dependency-free metrics registry with Prometheus text exposition.
+
+Three instrument kinds cover everything the serving stack reports:
+
+* **counters** -- monotonically increasing totals (requests served, cache
+  hits); by convention their names end in ``_total``;
+* **gauges** -- point-in-time levels (active flights, cache sizes);
+* **histograms** -- latency distributions over *fixed log-spaced buckets*
+  (:data:`LATENCY_BUCKETS`), so two snapshots of the same histogram can be
+  subtracted bucket-for-bucket to compute windowed quantiles -- which is
+  exactly what ``repro top`` does between polls.
+
+Every instrument is thread-safe (one lock per instrument; the network
+server records from worker threads) and supports Prometheus-style labels
+via :meth:`_Metric.labels`.  :meth:`MetricsRegistry.render` produces the
+`Prometheus text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ --
+``# HELP`` / ``# TYPE`` headers, escaped label values, cumulative
+``_bucket{le=...}`` series plus ``_sum``/``_count`` for histograms.
+
+Registries also accept **collector callbacks**: functions returning metric
+families built from existing counter structures at scrape time.  The
+service's lifetime counters (:meth:`AnnotationService.stats`) are exported
+this way -- the hot path keeps its existing ``_counters_lock`` increments
+and pays nothing for exposition until someone actually scrapes
+``GET /metrics``.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Optional, Sequence
+
+#: Fixed log-spaced latency buckets (seconds): powers of two from 100 us to
+#: ~200 s.  Fixed -- not per-instrument -- so histogram snapshots from any
+#: two processes or points in time line up bucket-for-bucket.
+LATENCY_BUCKETS: tuple[float, ...] = tuple(
+    0.0001 * 2.0 ** exponent for exponent in range(21))
+
+_VALID_TYPES = ("counter", "gauge", "histogram")
+
+
+def _format_value(value: float) -> str:
+    """A metric value in exposition form (integers without the ``.0``)."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, float) and value != value:  # NaN
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    """Escape a label value per the exposition format."""
+    return (str(value).replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _render_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{name}="{_escape_label(value)}"'
+                     for name, value in labels.items())
+    return "{" + inner + "}"
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One exposition line: ``name{labels} value``."""
+
+    name: str
+    labels: Mapping[str, str]
+    value: float
+
+    def render(self) -> str:
+        return (f"{self.name}{_render_labels(self.labels)} "
+                f"{_format_value(self.value)}")
+
+
+@dataclass(frozen=True)
+class MetricFamily:
+    """A named metric with help text, type, and its current samples.
+
+    The unit both instruments and collector callbacks produce; ``render``
+    order is HELP, TYPE, then every sample.
+    """
+
+    name: str
+    kind: str
+    help: str
+    samples: tuple[Sample, ...] = field(default_factory=tuple)
+
+    def render(self) -> list[str]:
+        lines = [f"# HELP {self.name} {self.help}",
+                 f"# TYPE {self.name} {self.kind}"]
+        lines.extend(sample.render() for sample in self.samples)
+        return lines
+
+
+class _Metric:
+    """Shared label plumbing of the three instrument kinds."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str,
+                 labelnames: Sequence[str] = ()) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._children: dict[tuple[str, ...], object] = {}
+        if not self.labelnames:
+            # Label-less instruments act on one implicit child directly.
+            self._default = self._child()
+            self._children[()] = self._default
+
+    def _child(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def labels(self, **labelvalues: str):
+        """The child instrument for one label combination (created lazily)."""
+        if set(labelvalues) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labelvalues))}")
+        key = tuple(str(labelvalues[name]) for name in self.labelnames)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._child()
+                self._children[key] = child
+            return child
+
+    def _label_map(self, key: tuple[str, ...]) -> dict[str, str]:
+        return dict(zip(self.labelnames, key))
+
+    def collect(self) -> MetricFamily:
+        with self._lock:
+            children = list(self._children.items())
+        samples: list[Sample] = []
+        for key, child in children:
+            samples.extend(child.samples(self.name, self._label_map(key)))
+        return MetricFamily(name=self.name, kind=self.kind, help=self.help,
+                            samples=tuple(samples))
+
+
+class _CounterChild:
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def samples(self, name: str, labels: Mapping[str, str]) -> list[Sample]:
+        return [Sample(name, labels, self.value)]
+
+
+class Counter(_Metric):
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    def _child(self) -> _CounterChild:
+        return _CounterChild()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default.inc(amount)
+
+    @property
+    def value(self) -> float:
+        return self._default.value
+
+
+class _GaugeChild:
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def samples(self, name: str, labels: Mapping[str, str]) -> list[Sample]:
+        return [Sample(name, labels, self.value)]
+
+
+class Gauge(_Metric):
+    """A level that can go up and down."""
+
+    kind = "gauge"
+
+    def _child(self) -> _GaugeChild:
+        return _GaugeChild()
+
+    def set(self, value: float) -> None:
+        self._default.set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default.inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default.dec(amount)
+
+    @property
+    def value(self) -> float:
+        return self._default.value
+
+
+class _HistogramChild:
+    __slots__ = ("_lock", "_bounds", "_counts", "_sum", "_count")
+
+    def __init__(self, bounds: tuple[float, ...]) -> None:
+        self._lock = threading.Lock()
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last slot = +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        # Linear scan: ~21 comparisons against bisect's call overhead is a
+        # wash, and the scan holds no references the GC must trace.
+        index = 0
+        for bound in self._bounds:
+            if value <= bound:
+                break
+            index += 1
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    def snapshot(self) -> tuple[list[int], float, int]:
+        with self._lock:
+            return list(self._counts), self._sum, self._count
+
+    def samples(self, name: str, labels: Mapping[str, str]) -> list[Sample]:
+        counts, total_sum, total_count = self.snapshot()
+        samples: list[Sample] = []
+        cumulative = 0
+        for bound, count in zip(self._bounds, counts):
+            cumulative += count
+            samples.append(Sample(f"{name}_bucket",
+                                  {**labels, "le": _format_value(bound)},
+                                  cumulative))
+        samples.append(Sample(f"{name}_bucket", {**labels, "le": "+Inf"},
+                              total_count))
+        samples.append(Sample(f"{name}_sum", dict(labels), total_sum))
+        samples.append(Sample(f"{name}_count", dict(labels), total_count))
+        return samples
+
+
+class Histogram(_Metric):
+    """A distribution over fixed buckets (cumulative on exposition)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str] = (),
+                 buckets: Sequence[float] = LATENCY_BUCKETS) -> None:
+        bounds = tuple(sorted(float(bound) for bound in buckets))
+        if not bounds:
+            raise ValueError("histograms need at least one bucket bound")
+        self.buckets = bounds
+        super().__init__(name, help, labelnames)
+
+    def _child(self) -> _HistogramChild:
+        return _HistogramChild(self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._default.observe(value)
+
+
+#: A collector callback: metric families computed at scrape time.
+Collector = Callable[[], Iterable[MetricFamily]]
+
+
+class MetricsRegistry:
+    """Instrument factory plus the exposition entry point.
+
+    Instrument constructors are get-or-create: asking twice for the same
+    name returns the same object (mismatched kind or labels raise), so
+    layers can share a registry without coordinating instrument ownership.
+    """
+
+    def __init__(self, namespace: str = "repro") -> None:
+        self.namespace = namespace
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Metric] = {}
+        self._collectors: list[Collector] = []
+
+    # -- instrument factories ---------------------------------------------
+
+    def _register(self, cls, name: str, help: str,
+                  labelnames: Sequence[str], **kwargs) -> _Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls) \
+                        or existing.labelnames != tuple(labelnames):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind} with labels {existing.labelnames}")
+                return existing
+            metric = cls(name, help, labelnames, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str,
+                labelnames: Sequence[str] = ()) -> Counter:
+        return self._register(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str,
+              labelnames: Sequence[str] = ()) -> Gauge:
+        return self._register(Gauge, name, help, labelnames)
+
+    def histogram(self, name: str, help: str,
+                  labelnames: Sequence[str] = (),
+                  buckets: Sequence[float] = LATENCY_BUCKETS) -> Histogram:
+        return self._register(Histogram, name, help, labelnames,
+                              buckets=buckets)
+
+    def register_collector(self, collector: Collector) -> None:
+        """Add a scrape-time callback producing extra metric families."""
+        with self._lock:
+            self._collectors.append(collector)
+
+    # -- exposition --------------------------------------------------------
+
+    def collect(self) -> list[MetricFamily]:
+        with self._lock:
+            metrics = list(self._metrics.values())
+            collectors = list(self._collectors)
+        families = [metric.collect() for metric in metrics]
+        for collector in collectors:
+            families.extend(collector())
+        families.sort(key=lambda family: family.name)
+        return families
+
+    def render(self) -> str:
+        """The registry in Prometheus text exposition format."""
+        lines: list[str] = []
+        for family in self.collect():
+            lines.extend(family.render())
+        return "\n".join(lines) + "\n"
+
+
+def counters_family(name: str, help: str,
+                    rows: Iterable[tuple[Mapping[str, str], float]],
+                    kind: str = "counter") -> MetricFamily:
+    """Convenience for collectors: one family from ``(labels, value)`` rows."""
+    if kind not in _VALID_TYPES:
+        raise ValueError(f"unknown metric type {kind!r}")
+    return MetricFamily(
+        name=name, kind=kind, help=help,
+        samples=tuple(Sample(name, dict(labels), float(value))
+                      for labels, value in rows))
+
+
+def parse_exposition(text: str) -> dict[tuple[str, tuple[tuple[str, str], ...]], float]:
+    """Parse exposition text back into ``{(name, sorted labels): value}``.
+
+    The inverse ``repro top`` (and the tests) need: enough of the format to
+    read back what :meth:`MetricsRegistry.render` produces -- not a general
+    Prometheus parser.
+    """
+    samples: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        if not name_part:
+            continue
+        labels: list[tuple[str, str]] = []
+        name = name_part
+        if "{" in name_part:
+            name, _, label_blob = name_part.partition("{")
+            label_blob = label_blob.rstrip("}")
+            for item in _split_labels(label_blob):
+                key, _, raw = item.partition("=")
+                raw = raw.strip()
+                if raw.startswith('"') and raw.endswith('"'):
+                    raw = raw[1:-1]
+                labels.append((key.strip(), _unescape_label(raw)))
+        try:
+            if value_part == "+Inf":
+                number = math.inf
+            elif value_part == "-Inf":
+                number = -math.inf
+            else:
+                number = float(value_part)
+        except ValueError:
+            continue
+        samples[(name, tuple(sorted(labels)))] = number
+    return samples
+
+
+def _unescape_label(raw: str) -> str:
+    """Invert :func:`_escape_label` in a single pass.
+
+    Sequential ``str.replace`` calls are wrong here: ``\\\\n`` (an escaped
+    backslash followed by a literal ``n``) must not turn into a newline.
+    """
+    out: list[str] = []
+    index = 0
+    while index < len(raw):
+        char = raw[index]
+        if char == "\\" and index + 1 < len(raw):
+            follower = raw[index + 1]
+            out.append("\n" if follower == "n" else follower)
+            index += 2
+            continue
+        out.append(char)
+        index += 1
+    return "".join(out)
+
+
+def _split_labels(blob: str) -> list[str]:
+    """Split ``a="x",b="y"`` on commas outside quoted values."""
+    parts: list[str] = []
+    current: list[str] = []
+    in_quotes = False
+    escaped = False
+    for char in blob:
+        if escaped:
+            current.append(char)
+            escaped = False
+            continue
+        if char == "\\":
+            current.append(char)
+            escaped = True
+            continue
+        if char == '"':
+            in_quotes = not in_quotes
+        if char == "," and not in_quotes:
+            parts.append("".join(current))
+            current = []
+            continue
+        current.append(char)
+    if current:
+        parts.append("".join(current))
+    return [part for part in (part.strip() for part in parts) if part]
+
+
+def histogram_quantile(
+        buckets: Sequence[tuple[float, float]], quantile: float,
+) -> Optional[float]:
+    """Estimate a quantile from cumulative ``(le, count)`` histogram buckets.
+
+    Linear interpolation inside the winning bucket, the way PromQL's
+    ``histogram_quantile`` does it; ``None`` when the histogram is empty.
+    ``buckets`` may be a delta between two snapshots (windowed quantiles) or
+    a lifetime snapshot.
+    """
+    if not 0.0 <= quantile <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {quantile}")
+    ordered = sorted(buckets, key=lambda item: item[0])
+    if not ordered:
+        return None
+    total = ordered[-1][1]
+    if total <= 0:
+        return None
+    rank = quantile * total
+    previous_bound = 0.0
+    previous_count = 0.0
+    for bound, cumulative in ordered:
+        if cumulative >= rank:
+            if math.isinf(bound):
+                return previous_bound
+            width = bound - previous_bound
+            share = cumulative - previous_count
+            if share <= 0:
+                return bound
+            return previous_bound + width * (rank - previous_count) / share
+        previous_bound = bound if not math.isinf(bound) else previous_bound
+        previous_count = cumulative
+    return previous_bound

@@ -36,8 +36,15 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, AsyncIterator, Optional
 
+from repro import package_version
 from repro.engine.sql.lexer import SqlSyntaxError
 from repro.engine.translate_sql import SqlTranslationError
+from repro.obs.metrics import counters_family
+from repro.obs.recorder import (
+    Recorder,
+    process_collector,
+    service_stats_collector,
+)
 from repro.relational.schema import SchemaError
 from repro.server.protocol import (
     OverloadError,
@@ -89,12 +96,28 @@ class ServerApp:
     """Transport-independent query serving over one annotation service."""
 
     def __init__(self, service, *, max_pending: int = 64,
-                 workers: int = 4) -> None:
+                 workers: int = 4, recorder: Optional[Recorder] = None) -> None:
         if max_pending < 1:
             raise ValueError(f"max_pending must be at least 1, got {max_pending}")
         if workers < 1:
             raise ValueError(f"workers must be at least 1, got {workers}")
         self._service = service
+        # Serving always observes: reuse the service's live recorder if one
+        # is attached, otherwise create one and attach it, so request
+        # latency histograms and the slow-query log are populated without
+        # any extra configuration.  Scrape-time collectors export the
+        # service's and the server's lifetime counters with zero cost on
+        # the request hot path.
+        existing = getattr(service, "recorder", None)
+        if recorder is None:
+            recorder = (existing if existing is not None and existing.enabled
+                        else Recorder())
+        self._recorder = recorder
+        if existing is not recorder and hasattr(service, "use_recorder"):
+            service.use_recorder(recorder)
+        recorder.metrics.register_collector(service_stats_collector(service))
+        recorder.metrics.register_collector(process_collector())
+        recorder.metrics.register_collector(self._server_collector)
         self._max_pending = max_pending
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-server")
@@ -220,13 +243,54 @@ class ServerApp:
 
     # -- auxiliary operations ------------------------------------------------
 
+    @property
+    def recorder(self) -> Recorder:
+        return self._recorder
+
     def health(self) -> dict:
         return {
             "status": "draining" if self._draining else "ok",
             "active": len(self._flights),
             "max_pending": self._max_pending,
             "uptime_seconds": time.monotonic() - self._started,
+            "version": package_version(),
         }
+
+    def metrics_text(self) -> str:
+        """The Prometheus exposition for ``GET /metrics`` / the TCP
+        ``metrics`` op: live instruments plus every registered collector."""
+        return self._recorder.metrics.render()
+
+    def _server_collector(self):
+        """Scrape-time export of the app's own event-loop counters."""
+        return [
+            counters_family(
+                "repro_server_requests_total",
+                "Query requests received (before admission/coalescing)",
+                [({}, self._requests)]),
+            counters_family(
+                "repro_server_flights_total",
+                "Computations launched vs. requests coalesced onto one",
+                [({"outcome": "launched"}, self._launched),
+                 ({"outcome": "coalesced"}, self._coalesced)]),
+            counters_family(
+                "repro_server_overloads_total",
+                "Requests rejected at the admission limit",
+                [({}, self._overloads)]),
+            counters_family(
+                "repro_server_errors_total",
+                "Terminal error events by kind",
+                [({"kind": "query"}, self._query_errors),
+                 ({"kind": "internal"}, self._internal_errors)]),
+            counters_family(
+                "repro_server_active_flights",
+                "Computations currently in flight",
+                [({}, len(self._flights))], kind="gauge"),
+            counters_family(
+                "repro_server_uptime_seconds",
+                "Seconds since the server app started",
+                [({}, time.monotonic() - self._started)], kind="gauge"),
+        ]
 
     def stats(self) -> dict:
         """The ``/stats`` payload: server counters plus the service report."""

@@ -9,6 +9,11 @@ Three routes, mirroring the TCP wire protocol one-to-one:
     The server/service counter report as JSON -- the same payload as the
     TCP ``stats`` op, including the single-flight coalescing counters the
     acceptance criteria audit.
+``GET /metrics``
+    Prometheus text exposition (version 0.0.4): request/phase latency
+    histograms plus scrape-time exports of every server and service
+    lifetime counter.  Rendering happens only when scraped; the query hot
+    path pays nothing for it.
 ``POST /query``
     Body is a TCP query message (``{"sql": ..., "options": {...}}``).  The
     default response is one JSON object -- the terminal ``result`` or
@@ -104,6 +109,13 @@ async def handle_http_connection(server, reader: asyncio.StreamReader,
             writer.write(_json_response(405, {"error": "use GET"}))
         else:
             writer.write(_json_response(200, app.stats()))
+    elif target == "/metrics":
+        if method != "GET":
+            writer.write(_json_response(405, {"error": "use GET"}))
+        else:
+            writer.write(_response(
+                200, app.metrics_text().encode("utf-8"),
+                content_type="text/plain; version=0.0.4; charset=utf-8"))
     elif target == "/query":
         if method != "POST":
             writer.write(_json_response(405, {"error": "use POST"}))

@@ -4,9 +4,9 @@
 lifecycle around one :class:`~repro.server.app.ServerApp`:
 
 * the **TCP transport** speaks newline-delimited JSON -- one request object
-  per line in (``op``: ``query`` | ``stats`` | ``health`` | ``ping``), one
-  or more response objects per request out, every response stamped with the
-  request's ``id`` so clients can correlate;
+  per line in (``op``: ``query`` | ``stats`` | ``metrics`` | ``health`` |
+  ``ping``), one or more response objects per request out, every response
+  stamped with the request's ``id`` so clients can correlate;
 * the **HTTP transport** (:mod:`repro.server.http`) shares the app and the
   drain machinery;
 * the **drain protocol** implements graceful SIGTERM shutdown: stop
@@ -23,9 +23,9 @@ from __future__ import annotations
 
 import asyncio
 import signal
-import sys
 from typing import Optional
 
+from repro.obs.logsetup import get_logger
 from repro.server.app import ServerApp
 from repro.server.http import handle_http_connection
 from repro.server.protocol import (
@@ -39,6 +39,8 @@ from repro.server.protocol import (
 #: Default ports: TCP wire protocol and the HTTP adapter next to it.
 DEFAULT_PORT = 7464
 DEFAULT_HTTP_PORT = 7465
+
+logger = get_logger("server")
 
 
 class NetworkServer:
@@ -182,6 +184,9 @@ class NetworkServer:
         elif op == "stats":
             await self._send(writer, {"id": request_id, "type": "stats",
                                       "stats": self.app.stats()})
+        elif op == "metrics":
+            await self._send(writer, {"id": request_id, "type": "metrics",
+                                      "metrics": self.app.metrics_text()})
         elif op == "query":
             async for event in self.app.query_events(message):
                 stamped = dict(event)
@@ -218,7 +223,12 @@ async def _run_until_signalled(server: NetworkServer,
     if announce:
         http = server.http_port
         suffix = f" http={server.host}:{http}" if http is not None else ""
-        print(f"listening tcp={server.host}:{server.port}{suffix}", flush=True)
+        # The stdout announce line is part of the CLI contract: the smoke
+        # harness and the tests parse the bound ports from it.
+        print(f"listening tcp={server.host}:{server.port}{suffix}",  # noqa: T201
+              flush=True)
+        logger.info("listening", extra={"tcp_port": server.port,
+                                        "http_port": http})
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
     registered = []
@@ -235,7 +245,8 @@ async def _run_until_signalled(server: NetworkServer,
             loop.remove_signal_handler(signum)
     clean = await server.drain()
     if announce:
-        print("drained" if clean else "drain timed out", flush=True)
+        # Also parsed by the graceful-shutdown tests; keep as stdout.
+        print("drained" if clean else "drain timed out", flush=True)  # noqa: T201
     return clean
 
 
@@ -252,6 +263,5 @@ def serve(service, *, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
     except KeyboardInterrupt:  # pragma: no cover - non-Unix fallback
         return 0
     if not clean:
-        print("warning: drain timed out with requests still in flight",
-              file=sys.stderr)
+        logger.warning("drain timed out with requests still in flight")
     return 0

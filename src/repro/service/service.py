@@ -57,6 +57,8 @@ from repro.service.fused import (
     fused_payload,
     run_fused_payload,
 )
+from repro.obs.recorder import NULL_RECORDER
+from repro.obs.trace import NULL_TRACE, Trace
 from repro.service.planner import PLANNER_MODES, Planner, PlannerStats
 from repro.service.rng import SeedLike, root_sequence, spawn_stream
 from repro.service.scheduler import TaskGroup, build_schedule, partition_batches
@@ -150,6 +152,9 @@ class ServiceResponse:
 
     answers: tuple[AnnotatedAnswer, ...]
     stats: RequestStats
+    #: The request's span tree, populated only when the caller asked for
+    #: tracing (``submit(..., trace=True)`` or by passing a ``Trace``).
+    trace: Optional[Trace] = None
 
 
 @dataclass(frozen=True)
@@ -219,6 +224,9 @@ class ServiceStats:
     fusion: Optional[FusionStats] = None
     #: Cost-based planner counters; ``None`` when no request was planned.
     planner: Optional[PlannerStats] = None
+    #: Top-K slow queries (dicts from :meth:`SlowQuery.as_dict`); empty
+    #: when the service runs without a recorder.
+    slow_queries: tuple = ()
 
     def report(self) -> str:
         """Human-readable multi-line report (the ``serve`` REPL's ``\\stats``)."""
@@ -266,6 +274,16 @@ class ServiceStats:
                     f"shard[{shard.shard}] {shard.tasks:>8} {shard.rows:>9} "
                     f"{shard.witnesses:>10} {shard.partition_hits:>10} "
                     f"{shard.partition_misses:>12}")
+        if self.slow_queries:
+            lines.append("slow queries        elapsed  hottest-phase  sql")
+            for entry in self.slow_queries:
+                phases = entry.get("phases", {})
+                hottest = (max(phases.items(), key=lambda item: item[1])[0]
+                           if phases else "-")
+                sql = entry.get("sql", "?").replace("\x00", " ")
+                lines.append(
+                    f"  {entry.get('elapsed_seconds', 0.0):>16.4f}s "
+                    f"{hottest:>13}  {sql[:60]}")
         return "\n".join(lines)
 
     def as_dict(self) -> dict:
@@ -292,6 +310,7 @@ class ServiceStats:
             "fusion": None if self.fusion is None else self.fusion.as_dict(),
             "planner": (None if self.planner is None
                         else self.planner.as_dict()),
+            "slow_queries": [dict(entry) for entry in self.slow_queries],
         }
 
 
@@ -349,7 +368,7 @@ class AnnotationService:
     """
 
     def __init__(self, database, options: Optional[ServiceOptions] = None,
-                 **overrides) -> None:
+                 recorder=None, **overrides) -> None:
         if options is None:
             options = ServiceOptions()
         if overrides:
@@ -414,6 +433,18 @@ class AnnotationService:
         # read-modify-write would drop increments and skew the very
         # counters the coalescing audit relies on.
         self._counters_lock = threading.Lock()
+        # The disabled recorder costs one attribute check per request; the
+        # server attaches a live one via ``use_recorder``.
+        self._recorder = recorder if recorder is not None else NULL_RECORDER
+
+    @property
+    def recorder(self):
+        return self._recorder
+
+    def use_recorder(self, recorder) -> None:
+        """Attach a live :class:`~repro.obs.recorder.Recorder` (or swap the
+        null one back in with :data:`~repro.obs.recorder.NULL_RECORDER`)."""
+        self._recorder = recorder if recorder is not None else NULL_RECORDER
 
     # -- public API --------------------------------------------------------
 
@@ -443,6 +474,7 @@ class AnnotationService:
                reuse_results: Optional[bool] = None,
                planner: Optional[str] = None,
                fusion: Optional[int] = None,
+               trace: Union[bool, Trace, None] = None,
                on_update: Optional[GroupUpdateCallback] = None) -> ServiceResponse:
         """Run one annotation request through the full service lifecycle.
 
@@ -455,6 +487,11 @@ class AnnotationService:
         knob the caller left unset (backend, shards, jobs, executor, fusion
         batch); explicit arguments always win.  Answers are identical under
         every configuration the planner may pick.
+
+        ``trace=True`` (or a caller-supplied :class:`~repro.obs.trace.Trace`)
+        records the request's span tree and returns it on
+        :attr:`ServiceResponse.trace`.  Tracing never touches random
+        streams, so traced answers are bit-identical to untraced ones.
         """
         started = time.perf_counter()
         options = self._options
@@ -485,68 +522,97 @@ class AnnotationService:
         root = self._default_root if seed is None else root_sequence(seed)
         seed_token = _seed_token(root)
 
-        select = self._parse(query)
+        # Three tracing tiers: a caller-requested trace is returned on the
+        # response; a live recorder gets an internal trace (phase histograms
+        # and the slow log are fed from its spans); otherwise the shared
+        # no-op trace keeps the hot path exactly as fast as before.
+        return_trace = bool(trace)
+        if isinstance(trace, Trace):
+            tr = trace
+        elif trace:
+            tr = Trace()
+        elif self._recorder.enabled:
+            tr = self._recorder.start_trace()
+        else:
+            tr = NULL_TRACE
+
+        with tr.span("parse"):
+            select = self._parse(query)
         database = self._database
         plan_engine: Optional[Planner] = None
         planned: Optional[dict] = None
         if planner == "auto":
             plan_engine = self._get_planner()
             if candidates is None:
-                from repro.engine.candidates import workload_cardinalities
-                try:
-                    cardinalities = workload_cardinalities(select,
-                                                           self._database)
-                except Exception:
-                    cardinalities = ()
-                if cardinalities:
-                    backend, shards = plan_engine.plan_enumeration(
-                        cardinalities)
-                    database = self._database_for(backend, shards)
-                    if requested_jobs is None and shards > 1:
-                        # Sharded enumeration wants one worker per shard.
-                        jobs = min(plan_engine.cpus, shards)
+                with tr.span("plan", stage="enumeration") as plan_span:
+                    from repro.engine.candidates import workload_cardinalities
+                    try:
+                        cardinalities = workload_cardinalities(select,
+                                                               self._database)
+                    except Exception:
+                        cardinalities = ()
+                    if cardinalities:
+                        backend, shards = plan_engine.plan_enumeration(
+                            cardinalities)
+                        database = self._database_for(backend, shards)
+                        plan_span.set("backend", backend)
+                        plan_span.set("shards", shards)
+                        if requested_jobs is None and shards > 1:
+                            # Sharded enumeration wants one worker per shard.
+                            jobs = min(plan_engine.cpus, shards)
         if candidates is None:
-            candidates = self._plan(query, select, limit, group_witnesses,
-                                    jobs, database)
+            with tr.span("enumerate") as enumerate_span:
+                candidates = self._plan(query, select, limit, group_witnesses,
+                                        jobs, database, span=enumerate_span)
+                enumerate_span.set("candidates", len(candidates))
 
-        if reuse:
-            schedule = build_schedule(candidates)
-        else:
-            # Independent estimates per tuple: one single-member group per
-            # candidate, each with a distinct replica token in its stream.
-            schedule = [TaskGroup(canonical=group.canonical, members=(index,))
-                        for group in build_schedule(candidates)
-                        for index in group.members]
+        with tr.span("schedule") as schedule_span:
+            if reuse:
+                schedule = build_schedule(candidates)
+            else:
+                # Independent estimates per tuple: one single-member group per
+                # candidate, each with a distinct replica token in its stream.
+                schedule = [TaskGroup(canonical=group.canonical,
+                                      members=(index,))
+                            for group in build_schedule(candidates)
+                            for index in group.members]
+            schedule_span.set("groups", len(schedule))
 
         if plan_engine is not None:
-            plan_jobs, plan_executor, plan_fusion = plan_engine.plan_execution(
-                len(schedule),
-                [group.canonical.dimension for group in schedule],
-                epsilon=epsilon, delta=delta, method=method,
-                adaptive=adaptive, coarse=options.adaptive_coarse,
-                factor=options.adaptive_factor)
-            if requested_jobs is None:
-                # Enumeration (above) already used the shard-aligned worker
-                # count; from here ``jobs`` governs the Monte-Carlo phase.
-                jobs = plan_jobs
-            if requested_executor is None:
-                executor = plan_executor
-            if requested_fusion is None:
-                fusion = plan_fusion
-            planned = {"backend": getattr(database, "backend", "rows"),
-                       "shards": getattr(database, "shards", 1),
-                       "jobs": jobs, "executor": executor, "fusion": fusion}
+            with tr.span("plan", stage="execution") as plan_span:
+                plan_jobs, plan_executor, plan_fusion = \
+                    plan_engine.plan_execution(
+                        len(schedule),
+                        [group.canonical.dimension for group in schedule],
+                        epsilon=epsilon, delta=delta, method=method,
+                        adaptive=adaptive, coarse=options.adaptive_coarse,
+                        factor=options.adaptive_factor)
+                if requested_jobs is None:
+                    # Enumeration (above) already used the shard-aligned
+                    # worker count; from here ``jobs`` governs the
+                    # Monte-Carlo phase.
+                    jobs = plan_jobs
+                if requested_executor is None:
+                    executor = plan_executor
+                if requested_fusion is None:
+                    fusion = plan_fusion
+                planned = {"backend": getattr(database, "backend", "rows"),
+                           "shards": getattr(database, "shards", 1),
+                           "jobs": jobs, "executor": executor,
+                           "fusion": fusion}
+                for knob, choice in planned.items():
+                    plan_span.set(knob, choice)
 
         def cache_key(group: TaskGroup) -> tuple:
             return (group.canonical.key, epsilon, delta, method, adaptive,
                     seed_token)
 
-        def decide(group: TaskGroup) -> tuple[CertaintyResult, bool]:
+        def _decide(group: TaskGroup, span=None) -> tuple[CertaintyResult, bool]:
             key = cache_key(group)
             if not reuse:
                 result = self._estimate(group, epsilon, delta, method,
                                         adaptive, root, (group.members[0],),
-                                        on_update)
+                                        on_update, trace=tr, parent=span)
                 return result, False
             cached = self._result_cache.get(key)
             if cached is not None:
@@ -563,7 +629,8 @@ class AnnotationService:
                 if landed is not None:
                     return landed, False
                 result = self._estimate(group, epsilon, delta, method,
-                                        adaptive, root, (), on_update)
+                                        adaptive, root, (), on_update,
+                                        trace=tr, parent=span)
                 self._result_cache.put(key, result)
                 return result, True
 
@@ -576,6 +643,21 @@ class AnnotationService:
                  seed_token), compute)
             return result, not (leader and computed)
 
+        if tr is NULL_TRACE:
+            # The uninstrumented closure, byte for byte: the disabled path
+            # pays nothing per group.
+            decide = _decide
+        else:
+            def decide(group: TaskGroup) -> tuple[CertaintyResult, bool]:
+                # Spans from executor worker threads attach via the explicit
+                # parent handle, so the tree survives thread fan-out.
+                with tr.span("estimate",
+                             lineage=group.canonical.digest.hex()[:12],
+                             tuples=len(group.members)) as span:
+                    result, reused = _decide(group, span)
+                    span.set("reused", reused)
+                    return result, reused
+
         # Adaptive streaming callbacks need to run in this process, so the
         # process executor only takes over callback-free requests; results
         # are bit-identical either way (streams are content-keyed).
@@ -583,32 +665,38 @@ class AnnotationService:
         if fusion > 1 and len(schedule) > 1:
             outcomes, fusion_counters = self._decide_with_fusion(
                 schedule, decide, cache_key, reuse, epsilon, delta, method,
-                adaptive, root, jobs, executor, fusion, on_update)
+                adaptive, root, jobs, executor, fusion, on_update, trace=tr)
         elif executor == "process" and jobs > 1 and on_update is None:
-            outcomes = self._decide_in_processes(
-                schedule, cache_key, reuse, epsilon, delta, method, adaptive,
-                root, jobs)
+            # Worker processes cannot carry the trace; one umbrella span
+            # stands in for the per-group breakdown.
+            with tr.span("estimate", mode="process", groups=len(schedule)):
+                outcomes = self._decide_in_processes(
+                    schedule, cache_key, reuse, epsilon, delta, method,
+                    adaptive, root, jobs)
         else:
             outcomes = run_tasks(
                 [lambda group=group: decide(group) for group in schedule],
                 jobs=jobs)
 
-        by_candidate: dict[int, CertaintyResult] = {}
-        digest_by_candidate: dict[int, bytes] = {}
-        from_cache = 0
-        for group, (result, cached) in zip(schedule, outcomes):
-            if cached:
-                from_cache += 1
-            for member in group.members:
-                by_candidate[member] = result
-                digest_by_candidate[member] = group.canonical.digest
+        with tr.span("serialize") as serialize_span:
+            by_candidate: dict[int, CertaintyResult] = {}
+            digest_by_candidate: dict[int, bytes] = {}
+            from_cache = 0
+            for group, (result, cached) in zip(schedule, outcomes):
+                if cached:
+                    from_cache += 1
+                for member in group.members:
+                    by_candidate[member] = result
+                    digest_by_candidate[member] = group.canonical.digest
 
-        answers = tuple(
-            AnnotatedAnswer(values=candidate.values, columns=candidate.columns,
-                            certainty=by_candidate[index],
-                            witnesses=candidate.witnesses,
-                            lineage_digest=digest_by_candidate[index])
-            for index, candidate in enumerate(candidates))
+            answers = tuple(
+                AnnotatedAnswer(values=candidate.values,
+                                columns=candidate.columns,
+                                certainty=by_candidate[index],
+                                witnesses=candidate.witnesses,
+                                lineage_digest=digest_by_candidate[index])
+                for index, candidate in enumerate(candidates))
+            serialize_span.set("answers", len(answers))
 
         computed = len(schedule) - from_cache
         batched = len(candidates) - len(schedule)
@@ -646,7 +734,13 @@ class AnnotationService:
             fusion_batches=fusion_batches,
             planned=planned,
         )
-        return ServiceResponse(answers=answers, stats=stats)
+        if self._recorder.enabled:
+            sql_text = query if isinstance(query, str) else "<parsed query>"
+            self._recorder.observe_request(
+                sql_text, stats.elapsed_seconds, trace=tr,
+                candidates=len(candidates), groups=len(schedule))
+        return ServiceResponse(answers=answers, stats=stats,
+                               trace=tr if return_trace else None)
 
     def stats(self) -> ServiceStats:
         """Lifetime counters plus snapshots of every cache layer."""
@@ -680,6 +774,11 @@ class AnnotationService:
                                          plan_hits=0, plan_misses=0))
         planner_stats = (None if self._planner_instance is None
                          else self._planner_instance.stats())
+        slow_queries: tuple = ()
+        if self._recorder.enabled and self._recorder.slow_log is not None:
+            slow_queries = tuple(
+                entry.as_dict()
+                for entry in self._recorder.slow_log.snapshot())
         return ServiceStats(
             requests=requests,
             answers_served=answers_served,
@@ -704,6 +803,7 @@ class AnnotationService:
                                batches=fusion_batches,
                                batch_sizes=fusion_batch_sizes),
             planner=planner_stats,
+            slow_queries=slow_queries,
         )
 
     def invalidate(self) -> None:
@@ -729,7 +829,8 @@ class AnnotationService:
         return self._parse_cache.get_or_compute(key, lambda: parse_sql(query))
 
     def _plan(self, query, select, limit: Optional[int],
-              group_witnesses: bool, jobs: int, database=None) -> tuple:
+              group_witnesses: bool, jobs: int, database=None,
+              span=None) -> tuple:
         from repro.engine.candidates import enumerate_candidates
 
         if database is None:
@@ -745,6 +846,15 @@ class AnnotationService:
             elapsed = time.perf_counter() - enumeration_started
             self._record_shard_stats(sink)
             self._observe_enumeration(select, database, elapsed)
+            if span is not None:
+                # Only a cache miss reaches this closure, so the span
+                # attribute doubles as the hit/miss marker.
+                span.set("plan_cache", "miss")
+                if sink.get("sharded"):
+                    span.set("per_shard", [
+                        {"shard": entry["shard"], "tasks": entry["tasks"],
+                         "witnesses": entry["witnesses"]}
+                        for entry in sink.get("per_shard", ())])
             return planned
 
         if not isinstance(query, str):
@@ -821,8 +931,8 @@ class AnnotationService:
                             delta: float, method: str, adaptive: bool,
                             root: np.random.SeedSequence, jobs: int,
                             executor: str, batch_size: int,
-                            on_update: Optional[GroupUpdateCallback]
-                            ) -> tuple[list, dict]:
+                            on_update: Optional[GroupUpdateCallback],
+                            trace=NULL_TRACE) -> tuple[list, dict]:
         """The Monte-Carlo phase with block-diagonal kernel fusion.
 
         Cache-missing groups whose resolved method is AFPRAS sampling are
@@ -903,17 +1013,31 @@ class AnnotationService:
                 return ("solo", position, decide(schedule[position]))
 
             def fused_task(positions: Sequence[int]):
-                callback = None
-                if on_update is not None:
-                    callback = lambda slot, update: on_update(  # noqa: E731
-                        schedule[positions[slot]], update)
-                results, accounting = decide_fused_batch(
-                    batch_tasks(positions), epsilon=epsilon, delta=delta,
-                    adaptive=adaptive, root=root,
-                    coarse=self._options.adaptive_coarse,
-                    factor=self._options.adaptive_factor,
-                    on_update=callback)
-                return ("fused", positions, (results, accounting))
+                with trace.span("estimate", fused=len(positions)) as span:
+                    callback = None
+                    if on_update is not None or trace is not NULL_TRACE:
+                        rung_clock = [time.perf_counter()]
+
+                        def callback(slot, update):
+                            # Rung spans are timed by their completion
+                            # callbacks, after the fact; callbacks never
+                            # touch random streams, so fused results stay
+                            # bit-identical under tracing.
+                            now = time.perf_counter()
+                            trace.record(
+                                "rung", rung_clock[0], now, parent=span,
+                                stage=update.stage, epsilon=update.epsilon,
+                                samples=update.samples, final=update.final)
+                            rung_clock[0] = now
+                            if on_update is not None:
+                                on_update(schedule[positions[slot]], update)
+                    results, accounting = decide_fused_batch(
+                        batch_tasks(positions), epsilon=epsilon, delta=delta,
+                        adaptive=adaptive, root=root,
+                        coarse=self._options.adaptive_coarse,
+                        factor=self._options.adaptive_factor,
+                        on_update=callback)
+                    return ("fused", positions, (results, accounting))
 
             thunks = [lambda p=position: solo_task(p)
                       for position in solo_positions]
@@ -976,13 +1100,27 @@ class AnnotationService:
     def _estimate(self, group: TaskGroup, epsilon: float, delta: float,
                   method: str, adaptive: bool, root: np.random.SeedSequence,
                   replica: tuple[int, ...],
-                  on_update: Optional[GroupUpdateCallback]) -> CertaintyResult:
+                  on_update: Optional[GroupUpdateCallback],
+                  trace=NULL_TRACE, parent=None) -> CertaintyResult:
         canonical = group.canonical
         translation = canonical.translation()
         if adaptive:
             callback = None
-            if on_update is not None:
-                callback = lambda update: on_update(group, update)  # noqa: E731
+            if on_update is not None or trace is not NULL_TRACE:
+                rung_clock = [time.perf_counter()]
+
+                def callback(update):
+                    # Each adaptive rung becomes one after-the-fact span
+                    # under the group's estimate span; recording never
+                    # touches random streams (bit-identity holds).
+                    now = time.perf_counter()
+                    trace.record(
+                        "rung", rung_clock[0], now, parent=parent,
+                        stage=update.stage, epsilon=update.epsilon,
+                        samples=update.samples, final=update.final)
+                    rung_clock[0] = now
+                    if on_update is not None:
+                        on_update(group, update)
             result = adaptive_certainty(
                 translation, epsilon=epsilon, delta=delta, method=method,
                 stream_factory=lambda stage: spawn_stream(

@@ -342,3 +342,96 @@ class TestPlannerAndFusionFlags:
                      "--seed", "0", "--fusion", "8"]) == 0
         output = capsys.readouterr().out
         assert "fused kernels" in output
+
+
+class TestCliObservability:
+    def test_version_flag(self, capsys):
+        from repro import package_version
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {package_version()}"
+
+    def test_query_alias_with_trace_export(self, data_dir, tmp_path, capsys):
+        import json
+        trace_path = tmp_path / "trace.json"
+        exit_code = main(["query", "--data", str(data_dir),
+                          "--query-name", "competitive_advantage",
+                          "--epsilon", "0.2", "--trace", str(trace_path)])
+        assert exit_code == 0
+        assert "confidence" in capsys.readouterr().out
+        events = json.loads(trace_path.read_text())["traceEvents"]
+        names = {event["name"] for event in events if event["ph"] == "X"}
+        assert {"parse", "enumerate", "estimate", "serialize"} <= names
+
+    def test_trace_output_is_bit_identical_to_untraced(self, data_dir,
+                                                       tmp_path, capsys):
+        base = ["annotate", "--data", str(data_dir),
+                "--query-name", "competitive_advantage",
+                "--epsilon", "0.2", "--seed", "7"]
+        assert main(base) == 0
+        untraced = capsys.readouterr().out
+        assert main(base + ["--trace", str(tmp_path / "t.json")]) == 0
+        assert capsys.readouterr().out == untraced
+
+    def test_serve_stats_report_slow_queries(self, data_dir, monkeypatch,
+                                             capsys):
+        monkeypatch.setattr("sys.stdin", io.StringIO(
+            "SELECT P.id FROM Products P WHERE P.rrp <= 20\n"
+            "\\stats\n\\quit\n"))
+        assert main(["serve", "--data", str(data_dir), "--epsilon", "0.3",
+                     "--seed", "0"]) == 0
+        output = capsys.readouterr().out
+        assert "slow queries" in output
+        assert "SELECT P.id FROM Products P" in output
+
+    def test_top_reports_unreachable_server(self, capsys):
+        exit_code = main(["top", "--http-port", "1", "--count", "1"])
+        assert exit_code == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+
+class TestCliAgainstServer:
+    """Client/top subcommands against a real in-process server."""
+
+    @pytest.fixture
+    def server(self, data_dir):
+        from repro.relational.csv_io import load_database
+        from repro.datagen.experiments import sales_schema
+        from repro.server import EmbeddedServer
+        from repro.service import AnnotationService, ServiceOptions
+        database = load_database(sales_schema(), data_dir)
+        service = AnnotationService(database,
+                                    ServiceOptions(epsilon=0.2, seed=5))
+        with EmbeddedServer(service) as running:
+            yield running
+
+    def test_client_probe_stats_pretty_and_json(self, server, capsys):
+        import json
+        host_args = ["--host", server.host, "--port", str(server.port)]
+        assert main(["client", *host_args, "--sql",
+                     "SELECT P.id FROM Products P WHERE P.rrp <= 20"]) == 0
+        capsys.readouterr()
+        assert main(["client", *host_args, "--probe", "stats"]) == 0
+        pretty = capsys.readouterr().out
+        assert "server" in pretty and "cache" in pretty and "{" not in pretty
+        assert main(["client", *host_args, "--probe", "stats", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["server"]["requests"] >= 1
+
+    def test_client_probe_health_and_metrics(self, server, capsys):
+        host_args = ["--host", server.host, "--port", str(server.port)]
+        assert main(["client", *host_args, "--probe", "health"]) == 0
+        health = capsys.readouterr().out
+        assert "uptime_seconds" in health and "version" in health
+        assert main(["client", *host_args, "--probe", "metrics"]) == 0
+        metrics = capsys.readouterr().out
+        assert "# TYPE repro_request_seconds histogram" in metrics
+
+    def test_top_renders_one_frame(self, server, capsys):
+        exit_code = main(["top", "--host", server.host,
+                          "--http-port", str(server.http_port),
+                          "--count", "1"])
+        assert exit_code == 0
+        frame = capsys.readouterr().out
+        assert "repro top" in frame and "p99 latency" in frame
