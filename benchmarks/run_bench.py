@@ -13,8 +13,11 @@ one-connection baseline, p50/p99 latency, QPS), and the PR 6 fusion
 scenario: a many-lineage annotation request decided through per-group
 kernel launches versus one block-diagonal fused pass per Monte-Carlo
 round, plus the cost-based planner against the best manual
-configuration.  Results go to a JSON baseline so future PRs have a perf
-trajectory to beat.
+configuration, and the PR 8 mutation scenario: an append-heavy mixed
+INSERT/DELETE/UPDATE version history replayed through the incremental
+MVCC path (delta-maintained join frontiers, carried shard partitions)
+versus rebuilding the database from scratch at every version.  Results
+go to a JSON baseline so future PRs have a perf trajectory to beat.
 
 Usage::
 
@@ -54,14 +57,16 @@ from repro.constraints.translate import TranslationResult
 from repro.datagen.experiments import EXPERIMENT_QUERIES, ExperimentScale, generate_sales_database
 from repro.datagen.generic import ColumnSpec, TableSpec, generate_database
 from repro.engine.candidates import enumerate_candidates
-from repro.engine.sql.parser import parse_sql
+from repro.engine.mutate import execute_mutation
+from repro.engine.sql.parser import parse_sql, parse_statement
+from repro.engine.vectorized import FrontierCache
 from repro.geometry.montecarlo import hoeffding_sample_size
 from repro.relational.database import Database
 from repro.relational.schema import DatabaseSchema, RelationSchema
 from repro.relational.values import NumNull
 from repro.service import AnnotationService
 
-DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_PR7.json"
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_PR8.json"
 
 #: The headline configuration of the acceptance criterion: the largest
 #: dimension of bench_afpras_scaling.py at eps = 0.02.
@@ -595,6 +600,120 @@ def bench_fusion(quick: bool) -> dict:
     return {"scheme": "fusion", "configs": [row, flat_row]}
 
 
+#: The PR 8 mutation headline: an append-heavy mixed version history over
+#: the two-table join instance, replayed query-per-version through the
+#: incremental MVCC path (append segments, delta-maintained frontier,
+#: carried shard partitions) versus a from-scratch rebuild of every
+#: version.  Occasional DELETE/UPDATE versions keep the rebuild paths in
+#: the mix -- the live data plane has to win on the blend, not just on
+#: pure appends.
+MUTATION_HEADLINE = {"base_rows": 20_000, "versions": 12,
+                     "appends_per_version": 64, "null_rate": 0.02,
+                     "seed": 21, "limit": 25}
+
+MUTATION_SQL = ("SELECT F.key FROM Fact F, Dim D "
+                "WHERE F.key = D.key AND F.val * D.ref <= 25 LIMIT 25")
+
+
+def _mutation_script(config) -> list:
+    """The version history: mostly multi-row INSERTs, every fifth version
+    a predicated DELETE or arithmetic UPDATE (which invalidate the cached
+    frontier and force the epoch-bump paths)."""
+    rng = np.random.default_rng(config["seed"])
+    statements = []
+    for version in range(config["versions"]):
+        if version and version % 5 == 0:
+            if version % 10 == 0:
+                statements.append("DELETE FROM Fact WHERE val >= 9.9")
+            else:
+                # Matching is three-valued: rows whose val is a null are
+                # never certainly >= 9.5, so the arithmetic only ever
+                # reads concrete operands.
+                statements.append(
+                    "UPDATE Fact SET val = val - 0.05 WHERE val >= 9.5")
+            continue
+        rows = []
+        for _ in range(config["appends_per_version"]):
+            key = f"k{int(rng.integers(0, config['base_rows']))}"
+            rows.append(f"('{key}', {float(rng.uniform(0.0, 10.0)):.6f})")
+        statements.append("INSERT INTO Fact VALUES " + ", ".join(rows))
+    return [parse_statement(statement) for statement in statements]
+
+
+def bench_mutations(quick: bool) -> dict:
+    """Incremental mutation replay vs rebuild-per-version.
+
+    Both sides answer the identical query at every committed version and
+    must return bit-identical candidates.  The incremental side pays
+    ``execute_mutation`` plus a delta-maintained enumeration per version;
+    the rebuild side pays a from-scratch :meth:`Database.from_dict` of
+    the same content plus a cold enumeration -- which is exactly what a
+    data plane without MVCC snapshots would have to do.  Statements are
+    parsed outside the timed region (both sides would pay the same
+    parse).
+    """
+    config = dict(MUTATION_HEADLINE, headline=True)
+    repeats = 2
+    base = _join_database(config["base_rows"], config["null_rate"],
+                          config["seed"])
+    select = parse_sql(MUTATION_SQL)
+    statements = _mutation_script(config)
+
+    # Pre-compute the per-version contents for the rebuild side (content
+    # extraction is not what either side is selling; the rebuild itself
+    # is timed).
+    contents = []
+    chain = base
+    for statement in statements:
+        chain, _, _ = execute_mutation(statement, chain)
+        contents.append({name: chain.relation(name).tuples()
+                         for name in chain.relation_names()})
+    assert chain.data_version == len(statements)
+
+    def incremental():
+        frontier_cache = FrontierCache()
+        chain = base
+        results = []
+        for statement in statements:
+            chain, _, _ = execute_mutation(statement, chain)
+            results.append(enumerate_candidates(
+                select, chain, limit=config["limit"],
+                frontier_cache=frontier_cache))
+        return results
+
+    def rebuild():
+        results = []
+        for content in contents:
+            version = Database.from_dict(base.schema, content,
+                                         backend="columnar")
+            results.append(enumerate_candidates(select, version,
+                                                limit=config["limit"]))
+        return results
+
+    incremental_seconds, incremental_results = _best_of(incremental, repeats)
+    rebuild_seconds, rebuild_results = _best_of(rebuild, repeats)
+    for version, (fast, slow) in enumerate(zip(incremental_results,
+                                               rebuild_results)):
+        assert [c.values for c in fast] == [c.values for c in slow], \
+            f"version {version + 1}: incremental diverged from rebuild"
+        assert [c.witnesses for c in fast] == [c.witnesses for c in slow], \
+            f"version {version + 1}: witness sets diverged"
+    row = {
+        **config,
+        "statements": len(statements),
+        "final_rows": len(chain.relation("Fact")),
+        "incremental_seconds": incremental_seconds,
+        "rebuild_seconds": rebuild_seconds,
+        "speedup": rebuild_seconds / max(incremental_seconds, 1e-12),
+    }
+    print(f"mutate n={config['base_rows']:>7d} "
+          f"V={config['versions']} +{config['appends_per_version']}/v  "
+          f"rebuild {rebuild_seconds*1e3:8.2f} ms   "
+          f"incremental {incremental_seconds*1e3:8.2f} ms   "
+          f"speedup {row['speedup']:6.2f}x")
+    return {"scheme": "mutations", "configs": [row]}
+
+
 OBS_HEADLINE = {"queries": 12, "epsilon": 0.1, "seed": 2}
 
 
@@ -697,7 +816,8 @@ def main() -> int:
     schemes = [bench_afpras(args.quick), bench_fpras(args.quick),
                bench_service(args.quick), bench_join(args.quick),
                bench_sharded(args.quick), bench_server(args.quick),
-               bench_fusion(args.quick), bench_obs(args.quick)]
+               bench_fusion(args.quick), bench_obs(args.quick),
+               bench_mutations(args.quick)]
     headline = next(row for row in schemes[0]["configs"] if row.get("headline"))
     service_headline = next(row for row in schemes[2]["configs"]
                             if row.get("headline"))
@@ -711,6 +831,8 @@ def main() -> int:
                            if row.get("headline"))
     obs_headline = next(row for row in schemes[7]["configs"]
                         if row.get("headline"))
+    mutation_headline = next(row for row in schemes[8]["configs"]
+                             if row.get("headline"))
     baseline = {
         "benchmark": "columnar vs row join engine, annotation service "
                      "(warm vs cold), vectorized sampling kernels "
@@ -787,6 +909,14 @@ def main() -> int:
             "instrumented_seconds": obs_headline["instrumented_seconds"],
             "overhead_ratio": obs_headline["overhead_ratio"],
         },
+        "mutation_headline": {
+            "config": MUTATION_HEADLINE,
+            "sql": MUTATION_SQL,
+            "statements": mutation_headline["statements"],
+            "incremental_seconds": mutation_headline["incremental_seconds"],
+            "rebuild_seconds": mutation_headline["rebuild_seconds"],
+            "speedup": mutation_headline["speedup"],
+        },
         "schemes": schemes,
     }
     args.output.write_text(json.dumps(baseline, indent=2) + "\n")
@@ -808,7 +938,10 @@ def main() -> int:
           f"{fusion_headline['auto_ratio']:.2f}x best manual); "
           f"obs headline: "
           f"{100.0 * (obs_headline['overhead_ratio'] - 1.0):+.2f}% "
-          f"metrics+tracing overhead; "
+          f"metrics+tracing overhead; mutation headline: "
+          f"{mutation_headline['speedup']:.2f}x incremental-vs-rebuild "
+          f"(V={MUTATION_HEADLINE['versions']}, "
+          f"+{MUTATION_HEADLINE['appends_per_version']}/version); "
           f"baseline written to {args.output}")
     failed = False
     if obs_headline["overhead_ratio"] > 1.05:
@@ -827,6 +960,10 @@ def main() -> int:
         failed = True
     if service_headline["speedup"] <= 1.0:
         print("FAIL: cached (warm) service path is not faster than cold")
+        failed = True
+    if mutation_headline["speedup"] <= 1.0:
+        print("FAIL: incremental mutation replay is not faster than "
+              "rebuilding every version from scratch")
         failed = True
     if join_headline["speedup"] <= 1.0:
         print("FAIL: columnar join engine is not faster than the row engine")

@@ -127,6 +127,18 @@ class LruCache:
             self.put(key, value)
         return value
 
+    def pop(self, key: Hashable, default: Any = None) -> Any:
+        """Remove and return an entry without touching the usage counters.
+
+        Targeted invalidation (the service's delta-driven eviction after a
+        database mutation) removes exactly the entries a mutation made
+        stale; those removals are accounted by the caller's own counters,
+        not as capacity evictions.
+        """
+        with self._lock:
+            value = self._entries.pop(key, _MISSING)
+            return default if value is _MISSING else value
+
     def __contains__(self, key: Hashable) -> bool:
         with self._lock:
             return key in self._entries

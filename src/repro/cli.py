@@ -19,6 +19,8 @@ without writing any Python:
     Start a long-lived annotation service and read queries from stdin (a
     REPL on a terminal, plain line protocol when piped).  Repeated and
     structurally similar queries are answered from the service's caches;
+    ``INSERT``/``DELETE``/``UPDATE`` statements commit a new MVCC snapshot
+    version (reported on the result line and in ``\\stats``);
     ``\\stats`` prints the cache/amortisation report, ``\\quit`` exits.
     EOF and Ctrl-C both end the session cleanly (exit 0) and print the
     ``\\stats`` summary on the way out.
@@ -34,7 +36,10 @@ without writing any Python:
 
 ``python -m repro.cli client --sql "SELECT ..." --port 7464``
     Query a running server over TCP and print the same table ``annotate``
-    prints; ``--probe stats`` / ``--probe health`` fetch the server's
+    prints.  ``--sql "INSERT INTO ..."`` (or DELETE/UPDATE) routes to the
+    server's mutation op and prints the committed data version; typed
+    rejections (validation, conflict) exit 2 like any other bad input.
+    ``--probe stats`` / ``--probe health`` fetch the server's
     reports instead (aligned tables by default, ``--json`` for the raw
     payload), ``--probe metrics`` dumps the Prometheus exposition.
 
@@ -88,7 +93,17 @@ EXIT_NO_DATA = 1
 EXIT_USAGE = 2
 
 #: Exceptions that indicate a problem with the user's input, not a bug.
+#: MutationError (validation/conflict) subclasses ValueError, so rejected
+#: mutation statements exit 2 through the same path as bad SQL.
 _USER_ERRORS = (SqlSyntaxError, SqlTranslationError, SchemaError, ValueError)
+
+#: Leading keywords that route a statement to the mutation path.
+_MUTATION_KEYWORDS = ("INSERT", "DELETE", "UPDATE")
+
+
+def _is_mutation(sql: str) -> bool:
+    head = sql.lstrip().split(None, 1)
+    return bool(head) and head[0].upper() in _MUTATION_KEYWORDS
 
 
 class _EmptyDataError(RuntimeError):
@@ -384,6 +399,16 @@ def _run_serve(args: argparse.Namespace) -> int:
             if line in ("\\stats", "\\s"):
                 print(service.stats().report())
                 continue
+            if _is_mutation(line):
+                try:
+                    outcome = service.mutate(line)
+                except _USER_ERRORS as error:
+                    print(f"error: {error}", file=sys.stderr)
+                    continue
+                print(f"-- {outcome.operation} on {outcome.table}: "
+                      f"+{outcome.inserted}/-{outcome.deleted} rows, "
+                      f"data version {outcome.data_version}")
+                continue
             try:
                 response = service.submit(
                     line, limit=args.limit,
@@ -458,6 +483,12 @@ def _run_client(args: argparse.Namespace) -> int:
                 return 0
             sql = args.sql if args.sql is not None \
                 else EXPERIMENT_QUERIES[args.query_name]
+            if _is_mutation(sql):
+                outcome = client.mutate(sql)
+                print(f"{outcome.operation} on {outcome.table}: "
+                      f"+{outcome.inserted}/-{outcome.deleted} rows, "
+                      f"data version {outcome.data_version}")
+                return 0
             on_update = (lambda event: _show_update(event.lineage[:8], event)) \
                 if args.adaptive else None
             result = client.query(
@@ -467,7 +498,8 @@ def _run_client(args: argparse.Namespace) -> int:
                 on_update=on_update)
     except ServerError as error:
         print(f"error: {error}", file=sys.stderr)
-        return EXIT_USAGE if error.code in ("bad_request", "invalid_query") else 1
+        return EXIT_USAGE if error.code in (
+            "bad_request", "invalid_query", "validation", "conflict") else 1
     except ClientError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

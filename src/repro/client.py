@@ -24,6 +24,11 @@ Streaming an adaptive request (each tightened interval as it lands)::
         else:                       # the terminal QueryResult
             result = event
 
+Mutations travel the same connection -- ``client.mutate("INSERT INTO
+...")`` returns a :class:`MutationResult` with the committed
+``data_version``; typed rejections (``validation``, ``conflict``) raise
+:class:`ServerError` with that code.
+
 Asynchronous usage mirrors it one-to-one (``AsyncReproClient``, ``await
 client.query(...)``, ``async for event in client.stream(...)``).  One
 client drives one connection and one request at a time; open more clients
@@ -96,6 +101,20 @@ class QueryResult:
     raw: dict
 
 
+@dataclass(frozen=True)
+class MutationResult:
+    """Decoded terminal response of one committed mutation statement."""
+
+    operation: str
+    table: str
+    inserted: int
+    deleted: int
+    #: The snapshot version the statement committed; queries answered
+    #: afterwards see at least this version.
+    data_version: int
+    raw: dict
+
+
 #: What :meth:`stream` yields: updates while refining, the result last.
 StreamEvent = Union[AdaptiveUpdateEvent, QueryResult]
 
@@ -119,6 +138,13 @@ def _query_message(request_id: Any, sql: str, options: dict) -> dict:
     supplied = {key: value for key, value in options.items()
                 if value is not None}
     return {"op": "query", "id": request_id, "sql": sql, "options": supplied}
+
+
+def _decode_mutation(event: dict) -> MutationResult:
+    return MutationResult(
+        operation=event["operation"], table=event["table"],
+        inserted=event["inserted"], deleted=event["deleted"],
+        data_version=event["data_version"], raw=event)
 
 
 class ReproClient:
@@ -222,6 +248,23 @@ class ReproClient:
             if on_update is not None:
                 on_update(event)
         raise ClientError("stream ended without a result")  # pragma: no cover
+
+    def mutate(self, sql: str) -> MutationResult:
+        """Apply one INSERT/DELETE/UPDATE statement on the server.
+
+        Raises :class:`ServerError` with the server's typed code
+        (``validation``, ``conflict``, ``invalid_query``) when the
+        statement is rejected; the server's snapshot is untouched then.
+        """
+        request_id = self._roundtrip_id()
+        self._send({"op": "mutate", "id": request_id, "sql": sql})
+        event = self._recv(request_id)
+        kind = event.get("type")
+        if kind == "mutation":
+            return _decode_mutation(event)
+        if kind == "error":
+            raise _server_error(event)
+        raise ClientError(f"unexpected event type {kind!r}")
 
     # -- auxiliary ops -------------------------------------------------------
 
@@ -363,6 +406,20 @@ class AsyncReproClient:
             if on_update is not None:
                 on_update(event)
         raise ClientError("stream ended without a result")  # pragma: no cover
+
+    async def mutate(self, sql: str) -> MutationResult:
+        """Async twin of :meth:`ReproClient.mutate`."""
+        async with self._lock:
+            self._next_id += 1
+            request_id = self._next_id
+            await self._send({"op": "mutate", "id": request_id, "sql": sql})
+            event = await self._recv(request_id)
+        kind = event.get("type")
+        if kind == "mutation":
+            return _decode_mutation(event)
+        if kind == "error":
+            raise _server_error(event)
+        raise ClientError(f"unexpected event type {kind!r}")
 
     async def stats(self) -> dict:
         async with self._lock:

@@ -8,7 +8,9 @@
   Orders / Market) at configurable scale and null rate, plus the three
   decision-support SQL queries of the experimental study;
 * :mod:`repro.datagen.generic` -- a schema-driven random generator (the
-  stand-in for the DataFiller tool the paper used).
+  stand-in for the DataFiller tool the paper used);
+* :mod:`repro.datagen.mutations` -- random INSERT/DELETE/UPDATE scripts
+  over a generated schema, for the versioned differential harness.
 """
 
 from repro.datagen.experiments import (
@@ -19,6 +21,7 @@ from repro.datagen.experiments import (
 )
 from repro.datagen.generic import ColumnSpec, TableSpec, generate_database
 from repro.datagen.intro import intro_database, intro_query, intro_schema
+from repro.datagen.mutations import random_mutation_script, random_statement
 
 __all__ = [
     "EXPERIMENT_QUERIES",
@@ -30,5 +33,7 @@ __all__ = [
     "intro_database",
     "intro_query",
     "intro_schema",
+    "random_mutation_script",
+    "random_statement",
     "sales_schema",
 ]

@@ -315,7 +315,8 @@ def enumerate_candidates(select: SelectQuery, database: Database,
                          backend: Optional[str] = None,
                          shards: Optional[int] = None,
                          jobs: int = 1,
-                         shard_stats: Optional[dict] = None) -> list[CandidateAnswer]:
+                         shard_stats: Optional[dict] = None,
+                         frontier_cache=None) -> list[CandidateAnswer]:
     """Enumerate candidate answers of a SELECT query with their lineage.
 
     ``limit`` overrides the query's own LIMIT clause when given.  Candidates
@@ -347,6 +348,13 @@ def enumerate_candidates(select: SelectQuery, database: Database,
     backend ignores both: it stays the verbatim single-core oracle.
     ``shard_stats``, if given, receives per-shard accounting for the
     service's stats report.
+
+    ``frontier_cache``, if given, is a
+    :class:`repro.engine.vectorized.FrontierCache`: the unsharded columnar
+    path reuses a previously computed join frontier for the same query
+    shape and delta-joins only rows appended since (MVCC append-only
+    versions keep old row indices stable).  Results are bit-identical with
+    or without it; the row backend and sharded execution ignore it.
     """
     chosen = backend if backend is not None else getattr(database, "backend", "rows")
     if chosen == "columnar":
@@ -358,7 +366,8 @@ def enumerate_candidates(select: SelectQuery, database: Database,
         return enumerate_candidates_columnar(
             select, database, limit=limit, max_witnesses=max_witnesses,
             group_witnesses=group_witnesses, shards=effective_shards,
-            jobs=jobs, shard_stats=shard_stats)
+            jobs=jobs, shard_stats=shard_stats,
+            frontier_cache=frontier_cache)
     if chosen != "rows":
         raise ValueError(f"unknown engine backend {chosen!r}")
     if getattr(database, "backend", "rows") != "rows":

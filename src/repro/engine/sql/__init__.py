@@ -1,39 +1,62 @@
 """A small SQL subset: lexer, AST and recursive-descent parser.
 
-The grammar covers exactly what the paper's experimental queries need::
+The read grammar covers exactly what the paper's experimental queries
+need::
 
     SELECT <column list | *>
     FROM   <table [alias]> [, <table [alias]>]*
     [WHERE <predicate> [AND <predicate>]*]
     [LIMIT <n>]
 
-where a predicate compares two arithmetic expressions over column references
-and literals with one of ``=  <>  !=  <  <=  >  >=``.
+where a predicate compares two arithmetic expressions over column
+references and literals with one of ``=  <>  !=  <  <=  >  >=``.
+
+The live data plane adds the mutation statements::
+
+    INSERT INTO <table> VALUES (<literal>, ...) [, (...)]*
+    DELETE FROM <table> [WHERE ...]
+    UPDATE <table> SET <col> = <expr> [, ...] [WHERE ...]
+
+``NULL`` in a VALUES row or SET assignment denotes a fresh marked null;
+execution (:mod:`repro.engine.mutate`) names it deterministically from
+the committing version.  :func:`parse_statement` dispatches on the
+leading keyword; :func:`parse_sql` remains SELECT-only.
 """
 
 from repro.engine.sql.ast import (
+    Assignment,
     BinaryExpression,
     ColumnExpression,
     Condition,
+    DeleteStatement,
     Expression,
+    InsertStatement,
+    NullLiteral,
     NumberLiteral,
     SelectQuery,
     StringLiteral,
     TableReference,
+    UpdateStatement,
 )
 from repro.engine.sql.lexer import SqlSyntaxError, tokenize
-from repro.engine.sql.parser import parse_sql
+from repro.engine.sql.parser import parse_sql, parse_statement
 
 __all__ = [
+    "Assignment",
     "BinaryExpression",
     "ColumnExpression",
     "Condition",
+    "DeleteStatement",
     "Expression",
+    "InsertStatement",
+    "NullLiteral",
     "NumberLiteral",
     "SelectQuery",
     "SqlSyntaxError",
     "StringLiteral",
     "TableReference",
+    "UpdateStatement",
     "parse_sql",
+    "parse_statement",
     "tokenize",
 ]

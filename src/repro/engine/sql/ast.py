@@ -55,6 +55,20 @@ class StringLiteral(Expression):
 
 
 @dataclass(frozen=True)
+class NullLiteral(Expression):
+    """The ``NULL`` keyword in an INSERT row or UPDATE assignment.
+
+    Execution turns each occurrence into a *fresh* marked null (base or
+    numeric, depending on the target column's type) with a deterministic
+    name derived from the committing version -- see
+    :mod:`repro.engine.mutate`.
+    """
+
+    def __repr__(self) -> str:
+        return "NULL"
+
+
+@dataclass(frozen=True)
 class BinaryExpression(Expression):
     """An arithmetic combination of two expressions (``+``, ``-``, ``*``, ``/``)."""
 
@@ -97,3 +111,69 @@ class SelectQuery:
             raise ValueError("a SELECT query needs at least one table")
         if not self.select and not self.select_star:
             raise ValueError("a SELECT query needs a non-empty projection or *")
+
+
+@dataclass(frozen=True)
+class InsertStatement:
+    """A parsed ``INSERT INTO t VALUES (...), (...)`` statement.
+
+    Each row is a tuple of literal expressions (:class:`NumberLiteral`,
+    :class:`StringLiteral` or :class:`NullLiteral`) -- column references
+    have no meaning in an INSERT and are rejected by the parser.
+    """
+
+    table: str
+    rows: tuple[tuple[Expression, ...], ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rows",
+                           tuple(tuple(row) for row in self.rows))
+        if not self.rows:
+            raise ValueError("an INSERT statement needs at least one row")
+
+
+@dataclass(frozen=True)
+class DeleteStatement:
+    """A parsed ``DELETE FROM t [WHERE ...]`` statement."""
+
+    table: str
+    conditions: tuple[Condition, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "conditions", tuple(self.conditions))
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One ``column = expression`` of an UPDATE's SET clause."""
+
+    column: str
+    value: Expression
+
+    def __repr__(self) -> str:
+        return f"{self.column} = {self.value!r}"
+
+
+@dataclass(frozen=True)
+class UpdateStatement:
+    """A parsed ``UPDATE t SET c = e [, ...] [WHERE ...]`` statement."""
+
+    table: str
+    assignments: tuple[Assignment, ...]
+    conditions: tuple[Condition, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "assignments", tuple(self.assignments))
+        object.__setattr__(self, "conditions", tuple(self.conditions))
+        if not self.assignments:
+            raise ValueError("an UPDATE statement needs at least one assignment")
+        seen = set()
+        for assignment in self.assignments:
+            if assignment.column in seen:
+                raise ValueError(
+                    f"column {assignment.column!r} assigned twice in one UPDATE")
+            seen.add(assignment.column)
+
+
+#: Everything :func:`repro.engine.sql.parser.parse_statement` can return.
+Statement = (SelectQuery, InsertStatement, DeleteStatement, UpdateStatement)

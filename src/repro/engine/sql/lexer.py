@@ -24,7 +24,11 @@ class TokenType(enum.Enum):
     END = "end"
 
 
-KEYWORDS = frozenset({"SELECT", "FROM", "WHERE", "AND", "LIMIT", "AS", "DISTINCT"})
+KEYWORDS = frozenset({
+    "SELECT", "FROM", "WHERE", "AND", "LIMIT", "AS", "DISTINCT",
+    # Mutation statements (the live data plane).
+    "INSERT", "INTO", "VALUES", "DELETE", "UPDATE", "SET", "NULL",
+})
 
 _TOKEN_PATTERN = re.compile(
     r"""

@@ -5,14 +5,19 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.engine.sql.ast import (
+    Assignment,
     BinaryExpression,
     ColumnExpression,
     Condition,
+    DeleteStatement,
     Expression,
+    InsertStatement,
+    NullLiteral,
     NumberLiteral,
     SelectQuery,
     StringLiteral,
     TableReference,
+    UpdateStatement,
 )
 from repro.engine.sql.lexer import SqlSyntaxError, Token, TokenType, tokenize
 
@@ -74,6 +79,17 @@ class _Parser:
 
     # -- grammar --------------------------------------------------------------
 
+    def parse_statement(self):
+        """Dispatch on the leading keyword: SELECT or a mutation statement."""
+        token = self._peek()
+        if token.matches(TokenType.KEYWORD, "INSERT"):
+            return self._parse_insert()
+        if token.matches(TokenType.KEYWORD, "DELETE"):
+            return self._parse_delete()
+        if token.matches(TokenType.KEYWORD, "UPDATE"):
+            return self._parse_update()
+        return self.parse()
+
     def parse(self) -> SelectQuery:
         self._expect_keyword("SELECT")
         distinct = self._accept_keyword("DISTINCT")
@@ -112,14 +128,114 @@ class _Parser:
                     f"LIMIT value {text!r} at position {token.position} "
                     "is out of range") from error
 
+        self._finish_statement()
+        return SelectQuery(select=tuple(select), tables=tuple(tables),
+                           conditions=tuple(conditions), limit=limit,
+                           distinct=distinct, select_star=select_star)
+
+    def _finish_statement(self) -> None:
         self._accept_punctuation(";")
         end = self._peek()
         if end.type is not TokenType.END:
             raise SqlSyntaxError(
                 f"unexpected trailing input at position {end.position}: {end.text!r}")
-        return SelectQuery(select=tuple(select), tables=tuple(tables),
-                           conditions=tuple(conditions), limit=limit,
-                           distinct=distinct, select_star=select_star)
+
+    def _parse_where_clause(self) -> tuple[Condition, ...]:
+        conditions: list[Condition] = []
+        if self._accept_keyword("WHERE"):
+            conditions.append(self._parse_condition())
+            while self._accept_keyword("AND"):
+                conditions.append(self._parse_condition())
+        return tuple(conditions)
+
+    def _parse_insert(self) -> InsertStatement:
+        self._expect_keyword("INSERT")
+        self._expect_keyword("INTO")
+        table = self._expect_identifier()
+        self._expect_keyword("VALUES")
+        rows = [self._parse_value_row()]
+        while self._accept_punctuation(","):
+            rows.append(self._parse_value_row())
+        self._finish_statement()
+        return InsertStatement(table=table, rows=tuple(rows))
+
+    def _parse_value_row(self) -> tuple[Expression, ...]:
+        if not self._accept_punctuation("("):
+            token = self._peek()
+            raise SqlSyntaxError(
+                f"expected '(' to open a VALUES row at position {token.position}, "
+                f"got {token.text!r}")
+        values = [self._parse_literal_value()]
+        while self._accept_punctuation(","):
+            values.append(self._parse_literal_value())
+        if not self._accept_punctuation(")"):
+            raise SqlSyntaxError(f"missing ')' at position {self._peek().position}")
+        return tuple(values)
+
+    def _parse_literal_value(self) -> Expression:
+        """One VALUES entry: a number, string, NULL, or negated number.
+
+        Column references and arithmetic are meaningless without a source
+        row, so an INSERT rejects them at parse time.
+        """
+        token = self._peek()
+        if token.matches(TokenType.KEYWORD, "NULL"):
+            self._advance()
+            return NullLiteral()
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return NumberLiteral(value=float(token.text))
+        if token.type is TokenType.STRING:
+            self._advance()
+            return StringLiteral(value=token.text[1:-1].replace("''", "'"))
+        if token.type is TokenType.OPERATOR and token.text == "-":
+            self._advance()
+            inner = self._peek()
+            if inner.type is not TokenType.NUMBER:
+                raise SqlSyntaxError(
+                    f"expected a number after '-' at position {inner.position}, "
+                    f"got {inner.text!r}")
+            self._advance()
+            return NumberLiteral(value=-float(inner.text))
+        raise SqlSyntaxError(
+            f"expected a literal value at position {token.position}, "
+            f"got {token.text!r}")
+
+    def _parse_delete(self) -> DeleteStatement:
+        self._expect_keyword("DELETE")
+        self._expect_keyword("FROM")
+        table = self._expect_identifier()
+        conditions = self._parse_where_clause()
+        self._finish_statement()
+        return DeleteStatement(table=table, conditions=conditions)
+
+    def _parse_update(self) -> UpdateStatement:
+        self._expect_keyword("UPDATE")
+        table = self._expect_identifier()
+        self._expect_keyword("SET")
+        assignments = [self._parse_assignment()]
+        while self._accept_punctuation(","):
+            assignments.append(self._parse_assignment())
+        conditions = self._parse_where_clause()
+        self._finish_statement()
+        try:
+            return UpdateStatement(table=table, assignments=tuple(assignments),
+                                   conditions=conditions)
+        except ValueError as error:  # duplicate assignment target
+            raise SqlSyntaxError(str(error)) from error
+
+    def _parse_assignment(self) -> Assignment:
+        column = self._expect_identifier()
+        token = self._peek()
+        if not token.matches(TokenType.OPERATOR, "="):
+            raise SqlSyntaxError(
+                f"expected '=' in SET assignment at position {token.position}, "
+                f"got {token.text!r}")
+        self._advance()
+        if self._peek().matches(TokenType.KEYWORD, "NULL"):
+            self._advance()
+            return Assignment(column=column, value=NullLiteral())
+        return Assignment(column=column, value=self._parse_expression())
 
     def _parse_table_reference(self) -> TableReference:
         table = self._expect_identifier()
@@ -203,3 +319,13 @@ class _Parser:
 def parse_sql(sql: str) -> SelectQuery:
     """Parse a SELECT statement of the supported subset into its AST."""
     return _Parser(tokenize(sql)).parse()
+
+
+def parse_statement(sql: str):
+    """Parse any supported statement: SELECT, INSERT, DELETE or UPDATE.
+
+    Returns the matching AST node (:class:`SelectQuery`,
+    :class:`InsertStatement`, :class:`DeleteStatement` or
+    :class:`UpdateStatement`); raises :class:`SqlSyntaxError` otherwise.
+    """
+    return _Parser(tokenize(sql)).parse_statement()

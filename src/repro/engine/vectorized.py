@@ -39,6 +39,7 @@ are bit-for-bit those of the reference path.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np
@@ -352,7 +353,8 @@ def enumerate_candidates_columnar(select: SelectQuery, database: Database,
                                   group_witnesses: bool,
                                   shards: int = 1,
                                   jobs: int = 1,
-                                  shard_stats: Optional[dict] = None) -> list:
+                                  shard_stats: Optional[dict] = None,
+                                  frontier_cache: Optional["FrontierCache"] = None) -> list:
     """Columnar twin of the row-at-a-time ``enumerate_candidates`` body.
 
     With ``shards > 1`` the engine first tries key-aligned sharded
@@ -374,7 +376,8 @@ def enumerate_candidates_columnar(select: SelectQuery, database: Database,
             if sharded is not None:
                 return sharded
         return _enumerate_eager(select, database, limit, max_witnesses,
-                                group_witnesses)
+                                group_witnesses,
+                                frontier_cache=frontier_cache)
     except _FrontierOverflow:
         return enumerate_candidates(select, database, limit=limit,
                                     max_witnesses=max_witnesses,
@@ -393,14 +396,25 @@ def _projection_of(select: SelectQuery, database: Database, compiler) -> list:
 def _enumerate_eager(select: SelectQuery, database: Database,
                      limit: Optional[int],
                      max_witnesses: int,
-                     group_witnesses: bool) -> list:
-    frontier, pending = _compute_frontier(select, database)
+                     group_witnesses: bool,
+                     frontier_cache: Optional["FrontierCache"] = None) -> list:
+    frontier = pending = None
+    if frontier_cache is not None:
+        entry = frontier_cache.lookup(select, database)
+        if entry is not None:
+            frontier, pending = _maintain_frontier(select, database, entry)
+    if frontier is None:
+        frontier, pending = _compute_frontier(select, database)
+    if frontier_cache is not None:
+        frontier_cache.store(select, database, frontier, pending)
     return _assemble_candidates(select, database, frontier, pending,
                                 limit, max_witnesses, group_witnesses)
 
 
 def _compute_frontier(select: SelectQuery,
-                      database: Database) -> tuple[dict, Optional[list]]:
+                      database: Database,
+                      row_ranges: Optional[dict] = None
+                      ) -> tuple[dict, Optional[list]]:
     """Run pushdown + the join loop; returns the full-query frontier.
 
     The frontier maps each binding to an array of row indices into its
@@ -409,6 +423,12 @@ def _compute_frontier(select: SelectQuery,
     witness carries residuals).  Everything after this point -- projection,
     witness grouping, lineage assembly -- is data-independent of how the
     frontier was computed, which is what lets sharded execution reuse it.
+
+    ``row_ranges`` optionally restricts a binding's rows to a half-open
+    ``(lo, hi)`` index range before pushdown.  Restriction commutes with
+    every per-row operation (classification, residual attachment, joins),
+    so the restricted frontier equals the full frontier filtered to rows
+    in range -- the property the delta-join maintenance is built on.
     """
     from repro.engine.candidates import (
         _ConditionCompiler,
@@ -432,16 +452,20 @@ def _compute_frontier(select: SelectQuery,
         if filtered_rows[step] is None:
             binding = bindings[step]
             relation = evaluator.relation_of(binding)
-            rows = np.arange(len(relation), dtype=np.int64)
+            if row_ranges is not None and binding in row_ranges:
+                low, high = row_ranges[binding]
+            else:
+                low, high = 0, len(relation)
+            rows = np.arange(low, high, dtype=np.int64)
             residual_slots = [_EMPTY_RESIDUAL] * len(rows)
             alive = _apply_conditions(
                 local_conditions[step], evaluator, compiler, {binding: rows},
                 residual_slots, compiler.condition_bindings)
-            keep = np.flatnonzero(alive)
-            filtered_rows[step] = keep
-            if any(residual_slots[index] for index in keep.tolist()):
+            positions = np.flatnonzero(alive)
+            filtered_rows[step] = rows[positions]
+            if any(residual_slots[index] for index in positions.tolist()):
                 filtered_residuals[step] = [residual_slots[index]
-                                            for index in keep.tolist()]
+                                            for index in positions.tolist()]
             else:
                 filtered_residuals[step] = None
         return filtered_rows[step]
@@ -545,6 +569,183 @@ def _compute_frontier(select: SelectQuery,
             break
 
     return frontier, pending
+
+
+# -- incremental frontier maintenance ----------------------------------------
+#
+# The MVCC commit path (:mod:`repro.relational.mutation`) keeps row indices
+# of surviving rows stable across *append-only* versions: untouched tables
+# share their relation objects outright, appended tables keep every old row
+# at its old index and add a tail segment.  A join frontier computed at
+# version ``V`` is therefore still a correct *subset* of the frontier at a
+# later append-only version ``V'`` -- what is missing are exactly the
+# witnesses that use at least one appended row.  Writing the new frontier as
+# a telescoping difference over the bindings ``b_0 .. b_{k-1}``::
+#
+#     F(m) - F(n) = sum_t  [b_0..b_{t-1} full] x [b_t new] x [b_{t+1}.. old]
+#
+# each term is an ordinary frontier computation with per-binding row ranges
+# (binding ``t`` restricted to its appended rows ``[n_t, m_t)``, later
+# bindings to their old prefix ``[0, n_i)``), the terms are pairwise
+# disjoint and disjoint from the old frontier, and the DFS witness order is
+# lexicographic over per-binding row indices -- so one ``np.lexsort`` merge
+# restores exactly the order a from-scratch enumeration would produce.
+
+
+@dataclass(frozen=True)
+class _FrontierEntry:
+    """One cached frontier: the snapshot coordinates it was computed at."""
+
+    version_token: object
+    data_version: int
+    #: Per-binding relation length at compute time (the ``n_t`` above).
+    lengths: dict
+    frontier: dict
+    pending: Optional[list]
+
+
+class FrontierCache:
+    """A small per-service cache of join frontiers, maintained under appends.
+
+    Keyed by the select AST (frozen dataclasses, hashable): the same query
+    shape re-run after an append-only mutation reuses its old frontier and
+    delta-joins only the appended rows.  An entry is *eligible* for a
+    database snapshot when
+
+    * the snapshot belongs to the same version chain (``version_token``
+      identity -- a rebuilt or converted database never matches),
+    * no queried table saw a non-append mutation since the entry's version
+      (``table_epoch`` at or below it), and
+    * no queried table shrank (lengths monotone).
+
+    Deletes bump the table's epoch, so eligibility degrades exactly to the
+    cases where old row indices are still valid.  Used by the unsharded
+    eager path only; sharded execution has its own partition-cache
+    carryover.
+    """
+
+    def __init__(self, capacity: int = 8) -> None:
+        import threading
+
+        from repro.caching import LruCache
+
+        self._cache = LruCache(capacity, name="frontier")
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def stats(self):
+        # An entry present but ineligible (epoch advanced, chain diverged)
+        # is a miss to the caller, so report eligibility-aware counters
+        # rather than the raw LruCache presence counters.
+        from dataclasses import replace
+
+        with self._lock:
+            hits, misses = self._hits, self._misses
+        return replace(self._cache.stats(), hits=hits, misses=misses)
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+    def lookup(self, select: SelectQuery,
+               database: Database) -> Optional[_FrontierEntry]:
+        """The entry for ``select`` if it is eligible for ``database``."""
+        entry = self._cache.peek(select)
+        eligible = (entry is not None
+                    and entry.version_token is database.version_token)
+        if eligible:
+            for reference in select.tables:
+                if database.table_epoch(reference.table) > entry.data_version:
+                    eligible = False
+                    break
+                relation = database.relation(reference.table)
+                if len(relation) < entry.lengths[reference.binding]:
+                    eligible = False
+                    break
+        with self._lock:
+            if eligible:
+                self._hits += 1
+            else:
+                self._misses += 1
+        if not eligible:
+            return None
+        self._cache.get(select)  # refresh recency; stats() overrides counters
+        return entry
+
+    def store(self, select: SelectQuery, database: Database,
+              frontier: dict, pending: Optional[list]) -> None:
+        lengths = {reference.binding: len(database.relation(reference.table))
+                   for reference in select.tables}
+        self._cache.put(select, _FrontierEntry(
+            version_token=database.version_token,
+            data_version=database.data_version,
+            lengths=lengths,
+            frontier=frontier,
+            pending=pending,
+        ))
+
+
+def _maintain_frontier(select: SelectQuery, database: Database,
+                       entry: _FrontierEntry) -> tuple[dict, Optional[list]]:
+    """The current snapshot's frontier, derived from a cached one.
+
+    Computes the telescoped delta terms for every binding whose table grew
+    and merges them with the cached frontier back into DFS order.  May
+    raise :class:`_FrontierOverflow`: a delta term's pairs are a subset of
+    the full join's, so an overflowing delta implies the full computation
+    would overflow too -- the query falls to the row oracle either way.
+    """
+    bindings = [reference.binding for reference in select.tables]
+    binding_table = {reference.binding: reference.table
+                     for reference in select.tables}
+    new_lengths = {binding: len(database.relation(binding_table[binding]))
+                   for binding in bindings}
+    if new_lengths == entry.lengths:
+        return entry.frontier, entry.pending
+
+    segments: list[tuple[dict, Optional[list]]] = [
+        (entry.frontier, entry.pending)]
+    for position, binding in enumerate(bindings):
+        old_length = entry.lengths[binding]
+        new_length = new_lengths[binding]
+        if new_length <= old_length:
+            continue
+        # Bindings before ``position`` run at full (new) length -- the
+        # default range -- so only this binding and the later ones need
+        # explicit restrictions.
+        ranges = {binding: (old_length, new_length)}
+        for later in bindings[position + 1:]:
+            ranges[later] = (0, entry.lengths[later])
+        term_frontier, term_pending = _compute_frontier(
+            select, database, row_ranges=ranges)
+        if len(term_frontier[bindings[0]]) == 0:
+            continue
+        segments.append((term_frontier, term_pending))
+
+    if len(segments) == 1:
+        return entry.frontier, entry.pending
+
+    merged = {binding: np.concatenate([segment[0][binding]
+                                       for segment in segments])
+              for binding in bindings}
+    # The DFS witness order is lexicographic over per-binding row indices
+    # in binding order; ``np.lexsort`` treats its *last* key as primary.
+    order = np.lexsort(tuple(merged[binding]
+                             for binding in reversed(bindings)))
+    merged = {binding: rows[order] for binding, rows in merged.items()}
+    if any(segment[1] is not None for segment in segments):
+        flat: list = []
+        for segment_frontier, segment_pending in segments:
+            count = len(segment_frontier[bindings[0]])
+            if segment_pending is None:
+                flat.extend([_EMPTY_RESIDUAL] * count)
+            else:
+                flat.extend(segment_pending)
+        merged_pending: Optional[list] = [flat[index]
+                                          for index in order.tolist()]
+    else:
+        merged_pending = None
+    return merged, merged_pending
 
 
 def _assemble_candidates(select: SelectQuery, database: Database,

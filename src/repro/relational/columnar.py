@@ -419,6 +419,27 @@ class ColumnarRelation:
         result._seen = None
         return result
 
+    def with_appended(self, rows: Sequence[Sequence[Value]]) -> "ColumnarRelation":
+        """A new relation sharing this one's sealed arrays plus a tail segment.
+
+        The MVCC append path: the parent snapshot's column arrays are
+        shared (immutable once sealed), the appended rows are merged as a
+        tail through the dictionary-preserving :meth:`_flush`, so existing
+        row codes never change and the parent relation is untouched.  The
+        caller guarantees the rows are validated and duplicate-free
+        against the parent content (:class:`~repro.relational.mutation.
+        Mutation` does); the seen-set is left unset and rebuilt lazily if
+        row-at-a-time ``add`` resumes.
+        """
+        self._flush()
+        result = ColumnarRelation(self._schema)
+        result._columns = list(self._columns) if self._columns is not None else None
+        result._sealed_rows = self._sealed_rows
+        result._seen = None
+        result._tail = [tuple(row) for row in rows]
+        result._flush()
+        return result
+
     def map_values(self, mapping) -> "ColumnarRelation":
         """A new columnar relation with every value passed through ``mapping``."""
         result = ColumnarRelation(self._schema)

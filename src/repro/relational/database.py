@@ -63,6 +63,22 @@ class Database:
             relation_schema.name: relation_class(relation_schema)
             for relation_schema in schema
         }
+        # -- MVCC version chain (see repro.relational.mutation) -------------
+        #: Monotone snapshot counter; bumped by every committed mutation.
+        self._data_version = 0
+        #: Per-table version of the last mutation touching the table at all
+        #: (plan caches key on these, so untouched tables stay warm).
+        self._table_versions: dict[str, int] = {
+            name: 0 for name in self._relations}
+        #: Per-table version of the last *non-append* mutation (deletes and
+        #: updates shift row indices; appends do not).  The incremental
+        #: frontier maintenance is only sound against snapshots whose
+        #: epochs have not moved past the cached version.
+        self._table_epochs: dict[str, int] = {
+            name: 0 for name in self._relations}
+        #: Identity of this snapshot's version chain: shared by every
+        #: snapshot committed from this one, distinct for converted copies.
+        self._version_token: object = object()
 
     # -- construction ------------------------------------------------------
 
@@ -105,14 +121,28 @@ class Database:
                 f"relation {name!r} is not a {expected.__name__}; this "
                 f"database uses the {self._backend!r} backend")
         self._shard_cache.clear()
+        # Wholesale replacement is indistinguishable from arbitrary deletes
+        # and rewrites: start a new version chain, so anything cached
+        # against the old chain token never treats the old content as a
+        # prefix of the new.
+        self._version_token = object()
         self._relations[name] = relation
 
     def copy(self) -> "Database":
-        """A deep copy (tuples are immutable, so sharing them is safe)."""
+        """A deep copy (tuples are immutable, so sharing them is safe).
+
+        The copy keeps the version numbers but starts its own version
+        chain (fresh token): the original and the copy may diverge
+        independently, so incremental state cached against one must never
+        be applied to the other.
+        """
         duplicate = Database(self._schema, backend=self._backend,
                              shards=self._shards)
         for name, relation in self._relations.items():
             duplicate._relations[name] = relation.copy()
+        duplicate._data_version = self._data_version
+        duplicate._table_versions = dict(self._table_versions)
+        duplicate._table_epochs = dict(self._table_epochs)
         return duplicate
 
     def with_backend(self, backend: str,
@@ -138,6 +168,11 @@ class Database:
                 converted._relations[name] = ColumnarRelation.from_relation(relation)
             else:
                 converted._relations[name] = relation.to_relation()
+        # Same content, same version numbers -- but a fresh chain token:
+        # the converted snapshot evolves independently of its source.
+        converted._data_version = self._data_version
+        converted._table_versions = dict(self._table_versions)
+        converted._table_epochs = dict(self._table_epochs)
         return converted
 
     def with_shards(self, shards: int) -> "Database":
@@ -155,6 +190,12 @@ class Database:
         # Shared on purpose: entries are keyed by shard count, and sharing
         # means a mutation through either view invalidates both.
         view._shard_cache = self._shard_cache
+        # A view over the same relations *is* the same snapshot: share the
+        # chain identity and the version bookkeeping outright.
+        view._data_version = self._data_version
+        view._table_versions = self._table_versions
+        view._table_epochs = self._table_epochs
+        view._version_token = self._version_token
         return view
 
     # -- access ------------------------------------------------------------
@@ -172,6 +213,74 @@ class Database:
     def shards(self) -> int:
         """How many shards the sharded execution path splits relations into."""
         return self._shards
+
+    # -- MVCC version chain --------------------------------------------------
+
+    @property
+    def data_version(self) -> int:
+        """Monotone version of this snapshot (0 for a freshly built database)."""
+        return self._data_version
+
+    @property
+    def version_token(self) -> object:
+        """Identity of this snapshot's version chain (see the mutation docs)."""
+        return self._version_token
+
+    def table_version(self, name: str) -> int:
+        """Version of the last committed mutation that touched ``name``."""
+        return self._table_versions.get(name, 0)
+
+    def table_epoch(self, name: str) -> int:
+        """Version of the last committed *non-append* mutation of ``name``."""
+        return self._table_epochs.get(name, 0)
+
+    def version_info(self) -> dict:
+        """The snapshot's version metadata, for stats and wire reporting."""
+        return {"data_version": self._data_version,
+                "table_versions": dict(self._table_versions)}
+
+    def begin_mutation(self):
+        """Open a staged mutation against this snapshot.
+
+        Returns a :class:`~repro.relational.mutation.Mutation`; staging
+        never modifies this snapshot, and ``commit()`` seals a *new*
+        database at ``data_version + 1``.  Writers must be serialised by
+        the caller (the service holds a writer lock); readers need no
+        coordination at all -- they keep the snapshot they started on.
+        """
+        from repro.relational.mutation import Mutation
+        return Mutation(self)
+
+    def _commit_mutation(self, rebuilt: Mapping[str, object],
+                         deltas: Mapping[str, object]) -> "Database":
+        """Seal a committed mutation into the next-version snapshot.
+
+        Called by :meth:`Mutation.commit` with the incrementally rebuilt
+        relations of the touched tables and their deltas.  Untouched
+        tables share their relation objects; the partition cache carries
+        over per-shard (extended for append-only tables, dropped only for
+        tables with deletes).
+        """
+        from repro.relational.mutation import extend_shard_cache
+
+        sealed = Database(self._schema, backend=self._backend,
+                          shards=self._shards)
+        sealed._relations = {
+            name: rebuilt.get(name, relation)
+            for name, relation in self._relations.items()}
+        sealed._data_version = self._data_version + 1
+        sealed._version_token = self._version_token
+        sealed._table_versions = dict(self._table_versions)
+        sealed._table_epochs = dict(self._table_epochs)
+        for table, delta in deltas.items():
+            sealed._table_versions[table] = sealed._data_version
+            if not delta.append_only:
+                sealed._table_epochs[table] = sealed._data_version
+        # Concurrent readers may be filling the parent's cache right now;
+        # copy the dict once so carryover iterates a stable view.
+        sealed._shard_cache = extend_shard_cache(
+            dict(self._shard_cache), deltas, sealed._relations)
+        return sealed
 
     def table_shards(self, table: str, key_column: Optional[str],
                      shard_count: int):

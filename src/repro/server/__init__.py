@@ -14,7 +14,7 @@ for callers inside the process; this package is the network layer on top:
   drain protocol and the blocking :func:`~repro.server.netserver.serve`
   entry point the CLI uses;
 * :mod:`repro.server.http` -- a dependency-free HTTP/1.1 adapter
-  (``POST /query``, ``GET /healthz``, ``GET /stats``);
+  (``POST /query``, ``POST /mutate``, ``GET /healthz``, ``GET /stats``);
 * :mod:`repro.server.embedded` -- the same server on a background thread,
   for tests, benchmarks and the load generator.
 

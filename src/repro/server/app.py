@@ -21,8 +21,13 @@ about lives here:
   every subscriber as it lands: the service's ``on_update`` callback fires
   on a worker thread and is marshalled onto the event loop with
   ``call_soon_threadsafe``, which preserves per-lineage monotonic order;
+* **mutations** -- :meth:`mutate` applies INSERT/DELETE/UPDATE statements
+  through the service's MVCC commit path; writers are serialised behind a
+  gate and counted as in-flight work, while readers keep streaming from
+  the snapshot they pinned (no reader/writer blocking);
 * **drain** -- :meth:`begin_drain` stops admitting, :meth:`wait_idle`
-  resolves once every in-flight flight has delivered its terminal event.
+  resolves once every in-flight flight (queries and mutations alike) has
+  delivered its terminal event.
 
 Compute runs on a dedicated thread pool via ``run_in_executor``; the
 service's own ``jobs``/``executor``/``shards`` options apply unchanged
@@ -45,11 +50,14 @@ from repro.obs.recorder import (
     process_collector,
     service_stats_collector,
 )
+from repro.relational.mutation import MutationError
 from repro.relational.schema import SchemaError
 from repro.server.protocol import (
     OverloadError,
     ProtocolError,
     error_event,
+    mutation_event,
+    parse_mutation_request,
     parse_query_request,
     request_key,
     result_event,
@@ -126,6 +134,11 @@ class ServerApp:
         self._draining = False
         self._idle = asyncio.Event()
         self._idle.set()
+        # Writers apply strictly one at a time; readers never wait on this
+        # (MVCC snapshots -- a query pins whatever version is current when
+        # its submit starts).
+        self._mutation_gate = asyncio.Lock()
+        self._mutations_inflight = 0
         # Lifetime counters, all mutated on the event loop only.
         self._requests = 0
         self._launched = 0
@@ -133,6 +146,8 @@ class ServerApp:
         self._overloads = 0
         self._query_errors = 0
         self._internal_errors = 0
+        self._mutations = 0
+        self._mutation_errors = 0
 
     # -- request defaults ----------------------------------------------------
 
@@ -237,9 +252,59 @@ class ServerApp:
             terminal = error_event(None, "internal",
                                    f"{type(error).__name__}: {error}")
         del self._flights[flight.key]
-        if not self._flights:
-            self._idle.set()
+        self._maybe_idle()
         flight.publish(terminal)
+
+    def _maybe_idle(self) -> None:
+        if not self._flights and self._mutations_inflight == 0:
+            self._idle.set()
+
+    # -- the mutation path ---------------------------------------------------
+
+    async def mutate(self, message: dict) -> dict:
+        """Apply one mutation statement; returns its terminal event.
+
+        Writers are serialised behind a single gate and counted as
+        in-flight work, so a drain waits for a mutation that is mid-commit
+        exactly as it waits for queries.  Readers never queue here: a
+        query pins the snapshot current at its start, and the commit swaps
+        the service's database reference atomically.
+        """
+        self._requests += 1
+        try:
+            sql = parse_mutation_request(message)
+        except ProtocolError as error:
+            self._mutation_errors += 1
+            return error.as_event()
+        if self._draining:
+            return error_event(None, "draining",
+                               "server is draining; not accepting mutations")
+        loop = asyncio.get_running_loop()
+        self._mutations_inflight += 1
+        self._idle.clear()
+        try:
+            async with self._mutation_gate:
+                outcome = await loop.run_in_executor(
+                    self._executor, self._service.mutate, sql)
+        except MutationError as error:
+            # Typed statement failures: "validation" and "conflict" --
+            # checked before _QUERY_ERRORS since MutationError is a
+            # ValueError too.
+            self._mutation_errors += 1
+            return error_event(None, error.code, str(error))
+        except _QUERY_ERRORS as error:
+            self._mutation_errors += 1
+            return error_event(None, "invalid_query", str(error))
+        except BaseException as error:  # noqa: BLE001 - reported, not hidden
+            self._internal_errors += 1
+            return error_event(None, "internal",
+                               f"{type(error).__name__}: {error}")
+        else:
+            self._mutations += 1
+            return mutation_event(None, outcome)
+        finally:
+            self._mutations_inflight -= 1
+            self._maybe_idle()
 
     # -- auxiliary operations ------------------------------------------------
 
@@ -281,7 +346,17 @@ class ServerApp:
                 "repro_server_errors_total",
                 "Terminal error events by kind",
                 [({"kind": "query"}, self._query_errors),
+                 ({"kind": "mutation"}, self._mutation_errors),
                  ({"kind": "internal"}, self._internal_errors)]),
+            counters_family(
+                "repro_server_mutations_total",
+                "Mutation statements committed",
+                [({}, self._mutations)]),
+            counters_family(
+                "repro_server_data_version",
+                "Data version of the service's current snapshot",
+                [({}, getattr(self._service.database, "data_version", 0))],
+                kind="gauge"),
             counters_family(
                 "repro_server_active_flights",
                 "Computations currently in flight",
@@ -301,6 +376,8 @@ class ServerApp:
                 "coalesced": self._coalesced,
                 "overloads": self._overloads,
                 "query_errors": self._query_errors,
+                "mutations": self._mutations,
+                "mutation_errors": self._mutation_errors,
                 "internal_errors": self._internal_errors,
                 "active": len(self._flights),
                 "max_pending": self._max_pending,

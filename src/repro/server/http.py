@@ -1,6 +1,6 @@
 """A minimal HTTP/1.1 adapter over the server app (no dependencies).
 
-Three routes, mirroring the TCP wire protocol one-to-one:
+The routes mirror the TCP wire protocol one-to-one:
 
 ``GET /healthz``
     Liveness: ``200`` with the app's health object (status turns
@@ -14,6 +14,11 @@ Three routes, mirroring the TCP wire protocol one-to-one:
     histograms plus scrape-time exports of every server and service
     lifetime counter.  Rendering happens only when scraped; the query hot
     path pays nothing for it.
+``POST /mutate``
+    Body is a TCP mutation message (``{"sql": "INSERT ..."}``).  The
+    response is the terminal ``mutation`` event (with the committed
+    ``data_version``) or a typed ``error`` event with its code mapped
+    onto a status (``validation`` -> 400, ``conflict`` -> 409).
 ``POST /query``
     Body is a TCP query message (``{"sql": ..., "options": {...}}``).  The
     default response is one JSON object -- the terminal ``result`` or
@@ -38,11 +43,13 @@ import json
 from repro.server.protocol import MAX_LINE_BYTES, dump_line
 
 _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
-            405: "Method Not Allowed", 413: "Payload Too Large",
+            405: "Method Not Allowed", 409: "Conflict",
+            413: "Payload Too Large",
             500: "Internal Server Error", 503: "Service Unavailable"}
 
 #: Wire error codes -> HTTP status.
 _ERROR_STATUS = {"bad_request": 400, "invalid_query": 400,
+                 "validation": 400, "conflict": 409,
                  "overloaded": 503, "draining": 503, "internal": 500}
 
 
@@ -125,6 +132,15 @@ async def handle_http_connection(server, reader: asyncio.StreamReader,
                 await _handle_query(app, body, writer)
             finally:
                 server._exit_request()
+    elif target == "/mutate":
+        if method != "POST":
+            writer.write(_json_response(405, {"error": "use POST"}))
+        else:
+            server._enter_request()
+            try:
+                await _handle_mutate(app, body, writer)
+            finally:
+                server._exit_request()
     else:
         writer.write(_json_response(404, {"error": f"no route {target}"}))
     await writer.drain()
@@ -154,3 +170,19 @@ async def _handle_query(app, body: bytes, writer: asyncio.StreamWriter) -> None:
     if terminal.get("type") == "error":
         status = _ERROR_STATUS.get(terminal.get("code"), 500)
     writer.write(_json_response(status, terminal))
+
+
+async def _handle_mutate(app, body: bytes,
+                         writer: asyncio.StreamWriter) -> None:
+    try:
+        message = json.loads(body)
+        if not isinstance(message, dict):
+            raise ValueError("body must be a JSON object")
+    except (ValueError, UnicodeDecodeError) as error:
+        writer.write(_json_response(400, {"error": f"malformed body: {error}"}))
+        return
+    event = await app.mutate(message)
+    status = 200
+    if event.get("type") == "error":
+        status = _ERROR_STATUS.get(event.get("code"), 500)
+    writer.write(_json_response(status, event))

@@ -4,9 +4,10 @@
 lifecycle around one :class:`~repro.server.app.ServerApp`:
 
 * the **TCP transport** speaks newline-delimited JSON -- one request object
-  per line in (``op``: ``query`` | ``stats`` | ``metrics`` | ``health`` |
-  ``ping``), one or more response objects per request out, every response
-  stamped with the request's ``id`` so clients can correlate;
+  per line in (``op``: ``query`` | ``mutate`` | ``stats`` | ``metrics`` |
+  ``health`` | ``ping``), one or more response objects per request out,
+  every response stamped with the request's ``id`` so clients can
+  correlate;
 * the **HTTP transport** (:mod:`repro.server.http`) shares the app and the
   drain machinery;
 * the **drain protocol** implements graceful SIGTERM shutdown: stop
@@ -192,6 +193,10 @@ class NetworkServer:
                 stamped = dict(event)
                 stamped["id"] = request_id
                 await self._send(writer, stamped)
+        elif op == "mutate":
+            event = dict(await self.app.mutate(message))
+            event["id"] = request_id
+            await self._send(writer, event)
         else:
             await self._send(writer, error_event(
                 request_id, "bad_request", f"unknown op {op!r}"))

@@ -29,6 +29,13 @@ Error taxonomy (the ``code`` field of ``type: "error"`` messages):
 ``invalid_query``
     The SQL failed to parse/translate, or referenced unknown tables or
     columns.
+``validation``
+    A mutation statement failed validation: unknown table or column,
+    wrong VALUES arity, a type mismatch, or arithmetic over a marked
+    null.  The snapshot is untouched.
+``conflict``
+    A mutation would have produced a duplicate row under the engine's
+    set semantics.  The snapshot is untouched.
 ``overloaded``
     Admission control rejected the request: the server already has
     ``max_pending`` computations queued or running.  Back off and retry.
@@ -85,6 +92,25 @@ class OverloadError(ProtocolError):
 def error_event(request_id: Any, code: str, message: str) -> dict:
     return {"id": request_id, "type": "error", "code": code,
             "message": message}
+
+
+def mutation_event(request_id: Any, outcome) -> dict:
+    """The terminal message of a successful mutation statement.
+
+    Carries the :class:`~repro.engine.mutate.MutationOutcome` fields --
+    including ``data_version``, the version the statement committed, so a
+    client can correlate later query results with the data they saw.
+    """
+    return {"id": request_id, "type": "mutation", **outcome.as_dict()}
+
+
+def parse_mutation_request(message: Mapping) -> str:
+    """Validate a mutation message; returns the statement's SQL text."""
+    sql = message.get("sql", message.get("statement"))
+    if not isinstance(sql, str) or not sql.strip():
+        raise ProtocolError("bad_request",
+                            "mutation requests need a non-empty 'sql' string")
+    return sql
 
 
 # -- requests ----------------------------------------------------------------

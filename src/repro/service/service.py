@@ -227,6 +227,16 @@ class ServiceStats:
     #: Top-K slow queries (dicts from :meth:`SlowQuery.as_dict`); empty
     #: when the service runs without a recorder.
     slow_queries: tuple = ()
+    #: MVCC version of the database snapshot currently served (0 until the
+    #: first committed mutation).
+    data_version: int = 0
+    #: Committed mutation statements over the service's lifetime.
+    mutations_applied: int = 0
+    #: Certainty results dropped by delta-driven invalidation (their
+    #: recorded lineage touched mutated rows) vs. kept warm across
+    #: versions.
+    results_evicted: int = 0
+    results_retained: int = 0
 
     def report(self) -> str:
         """Human-readable multi-line report (the ``serve`` REPL's ``\\stats``)."""
@@ -236,6 +246,10 @@ class ServiceStats:
             f"estimates computed  {self.estimates_computed}",
             f"estimates reused    {self.estimates_reused}",
             f"tuples batched      {self.tuples_batched}",
+            f"data version        {self.data_version} "
+            f"({self.mutations_applied} mutations, "
+            f"{self.results_evicted} results evicted, "
+            f"{self.results_retained} retained)",
         ]
         if self.single_flight is not None:
             lines.append(
@@ -311,6 +325,10 @@ class ServiceStats:
             "planner": (None if self.planner is None
                         else self.planner.as_dict()),
             "slow_queries": [dict(entry) for entry in self.slow_queries],
+            "data_version": self.data_version,
+            "mutations_applied": self.mutations_applied,
+            "results_evicted": self.results_evicted,
+            "results_retained": self.results_retained,
         }
 
 
@@ -362,9 +380,17 @@ def _seed_token(root: np.random.SeedSequence) -> tuple:
 class AnnotationService:
     """Serve certainty-annotated answers for SQL queries over one database.
 
-    The service treats its database as a stable snapshot: every cache keys
-    off query text and formula structure only.  Call :meth:`invalidate`
-    after mutating the database.
+    The service holds an immutable database *snapshot* and serves every
+    request against the snapshot current at submit time (MVCC: a request
+    pins its snapshot for its whole lifecycle, so a concurrent
+    :meth:`mutate` never tears a running request).  Mutations are
+    serialised by a writer lock, commit a new snapshot version, and drive
+    *delta* invalidation: plan-cache keys carry per-table versions (stale
+    plans become unreachable, untouched tables stay warm), certainty
+    results are evicted only when their recorded lineage nulls intersect
+    the mutation's deleted/updated rows, and the join-frontier cache
+    delta-joins appended rows instead of re-enumerating.  The wholesale
+    :meth:`invalidate` remains for out-of-band database edits.
     """
 
     def __init__(self, database, options: Optional[ServiceOptions] = None,
@@ -405,6 +431,20 @@ class AnnotationService:
         self._parse_cache = LruCache(options.parse_cache_size, name="parsed sql")
         self._plan_cache = LruCache(options.plan_cache_size, name="candidates")
         self._result_cache = LruCache(options.result_cache_size, name="certainty")
+        # Incremental join-frontier maintenance for the unsharded columnar
+        # path: after an append-only mutation, re-enumeration delta-joins
+        # only the appended rows (see FrontierCache in engine.vectorized).
+        from repro.engine.vectorized import FrontierCache
+        self._frontier_cache = FrontierCache()
+        # Delta-driven invalidation bookkeeping: result-cache key -> names
+        # of the marked nulls its served lineages actually touched.  A
+        # mutation evicts exactly the keys whose nulls it deleted/updated.
+        self._result_provenance: dict[tuple, frozenset[str]] = {}
+        self._provenance_lock = threading.Lock()
+        # Writers are serialised; readers never take this lock.
+        self._mutation_lock = threading.Lock()
+        self._mutations_applied = 0
+        self._results_evicted = 0
         # Concurrent requests (the network server runs submits on worker
         # threads) racing on a cold canonical lineage join one estimate
         # instead of computing it twice: one computation, one cache fill.
@@ -538,6 +578,9 @@ class AnnotationService:
 
         with tr.span("parse"):
             select = self._parse(query)
+        # Pin the snapshot once: a concurrent mutate() swaps self._database
+        # to the next version, but this request keeps the version it
+        # started on end to end (MVCC snapshot isolation).
         database = self._database
         plan_engine: Optional[Planner] = None
         planned: Optional[dict] = None
@@ -548,7 +591,7 @@ class AnnotationService:
                     from repro.engine.candidates import workload_cardinalities
                     try:
                         cardinalities = workload_cardinalities(select,
-                                                               self._database)
+                                                               database)
                     except Exception:
                         cardinalities = ()
                     if cardinalities:
@@ -607,6 +650,11 @@ class AnnotationService:
             return (group.canonical.key, epsilon, delta, method, adaptive,
                     seed_token)
 
+        if reuse:
+            # Record which marked nulls each group's lineages touch, so a
+            # later mutation can evict exactly the affected cache entries.
+            self._record_provenance(schedule, candidates, cache_key)
+
         def _decide(group: TaskGroup, span=None) -> tuple[CertaintyResult, bool]:
             key = cache_key(group)
             if not reuse:
@@ -616,7 +664,7 @@ class AnnotationService:
                 return result, False
             cached = self._result_cache.get(key)
             if cached is not None:
-                return cached, True
+                return self._patch_dimension(cached), True
 
             def compute() -> tuple[CertaintyResult, bool]:
                 # Re-probe under flight leadership: a racing request may
@@ -627,7 +675,7 @@ class AnnotationService:
                 # a fast path.
                 landed = self._result_cache.peek(key)
                 if landed is not None:
-                    return landed, False
+                    return self._patch_dimension(landed), False
                 result = self._estimate(group, epsilon, delta, method,
                                         adaptive, root, (), on_update,
                                         trace=tr, parent=span)
@@ -751,6 +799,8 @@ class AnnotationService:
             estimates_computed = self._estimates_computed
             estimates_reused = self._estimates_reused
             tuples_batched = self._tuples_batched
+            mutations_applied = self._mutations_applied
+            results_evicted = self._results_evicted
             kernels_launched = self._kernels_launched
             tuples_fused = self._tuples_fused
             fusion_batches = self._fusion_batches
@@ -789,6 +839,7 @@ class AnnotationService:
                 self._parse_cache.stats(),
                 plan_stats,
                 self._result_cache.stats(),
+                self._frontier_cache.stats(),
                 compile_cache_stats(),
             ),
             backends=tuple(backends),
@@ -804,13 +855,133 @@ class AnnotationService:
                                batch_sizes=fusion_batch_sizes),
             planner=planner_stats,
             slow_queries=slow_queries,
+            data_version=getattr(self._database, "data_version", 0),
+            mutations_applied=mutations_applied,
+            results_evicted=results_evicted,
+            results_retained=len(self._result_cache),
         )
 
+    def mutate(self, statement):
+        """Apply one INSERT/DELETE/UPDATE statement; returns its outcome.
+
+        ``statement`` is SQL text or a parsed mutation AST.  Writers are
+        serialised by the service's mutation lock; the new snapshot is
+        swapped in atomically, so readers either see the old version or
+        the new one, never a torn intermediate.  Invalidation is
+        delta-driven: certainty results are evicted only when their
+        recorded lineage nulls intersect the mutation's deleted/updated
+        rows; plan-cache entries of untouched tables stay reachable
+        (their version keys did not move); appended rows feed the
+        incremental frontier maintenance on the next enumeration.
+
+        Raises :class:`~repro.relational.mutation.MutationValidationError`
+        or :class:`~repro.relational.mutation.MutationConflictError`
+        without changing any state; :class:`SqlSyntaxError` propagates
+        from parsing.
+        """
+        from repro.engine.mutate import execute_mutation
+        from repro.engine.sql.ast import SelectQuery
+        from repro.engine.sql.parser import parse_statement
+        from repro.relational.mutation import MutationValidationError
+
+        parsed = parse_statement(statement) if isinstance(statement, str) \
+            else statement
+        if isinstance(parsed, SelectQuery):
+            raise MutationValidationError(
+                "SELECT is not a mutation; use submit()/annotate()")
+        with self._mutation_lock:
+            database = self._database
+            new_database, deltas, outcome = execute_mutation(parsed, database)
+            touched: frozenset[str] = frozenset()
+            for delta in deltas.values():
+                touched |= delta.touched_nulls()
+            evicted = self._evict_touched(touched)
+            # The swap is a single reference assignment: requests pin
+            # self._database once at submit time, so they stay on their
+            # version; new requests pick this one up.
+            self._database = new_database
+            self._dimension = len(new_database.num_nulls_ordered())
+            with self._views_lock:
+                # Alternate-backend views were converted from the parent
+                # snapshot's content; rebuild on demand from the new one.
+                self._database_views.clear()
+            with self._counters_lock:
+                self._mutations_applied += 1
+                self._results_evicted += evicted
+        return outcome
+
+    def _evict_touched(self, touched: frozenset[str]) -> int:
+        """Delta-driven certainty eviction: drop entries whose recorded
+        lineage nulls intersect the mutation's; keep everything else warm.
+        Dead provenance entries (evicted from the cache by capacity) are
+        pruned on the way."""
+        if not touched:
+            return 0
+        evicted = 0
+        with self._provenance_lock:
+            for key, names in list(self._result_provenance.items()):
+                if key not in self._result_cache:
+                    del self._result_provenance[key]
+                    continue
+                if names & touched:
+                    self._result_cache.pop(key)
+                    del self._result_provenance[key]
+                    evicted += 1
+        return evicted
+
+    def _record_provenance(self, schedule, candidates, cache_key) -> None:
+        """Remember which marked nulls each group's result depends on.
+
+        Only numerical nulls can occur in lineage formulas (base-null
+        comparisons fold immediately), so the recorded names are exactly
+        the rows whose deletion could -- as a matter of provenance policy
+        -- affect the entry.  Names accumulate across requests: the same
+        canonical lineage served for different concrete rows answers for
+        all of them.
+        """
+        updates: dict[tuple, frozenset[str]] = {}
+        for group in schedule:
+            names: set[str] = set()
+            for member in group.members:
+                lineage = candidates[member].lineage
+                for variable in lineage.relevant_variables:
+                    names.add(lineage.null_by_variable[variable].name)
+            if names:
+                updates[cache_key(group)] = frozenset(names)
+        if not updates:
+            return
+        with self._provenance_lock:
+            for key, names in updates.items():
+                existing = self._result_provenance.get(key)
+                self._result_provenance[key] = (
+                    names if existing is None else existing | names)
+            if len(self._result_provenance) > 2 * self._result_cache.capacity:
+                # Bound the side table: drop records whose cache entry is
+                # long gone (capacity-evicted between mutations).
+                for key in list(self._result_provenance):
+                    if key not in self._result_cache:
+                        del self._result_provenance[key]
+
+    def _patch_dimension(self, result: CertaintyResult) -> CertaintyResult:
+        """Re-stamp a cached result with the current ambient dimension.
+
+        The estimate itself is content-addressed (canonical lineage) and
+        cannot go stale, but the ambient null count is snapshot metadata:
+        after a mutation a cache hit must report the *new* dimension,
+        exactly as a cold compute against the new snapshot would.
+        """
+        if result.dimension == self._dimension:
+            return result
+        return replace(result, dimension=self._dimension)
+
     def invalidate(self) -> None:
-        """Drop every cached artefact (call after mutating the database)."""
+        """Drop every cached artefact (for out-of-band database edits)."""
         self._parse_cache.clear()
         self._plan_cache.clear()
         self._result_cache.clear()
+        self._frontier_cache.clear()
+        with self._provenance_lock:
+            self._result_provenance.clear()
         with self._views_lock:
             # Alternate-backend snapshots were converted from the (now
             # stale) database content; rebuild them on demand.
@@ -842,7 +1013,7 @@ class AnnotationService:
             planned = tuple(enumerate_candidates(
                 select, database, limit=limit,
                 group_witnesses=group_witnesses, jobs=jobs,
-                shard_stats=sink))
+                shard_stats=sink, frontier_cache=self._frontier_cache))
             elapsed = time.perf_counter() - enumeration_started
             self._record_shard_stats(sink)
             self._observe_enumeration(select, database, elapsed)
@@ -862,10 +1033,22 @@ class AnnotationService:
             return enumerate_()
         # Backend and shard count are part of the key: the auto planner may
         # route the same query text to different snapshots, whose candidate
-        # lists carry layout-dependent internals.
+        # lists carry layout-dependent internals.  Per-referenced-table
+        # data versions make mutation invalidation delta-driven: a commit
+        # touching table T moves only T's version, so plans over untouched
+        # tables keep their keys (stay warm) while plans over T become
+        # unreachable and age out of the LRU.
+        table_version = getattr(database, "table_version", None)
+        if table_version is not None:
+            versions = tuple(sorted(
+                {(reference.table, table_version(reference.table))
+                 for reference in select.tables}))
+        else:
+            versions = ()
         key = (_normalise_sql(query), limit, group_witnesses,
                getattr(database, "backend", "rows"),
-               getattr(database, "shards", 1))
+               getattr(database, "shards", 1),
+               versions)
         return self._plan_cache.get_or_compute(key, enumerate_)
 
     def _record_shard_stats(self, sink: dict) -> None:
@@ -954,7 +1137,7 @@ class AnnotationService:
             if reuse:
                 cached = self._result_cache.get(cache_key(group))
                 if cached is not None:
-                    outcomes[position] = (cached, True)
+                    outcomes[position] = (self._patch_dimension(cached), True)
                     continue
             if fusable_method(method, group.canonical.translation()):
                 fusable_positions.append(position)
@@ -1078,7 +1261,7 @@ class AnnotationService:
             if reuse:
                 cached = self._result_cache.get(cache_key(group))
                 if cached is not None:
-                    outcomes[position] = (cached, True)
+                    outcomes[position] = (self._patch_dimension(cached), True)
                     continue
             replica = () if reuse else (group.members[0],)
             payloads.append((

@@ -1,0 +1,303 @@
+"""Concurrent reads and writes through the async server.
+
+The live data plane promises MVCC semantics at the wire: writers never
+block readers, readers pinned across a commit keep the snapshot they
+started on, writers serialise behind the mutation gate and report
+strictly advancing data versions, and drain lets an in-flight mutation
+deliver its terminal event before the server goes idle.  These tests pin
+each of those properties -- transport-free against :class:`ServerApp`
+where determinism wants a gate, end-to-end through
+:class:`EmbeddedServer` sockets for the four-reader acceptance scenario.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.client import ReproClient
+from repro.engine.mutate import execute_mutation
+from repro.engine.sql.parser import parse_statement
+from repro.relational.database import Database
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.values import NumNull
+from repro.server import EmbeddedServer, ServerApp
+from repro.service import AnnotationService, ServiceOptions
+
+
+def _database() -> Database:
+    schema = DatabaseSchema.of(RelationSchema.of("t", key="base", x="num"))
+    # Two nulls keep every reader query uncertain, so the certainty
+    # estimator (where the pinning gate sits) runs for each of them.
+    return Database.from_dict(schema, {
+        "t": [("a", 1.0), ("b", NumNull("n0")), ("c", 4.0),
+              ("d", NumNull("n1"))],
+    }, backend="columnar")
+
+
+def _service(database: Database | None = None) -> AnnotationService:
+    return AnnotationService(database if database is not None else _database(),
+                             ServiceOptions(seed=7, epsilon=0.2))
+
+
+def _rebuild(database: Database) -> Database:
+    """The same content on a fresh, cacheless version chain."""
+    return Database.from_dict(
+        database.schema,
+        {name: database.relation(name).tuples()
+         for name in database.relation_names()},
+        backend=database.backend)
+
+
+def _snapshot(answers):
+    return [(answer.values, answer.certainty.value, answer.lineage_digest)
+            for answer in answers]
+
+
+#: Four distinct queries (distinct lineages, so neither the server's
+#: single-flight nor the service's estimate sharing merges the readers).
+READER_QUERIES = tuple(f"SELECT t.key FROM t WHERE t.x > {bound}"
+                       for bound in (0, 1, 2, 3))
+
+MUTATION = "INSERT INTO t VALUES ('z', 9)"
+
+
+class GatedWriter:
+    """Delegate to a real service, but block ``mutate`` on a test gate.
+
+    Holds the statement *inside* the server's mutation gate, so the test
+    can assert what readers and drain do while a writer is in flight.
+    """
+
+    def __init__(self, inner: AnnotationService) -> None:
+        self.inner = inner
+        self.gate = threading.Event()
+        self.entered = threading.Event()
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+    def mutate(self, statement):
+        self.entered.set()
+        assert self.gate.wait(30), "test gate never opened"
+        return self.inner.mutate(statement)
+
+
+async def _collect(app: ServerApp, message: dict) -> list[dict]:
+    return [event async for event in app.query_events(message)]
+
+
+class TestSnapshotIsolation:
+    def test_pinned_readers_keep_their_version(self):
+        """Four readers pinned across a commit answer from the old snapshot.
+
+        The gate sits in ``_estimate``: by the time a reader blocks there
+        it has pinned its snapshot and enumerated candidates from it.  The
+        writer then commits *while all four are pinned* -- without waiting
+        on them -- and the readers, once released, must still answer from
+        version 0, bit for bit.
+        """
+        service = _service()
+        expected_old = {
+            sql: _snapshot(_service(_rebuild(service.database))
+                           .submit(sql).answers)
+            for sql in READER_QUERIES}
+
+        original = AnnotationService._estimate
+        started = threading.Semaphore(0)
+        gate = threading.Event()
+
+        def pinned_estimate(self, *args, **kwargs):
+            started.release()
+            assert gate.wait(30), "test gate never opened"
+            return original(self, *args, **kwargs)
+
+        results: dict = {}
+
+        def read(sql: str) -> None:
+            results[sql] = service.submit(sql).answers
+
+        AnnotationService._estimate = pinned_estimate
+        try:
+            threads = [threading.Thread(target=read, args=(sql,))
+                       for sql in READER_QUERIES]
+            for thread in threads:
+                thread.start()
+            for _ in READER_QUERIES:
+                assert started.acquire(timeout=30), \
+                    "every reader must reach the estimator"
+
+            # All four readers hold version 0.  The writer commits now;
+            # returning at all proves it does not wait for the readers.
+            outcome = service.mutate("DELETE FROM t WHERE key = 'b'")
+            assert outcome.data_version == 1
+
+            gate.set()
+            for thread in threads:
+                thread.join(timeout=30)
+                assert not thread.is_alive()
+        finally:
+            AnnotationService._estimate = original
+
+        for sql in READER_QUERIES:
+            assert _snapshot(results[sql]) == expected_old[sql], \
+                f"pinned reader replayed the wrong version: {sql!r}"
+
+        # Fresh submits see version 1 -- equal to a cold service on the
+        # mutated content, so nothing stale survived the commit either.
+        fresh = _service(_rebuild(service.database))
+        for sql in READER_QUERIES:
+            assert _snapshot(service.submit(sql).answers) == \
+                _snapshot(fresh.submit(sql).answers)
+
+
+class TestServerAppMutations:
+    def test_readers_complete_while_a_writer_is_in_flight(self):
+        gated = GatedWriter(_service())
+        app = ServerApp(gated, workers=6)
+
+        async def scenario():
+            writer = asyncio.ensure_future(app.mutate({"sql": MUTATION}))
+            await asyncio.to_thread(gated.entered.wait, 30)
+            reads = await asyncio.gather(*[
+                _collect(app, {"sql": sql}) for sql in READER_QUERIES])
+            assert not writer.done(), "the writer must still be in flight"
+            gated.gate.set()
+            return reads, await writer
+
+        reads, event = asyncio.run(scenario())
+        app.close()
+        for events in reads:
+            assert events[-1]["type"] == "result", \
+                "readers must not block on the in-flight writer"
+            assert events[-1]["answers"]
+        assert event["type"] == "mutation"
+        assert event["data_version"] == 1
+        counters = app.stats()["server"]
+        assert counters["mutations"] == 1
+        assert counters["mutation_errors"] == 0
+
+    def test_writers_serialise_and_report_monotone_versions(self):
+        app = ServerApp(_service())
+
+        async def scenario():
+            return await asyncio.gather(*[
+                app.mutate({"sql": f"INSERT INTO t VALUES ('z{i}', {i})"})
+                for i in range(4)])
+
+        events = asyncio.run(scenario())
+        app.close()
+        assert all(event["type"] == "mutation" for event in events)
+        # The gate serialises the four writers: whatever order they ran
+        # in, each observed its own committed version, none lost.
+        assert sorted(event["data_version"] for event in events) == \
+            [1, 2, 3, 4]
+        assert app.stats()["service"]["data_version"] == 4
+
+    def test_drain_waits_for_the_in_flight_mutation(self):
+        gated = GatedWriter(_service())
+        app = ServerApp(gated)
+
+        async def scenario():
+            writer = asyncio.ensure_future(app.mutate({"sql": MUTATION}))
+            await asyncio.to_thread(gated.entered.wait, 30)
+            app.begin_drain()
+            # New work is refused with the typed draining error...
+            refused_mutation = await app.mutate(
+                {"sql": "DELETE FROM t WHERE key = 'a'"})
+            refused_query = await _collect(app,
+                                           {"sql": READER_QUERIES[0]})
+            # ...but the in-flight statement is not abandoned: the app
+            # only reports idle once its terminal event is delivered.
+            assert not await app.wait_idle(timeout=0.05)
+            gated.gate.set()
+            event = await writer
+            assert await app.wait_idle(timeout=30)
+            return refused_mutation, refused_query, event
+
+        refused_mutation, refused_query, event = asyncio.run(scenario())
+        app.close()
+        assert refused_mutation["code"] == "draining"
+        assert refused_query[-1]["code"] == "draining"
+        assert event["type"] == "mutation"
+        assert event["data_version"] == 1
+        assert app.stats()["server"]["mutations"] == 1
+
+
+class TestWireConcurrency:
+    def test_four_readers_across_a_mutation_see_whole_versions(self):
+        """End-to-end: every answer matches exactly one committed version.
+
+        Four socket clients hammer their queries while a fifth commits an
+        UPDATE.  Each response must be bit-identical to a cold service on
+        either the version-0 or the version-1 content -- a torn read
+        (mixing versions) matches neither.
+        """
+        service = _service()
+        statement = "UPDATE t SET x = 9 WHERE key = 'b'"
+        old_content = _rebuild(service.database)
+        new_content, _, _ = execute_mutation(parse_statement(statement),
+                                             old_content)
+        expected = {
+            sql: (
+                _snapshot(_service(_rebuild(old_content)).submit(sql).answers),
+                _snapshot(_service(_rebuild(new_content)).submit(sql).answers),
+            )
+            for sql in READER_QUERIES}
+
+        rounds = 6
+        observed: dict[str, list] = {sql: [] for sql in READER_QUERIES}
+        release_writer = threading.Event()
+        mutated: dict = {}
+
+        with EmbeddedServer(service, workers=8) as server:
+            def read(sql: str) -> None:
+                with ReproClient(server.host, server.port) as client:
+                    for round_index in range(rounds):
+                        observed[sql].append(
+                            _snapshot(client.query(sql).answers))
+                        if round_index == 1:
+                            release_writer.set()
+
+            def write() -> None:
+                assert release_writer.wait(30)
+                with ReproClient(server.host, server.port) as client:
+                    mutated["result"] = client.mutate(statement)
+
+            threads = [threading.Thread(target=read, args=(sql,))
+                       for sql in READER_QUERIES]
+            threads.append(threading.Thread(target=write))
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+                assert not thread.is_alive()
+
+            stats = server.app.stats()
+            assert stats["server"]["mutations"] == 1
+            assert stats["service"]["data_version"] == 1
+
+        assert mutated["result"].operation == "update"
+        assert mutated["result"].data_version == 1
+
+        for sql in READER_QUERIES:
+            before, after = expected[sql]
+            for round_index, snapshot in enumerate(observed[sql]):
+                assert snapshot in (before, after), \
+                    (f"torn read: {sql!r} round {round_index} matches "
+                     f"neither committed version")
+            # Versions are monotone per connection: once a reader sees
+            # version 1 it never slides back to version 0.
+            if before != after:
+                seen_new = False
+                for snapshot in observed[sql]:
+                    if snapshot == after:
+                        seen_new = True
+                    elif seen_new:
+                        pytest.fail(f"reader on {sql!r} went back in time")
+
+        # The mutation really happened while readers were mid-stream: the
+        # writer waited for two rounds, and four more rounds followed it.
+        assert all(len(observed[sql]) == rounds for sql in READER_QUERIES)

@@ -8,6 +8,14 @@ unhandled exception such as ``OverflowError`` (huge ``LIMIT`` values) or
 ``RecursionError`` (deep nesting), both of which this harness caught in
 earlier parser versions.  The CLI must translate any such failure into exit
 code 2 with a one-line message, never a traceback.
+
+The mutation grammar gets the same treatment: fuzzed INSERT/DELETE/UPDATE
+statements either parse to a typed statement or raise the clean error
+family; executable mutants either commit a new snapshot version or fail
+with a typed ``MutationError`` -- and in every case the *parent* snapshot
+is observably untouched (no corruption, ever).  Rejected statements sent
+through ``repro client`` exit with code 2 against a live server whose
+data plane must stay consistent throughout.
 """
 
 from __future__ import annotations
@@ -17,11 +25,21 @@ import pytest
 
 from repro.cli import EXIT_USAGE, main
 from repro.datagen.experiments import EXPERIMENT_QUERIES, ExperimentScale, generate_sales_database
-from repro.engine.sql.ast import SelectQuery
+from repro.engine.mutate import execute_mutation
+from repro.engine.sql.ast import (
+    DeleteStatement,
+    InsertStatement,
+    SelectQuery,
+    UpdateStatement,
+)
 from repro.engine.sql.lexer import SqlSyntaxError, tokenize
-from repro.engine.sql.parser import parse_sql
+from repro.engine.sql.parser import parse_sql, parse_statement
 from repro.engine.translate_sql import SqlTranslationError
 from repro.relational.csv_io import save_database
+from repro.relational.database import Database
+from repro.relational.mutation import MutationError
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.values import NumNull
 
 #: The error family user-facing SQL handling is allowed to raise.
 CLEAN_ERRORS = (SqlSyntaxError, SqlTranslationError)
@@ -35,6 +53,38 @@ CORPUS = tuple(EXPERIMENT_QUERIES.values()) + (
 )
 
 STRAY_BYTES = "\x00\x1b~`@$%^&[]{}|\\\"'();.,<>=*+-/ü⊥⊤\n\t"
+
+#: Valid statements over the small mutation-fuzz schema (``t``: key, x).
+MUTATION_CORPUS = (
+    "INSERT INTO t VALUES ('p9', 2.5), (NULL, 7)",
+    "INSERT INTO t VALUES ('q1', NULL)",
+    "DELETE FROM t WHERE x <= 2",
+    "DELETE FROM t WHERE key = 'a' AND x > 0.5",
+    "UPDATE t SET x = x + 1 WHERE key = 'a'",
+    "UPDATE t SET x = 3.5, key = 'r' WHERE x >= 2",
+    "UPDATE t SET x = NULL WHERE key <> 'a'",
+)
+
+STATEMENT_NODES = (SelectQuery, InsertStatement, DeleteStatement,
+                   UpdateStatement)
+
+
+def _mutation_database() -> Database:
+    schema = DatabaseSchema.of(RelationSchema.of("t", key="base", x="num"))
+    return Database.from_dict(schema, {
+        "t": [("a", 1.0), ("b", NumNull("n0")), ("c", 4.0)],
+    }, backend="columnar")
+
+
+def _fuzz_statements(count: int, seed: int) -> list[str]:
+    rng = np.random.default_rng(seed)
+    inputs = []
+    for _ in range(count):
+        sql = MUTATION_CORPUS[int(rng.integers(0, len(MUTATION_CORPUS)))]
+        for _ in range(int(rng.integers(1, 4))):
+            sql = _mutate(sql, rng)
+        inputs.append(sql)
+    return inputs
 
 
 def _mutate(sql: str, rng: np.random.Generator) -> str:
@@ -180,3 +230,86 @@ class TestCliFuzz:
             if checked >= 15:
                 break
         assert checked >= 5
+
+
+class TestMutationGrammarFuzz:
+    def test_statement_mutants_parse_or_fail_cleanly(self):
+        """Fuzzed mutations hit typed parse errors, never raw exceptions."""
+        for sql in _fuzz_statements(600, seed=20200815):
+            try:
+                node = parse_statement(sql)
+            except CLEAN_ERRORS:
+                continue
+            assert isinstance(node, STATEMENT_NODES), repr(sql)
+
+    def test_executable_mutants_never_corrupt_a_snapshot(self):
+        """Whatever a mutant does, the parent snapshot stays intact.
+
+        Success must seal a *new* version; failure must be a typed
+        ``MutationError``.  Either way the database the statement ran
+        against keeps its content, data version, and version chain --
+        the fuzzer proves there is no partial-commit path.
+        """
+        committed = 0
+        rejected = 0
+        for sql in _fuzz_statements(400, seed=9):
+            try:
+                statement = parse_statement(sql)
+            except CLEAN_ERRORS:
+                continue
+            if isinstance(statement, SelectQuery):
+                continue
+            database = _mutation_database()
+            before = database.relation("t").tuples()
+            token = database.version_token
+            try:
+                sealed, _, outcome = execute_mutation(statement, database)
+            except MutationError:
+                rejected += 1
+            else:
+                committed += 1
+                assert sealed is not database
+                assert sealed.data_version == 1
+                assert outcome.data_version == 1
+                # Committed snapshots extend the parent's version chain.
+                assert sealed.version_token is token
+            assert database.relation("t").tuples() == before, repr(sql)
+            assert database.data_version == 0, repr(sql)
+            assert database.version_token is token, repr(sql)
+        assert committed >= 10, "the corpus must keep commits in rotation"
+        assert rejected >= 10, "the fuzzer must also exercise failures"
+
+    def test_rejected_statements_exit_the_cli_with_usage_code(self, capsys):
+        """``repro client`` turns every rejected mutant into exit code 2,
+        and the server's data plane survives the whole barrage."""
+        from repro.server import EmbeddedServer
+        from repro.service import AnnotationService, ServiceOptions
+
+        service = AnnotationService(_mutation_database(),
+                                    ServiceOptions(seed=3, epsilon=0.4))
+        checked = 0
+        committed = 0
+        with EmbeddedServer(service) as server:
+            base = ["client", "--host", server.host,
+                    "--port", str(server.port)]
+            for sql in _fuzz_statements(300, seed=13):
+                code = main(base + ["--sql", sql])
+                captured = capsys.readouterr()
+                assert "Traceback" not in captured.err, repr(sql)
+                assert code in (0, EXIT_USAGE), repr(sql)
+                if code == 0:
+                    committed += 1
+                else:
+                    checked += 1
+                if checked >= 20 and committed >= 3:
+                    break
+            # However the mutants landed, the snapshot is still coherent:
+            # versions advanced only for committed statements and queries
+            # keep working.
+            stats = server.app.stats()
+            assert stats["server"]["internal_errors"] == 0
+            code = main(base + ["--sql", "SELECT t.key FROM t WHERE t.x > 0"])
+            capsys.readouterr()
+            assert code == 0
+        assert checked >= 20
+        assert committed >= 3
