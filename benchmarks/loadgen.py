@@ -54,12 +54,27 @@ _LIMITS = (3, 5, 8)
 _EPSILONS = (0.1, 0.2)
 
 
-def build_workload(seed: int, size: int,
-                   adaptive_share: float = 0.1) -> list[dict]:
-    """A reproducible list of ``{"sql": ..., "options": {...}}`` requests."""
+def build_workload(seed: int, size: int, adaptive_share: float = 0.1,
+                   mutation_share: float = 0.0, tag: int = 0) -> list[dict]:
+    """A reproducible list of ``{"sql": ..., "options": {...}}`` requests.
+
+    With ``mutation_share > 0`` a slice of entries become INSERT
+    statements (``{"mutate": sql}``), giving the cluster soak a mixed
+    read/write stream.  ``tag`` is baked into the generated row ids, so
+    repeating the workload across soak rounds (``tag=round``) never
+    collides with rows an earlier round already committed.
+    """
     generator = np.random.default_rng(seed)
     workload = []
     for index in range(size):
+        if mutation_share and generator.random() < mutation_share:
+            quantity = int(generator.integers(1, 50))
+            discount = round(float(generator.random()), 3)
+            workload.append({"mutate": (
+                f"INSERT INTO Orders VALUES "
+                f"('lg-{tag}-{index}', 'p{int(generator.integers(20))}', "
+                f"{quantity}, {discount})")})
+            continue
         template = _TEMPLATES[int(generator.integers(len(_TEMPLATES)))]
         sql = template.format(t=_THRESHOLDS[int(generator.integers(len(_THRESHOLDS)))],
                               k=_LIMITS[int(generator.integers(len(_LIMITS)))])
@@ -127,7 +142,10 @@ def _drive_connection(host: str, port: int, requests: list[dict],
         for request in requests:
             started = time.perf_counter()
             try:
-                client.query(request["sql"], **request["options"])
+                if "mutate" in request:
+                    client.mutate(request["mutate"])
+                else:
+                    client.query(request["sql"], **request["options"])
             except OverloadedError:
                 with lock:
                     report.rejected += 1
@@ -171,12 +189,16 @@ def main() -> int:
     parser.add_argument("--requests", type=int, default=200)
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--adaptive-share", type=float, default=0.1)
+    parser.add_argument("--mutation-share", type=float, default=0.0,
+                        help="fraction of requests that are INSERT "
+                             "statements (mixed read/write stream)")
     parser.add_argument("--duration", type=float, default=None,
                         help="loop the workload until this many seconds "
                              "have elapsed (soak mode)")
     args = parser.parse_args()
 
-    workload = build_workload(args.seed, args.requests, args.adaptive_share)
+    workload = build_workload(args.seed, args.requests, args.adaptive_share,
+                              mutation_share=args.mutation_share)
     if args.duration is None:
         report = run_load(args.host, args.port, workload, args.connections)
         print(json.dumps(report.as_dict(), indent=2))
@@ -189,6 +211,13 @@ def main() -> int:
     deadline = time.monotonic() + args.duration
     rounds = 0
     while time.monotonic() < deadline:
+        if args.mutation_share:
+            # Fresh row ids per round: replayed INSERTs must never
+            # collide with rows an earlier round committed.
+            workload = build_workload(args.seed, args.requests,
+                                      args.adaptive_share,
+                                      mutation_share=args.mutation_share,
+                                      tag=rounds)
         report = run_load(args.host, args.port, workload, args.connections)
         total.requests += report.requests
         total.wall_seconds += report.wall_seconds

@@ -16,8 +16,11 @@ round, plus the cost-based planner against the best manual
 configuration, and the PR 8 mutation scenario: an append-heavy mixed
 INSERT/DELETE/UPDATE version history replayed through the incremental
 MVCC path (delta-maintained join frontiers, carried shard partitions)
-versus rebuilding the database from scratch at every version.  Results
-go to a JSON baseline so future PRs have a perf trajectory to beat.
+versus rebuilding the database from scratch at every version, and the
+PR 9 cluster scenario: the loadgen workload through the coordinator
+fronting 1 versus N real worker subprocesses (the scaling curve of the
+distributed serving tier).  Results go to a JSON baseline so future PRs
+have a perf trajectory to beat.
 
 Usage::
 
@@ -66,7 +69,7 @@ from repro.relational.schema import DatabaseSchema, RelationSchema
 from repro.relational.values import NumNull
 from repro.service import AnnotationService
 
-DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_PR8.json"
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_PR9.json"
 
 #: The headline configuration of the acceptance criterion: the largest
 #: dimension of bench_afpras_scaling.py at eps = 0.02.
@@ -714,6 +717,97 @@ def bench_mutations(quick: bool) -> dict:
     return {"scheme": "mutations", "configs": [row]}
 
 
+#: The PR 9 cluster headline: the seeded loadgen workload through the
+#: coordinator fronting real ``repro server`` worker subprocesses, at 1
+#: worker versus N.  Scaling across workers needs cores for the worker
+#: processes, so the threshold is only enforced at >= 4 CPUs; smaller
+#: hosts still measure and record the curve.
+CLUSTER_HEADLINE = {"requests": 96, "connections": 8, "seed": 42,
+                    "adaptive_share": 0.1, "workers": 3}
+
+
+def bench_cluster(quick: bool) -> dict:
+    """Cluster scaling curve: coordinator + N worker subprocesses vs one.
+
+    Every point drives the identical seeded read-only workload at the
+    coordinator's front door after one warm-up pass, so worker caches are
+    hot and routing is steady -- the measured quantity is how throughput
+    moves as consistent-hash routing spreads query families over more
+    worker processes.  The workload is the PR 5 server scenario's, so the
+    1-worker point is directly comparable to ``server_headline`` (plus
+    one network hop of coordinator overhead).
+    """
+    import tempfile
+
+    from loadgen import build_workload, run_load
+
+    from repro.cluster import EmbeddedCluster, worker_argv
+    from repro.cluster.coordinator import defaults_from_options
+    from repro.relational.csv_io import save_database
+    from repro.service import ServiceOptions
+
+    cpu_count = os.cpu_count() or 1
+    scale = ExperimentScale(products=120, orders=120, markets=12, null_rate=0.15)
+    database = generate_sales_database(scale, rng=7)
+    config = dict(CLUSTER_HEADLINE, headline=True)
+    if quick:
+        config["requests"] = 48
+        config["workers"] = 2
+    workload = build_workload(config["seed"], config["requests"],
+                              config["adaptive_share"])
+
+    curve = []
+    with tempfile.TemporaryDirectory() as tmp:
+        save_database(database, tmp)
+        argv = worker_argv(tmp, ["--seed", "0", "--backend", "columnar",
+                                 "--epsilon", "0.1"])
+        defaults = defaults_from_options(ServiceOptions(epsilon=0.1, seed=0))
+        for workers in sorted({1, config["workers"]}):
+            with EmbeddedCluster(worker_argv=argv, workers=workers,
+                                 defaults=defaults,
+                                 http=False, health_interval=1.0) as cluster:
+                run_load(cluster.host, cluster.port, workload,
+                         config["connections"])  # warm-up
+                report = run_load(cluster.host, cluster.port, workload,
+                                  config["connections"])
+                stats = cluster.submit(cluster.coordinator.stats())
+            point = {
+                "workers": workers,
+                "wall_seconds": report.wall_seconds,
+                "qps": report.qps,
+                "p50_ms": report.percentile(50) * 1e3,
+                "p99_ms": report.percentile(99) * 1e3,
+                "coalesced": stats["coordinator"]["coalesced"],
+                "protocol_errors": report.protocol_errors,
+                "rejected": report.rejected,
+            }
+            curve.append(point)
+            print(f"cluster n={config['requests']:>4d} "
+                  f"conns={config['connections']} workers={workers} "
+                  f"(cpus={cpu_count})  "
+                  f"wall {point['wall_seconds']*1e3:8.2f} ms   "
+                  f"p50 {point['p50_ms']:6.2f} ms  "
+                  f"p99 {point['p99_ms']:7.2f} ms  "
+                  f"{point['qps']:7.1f} qps")
+    row = {
+        **config,
+        "cpu_count": cpu_count,
+        "enforced": cpu_count >= 4,
+        "curve": curve,
+        "speedup": curve[0]["wall_seconds"] / max(curve[-1]["wall_seconds"],
+                                                  1e-12),
+        "qps": curve[-1]["qps"],
+        "p50_ms": curve[-1]["p50_ms"],
+        "p99_ms": curve[-1]["p99_ms"],
+        "protocol_errors": sum(p["protocol_errors"] for p in curve),
+        "rejected": sum(p["rejected"] for p in curve),
+    }
+    print(f"cluster scaling 1 -> {config['workers']} workers: "
+          f"{row['speedup']:.2f}x"
+          + ("" if row["enforced"] else "   (unenforced on this host)"))
+    return {"scheme": "cluster", "configs": [row]}
+
+
 OBS_HEADLINE = {"queries": 12, "epsilon": 0.1, "seed": 2}
 
 
@@ -817,7 +911,7 @@ def main() -> int:
                bench_service(args.quick), bench_join(args.quick),
                bench_sharded(args.quick), bench_server(args.quick),
                bench_fusion(args.quick), bench_obs(args.quick),
-               bench_mutations(args.quick)]
+               bench_mutations(args.quick), bench_cluster(args.quick)]
     headline = next(row for row in schemes[0]["configs"] if row.get("headline"))
     service_headline = next(row for row in schemes[2]["configs"]
                             if row.get("headline"))
@@ -833,6 +927,8 @@ def main() -> int:
                         if row.get("headline"))
     mutation_headline = next(row for row in schemes[8]["configs"]
                              if row.get("headline"))
+    cluster_headline = next(row for row in schemes[9]["configs"]
+                            if row.get("headline"))
     baseline = {
         "benchmark": "columnar vs row join engine, annotation service "
                      "(warm vs cold), vectorized sampling kernels "
@@ -917,6 +1013,19 @@ def main() -> int:
             "rebuild_seconds": mutation_headline["rebuild_seconds"],
             "speedup": mutation_headline["speedup"],
         },
+        "cluster_headline": {
+            "config": {key: cluster_headline[key]
+                       for key in ("requests", "connections", "seed",
+                                   "adaptive_share", "workers")},
+            "cpu_count": cluster_headline["cpu_count"],
+            "enforced": cluster_headline["enforced"],
+            "curve": cluster_headline["curve"],
+            "speedup": cluster_headline["speedup"],
+            "qps": cluster_headline["qps"],
+            "p50_ms": cluster_headline["p50_ms"],
+            "p99_ms": cluster_headline["p99_ms"],
+            "protocol_errors": cluster_headline["protocol_errors"],
+        },
         "schemes": schemes,
     }
     args.output.write_text(json.dumps(baseline, indent=2) + "\n")
@@ -942,6 +1051,10 @@ def main() -> int:
           f"{mutation_headline['speedup']:.2f}x incremental-vs-rebuild "
           f"(V={MUTATION_HEADLINE['versions']}, "
           f"+{MUTATION_HEADLINE['appends_per_version']}/version); "
+          f"cluster headline: {cluster_headline['speedup']:.2f}x at "
+          f"{cluster_headline['workers']} workers "
+          f"({cluster_headline['qps']:.1f} qps, "
+          f"p99 {cluster_headline['p99_ms']:.1f} ms); "
           f"baseline written to {args.output}")
     failed = False
     if obs_headline["overhead_ratio"] > 1.05:
@@ -980,6 +1093,20 @@ def main() -> int:
     elif not server_headline["enforced"]:
         print(f"NOTE: server concurrency threshold not enforced on this "
               f"{server_headline['cpu_count']}-core host (needs >= 2); "
+              "measured for the record only")
+    if cluster_headline["protocol_errors"] or cluster_headline["rejected"]:
+        print("FAIL: the cluster bench saw protocol errors or rejections "
+              f"({cluster_headline['protocol_errors']} errors, "
+              f"{cluster_headline['rejected']} rejected)")
+        failed = True
+    if cluster_headline["enforced"] and cluster_headline["speedup"] <= 1.0:
+        print("FAIL: the cluster is not faster at "
+              f"{cluster_headline['workers']} workers than at 1 on a "
+              f"{cluster_headline['cpu_count']}-core host")
+        failed = True
+    elif not cluster_headline["enforced"]:
+        print(f"NOTE: cluster scaling threshold not enforced on this "
+              f"{cluster_headline['cpu_count']}-core host (needs >= 4); "
               "measured for the record only")
     if not args.quick:
         if fusion_headline["speedup"] < 2.0:

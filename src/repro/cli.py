@@ -47,7 +47,20 @@ without writing any Python:
     Live operator console: polls a running server's ``/metrics`` and
     ``/stats`` and renders refreshing tables of throughput, windowed
     p50/p99 latency, cache hit rates, coalescing, planner decisions and
-    fusion counters.
+    fusion counters.  Pointed at a cluster coordinator it additionally
+    renders per-worker rows and routing/failover counters.
+
+``python -m repro.cli cluster start --data data/ --workers 3``
+    The distributed serving tier: spawn N ``repro server`` worker
+    subprocesses (plus any ``--worker-addr host:port`` remotes) behind a
+    coordinator that consistent-hash-routes query families onto warm
+    worker caches, coalesces duplicate requests fleet-wide, broadcasts
+    mutations to every worker behind a monotone version barrier, fails
+    requests over to a live replica, and supervises/respawns dead local
+    workers.  ``repro cluster status|drain|scale`` talk to a running
+    coordinator: ``status`` prints per-worker states, ``drain`` performs
+    a rolling SIGTERM restart of the local fleet (always serving), and
+    ``scale --workers N`` grows/shrinks the local worker pool.
 
 ``annotate`` is also available as ``query``; ``repro query --trace
 out.json`` additionally writes the request's span tree as a Chrome
@@ -128,8 +141,9 @@ def _build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--null-rate", type=float, default=0.08)
     generate.add_argument("--seed", type=int, default=0)
 
-    def add_serving_arguments(subparser: argparse.ArgumentParser) -> None:
-        subparser.add_argument("--data", required=True,
+    def add_serving_arguments(subparser: argparse.ArgumentParser, *,
+                              data_required: bool = True) -> None:
+        subparser.add_argument("--data", required=data_required,
                                help="directory of CSV files")
         subparser.add_argument("--epsilon", type=float, default=0.05,
                                help="additive error of the estimates (default 0.05)")
@@ -265,6 +279,67 @@ def _build_parser() -> argparse.ArgumentParser:
                                help="override the server's planner mode for "
                                     "this query ('auto' = cost-based "
                                     "execution planning)")
+
+    cluster_parser = subparsers.add_parser(
+        "cluster",
+        help="distributed serving tier: coordinator + N repro server workers")
+    cluster_sub = cluster_parser.add_subparsers(dest="cluster_command",
+                                                required=True)
+
+    cluster_start = cluster_sub.add_parser(
+        "start", help="spawn local workers (and/or front remote ones) "
+                      "behind a coordinator")
+    add_serving_arguments(cluster_start, data_required=False)
+    cluster_start.add_argument("--workers", type=int, default=2,
+                               help="local worker subprocesses to spawn "
+                                    "(default 2; 0 with --worker-addr fronts "
+                                    "only remote workers)")
+    cluster_start.add_argument("--worker-addr", action="append", default=[],
+                               metavar="HOST:PORT",
+                               help="front an already-running repro server "
+                                    "(repeatable); remote workers are health-"
+                                    "checked and routed but not respawned")
+    cluster_start.add_argument("--host", default="127.0.0.1",
+                               help="interface to bind (default 127.0.0.1)")
+    cluster_start.add_argument("--port", type=int, default=None,
+                               help="coordinator TCP port (default 7464; "
+                                    "0 picks an ephemeral port)")
+    cluster_start.add_argument("--http-port", type=int, default=None,
+                               help="coordinator HTTP port (default: TCP "
+                                    "port + 1; 0 picks an ephemeral port)")
+    cluster_start.add_argument("--no-http", action="store_true",
+                               help="disable the HTTP adapter")
+    cluster_start.add_argument("--max-pending", type=int, default=256,
+                               help="coordinator admission limit on "
+                                    "concurrently forwarded flights "
+                                    "(default 256)")
+    cluster_start.add_argument("--health-interval", type=float, default=1.0,
+                               help="seconds between worker health checks "
+                                    "(default 1)")
+    cluster_start.add_argument("--no-supervise", action="store_true",
+                               help="do not respawn dead local workers")
+    cluster_start.add_argument("--drain-timeout", type=float, default=60.0,
+                               help="seconds SIGTERM waits for in-flight "
+                                    "requests before giving up (default 60)")
+    cluster_start.add_argument("--log-level", default="info",
+                               choices=LOG_LEVELS)
+    cluster_start.add_argument("--log-format", default="text",
+                               choices=LOG_FORMATS)
+
+    for verb, description in (
+            ("status", "per-worker states and coordinator counters"),
+            ("drain", "rolling restart of the local workers (fleet keeps "
+                      "serving via failover)"),
+            ("scale", "grow/shrink the local worker pool")):
+        verb_parser = cluster_sub.add_parser(verb, help=description)
+        verb_parser.add_argument("--host", default="127.0.0.1")
+        verb_parser.add_argument("--port", type=int, default=7464,
+                                 help="the coordinator's TCP port")
+        verb_parser.add_argument("--json", action="store_true",
+                                 help="print the raw JSON payload")
+        if verb == "scale":
+            verb_parser.add_argument("--workers", type=int, required=True,
+                                     help="target worker count")
 
     top_parser = subparsers.add_parser(
         "top", help="live operator console over a running server's HTTP port")
@@ -454,6 +529,136 @@ def _run_server(args: argparse.Namespace) -> int:
                  drain_timeout=args.drain_timeout)
 
 
+def _worker_serving_flags(args: argparse.Namespace) -> list[str]:
+    """The serving flags ``repro cluster start`` forwards to each worker."""
+    flags = ["--epsilon", str(args.epsilon), "--method", args.method,
+             "--seed", str(args.seed), "--jobs", str(args.jobs),
+             "--executor", args.executor, "--shards", str(args.shards),
+             "--backend", args.backend, "--planner", args.planner,
+             "--fusion", str(args.fusion)]
+    if args.limit is not None:
+        flags += ["--limit", str(args.limit)]
+    if args.adaptive:
+        flags.append("--adaptive")
+    return flags
+
+
+def _run_cluster_start(args: argparse.Namespace) -> int:
+    """The coordinator front door over local and/or remote workers."""
+    from repro.cluster import (
+        CoordinatorApp,
+        LocalWorker,
+        WorkerEndpoint,
+        WorkerSpawnError,
+        parse_worker_addr,
+        worker_argv,
+    )
+    from repro.server import DEFAULT_PORT, serve
+
+    configure_logging(level=args.log_level, format=args.log_format)
+    if args.workers < 0:
+        raise ValueError(f"--workers must be non-negative, got {args.workers}")
+    if args.workers == 0 and not args.worker_addr:
+        raise ValueError("nothing to front: pass --workers N and/or "
+                         "--worker-addr host:port")
+    if args.workers > 0 and not args.data:
+        raise ValueError("--data is required to spawn local workers")
+    endpoints = []
+    for index, value in enumerate(args.worker_addr):
+        host, port = parse_worker_addr(value)
+        endpoints.append(WorkerEndpoint(f"r{index}", host, port))
+    template = None
+    locals_: list[LocalWorker] = []
+    if args.workers > 0:
+        template = worker_argv(args.data, _worker_serving_flags(args))
+        try:
+            for index in range(args.workers):
+                worker = LocalWorker(f"w{index}", list(template))
+                worker.spawn()
+                locals_.append(worker)
+        except WorkerSpawnError as error:
+            for worker in locals_:
+                worker.kill()
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+    defaults = {"epsilon": args.epsilon, "delta": None,
+                "method": args.method, "limit": args.limit,
+                "seed": args.seed, "adaptive": args.adaptive,
+                "planner": args.planner}
+    app = CoordinatorApp(endpoints, locals_=locals_, defaults=defaults,
+                         max_pending=args.max_pending,
+                         health_interval=args.health_interval,
+                         supervise=not args.no_supervise,
+                         worker_template=template)
+    port = DEFAULT_PORT if args.port is None else args.port
+    if args.no_http:
+        http_port = None
+    elif args.http_port is not None:
+        http_port = args.http_port
+    else:
+        http_port = port + 1 if port else 0
+    try:
+        return serve(app=app, host=args.host, port=port, http_port=http_port,
+                     drain_timeout=args.drain_timeout)
+    except WorkerSpawnError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def _print_cluster_status(payload: dict) -> None:
+    from repro.obs.console import render_table
+
+    rows = [(worker["id"], worker["addr"], worker["state"],
+             str(worker.get("pid") or "-"), str(worker["data_version"]))
+            for worker in payload.get("workers", [])]
+    print("\n".join(render_table(
+        ("worker", "addr", "state", "pid", "version"), rows)))
+    coordinator = payload.get("coordinator", {})
+    keys = ("requests", "launched", "coalesced", "failovers", "respawns",
+            "mutations", "barrier_version", "workers_healthy")
+    print("\n".join(render_table(
+        ("coordinator", "value"),
+        [(key, str(coordinator.get(key, 0))) for key in keys])))
+
+
+def _run_cluster(args: argparse.Namespace) -> int:
+    if args.cluster_command == "start":
+        return _run_cluster_start(args)
+    import json
+
+    from repro.client import ClientError, ReproClient, ServerError
+
+    # Rolling restarts drain worker-by-worker; give them real time.
+    timeout = 600.0 if args.cluster_command == "drain" else 60.0
+    try:
+        with ReproClient(args.host, args.port, timeout=timeout) as client:
+            if args.cluster_command == "status":
+                payload = client.cluster()
+            elif args.cluster_command == "drain":
+                payload = client.cluster_drain()
+            else:
+                payload = client.cluster_scale(args.workers)
+    except ServerError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE if error.code == "bad_request" else 1
+    except ClientError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    elif args.cluster_command == "status":
+        _print_cluster_status(payload)
+    elif args.cluster_command == "drain":
+        print(f"rolling restart done: restarted "
+              f"{', '.join(payload.get('restarted', [])) or 'none'} "
+              f"(barrier version {payload.get('barrier_version', 0)})")
+    else:
+        print(f"scaled to {payload.get('workers')} workers "
+              f"(+{len(payload.get('added', []))}/"
+              f"-{len(payload.get('removed', []))})")
+    return 0
+
+
 def _run_client(args: argparse.Namespace) -> int:
     """One scripted interaction with a running server, annotate-style output."""
     import json
@@ -538,6 +743,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_serve(args)
         if args.command == "server":
             return _run_server(args)
+        if args.command == "cluster":
+            return _run_cluster(args)
         if args.command == "client":
             return _run_client(args)
         if args.command == "top":

@@ -291,6 +291,35 @@ class ReproClient:
         self._send({"op": "ping", "id": request_id})
         return self._recv(request_id).get("type") == "pong"
 
+    # -- cluster admin ops (answered by a coordinator front door) ------------
+
+    def _cluster_op(self, message: dict) -> dict:
+        request_id = self._roundtrip_id()
+        self._send({**message, "id": request_id})
+        event = self._recv(request_id)
+        if event.get("type") == "error":
+            raise _server_error(event)
+        if event.get("type") != "cluster":
+            raise ClientError(f"unexpected event type {event.get('type')!r}")
+        return {key: value for key, value in event.items()
+                if key not in ("id", "type")}
+
+    def cluster(self) -> dict:
+        """Cluster status: coordinator counters, per-worker states, ring."""
+        return self._cluster_op({"op": "cluster"})
+
+    def cluster_drain(self) -> dict:
+        """Rolling restart of the coordinator's local workers.
+
+        Blocks until every worker has drained, respawned and replayed the
+        mutation log -- give the client a generous timeout.
+        """
+        return self._cluster_op({"op": "cluster_drain"})
+
+    def cluster_scale(self, workers: int) -> dict:
+        """Grow or shrink the local worker pool to ``workers`` members."""
+        return self._cluster_op({"op": "cluster_scale", "workers": workers})
+
     def close(self) -> None:
         try:
             self._file.close()

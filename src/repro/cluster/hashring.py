@@ -1,0 +1,116 @@
+"""Consistent-hash routing for the cluster coordinator.
+
+The coordinator routes every query to the worker that owns its **query
+family** -- the blake2b digest of the normalised SQL text (the same
+normalisation the service's caches key on, so one family is exactly one
+set of cache entries).  Consistent hashing is what makes that ownership
+*stable*: each worker is placed on the ring at ``replicas`` pseudo-random
+points, a key routes to the first worker point clockwise from its own
+hash, and adding or removing one worker therefore only moves the keys in
+the arcs that worker owned -- every other family keeps hitting the worker
+whose caches are already warm for it.
+
+:meth:`HashRing.route` returns the *full* successor order (each live
+worker once, nearest first), which doubles as the failover plan: when the
+owner is down the coordinator retries the same request on the next worker
+in the list, deterministically, so repeated failovers of one family warm
+one replica instead of scattering across the fleet.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Optional
+
+#: Points each worker occupies on the ring.  Plenty for single-digit
+#: fleets: the largest arc imbalance at 64 vnodes is a few percent.
+DEFAULT_REPLICAS = 64
+
+
+def _point(token: str) -> int:
+    """A ring position: the first 8 bytes of blake2b, as an integer."""
+    digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def family_digest(normalised_sql: str) -> bytes:
+    """The routing key of one query family (pre-normalised SQL text)."""
+    return hashlib.blake2b(normalised_sql.encode("utf-8"),
+                           digest_size=16).digest()
+
+
+class HashRing:
+    """Worker ids placed on a 64-bit ring at ``replicas`` points each."""
+
+    def __init__(self, workers: Iterable[str] = (), *,
+                 replicas: int = DEFAULT_REPLICAS) -> None:
+        if replicas < 1:
+            raise ValueError(f"replicas must be at least 1, got {replicas}")
+        self._replicas = replicas
+        self._workers: set[str] = set()
+        self._points: list[int] = []     # sorted ring positions
+        self._owners: list[str] = []     # worker id at the same index
+        for worker_id in workers:
+            self.add(worker_id)
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def __contains__(self, worker_id: str) -> bool:
+        return worker_id in self._workers
+
+    @property
+    def workers(self) -> frozenset[str]:
+        return frozenset(self._workers)
+
+    @property
+    def replicas(self) -> int:
+        return self._replicas
+
+    def add(self, worker_id: str) -> None:
+        if worker_id in self._workers:
+            return
+        self._workers.add(worker_id)
+        for replica in range(self._replicas):
+            position = _point(f"{worker_id}#{replica}")
+            index = bisect.bisect(self._points, position)
+            self._points.insert(index, position)
+            self._owners.insert(index, worker_id)
+
+    def remove(self, worker_id: str) -> None:
+        if worker_id not in self._workers:
+            return
+        self._workers.discard(worker_id)
+        kept = [(point, owner)
+                for point, owner in zip(self._points, self._owners)
+                if owner != worker_id]
+        self._points = [point for point, _ in kept]
+        self._owners = [owner for _, owner in kept]
+
+    def route(self, key: bytes) -> list[str]:
+        """Every worker id once, nearest-successor first.
+
+        The first entry owns the key; the rest are the deterministic
+        failover order.  Empty when the ring has no workers.
+        """
+        if not self._points:
+            return []
+        position = int.from_bytes(
+            hashlib.blake2b(key, digest_size=8).digest(), "big")
+        start = bisect.bisect(self._points, position) % len(self._points)
+        order: list[str] = []
+        seen: set[str] = set()
+        for offset in range(len(self._points)):
+            owner = self._owners[(start + offset) % len(self._points)]
+            if owner not in seen:
+                seen.add(owner)
+                order.append(owner)
+                if len(order) == len(self._workers):
+                    break
+        return order
+
+    def owner(self, key: bytes) -> Optional[str]:
+        """The first worker of :meth:`route`, or ``None`` on an empty ring."""
+        order = self.route(key)
+        return order[0] if order else None

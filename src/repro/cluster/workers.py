@@ -1,0 +1,169 @@
+"""Worker processes of the cluster tier: spawn, watch, restart, stop.
+
+A **worker** is an ordinary ``repro server`` process -- the PR 5 network
+front end around one :class:`~repro.service.AnnotationService`.  The
+cluster tier adds no new worker binary: :class:`LocalWorker` spawns
+``python -m repro.cli server --port 0 --no-http`` with the serving flags
+the operator gave ``repro cluster start``, parses the bound port from the
+``listening tcp=...`` announce line (the same stdout contract the smoke
+harness relies on), and knows how to SIGTERM-drain or respawn it.
+
+Remote workers (``--worker-addr host:port``) have no process handle; the
+coordinator health-checks them the same way but cannot restart them --
+they are somebody else's ``repro server``.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.obs.logsetup import get_logger
+
+logger = get_logger("cluster.workers")
+
+#: Seconds a drain (SIGTERM -> exit) may take before SIGKILL.
+DEFAULT_STOP_TIMEOUT = 60.0
+
+
+class WorkerSpawnError(RuntimeError):
+    """The worker subprocess did not come up listening."""
+
+
+@dataclass(frozen=True)
+class WorkerEndpoint:
+    """One worker address the coordinator fronts."""
+
+    worker_id: str
+    host: str
+    port: int
+
+    @property
+    def addr(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+def parse_worker_addr(value: str) -> tuple[str, int]:
+    """``host:port`` -> ``(host, port)`` with a helpful error."""
+    host, separator, port_text = value.rpartition(":")
+    if not separator or not host:
+        raise ValueError(f"--worker-addr must be host:port, got {value!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"--worker-addr port must be an integer, got {value!r}")
+    if not 0 < port < 65536:
+        raise ValueError(f"--worker-addr port out of range: {value!r}")
+    return host, port
+
+
+def worker_argv(data_dir: str, serving_flags: Sequence[str]) -> list[str]:
+    """The subprocess command line of one local worker.
+
+    ``--port 0`` binds an ephemeral port (read back from the announce
+    line) and ``--no-http`` keeps workers TCP-only -- the coordinator is
+    the fleet's one HTTP front door.
+    """
+    return [sys.executable, "-m", "repro.cli", "server",
+            "--data", data_dir, "--port", "0", "--no-http",
+            *serving_flags]
+
+
+@dataclass
+class LocalWorker:
+    """A locally spawned ``repro server`` subprocess, respawnable."""
+
+    worker_id: str
+    argv: list[str]
+    host: str = "127.0.0.1"
+    process: Optional[subprocess.Popen] = field(default=None, repr=False)
+    port: int = 0
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid if self.process is not None else None
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.poll() is None
+
+    def spawn(self) -> int:
+        """Start the subprocess; blocks until it announces, returns the port.
+
+        The environment inherits the parent's ``PYTHONPATH`` (the CLI
+        entry point needs ``src`` importable exactly as the coordinator
+        process has it).
+        """
+        env = dict(os.environ)
+        src_roots = os.pathsep.join(path for path in sys.path
+                                    if path.endswith(os.sep + "src")
+                                    or path.endswith("/src"))
+        if src_roots:
+            existing = env.get("PYTHONPATH")
+            env["PYTHONPATH"] = src_roots + (
+                os.pathsep + existing if existing else "")
+        self.process = subprocess.Popen(
+            self.argv, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+            text=True, env=env)
+        announce = self.process.stdout.readline().strip()
+        if not announce.startswith("listening tcp="):
+            self.kill()
+            raise WorkerSpawnError(
+                f"worker {self.worker_id} did not announce a port "
+                f"(got {announce!r})")
+        addresses = dict(part.split("=") for part in announce.split()[1:])
+        self.port = int(addresses["tcp"].rsplit(":", 1)[1])
+        logger.info("worker spawned", extra={
+            "worker": self.worker_id, "pid": self.process.pid,
+            "port": self.port})
+        return self.port
+
+    def stop(self, timeout: float = DEFAULT_STOP_TIMEOUT) -> Optional[int]:
+        """SIGTERM-drain the worker; SIGKILL if the drain stalls.
+
+        Returns the exit code (``None`` if there was no process).  A
+        graceful worker drains its in-flight requests and exits 0 -- the
+        rolling-restart protocol asserts exactly that.
+        """
+        if self.process is None:
+            return None
+        if self.process.poll() is None:
+            try:
+                self.process.send_signal(signal.SIGTERM)
+            except (ProcessLookupError, OSError):  # pragma: no cover - raced
+                pass
+            try:
+                self.process.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:  # pragma: no cover - wedged
+                self.process.kill()
+                self.process.wait(timeout=10)
+        code = self.process.returncode
+        self._close_pipes()
+        return code
+
+    def kill(self) -> None:
+        """SIGKILL immediately (startup failures, abandoned respawns)."""
+        if self.process is not None and self.process.poll() is None:
+            try:
+                self.process.kill()
+                self.process.wait(timeout=10)
+            except (ProcessLookupError, OSError,
+                    subprocess.TimeoutExpired):  # pragma: no cover
+                pass
+        self._close_pipes()
+
+    def respawn(self) -> int:
+        """Replace a dead (or wedged) process with a fresh one."""
+        self.kill()
+        return self.spawn()
+
+    def _close_pipes(self) -> None:
+        if self.process is not None and self.process.stdout is not None:
+            try:
+                self.process.stdout.close()
+            except OSError:  # pragma: no cover - defensive
+                pass

@@ -61,24 +61,43 @@ def fetch_sample(base_url: str, timeout: float = 5.0) -> ConsoleSample:
 
 
 def _metric(metrics: MetricsMap, name: str, **labels: str) -> Optional[float]:
-    return metrics.get((name, tuple(sorted(labels.items()))))
+    exact = metrics.get((name, tuple(sorted(labels.items()))))
+    if exact is not None:
+        return exact
+    # A cluster coordinator re-exports every worker's samples with an extra
+    # ``worker`` label; the fleet-wide value is their sum.
+    total: Optional[float] = None
+    for (metric_name, label_items), value in metrics.items():
+        if metric_name != name:
+            continue
+        label_map = dict(label_items)
+        if "worker" not in label_map:
+            continue
+        label_map.pop("worker")
+        if label_map == labels:
+            total = value if total is None else total + value
+    return total
 
 
 def _histogram_buckets(metrics: MetricsMap, name: str,
                        **labels: str) -> list[tuple[float, float]]:
-    """Cumulative ``(le, count)`` pairs of one histogram child."""
-    buckets: list[tuple[float, float]] = []
+    """Cumulative ``(le, count)`` pairs of one histogram child.
+
+    Worker-labelled children (a cluster exposition) are summed per bound,
+    so quantiles aggregate over the fleet.
+    """
+    totals: dict[float, float] = {}
     for (metric_name, label_items), value in metrics.items():
         if metric_name != f"{name}_bucket":
             continue
         label_map = dict(label_items)
         bound_text = label_map.pop("le", None)
+        label_map.pop("worker", None)
         if bound_text is None or label_map != labels:
             continue
         bound = float("inf") if bound_text == "+Inf" else float(bound_text)
-        buckets.append((bound, value))
-    buckets.sort(key=lambda item: item[0])
-    return buckets
+        totals[bound] = totals.get(bound, 0.0) + value
+    return sorted(totals.items())
 
 
 def _bucket_delta(current: Sequence[tuple[float, float]],
@@ -162,6 +181,38 @@ def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]],
     return lines
 
 
+def _cluster_sections(stats: dict) -> list[str]:
+    """Per-worker rows and coordinator counters (cluster payloads only)."""
+    out: list[str] = []
+    workers = stats.get("workers")
+    if workers:
+        rows = [(worker.get("id", "?"), worker.get("state", "?"),
+                 str(worker.get("data_version", 0)),
+                 str(worker.get("routed", 0)),
+                 str(worker.get("requests", 0)),
+                 str(worker.get("coalesced", 0)),
+                 str(worker.get("active", 0)))
+                for worker in workers]
+        out.append("")
+        out.extend(render_table(
+            ("worker", "state", "version", "routed", "requests",
+             "coalesced", "active"), rows))
+    coordinator = stats.get("coordinator")
+    if coordinator:
+        out.append("")
+        out.extend(render_table(
+            ("coordinator", "value"),
+            [("launched", str(coordinator.get("launched", 0))),
+             ("coalesced", str(coordinator.get("coalesced", 0))),
+             ("failovers", str(coordinator.get("failovers", 0))),
+             ("worker deaths", str(coordinator.get("worker_deaths", 0))),
+             ("respawns", str(coordinator.get("respawns", 0))),
+             ("mutations", str(coordinator.get("mutations", 0))),
+             ("barrier version",
+              str(coordinator.get("barrier_version", 0)))]))
+    return out
+
+
 def render_frame(current: ConsoleSample,
                  previous: Optional[ConsoleSample]) -> str:
     """One full dashboard frame as text."""
@@ -189,11 +240,20 @@ def render_frame(current: ConsoleSample,
 
     launched = server.get("launched", 0)
     coalesced = server.get("coalesced", 0)
+    coalescing_rows = [("server flights", str(launched), str(coalesced),
+                        _fmt_ratio(coalesced, launched))]
+    coordinator = current.stats.get("coordinator")
+    if coordinator:
+        coalescing_rows.insert(0, (
+            "cluster flights", str(coordinator.get("launched", 0)),
+            str(coordinator.get("coalesced", 0)),
+            _fmt_ratio(coordinator.get("coalesced", 0),
+                       coordinator.get("launched", 0))))
     out.append("")
     out.extend(render_table(
-        ("coalescing", "launched", "joined", "join rate"),
-        [("server flights", str(launched), str(coalesced),
-          _fmt_ratio(coalesced, launched))]))
+        ("coalescing", "launched", "joined", "join rate"), coalescing_rows))
+
+    out.extend(_cluster_sections(current.stats))
 
     caches = service.get("caches", [])
     if caches:
@@ -254,6 +314,9 @@ def render_stats_tables(stats: dict) -> str:
         out.extend(render_table(
             ("server", "value"),
             [(key, str(value)) for key, value in server.items()]))
+    cluster = _cluster_sections(stats)
+    if cluster:
+        out.extend(cluster if out else cluster[1:])
     service = stats.get("service", {})
     scalar_keys = ("requests", "answers_served", "estimates_computed",
                    "estimates_reused", "tuples_batched")

@@ -71,7 +71,7 @@ _QUERY_ERRORS = (SqlSyntaxError, SqlTranslationError, SchemaError, ValueError)
 _TERMINAL = ("result", "error")
 
 
-class _Flight:
+class Flight:
     """One in-flight computation with its subscribers.
 
     ``history`` keeps every event already broadcast so a follower that
@@ -129,7 +129,10 @@ class ServerApp:
         self._max_pending = max_pending
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-server")
-        self._flights: dict[bytes, _Flight] = {}
+        self._flights: dict[bytes, Flight] = {}
+        #: Strong references to leader tasks -- the loop only keeps weak
+        #: ones, and a GC'd leader would strand every subscriber.
+        self._flight_tasks: set[asyncio.Future] = set()
         self._started = time.monotonic()
         self._draining = False
         self._idle = asyncio.Event()
@@ -205,11 +208,13 @@ class ServerApp:
                     f"({self._max_pending} pending computations); retry later"
                 ).as_event()
                 return
-            flight = _Flight(key)
+            flight = Flight(key)
             self._flights[key] = flight
             self._idle.clear()
             self._launched += 1
-            asyncio.ensure_future(self._lead(flight, sql, options))
+            task = asyncio.ensure_future(self._lead(flight, sql, options))
+            self._flight_tasks.add(task)
+            task.add_done_callback(self._flight_tasks.discard)
         else:
             self._coalesced += 1
 
@@ -220,7 +225,7 @@ class ServerApp:
             if event.get("type") in _TERMINAL:
                 return
 
-    async def _lead(self, flight: _Flight, sql: str, options: dict) -> None:
+    async def _lead(self, flight: Flight, sql: str, options: dict) -> None:
         """Run the flight's one computation and broadcast its events."""
         loop = asyncio.get_running_loop()
 

@@ -38,6 +38,7 @@ multiplexed traffic belongs on the TCP protocol.
 from __future__ import annotations
 
 import asyncio
+import inspect
 import json
 
 from repro.server.protocol import MAX_LINE_BYTES, dump_line
@@ -50,7 +51,15 @@ _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
 #: Wire error codes -> HTTP status.
 _ERROR_STATUS = {"bad_request": 400, "invalid_query": 400,
                  "validation": 400, "conflict": 409,
-                 "overloaded": 503, "draining": 503, "internal": 500}
+                 "overloaded": 503, "draining": 503,
+                 "unavailable": 503, "internal": 500}
+
+
+async def _maybe_await(value):
+    """Sync for :class:`ServerApp`, async for the cluster coordinator."""
+    if inspect.isawaitable(value):
+        return await value
+    return value
 
 
 def _response(status: int, body: bytes,
@@ -110,19 +119,29 @@ async def handle_http_connection(server, reader: asyncio.StreamReader,
         if method != "GET":
             writer.write(_json_response(405, {"error": "use GET"}))
         else:
-            writer.write(_json_response(200, app.health()))
+            health = await _maybe_await(app.health())
+            writer.write(_json_response(200, health))
     elif target == "/stats":
         if method != "GET":
             writer.write(_json_response(405, {"error": "use GET"}))
         else:
-            writer.write(_json_response(200, app.stats()))
+            stats = await _maybe_await(app.stats())
+            writer.write(_json_response(200, stats))
     elif target == "/metrics":
         if method != "GET":
             writer.write(_json_response(405, {"error": "use GET"}))
         else:
+            metrics = await _maybe_await(app.metrics_text())
             writer.write(_response(
-                200, app.metrics_text().encode("utf-8"),
+                200, metrics.encode("utf-8"),
                 content_type="text/plain; version=0.0.4; charset=utf-8"))
+    elif target in getattr(app, "http_routes", {}):
+        # App-specific read-only routes (the coordinator's /cluster).
+        if method != "GET":
+            writer.write(_json_response(405, {"error": "use GET"}))
+        else:
+            payload = await app.http_routes[target]({})
+            writer.write(_json_response(200, payload))
     elif target == "/query":
         if method != "POST":
             writer.write(_json_response(405, {"error": "use POST"}))

@@ -23,6 +23,7 @@ connections, which is what the load generator and the acceptance tests do).
 from __future__ import annotations
 
 import asyncio
+import inspect
 import signal
 from typing import Optional
 
@@ -44,14 +45,34 @@ DEFAULT_HTTP_PORT = 7465
 logger = get_logger("server")
 
 
-class NetworkServer:
-    """TCP + HTTP listeners around one :class:`ServerApp`."""
+async def _maybe_await(value):
+    """Resolve a payload that may be sync (ServerApp) or async (a cluster
+    coordinator aggregating over the fleet)."""
+    if inspect.isawaitable(value):
+        return await value
+    return value
 
-    def __init__(self, service, *, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+
+class NetworkServer:
+    """TCP + HTTP listeners around one app.
+
+    The app is either a :class:`ServerApp` built from a ``service`` (the
+    single-process shape) or any object implementing the same interface
+    passed via ``app=`` -- the cluster coordinator is served this way.
+    """
+
+    def __init__(self, service=None, *, app=None,
+                 host: str = "127.0.0.1", port: int = DEFAULT_PORT,
                  http_port: Optional[int] = DEFAULT_HTTP_PORT,
                  max_pending: int = 64, workers: int = 4,
                  drain_timeout: float = 30.0) -> None:
-        self.app = ServerApp(service, max_pending=max_pending, workers=workers)
+        if app is not None:
+            self.app = app
+        elif service is not None:
+            self.app = ServerApp(service, max_pending=max_pending,
+                                 workers=workers)
+        else:
+            raise ValueError("NetworkServer needs a service or an app")
         self._host = host
         self._port = port
         self._http_port = http_port
@@ -85,6 +106,11 @@ class NetworkServer:
     # -- lifecycle -----------------------------------------------------------
 
     async def start(self) -> None:
+        # Apps with their own bring-up (the cluster coordinator health-
+        # checking its workers) finish it before the listeners open.
+        starter = getattr(self.app, "start", None)
+        if starter is not None:
+            await starter()
         self._tcp_server = await asyncio.start_server(
             self._handle_tcp, self._host, self._port, limit=MAX_LINE_BYTES)
         if self._http_port is not None:
@@ -180,14 +206,17 @@ class NetworkServer:
         if op == "ping":
             await self._send(writer, {"id": request_id, "type": "pong"})
         elif op == "health":
+            health = await _maybe_await(self.app.health())
             await self._send(writer, {"id": request_id, "type": "health",
-                                      **self.app.health()})
+                                      **health})
         elif op == "stats":
+            stats = await _maybe_await(self.app.stats())
             await self._send(writer, {"id": request_id, "type": "stats",
-                                      "stats": self.app.stats()})
+                                      "stats": stats})
         elif op == "metrics":
+            metrics = await _maybe_await(self.app.metrics_text())
             await self._send(writer, {"id": request_id, "type": "metrics",
-                                      "metrics": self.app.metrics_text()})
+                                      "metrics": metrics})
         elif op == "query":
             async for event in self.app.query_events(message):
                 stamped = dict(event)
@@ -198,8 +227,16 @@ class NetworkServer:
             event["id"] = request_id
             await self._send(writer, event)
         else:
-            await self._send(writer, error_event(
-                request_id, "bad_request", f"unknown op {op!r}"))
+            # Apps may export extra (admin) ops -- the coordinator's
+            # cluster / cluster_drain / cluster_scale verbs arrive here.
+            handler = getattr(self.app, "admin_ops", {}).get(op)
+            if handler is not None:
+                event = dict(await handler(message))
+                event["id"] = request_id
+                await self._send(writer, event)
+            else:
+                await self._send(writer, error_event(
+                    request_id, "bad_request", f"unknown op {op!r}"))
 
     async def _send(self, writer: asyncio.StreamWriter, message: dict) -> None:
         writer.write(dump_line(message))
@@ -255,12 +292,14 @@ async def _run_until_signalled(server: NetworkServer,
     return clean
 
 
-def serve(service, *, host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+def serve(service=None, *, app=None, host: str = "127.0.0.1",
+          port: int = DEFAULT_PORT,
           http_port: Optional[int] = DEFAULT_HTTP_PORT, max_pending: int = 64,
           workers: int = 4, drain_timeout: float = 30.0,
           announce: bool = True) -> int:
     """Run the server until SIGTERM/SIGINT; returns a process exit code."""
-    server = NetworkServer(service, host=host, port=port, http_port=http_port,
+    server = NetworkServer(service, app=app, host=host, port=port,
+                           http_port=http_port,
                            max_pending=max_pending, workers=workers,
                            drain_timeout=drain_timeout)
     try:
