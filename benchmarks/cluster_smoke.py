@@ -11,6 +11,11 @@ scripted session the acceptance criteria name:
   aggregated ``stats`` carrying coordinator + per-worker sections;
 * **HTTP** -- ``GET /healthz``, ``GET /stats``, ``GET /cluster``,
   ``POST /query``;
+* **observability** -- one query must leave one stitched cross-process
+  trace (coordinator + worker spans under a single propagated trace id,
+  parent links intact, Chrome-loadable export), ``history`` must
+  aggregate every worker's tsdb ring, and the alert report must carry
+  the full SLO state table (shape only; CI hosts may burn budget);
 * **failover** -- SIGKILL one worker (pid from the cluster status) and
   require queries to keep succeeding on the surviving replica, then wait
   for the supervisor to respawn the dead worker and replay it the
@@ -127,6 +132,69 @@ def _http_session(port: int) -> None:
     print("http session ok")
 
 
+def _observability_session(port: int, http_port: int) -> None:
+    from repro.client import ReproClient
+
+    with ReproClient("127.0.0.1", port) as client:
+        # One query through the coordinator must yield one stitched
+        # cross-process trace: coordinator spans + the owning worker's
+        # spans under a single propagated trace id, parent links intact.
+        result = client.query(SQL, seed=5)
+        trace_id = result.trace_id
+        assert trace_id and len(trace_id) == 32, \
+            f"coordinator must stamp a trace id on results, got {trace_id!r}"
+
+        stitched = client.trace(trace_id)
+        processes = stitched["processes"]
+        labels = [group["process"] for group in processes]
+        assert len(processes) >= 2, \
+            f"trace must stitch coordinator + worker spans, got {labels}"
+        assert labels[0].startswith("coordinator"), labels
+        assert any(label.startswith("worker:") for label in labels), labels
+        spans = {span["span_id"]
+                 for group in processes for span in group["spans"]}
+        for group in processes:
+            for span in group["spans"]:
+                parent = span["parent_id"]
+                assert not parent or parent in spans, \
+                    f"dangling parent link {parent} in {group['process']}"
+
+        export = client.trace_export(trace_id)
+        chrome = export["chrome"]
+        assert chrome["otherData"]["trace_id"] == trace_id
+        assert any(event.get("ph") == "X" for event in chrome["traceEvents"])
+
+        # Fleet metrics history: the coordinator's own ring plus one
+        # relabelled ring per worker.
+        history = client.history()
+        assert history["snapshots"], "coordinator tsdb must have snapshots"
+        assert sorted(history["workers"]) == ["w0", "w1"], \
+            f"history must aggregate every worker, got {history.keys()}"
+        for payload in history["workers"].values():
+            newest = payload["snapshots"][-1]["samples"]
+            assert any(key.startswith("repro_server_requests_total")
+                       for key in newest), newest
+
+        # Alert probe payload structure (smoke asserts shape, not state:
+        # a cold CI host can legitimately burn error budget).
+        report = client.alerts()
+        assert isinstance(report["firing"], bool), report
+        states = {(alert["slo"], alert["severity"])
+                  for alert in report["alerts"]}
+        assert len(states) == len(report["alerts"]) >= 4, states
+
+    # The same surfaces over HTTP, the way dashboards scrape them.
+    base = f"http://127.0.0.1:{http_port}"
+    history = json.loads(urllib.request.urlopen(base + "/history").read())
+    assert history["snapshots"] and "workers" in history
+    alerts = json.loads(urllib.request.urlopen(base + "/alerts").read())
+    assert "firing" in alerts and "alerts" in alerts
+    doc = json.loads(urllib.request.urlopen(
+        base + f"/trace?id={trace_id}").read())
+    assert doc["otherData"]["trace_id"] == trace_id
+    print("observability ok (stitched trace, fleet history, alert probe)")
+
+
 def _failover_session(port: int) -> None:
     from repro.client import ReproClient
 
@@ -195,6 +263,7 @@ def main() -> int:
         try:
             _tcp_session(tcp_port)
             _http_session(http_port)
+            _observability_session(tcp_port, http_port)
             _failover_session(tcp_port)
             _rolling_restart(tcp_port)
         finally:

@@ -44,11 +44,25 @@ without writing any Python:
     payload), ``--probe metrics`` dumps the Prometheus exposition.
 
 ``python -m repro.cli top --http-port 7465``
-    Live operator console: polls a running server's ``/metrics`` and
-    ``/stats`` and renders refreshing tables of throughput, windowed
-    p50/p99 latency, cache hit rates, coalescing, planner decisions and
-    fusion counters.  Pointed at a cluster coordinator it additionally
-    renders per-worker rows and routing/failover counters.
+    Live operator console: polls a running server's ``/metrics``,
+    ``/stats`` and ``/history`` and renders refreshing tables of
+    throughput (with qps sparklines from the server-side history ring),
+    windowed p50/p99 latency, SLO burn-rate alerts, cache hit rates,
+    coalescing, planner decisions and fusion counters.  Pointed at a
+    cluster coordinator it additionally renders per-worker rows, trends
+    and routing/failover counters.  ``--json`` emits one machine-readable
+    snapshot and exits.
+
+``python -m repro.cli profile --port 7464 --seconds 5``
+    Sample a running server's stacks (every worker plus the coordinator
+    when pointed at a cluster front door) and print collapsed stacks --
+    pipe into ``flamegraph.pl`` or load in speedscope.
+
+``python -m repro.cli cluster trace out.json``
+    Export one distributed trace -- coordinator and worker spans stitched
+    under a single trace id -- as a Chrome/Perfetto trace-event file.
+    Trace ids are printed on query results and recorded in the slow-query
+    log.
 
 ``python -m repro.cli cluster start --data data/ --workers 3``
     The distributed serving tier: spawn N ``repro server`` worker
@@ -104,6 +118,10 @@ EXIT_NO_DATA = 1
 
 #: Exit code for malformed user input (bad SQL, unknown columns, bad data).
 EXIT_USAGE = 2
+
+#: Exit code of ``repro client --probe alerts`` when any SLO alert fires
+#: (distinct from usage errors so scripts can branch on it).
+EXIT_ALERT_FIRING = 3
 
 #: Exceptions that indicate a problem with the user's input, not a bug.
 #: MutationError (validation/conflict) subclasses ValueError, so rejected
@@ -260,8 +278,11 @@ def _build_parser() -> argparse.ArgumentParser:
                                choices=sorted(EXPERIMENT_QUERIES),
                                help="one of the paper's decision-support queries")
     client_source.add_argument("--probe",
-                               choices=("stats", "health", "ping", "metrics"),
-                               help="fetch a server report instead of querying")
+                               choices=("stats", "health", "ping", "metrics",
+                                        "alerts"),
+                               help="fetch a server report instead of "
+                                    "querying; 'alerts' exits 3 when any "
+                                    "SLO burn-rate alert is firing")
     client_parser.add_argument("--json", action="store_true",
                                help="print probe reports as raw JSON instead "
                                     "of aligned tables")
@@ -341,6 +362,21 @@ def _build_parser() -> argparse.ArgumentParser:
             verb_parser.add_argument("--workers", type=int, required=True,
                                      help="target worker count")
 
+    cluster_trace = cluster_sub.add_parser(
+        "trace", help="export one distributed trace (coordinator + worker "
+                      "spans stitched under a single trace id) as a Chrome/"
+                      "Perfetto trace-event file")
+    cluster_trace.add_argument("out", metavar="OUT",
+                               help="path of the trace-event JSON file to "
+                                    "write")
+    cluster_trace.add_argument("--host", default="127.0.0.1")
+    cluster_trace.add_argument("--port", type=int, default=7464,
+                               help="the coordinator's (or server's) TCP "
+                                    "port")
+    cluster_trace.add_argument("--trace-id", default=None,
+                               help="the 32-hex-char trace id (default: the "
+                                    "most recent stored trace)")
+
     top_parser = subparsers.add_parser(
         "top", help="live operator console over a running server's HTTP port")
     top_parser.add_argument("--host", default="127.0.0.1")
@@ -352,6 +388,25 @@ def _build_parser() -> argparse.ArgumentParser:
     top_parser.add_argument("--count", type=int, default=None,
                             help="render this many frames then exit "
                                  "(default: run until Ctrl-C)")
+    top_parser.add_argument("--json", action="store_true",
+                            help="print one machine-readable snapshot "
+                                 "(fleet rows, alerts, windowed latency) "
+                                 "and exit")
+
+    profile_parser = subparsers.add_parser(
+        "profile", help="sample a running server's stacks (fleet-wide "
+                        "through a coordinator) and print collapsed stacks "
+                        "ready for flamegraph.pl or speedscope")
+    profile_parser.add_argument("--host", default="127.0.0.1")
+    profile_parser.add_argument("--port", type=int, default=7464,
+                                help="the server's (or coordinator's) TCP "
+                                     "port")
+    profile_parser.add_argument("--seconds", type=float, default=1.0,
+                                help="sampling window (default 1, capped "
+                                     "server-side at 60)")
+    profile_parser.add_argument("--out", default=None,
+                                help="write the collapsed stacks here "
+                                     "instead of stdout")
 
     return parser
 
@@ -621,9 +676,34 @@ def _print_cluster_status(payload: dict) -> None:
         [(key, str(coordinator.get(key, 0))) for key in keys])))
 
 
+def _run_cluster_trace(args: argparse.Namespace) -> int:
+    """Fetch one stitched distributed trace and write the Chrome file."""
+    import json
+
+    from repro.client import ClientError, ReproClient, ServerError
+
+    try:
+        with ReproClient(args.host, args.port) as client:
+            payload = client.trace_export(args.trace_id)
+    except ServerError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE if error.code == "bad_request" else 1
+    except ClientError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    path = Path(args.out)
+    path.write_text(json.dumps(payload["chrome"], indent=1) + "\n")
+    print(f"wrote trace {payload.get('trace_id', '?')} "
+          f"({payload.get('span_count', 0)} spans over "
+          f"{len(payload.get('processes', []))} processes) to {path}")
+    return 0
+
+
 def _run_cluster(args: argparse.Namespace) -> int:
     if args.cluster_command == "start":
         return _run_cluster_start(args)
+    if args.cluster_command == "trace":
+        return _run_cluster_trace(args)
     import json
 
     from repro.client import ClientError, ReproClient, ServerError
@@ -673,6 +753,24 @@ def _run_client(args: argparse.Namespace) -> int:
             if args.probe == "metrics":
                 print(client.metrics(), end="")
                 return 0
+            if args.probe == "alerts":
+                payload = client.alerts()
+                if args.json:
+                    print(json.dumps(payload, indent=2))
+                else:
+                    from repro.obs.console import render_table
+                    rows = [(f"{alert.get('slo', '?')}/"
+                             f"{alert.get('severity', '?')}",
+                             f"{alert.get('burn_short', 0.0):.2f}",
+                             f"{alert.get('burn_long', 0.0):.2f}",
+                             f"{alert.get('burn_threshold', 0.0):.1f}",
+                             "FIRING" if alert.get("firing") else "ok")
+                            for alert in payload.get("alerts", [])]
+                    print("\n".join(render_table(
+                        ("slo alert", "burn short", "burn long",
+                         "threshold", "state"), rows)))
+                # Scripts branch on the exit code: 0 = healthy, 3 = paging.
+                return EXIT_ALERT_FIRING if payload.get("firing") else 0
             if args.probe in ("stats", "health"):
                 payload = client.stats() if args.probe == "stats" else client.health()
                 if args.json:
@@ -720,17 +818,51 @@ def _run_client(args: argparse.Namespace) -> int:
 
 def _run_top(args: argparse.Namespace) -> int:
     """Live operator console over a running server's HTTP adapter."""
+    import json
+
     from urllib.error import URLError
 
-    from repro.obs.console import run_top
+    from repro.obs.console import fetch_sample, run_top, snapshot_payload
 
     base_url = f"http://{args.host}:{args.http_port}"
     try:
+        if args.json:
+            # One machine-readable snapshot, no dashboard: what check
+            # runners and cron scripts consume.
+            print(json.dumps(snapshot_payload(fetch_sample(base_url)),
+                             indent=2))
+            return 0
         frames = run_top(base_url, interval=args.interval, count=args.count)
     except (URLError, OSError) as error:
         print(f"error: cannot reach {base_url}: {error}", file=sys.stderr)
         return 1
     return 0 if frames else 1
+
+
+def _run_profile(args: argparse.Namespace) -> int:
+    """One profiling run against a running server (or whole fleet)."""
+    from repro.client import ClientError, ReproClient, ServerError
+
+    try:
+        with ReproClient(args.host, args.port,
+                         timeout=args.seconds + 60.0) as client:
+            payload = client.profile(seconds=args.seconds)
+    except ServerError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USAGE if error.code == "bad_request" else 1
+    except ClientError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    collapsed = payload.get("collapsed", "")
+    if args.out:
+        Path(args.out).write_text(collapsed)
+        processes = payload.get("processes", 1)
+        print(f"wrote {payload.get('stacks', 0)} stacks "
+              f"({payload.get('samples', 0)} samples over {processes} "
+              f"process{'es' if processes != 1 else ''}) to {args.out}")
+    else:
+        print(collapsed, end="")
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -749,6 +881,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _run_client(args)
         if args.command == "top":
             return _run_top(args)
+        if args.command == "profile":
+            return _run_profile(args)
         return _run_annotate(args)
     except _EmptyDataError as error:
         print(str(error), file=sys.stderr)

@@ -45,6 +45,7 @@ from typing import Any, AsyncIterator, Iterator, Optional, Union
 
 from repro.server.protocol import (
     MAX_LINE_BYTES,
+    TRACEPARENT_KEY,
     ProtocolError,
     decode_answer,
     dump_line,
@@ -100,6 +101,13 @@ class QueryResult:
     stats: dict
     raw: dict
 
+    @property
+    def trace_id(self) -> Optional[str]:
+        """The distributed trace id this query ran under (observing
+        servers stamp it on the terminal event; fetch the stitched span
+        tree with :meth:`ReproClient.trace_export`)."""
+        return self.raw.get("trace_id")
+
 
 @dataclass(frozen=True)
 class MutationResult:
@@ -113,6 +121,10 @@ class MutationResult:
     #: afterwards see at least this version.
     data_version: int
     raw: dict
+
+    @property
+    def trace_id(self) -> Optional[str]:
+        return self.raw.get("trace_id")
 
 
 #: What :meth:`stream` yields: updates while refining, the result last.
@@ -134,10 +146,17 @@ def _decode_result(event: dict) -> QueryResult:
         raw=event)
 
 
-def _query_message(request_id: Any, sql: str, options: dict) -> dict:
+def _query_message(request_id: Any, sql: str, options: dict,
+                   traceparent: Optional[str] = None) -> dict:
     supplied = {key: value for key, value in options.items()
                 if value is not None}
-    return {"op": "query", "id": request_id, "sql": sql, "options": supplied}
+    message = {"op": "query", "id": request_id, "sql": sql,
+               "options": supplied}
+    if traceparent is not None:
+        # Trace context rides outside ``options`` on purpose: it must not
+        # change the request's coalescing identity.
+        message[TRACEPARENT_KEY] = traceparent
+    return message
 
 
 def _decode_mutation(event: dict) -> MutationResult:
@@ -210,7 +229,8 @@ class ReproClient:
                delta: Optional[float] = None, method: Optional[str] = None,
                limit: Optional[int] = None, seed: Optional[int] = None,
                adaptive: Optional[bool] = None,
-               planner: Optional[str] = None) -> Iterator[StreamEvent]:
+               planner: Optional[str] = None,
+               traceparent: Optional[str] = None) -> Iterator[StreamEvent]:
         """Yield adaptive updates as they land, then the final result.
 
         Abandoning the iterator early (``break``) drains the request's
@@ -221,7 +241,8 @@ class ReproClient:
         try:
             self._send(_query_message(request_id, sql, dict(
                 epsilon=epsilon, delta=delta, method=method, limit=limit,
-                seed=seed, adaptive=adaptive, planner=planner)))
+                seed=seed, adaptive=adaptive, planner=planner),
+                traceparent=traceparent))
             while True:
                 event = self._recv(request_id)
                 kind = event.get("type")
@@ -290,6 +311,52 @@ class ReproClient:
         request_id = self._roundtrip_id()
         self._send({"op": "ping", "id": request_id})
         return self._recv(request_id).get("type") == "pong"
+
+    # -- observability ops ---------------------------------------------------
+
+    def _typed_op(self, message: dict, expect: str) -> dict:
+        request_id = self._roundtrip_id()
+        self._send({**message, "id": request_id})
+        event = self._recv(request_id)
+        kind = event.get("type")
+        if kind == "error":
+            raise _server_error(event)
+        if kind != expect:
+            raise ClientError(f"unexpected event type {kind!r}")
+        return {key: value for key, value in event.items()
+                if key not in ("id", "type")}
+
+    def history(self, seconds: Optional[float] = None) -> dict:
+        """The server-side metrics history window (tsdb snapshots)."""
+        message: dict = {"op": "history"}
+        if seconds is not None:
+            message["seconds"] = seconds
+        return self._typed_op(message, "history")
+
+    def profile(self, seconds: float = 1.0) -> dict:
+        """Sample the server (fleet-wide through a coordinator) for
+        ``seconds``; the payload carries flamegraph-ready collapsed stacks."""
+        return self._typed_op({"op": "profile", "seconds": seconds},
+                              "profile")
+
+    def alerts(self) -> dict:
+        """SLO burn-rate alert states plus the rolled-up ``firing`` flag."""
+        return self._typed_op({"op": "alerts"}, "alerts")
+
+    def trace(self, trace_id: Optional[str] = None) -> dict:
+        """One stored trace's raw spans (the latest without an id)."""
+        message: dict = {"op": "trace"}
+        if trace_id is not None:
+            message["trace_id"] = trace_id
+        return self._typed_op(message, "trace")
+
+    def trace_export(self, trace_id: Optional[str] = None) -> dict:
+        """One stored trace as a Chrome/Perfetto trace-event document
+        (stitched across the whole fleet when answered by a coordinator)."""
+        message: dict = {"op": "trace_export"}
+        if trace_id is not None:
+            message["trace_id"] = trace_id
+        return self._typed_op(message, "trace_export")
 
     # -- cluster admin ops (answered by a coordinator front door) ------------
 
@@ -392,7 +459,8 @@ class AsyncReproClient:
                      method: Optional[str] = None,
                      limit: Optional[int] = None, seed: Optional[int] = None,
                      adaptive: Optional[bool] = None,
-                     planner: Optional[str] = None
+                     planner: Optional[str] = None,
+                     traceparent: Optional[str] = None
                      ) -> AsyncIterator[StreamEvent]:
         """Async iterator of adaptive updates, then the final result.
 
@@ -406,7 +474,8 @@ class AsyncReproClient:
         try:
             await self._send(_query_message(request_id, sql, dict(
                 epsilon=epsilon, delta=delta, method=method, limit=limit,
-                seed=seed, adaptive=adaptive, planner=planner)))
+                seed=seed, adaptive=adaptive, planner=planner),
+                traceparent=traceparent))
             while True:
                 event = await self._recv(request_id)
                 kind = event.get("type")
@@ -480,6 +549,52 @@ class AsyncReproClient:
             request_id = self._next_id
             await self._send({"op": "ping", "id": request_id})
             return (await self._recv(request_id)).get("type") == "pong"
+
+    # -- observability ops ---------------------------------------------------
+
+    async def _typed_op(self, message: dict, expect: str) -> dict:
+        async with self._lock:
+            self._next_id += 1
+            request_id = self._next_id
+            await self._send({**message, "id": request_id})
+            event = await self._recv(request_id)
+        kind = event.get("type")
+        if kind == "error":
+            raise _server_error(event)
+        if kind != expect:
+            raise ClientError(f"unexpected event type {kind!r}")
+        return {key: value for key, value in event.items()
+                if key not in ("id", "type")}
+
+    async def history(self, seconds: Optional[float] = None) -> dict:
+        """Async twin of :meth:`ReproClient.history`."""
+        message: dict = {"op": "history"}
+        if seconds is not None:
+            message["seconds"] = seconds
+        return await self._typed_op(message, "history")
+
+    async def profile(self, seconds: float = 1.0) -> dict:
+        """Async twin of :meth:`ReproClient.profile`."""
+        return await self._typed_op({"op": "profile", "seconds": seconds},
+                                    "profile")
+
+    async def alerts(self) -> dict:
+        """Async twin of :meth:`ReproClient.alerts`."""
+        return await self._typed_op({"op": "alerts"}, "alerts")
+
+    async def trace(self, trace_id: Optional[str] = None) -> dict:
+        """Async twin of :meth:`ReproClient.trace`."""
+        message: dict = {"op": "trace"}
+        if trace_id is not None:
+            message["trace_id"] = trace_id
+        return await self._typed_op(message, "trace")
+
+    async def trace_export(self, trace_id: Optional[str] = None) -> dict:
+        """Async twin of :meth:`ReproClient.trace_export`."""
+        message: dict = {"op": "trace_export"}
+        if trace_id is not None:
+            message["trace_id"] = trace_id
+        return await self._typed_op(message, "trace_export")
 
     async def close(self) -> None:
         self._writer.close()

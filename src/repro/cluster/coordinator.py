@@ -48,6 +48,7 @@ to single-process ones (the differential test asserts exactly this).
 from __future__ import annotations
 
 import asyncio
+import os
 import time
 from typing import Any, AsyncIterator, Mapping, Optional, Sequence
 
@@ -58,8 +59,23 @@ from repro.cluster.workers import (
     WorkerEndpoint,
     WorkerSpawnError,
 )
+from repro.obs.alerts import AlertEvaluator, cluster_slos, disabled_report
 from repro.obs.logsetup import get_logger
-from repro.obs.metrics import counters_family
+from repro.obs.metrics import LATENCY_BUCKETS, MetricsRegistry, counters_family
+from repro.obs.profiler import (
+    DEFAULT_INTERVAL,
+    merge_collapsed,
+    profile_payload,
+    render_collapsed,
+)
+from repro.obs.propagate import (
+    TRACEPARENT_KEY,
+    extract_context,
+    format_traceparent,
+    new_context,
+)
+from repro.obs.trace import Trace, TraceStore, spans_to_chrome
+from repro.obs.tsdb import TimeSeriesStore
 from repro.server.app import Flight
 from repro.server.protocol import (
     MAX_LINE_BYTES,
@@ -255,7 +271,8 @@ class CoordinatorApp:
                  max_pending: int = 256,
                  health_interval: float = 1.0,
                  supervise: bool = True,
-                 worker_template: Optional[Sequence[str]] = None) -> None:
+                 worker_template: Optional[Sequence[str]] = None,
+                 observe: bool = True) -> None:
         self._defaults = dict(defaults) if defaults else defaults_from_options()
         self._workers: dict[str, WorkerLink] = {}
         self._ring = HashRing(replicas=replicas)
@@ -309,6 +326,32 @@ class CoordinatorApp:
         self._respawns = 0
         self._replayed_statements = 0
         self._routed: dict[str, int] = {w: 0 for w in self._workers}
+        #: SLO-relevant front-door errors; the kinds mirror what
+        #: :func:`repro.obs.alerts.cluster_slos` counts as bad events.
+        self._errors_by_kind = {"internal": 0, "unavailable": 0}
+
+        # Cluster-level observability (zero-cost when off: no registry, no
+        # snapshot thread, no tracing -- the forwarded messages are byte-
+        # identical to the pre-observability wire shape).
+        self._observe = observe
+        if observe:
+            self._metrics: Optional[MetricsRegistry] = MetricsRegistry()
+            self._metrics.register_collector(self._metric_families)
+            self._request_seconds = self._metrics.histogram(
+                "repro_cluster_request_seconds",
+                "Front-door query latency (admission to terminal event)",
+                buckets=LATENCY_BUCKETS)
+            self._tsdb: Optional[TimeSeriesStore] = \
+                TimeSeriesStore(self._metrics)
+            self._alert_evaluator: Optional[AlertEvaluator] = \
+                AlertEvaluator(cluster_slos())
+            self._trace_store: Optional[TraceStore] = TraceStore()
+        else:
+            self._metrics = None
+            self._request_seconds = None
+            self._tsdb = None
+            self._alert_evaluator = None
+            self._trace_store = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -322,6 +365,8 @@ class CoordinatorApp:
         logger.info("cluster up", extra={
             "workers": len(self._workers), "healthy": len(healthy)})
         self._health_task = asyncio.ensure_future(self._health_loop())
+        if self._tsdb is not None:
+            self._tsdb.start()
 
     async def _probe(self, link: WorkerLink, deadline: float) -> bool:
         """Poll one worker's health op until it answers or time runs out."""
@@ -469,6 +514,8 @@ class CoordinatorApp:
     def close(self) -> None:
         """Stop the supervisor and the fleet (local workers drain first)."""
         self._closing = True
+        if self._tsdb is not None:
+            self._tsdb.stop()
         if self._health_task is not None:
             self._health_task.cancel()
         for task in self._respawn_tasks.values():
@@ -529,8 +576,12 @@ class CoordinatorApp:
             self._flights[key] = flight
             self._idle.clear()
             self._launched += 1
+            # The flight leader's trace context wins: one computation, one
+            # trace id.  A client-sent traceparent is honored; otherwise
+            # the coordinator becomes the trace origin.
             task = asyncio.ensure_future(
-                self._lead(flight, sql, options, family))
+                self._lead(flight, sql, options, family,
+                           context=extract_context(message)))
             self._flight_tasks.add(task)
             task.add_done_callback(self._flight_tasks.discard)
         else:
@@ -543,16 +594,30 @@ class CoordinatorApp:
                 return
 
     async def _lead(self, flight: Flight, sql: str, options: dict,
-                    family: bytes) -> None:
+                    family: bytes, context=None) -> None:
         """Forward the flight to its owner, failing over along the ring."""
         terminal: Optional[dict] = None
         tried: set[str] = set()
+        tr = root = None
+        started = time.perf_counter()
+        if self._observe:
+            # Every led flight gets a distributed trace.  The per-attempt
+            # "forward" span's id rides the forwarded message as a
+            # traceparent, so the worker's own spans parent onto it and the
+            # stitched export shows the full cross-process tree -- failover
+            # attempts appear as sibling forwards under one trace id.
+            tr = Trace("request",
+                       context=context if context is not None
+                       else new_context())
+            root = tr.span("cluster.request")
+            root.set("family", family.hex()[:16])
         try:
             while terminal is None:
                 order = self._route_order(family,
                                           exclude=frozenset(tried))
                 if not order:
                     self._internal_errors += 1
+                    self._errors_by_kind["unavailable"] += 1
                     terminal = error_event(
                         None, "unavailable",
                         "no live worker can serve this query "
@@ -562,6 +627,13 @@ class CoordinatorApp:
                 tried.add(link.id)
                 self._routed[link.id] = self._routed.get(link.id, 0) + 1
                 forward = {"op": "query", "sql": sql, "options": options}
+                attempt = None
+                if tr is not None:
+                    attempt = tr.span("forward", parent=root)
+                    attempt.set("worker", link.id)
+                    attempt.set("attempt", len(tried))
+                    forward[TRACEPARENT_KEY] = format_traceparent(
+                        tr.trace_id, attempt.span_id)
                 try:
                     async for event in link.events(forward):
                         kind = event.get("type")
@@ -573,6 +645,8 @@ class CoordinatorApp:
                                 # the front door available through rolling
                                 # restarts.
                                 self._failovers += 1
+                                if attempt is not None:
+                                    attempt.set("outcome", event.get("code"))
                                 break
                             terminal = dict(event)
                             break
@@ -586,9 +660,15 @@ class CoordinatorApp:
                 except WorkerUnavailable:
                     self._failovers += 1
                     self._mark_unavailable(link)
+                    if attempt is not None:
+                        attempt.set("outcome", "worker_unavailable")
+                        attempt.__exit__(None, None, None)
                     continue
+                if attempt is not None:
+                    attempt.__exit__(None, None, None)
         except Exception as error:  # noqa: BLE001 - reported, not hidden
             self._internal_errors += 1
+            self._errors_by_kind["internal"] += 1
             terminal = error_event(None, "internal",
                                    f"{type(error).__name__}: {error}")
         finally:
@@ -598,11 +678,18 @@ class CoordinatorApp:
             if terminal is None:
                 terminal = error_event(None, "unavailable",
                                        "coordinator stopped mid-flight")
+                self._errors_by_kind["unavailable"] += 1
             if terminal.get("type") == "error" and \
                     terminal.get("code") not in ("internal", "unavailable"):
                 self._query_errors += 1
             terminal = dict(terminal)
             terminal["id"] = None
+            if tr is not None:
+                root.set("type", terminal.get("type"))
+                root.__exit__(None, None, None)
+                self._request_seconds.observe(time.perf_counter() - started)
+                self._trace_store.put(tr)
+                terminal["trace_id"] = tr.trace_id
             self._flights.pop(flight.key, None)
             self._maybe_idle()
             flight.publish(terminal)
@@ -628,23 +715,63 @@ class CoordinatorApp:
         self._idle.clear()
         try:
             async with self._mutation_gate:
-                return await self._broadcast(sql)
+                return await self._broadcast(
+                    sql, context=extract_context(message))
         finally:
             self._mutations_inflight -= 1
             self._maybe_idle()
 
-    async def _broadcast(self, sql: str) -> dict:
+    async def _broadcast(self, sql: str, context=None) -> dict:
+        tr = root = None
+        if self._observe:
+            tr = Trace("mutation",
+                       context=context if context is not None
+                       else new_context())
+            root = tr.span("cluster.mutate")
+        try:
+            event = await self._broadcast_traced(sql, tr, root)
+        finally:
+            if tr is not None:
+                root.__exit__(None, None, None)
+                self._trace_store.put(tr)
+        if tr is not None:
+            event = dict(event)
+            event["trace_id"] = tr.trace_id
+        return event
+
+    async def _broadcast_traced(self, sql: str, tr, root) -> dict:
         targets = [w for w in self._workers.values() if w.routable]
         if not targets:
             self._internal_errors += 1
+            self._errors_by_kind["unavailable"] += 1
             return error_event(None, "unavailable",
                                "no live workers to commit the mutation")
-        results = await asyncio.gather(
-            *(self._mutate_one(link, sql) for link in targets))
+        forwards = []
+        spans = []
+        for link in targets:
+            forward = {"op": "mutate", "sql": sql}
+            if tr is not None:
+                # One "forward" span per worker, all siblings under the
+                # mutate root; each worker parents its own mutation span
+                # onto its forward via the injected traceparent.
+                span = tr.span("forward", parent=root)
+                span.set("worker", link.id)
+                forward[TRACEPARENT_KEY] = format_traceparent(
+                    tr.trace_id, span.span_id)
+                spans.append(span)
+            forwards.append(forward)
+        try:
+            results = await asyncio.gather(
+                *(self._mutate_one(link, forward)
+                  for link, forward in zip(targets, forwards)))
+        finally:
+            for span in spans:
+                span.__exit__(None, None, None)
         survivors = [(link, event) for link, event in zip(targets, results)
                      if event is not None]
         if not survivors:
             self._internal_errors += 1
+            self._errors_by_kind["unavailable"] += 1
             return error_event(None, "unavailable",
                                "every worker died during the mutation "
                                "broadcast")
@@ -673,10 +800,10 @@ class CoordinatorApp:
                 link.data_version = version
         return canonical
 
-    async def _mutate_one(self, link: WorkerLink, sql: str) -> Optional[dict]:
+    async def _mutate_one(self, link: WorkerLink,
+                          forward: dict) -> Optional[dict]:
         try:
-            return await link.roundtrip({"op": "mutate", "sql": sql},
-                                        timeout=_MUTATE_TIMEOUT)
+            return await link.roundtrip(forward, timeout=_MUTATE_TIMEOUT)
         except WorkerUnavailable:
             # The worker missed this commit; it must not serve reads until
             # the supervisor replays it the full log.
@@ -787,6 +914,7 @@ class CoordinatorApp:
         if have_flight:
             service_block["single_flight"] = {"name": "fleet", **flight_sum}
         return {
+            "alerts": self.alerts_report()["alerts"],
             "coordinator": self._coordinator_stats(),
             "workers": rows,
             "server": {**server_sum, "active": len(self._flights),
@@ -809,8 +937,13 @@ class CoordinatorApp:
         """Fleet Prometheus exposition: coordinator families plus every
         worker's samples re-labelled with ``worker="<id>"``."""
         lines: list[str] = []
-        for family in self._metric_families():
-            lines.extend(family.render())
+        if self._metrics is not None:
+            # The registry carries the request-latency histogram plus the
+            # counter families below (registered as a collector).
+            lines.extend(self._metrics.render().splitlines())
+        else:
+            for family in self._metric_families():
+                lines.extend(family.render())
         for link in list(self._workers.values()):
             if not link.routable:
                 continue
@@ -847,6 +980,11 @@ class CoordinatorApp:
                 "Requests replayed on a replica after a worker failure",
                 [({}, self._failovers)]),
             counters_family(
+                "repro_cluster_errors_total",
+                "Front-door errors by kind (the cluster SLO's bad events)",
+                [({"kind": kind}, count) for kind, count
+                 in sorted(self._errors_by_kind.items())]),
+            counters_family(
                 "repro_cluster_worker_events_total",
                 "Worker lifecycle events seen by the supervisor",
                 [({"event": "death"}, self._worker_deaths),
@@ -868,6 +1006,138 @@ class CoordinatorApp:
                 "Flights currently forwarded",
                 [({}, len(self._flights))], kind="gauge"),
         ]
+
+    # -- cluster-wide observability (history, profiles, traces, alerts) ------
+
+    def alerts_report(self) -> dict:
+        """Burn-rate alert states over the coordinator's own tsdb window."""
+        if self._alert_evaluator is None or self._tsdb is None:
+            return disabled_report()
+        window = self._alert_evaluator.max_window_seconds
+        snapshots = self._tsdb.history(window)["snapshots"]
+        return self._alert_evaluator.report(snapshots)
+
+    async def history(self, seconds: Optional[float] = None) -> dict:
+        """The coordinator's tsdb window plus every worker's, fanned out.
+
+        Shaped like the single-server payload (``repro top`` reads the
+        top-level snapshots the same way) with a ``workers`` mapping on
+        top: per-worker windows for the fleet trend panes.
+        """
+        if self._tsdb is not None:
+            own = self._tsdb.history(seconds)
+        else:
+            own = {"interval_seconds": None, "capacity": 0,
+                   "retention_seconds": 0.0, "snapshots": []}
+        message: dict[str, Any] = {"op": "history"}
+        if seconds is not None:
+            message["seconds"] = seconds
+        replies = await self._fan_out(message, timeout=_STATS_TIMEOUT)
+        workers = {}
+        for worker_id, event in replies:
+            if event is None or event.get("type") != "history":
+                continue
+            workers[worker_id] = {key: value for key, value in event.items()
+                                  if key not in ("id", "type")}
+        return {**own, "workers": workers}
+
+    async def profile(self, seconds: float = 1.0,
+                      interval: Optional[float] = None) -> dict:
+        """One fleet-wide profile: sample the coordinator and every worker
+        concurrently for the same window, merge the collapsed stacks."""
+        interval = interval if interval is not None else DEFAULT_INTERVAL
+        loop = asyncio.get_running_loop()
+        own_future = loop.run_in_executor(None, profile_payload,
+                                          float(seconds), interval)
+        replies = await self._fan_out({"op": "profile", "seconds": seconds},
+                                      timeout=float(seconds) + _STATS_TIMEOUT)
+        own = await own_future
+        texts = [own["collapsed"]]
+        processes = 1
+        samples = own["samples"]
+        for _worker_id, event in replies:
+            if event is None or event.get("type") != "profile":
+                continue
+            texts.append(event.get("collapsed", ""))
+            samples += event.get("samples", 0)
+            processes += 1
+        merged = merge_collapsed(texts)
+        return {
+            "seconds": own["seconds"],
+            "interval_seconds": own["interval_seconds"],
+            "processes": processes,
+            "samples": samples,
+            "stacks": len(merged),
+            "collapsed": render_collapsed(merged),
+        }
+
+    async def trace_payload(self, trace_id: Optional[str] = None) \
+            -> Optional[dict]:
+        """One distributed trace as per-process span groups (raw form)."""
+        stitched = await self._collect_trace(trace_id)
+        if stitched is None:
+            return None
+        tid, name, groups = stitched
+        return {
+            "trace_id": tid,
+            "name": name,
+            "processes": [{"process": label, "spans": spans}
+                          for label, spans in groups],
+            "span_count": sum(len(spans) for _, spans in groups),
+        }
+
+    async def trace_export(self, trace_id: Optional[str] = None) \
+            -> Optional[dict]:
+        """One distributed trace stitched into a Chrome trace-event doc."""
+        stitched = await self._collect_trace(trace_id)
+        if stitched is None:
+            return None
+        tid, _name, groups = stitched
+        return {
+            "trace_id": tid,
+            "processes": [label for label, _ in groups],
+            "span_count": sum(len(spans) for _, spans in groups),
+            "chrome": spans_to_chrome(tid, groups),
+        }
+
+    async def _collect_trace(self, trace_id: Optional[str]):
+        """The coordinator's stored trace plus every worker's spans for the
+        same trace id (workers that restarted since simply contribute
+        nothing -- parent links still stitch through the spans that
+        remain, because ids live in the spans, not the processes)."""
+        if self._trace_store is None:
+            return None
+        trace = (self._trace_store.get(trace_id) if trace_id
+                 else self._trace_store.latest())
+        if trace is None:
+            return None
+        tid = trace.trace_id
+        groups: list[tuple[str, list[dict]]] = [
+            (f"coordinator:{os.getpid()}", trace.span_dicts())]
+        replies = await self._fan_out({"op": "trace", "trace_id": tid},
+                                      timeout=_STATS_TIMEOUT)
+        for worker_id, event in replies:
+            if event is None or event.get("type") != "trace" or \
+                    event.get("trace_id") != tid:
+                continue
+            groups.append((f"worker:{worker_id}",
+                           list(event.get("spans", ()))))
+        return tid, trace.name, groups
+
+    async def _fan_out(self, message: Mapping, *,
+                       timeout: float) -> list[tuple[str, Optional[dict]]]:
+        """One roundtrip to every routable worker, concurrently; a worker
+        failing the roundtrip is marked unavailable and reported ``None``."""
+        links = [w for w in self._workers.values() if w.routable]
+
+        async def one(link: WorkerLink) -> tuple[str, Optional[dict]]:
+            try:
+                return link.id, await link.roundtrip(message, timeout=timeout)
+            except WorkerUnavailable:
+                self._mark_unavailable(link)
+                return link.id, None
+
+        return list(await asyncio.gather(*(one(link) for link in links)))
 
     # -- admin ops (rolling restart, scale, status) --------------------------
 

@@ -44,7 +44,8 @@ class EmbeddedCluster:
                  max_pending: int = 256,
                  health_interval: float = 0.25,
                  supervise: bool = True,
-                 drain_timeout: float = 30.0) -> None:
+                 drain_timeout: float = 30.0,
+                 observe: bool = True) -> None:
         if services and worker_argv:
             raise ValueError("pass services OR worker_argv, not both")
         if not services and not worker_argv:
@@ -61,6 +62,7 @@ class EmbeddedCluster:
         self._health_interval = health_interval
         self._supervise = supervise
         self._drain_timeout = drain_timeout
+        self._observe = observe
 
         self.worker_servers: dict[str, EmbeddedServer] = {}
         self._locals: list[LocalWorker] = []
@@ -78,8 +80,8 @@ class EmbeddedCluster:
         if self._services:
             for index, service in enumerate(self._services):
                 worker_id = f"w{index}"
-                server = EmbeddedServer(service, host=self._host,
-                                        http=False).start()
+                server = EmbeddedServer(service, host=self._host, http=False,
+                                        observe=self._observe).start()
                 self.worker_servers[worker_id] = server
                 endpoints.append(WorkerEndpoint(worker_id, server.host,
                                                 server.port))
@@ -94,7 +96,8 @@ class EmbeddedCluster:
             max_pending=self._max_pending,
             health_interval=self._health_interval,
             supervise=self._supervise,
-            worker_template=self._worker_argv)
+            worker_template=self._worker_argv,
+            observe=self._observe)
         self._front = NetworkServer(
             app=self.coordinator, host=self._host, port=0,
             http_port=0 if self._http else None,
@@ -191,7 +194,8 @@ class EmbeddedCluster:
         """Bring up a fresh in-process worker (a restart: the service must
         be rebuilt from seed data, exactly like a real process would) and
         have the coordinator replay it the mutation log before it joins."""
-        server = EmbeddedServer(service, host=self._host, http=False).start()
+        server = EmbeddedServer(service, host=self._host, http=False,
+                                observe=self._observe).start()
         self.worker_servers[worker_id] = server
         self.submit(self.coordinator.add_worker(
             WorkerEndpoint(worker_id, server.host, server.port)))

@@ -12,20 +12,43 @@ Layers:
 * :mod:`repro.obs.metrics` -- counters/gauges/histograms with Prometheus
   text exposition (``GET /metrics``) and scrape-time collectors;
 * :mod:`repro.obs.trace` -- per-request span trees with Chrome trace-event
-  export (``repro query --trace out.json``);
+  export (``repro query --trace out.json``), cross-process stitching
+  (:func:`spans_to_chrome`) and the per-process :class:`TraceStore`;
+* :mod:`repro.obs.propagate` -- W3C-traceparent-style trace context on the
+  NDJSON wire protocol (the distributed-tracing handshake);
+* :mod:`repro.obs.tsdb` -- the in-process metrics-history ring behind
+  ``GET /history`` and the ``repro top`` sparklines;
+* :mod:`repro.obs.profiler` -- the sampling profiler behind
+  ``GET /profile`` and ``repro profile`` (collapsed-stack export);
+* :mod:`repro.obs.alerts` -- declarative SLOs with multi-window burn-rate
+  evaluation over the tsdb;
 * :mod:`repro.obs.slowlog` -- ring-buffered top-K slow-query log;
 * :mod:`repro.obs.logsetup` -- structured stdlib logging (text/json);
 * :mod:`repro.obs.recorder` -- the facade the service talks to;
 * :mod:`repro.obs.console` -- the ``repro top`` live dashboard.
 """
 
+from repro.obs.alerts import (
+    DEFAULT_WINDOWS,
+    SLO,
+    AlertEvaluator,
+    BurnWindow,
+    bad_fraction,
+    cluster_slos,
+    disabled_report,
+    server_slos,
+)
 from repro.obs.console import (
     ConsoleSample,
     fetch_sample,
+    history_quantiles,
+    qps_series,
     render_frame,
     render_stats_tables,
     render_table,
     run_top,
+    snapshot_payload,
+    sparkline,
     window_quantiles,
 )
 from repro.obs.logsetup import (
@@ -47,6 +70,22 @@ from repro.obs.metrics import (
     histogram_quantile,
     parse_exposition,
 )
+from repro.obs.profiler import (
+    collect_profile,
+    merge_collapsed,
+    parse_collapsed,
+    profile_payload,
+    render_collapsed,
+)
+from repro.obs.propagate import (
+    TRACEPARENT_KEY,
+    TraceContext,
+    extract_context,
+    format_traceparent,
+    inject_context,
+    new_context,
+    parse_traceparent,
+)
 from repro.obs.recorder import (
     NULL_RECORDER,
     NullRecorder,
@@ -55,15 +94,30 @@ from repro.obs.recorder import (
     service_stats_collector,
 )
 from repro.obs.slowlog import SlowQuery, SlowQueryLog
-from repro.obs.trace import NULL_TRACE, AnyTrace, NullTrace, Span, SpanRecord, Trace
+from repro.obs.trace import (
+    NULL_TRACE,
+    AnyTrace,
+    NullTrace,
+    Span,
+    SpanRecord,
+    Trace,
+    TraceStore,
+    spans_to_chrome,
+)
+from repro.obs.tsdb import TimeSeriesStore, collect_samples
 
 __all__ = [
+    "DEFAULT_WINDOWS",
     "LATENCY_BUCKETS",
     "LOG_FORMATS",
     "LOG_LEVELS",
     "NULL_RECORDER",
     "NULL_TRACE",
+    "SLO",
+    "TRACEPARENT_KEY",
+    "AlertEvaluator",
     "AnyTrace",
+    "BurnWindow",
     "ConsoleSample",
     "Counter",
     "Gauge",
@@ -75,22 +129,45 @@ __all__ = [
     "NullTrace",
     "Recorder",
     "Sample",
-    "Span",
-    "SpanRecord",
     "SlowQuery",
     "SlowQueryLog",
+    "Span",
+    "SpanRecord",
+    "TimeSeriesStore",
     "Trace",
+    "TraceContext",
+    "TraceStore",
+    "bad_fraction",
+    "cluster_slos",
+    "collect_profile",
+    "collect_samples",
     "configure_logging",
     "counters_family",
+    "disabled_report",
+    "extract_context",
     "fetch_sample",
+    "format_traceparent",
     "get_logger",
     "histogram_quantile",
+    "history_quantiles",
+    "inject_context",
+    "merge_collapsed",
+    "new_context",
+    "parse_collapsed",
     "parse_exposition",
+    "parse_traceparent",
     "process_collector",
+    "profile_payload",
+    "qps_series",
+    "render_collapsed",
     "render_frame",
     "render_stats_tables",
     "render_table",
     "run_top",
+    "server_slos",
     "service_stats_collector",
+    "snapshot_payload",
+    "sparkline",
+    "spans_to_chrome",
     "window_quantiles",
 ]

@@ -1,0 +1,243 @@
+"""Declarative SLOs evaluated as multi-window burn-rate alerts.
+
+The alerting model is the multiwindow, multi-burn-rate recipe from the
+Google SRE workbook: an :class:`SLO` states what fraction of events must
+be *good* (availability: non-error requests; latency: requests under a
+threshold), and an alert fires when the **burn rate** -- the observed bad
+fraction divided by the SLO's error budget ``1 - objective`` -- exceeds a
+threshold over *both* a short and a long trailing window.  The long
+window proves the problem is sustained; the short window makes the alert
+reset quickly once the problem stops.  Burn thresholds follow the
+workbook's canonical pairs, scaled to the tsdb's ~34 min retention:
+
+* **page**: burn > 14.4 over (1 min, 5 min) -- at this rate a 99.9%
+  monthly budget is gone in ~2 days;
+* **ticket**: burn > 6 over (5 min, 30 min) -- budget gone in ~5 days.
+
+Everything is computed from :class:`~repro.obs.tsdb.TimeSeriesStore`
+snapshots -- counter deltas between the newest snapshot and the one at
+the window's far edge -- so evaluation is pure arithmetic over data the
+server already keeps, needs no extra instrumentation on the hot path, and
+degrades gracefully on young processes (windows clamp to the oldest
+snapshot available; fractions, not rates, so partial windows stay
+meaningful).  No traffic means no burn: an idle server never alerts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One service-level objective over counters kept in the tsdb.
+
+    ``total`` names the sample key (rendered exposition name, labels
+    included) counting all events.  Availability SLOs list ``bad`` sample
+    keys counting failures; latency SLOs instead name a histogram whose
+    bucket at ``threshold_seconds`` counts the good events.  The
+    effective latency threshold is quantized up to the smallest histogram
+    bucket bound >= ``threshold_seconds`` (the fixed log-spaced buckets
+    make this a known, stable bound).
+    """
+
+    name: str
+    objective: float
+    total: str
+    bad: tuple[str, ...] = ()
+    latency_histogram: Optional[str] = None
+    threshold_seconds: Optional[float] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(
+                f"objective must be in (0, 1), got {self.objective}")
+        if self.latency_histogram is not None \
+                and self.threshold_seconds is None:
+            raise ValueError(
+                f"latency SLO {self.name!r} needs threshold_seconds")
+
+    @property
+    def kind(self) -> str:
+        return "latency" if self.latency_histogram else "availability"
+
+
+@dataclass(frozen=True)
+class BurnWindow:
+    """One (short, long) window pair with its burn threshold."""
+
+    severity: str
+    short_seconds: float
+    long_seconds: float
+    threshold: float
+
+
+#: The canonical page/ticket window pairs (see module docstring).
+DEFAULT_WINDOWS: tuple[BurnWindow, ...] = (
+    BurnWindow(severity="page", short_seconds=60.0, long_seconds=300.0,
+               threshold=14.4),
+    BurnWindow(severity="ticket", short_seconds=300.0, long_seconds=1800.0,
+               threshold=6.0),
+)
+
+
+def _value(snapshot: dict, key: str) -> float:
+    return float(snapshot.get("samples", {}).get(key, 0.0))
+
+
+def _window_edges(snapshots: Sequence[dict],
+                  seconds: float) -> Optional[tuple[dict, dict]]:
+    """(oldest-in-window, newest) snapshots for a trailing window, or
+    ``None`` when fewer than two snapshots exist.  Clamps to the oldest
+    snapshot when history is younger than the window."""
+    if len(snapshots) < 2:
+        return None
+    newest = snapshots[-1]
+    cutoff = float(newest["time"]) - seconds
+    start = snapshots[0]
+    for snap in snapshots:
+        if float(snap["time"]) >= cutoff:
+            start = snap
+            break
+    if start is newest:
+        start = snapshots[-2]
+    return start, newest
+
+
+def _latency_good_delta(slo: SLO, start: dict, end: dict) -> float:
+    """Delta of the good-event bucket: smallest ``le`` >= the threshold."""
+    prefix = f"{slo.latency_histogram}_bucket{{"
+    by_bound: dict[float, list[str]] = {}
+    for key in end.get("samples", {}):
+        if not key.startswith(prefix):
+            continue
+        marker = key.find('le="')
+        if marker < 0:
+            continue
+        closing = key.find('"', marker + 4)
+        if closing < 0:
+            continue
+        raw = key[marker + 4:closing]
+        try:
+            bound = float("inf") if raw == "+Inf" else float(raw)
+        except ValueError:
+            continue
+        by_bound.setdefault(bound, []).append(key)
+    threshold = float(slo.threshold_seconds or 0.0)
+    winner = None
+    for bound in sorted(by_bound):
+        if bound >= threshold - 1e-12:
+            winner = bound
+            break
+    if winner is None:
+        return 0.0
+    return sum(_value(end, key) - _value(start, key)
+               for key in by_bound[winner])
+
+
+def bad_fraction(slo: SLO, start: dict, end: dict) -> float:
+    """The fraction of events in ``[start, end]`` that violated the SLO."""
+    total_key = (f"{slo.latency_histogram}_count"
+                 if slo.latency_histogram else slo.total)
+    total = _value(end, total_key) - _value(start, total_key)
+    if total <= 0:
+        return 0.0
+    if slo.latency_histogram:
+        bad = total - _latency_good_delta(slo, start, end)
+    else:
+        bad = sum(_value(end, key) - _value(start, key) for key in slo.bad)
+    return min(max(bad / total, 0.0), 1.0)
+
+
+class AlertEvaluator:
+    """Evaluate a set of SLOs against tsdb history snapshots."""
+
+    def __init__(self, slos: Sequence[SLO],
+                 windows: Sequence[BurnWindow] = DEFAULT_WINDOWS) -> None:
+        self.slos = tuple(slos)
+        self.windows = tuple(windows)
+
+    @property
+    def max_window_seconds(self) -> float:
+        """How much history one evaluation needs."""
+        return max((window.long_seconds for window in self.windows),
+                   default=0.0)
+
+    def evaluate(self, snapshots: Sequence[dict]) -> list[dict]:
+        """One alert state per (SLO, window pair), firing or not."""
+        alerts: list[dict] = []
+        for slo in self.slos:
+            budget = 1.0 - slo.objective
+            for window in self.windows:
+                state = {
+                    "slo": slo.name,
+                    "kind": slo.kind,
+                    "objective": slo.objective,
+                    "severity": window.severity,
+                    "short_window_seconds": window.short_seconds,
+                    "long_window_seconds": window.long_seconds,
+                    "burn_threshold": window.threshold,
+                    "burn_short": 0.0,
+                    "burn_long": 0.0,
+                    "firing": False,
+                }
+                if slo.threshold_seconds is not None:
+                    state["threshold_seconds"] = slo.threshold_seconds
+                short_edges = _window_edges(snapshots, window.short_seconds)
+                long_edges = _window_edges(snapshots, window.long_seconds)
+                if short_edges is not None and long_edges is not None:
+                    burn_short = bad_fraction(slo, *short_edges) / budget
+                    burn_long = bad_fraction(slo, *long_edges) / budget
+                    state["burn_short"] = round(burn_short, 4)
+                    state["burn_long"] = round(burn_long, 4)
+                    state["firing"] = (burn_short > window.threshold
+                                       and burn_long > window.threshold)
+                alerts.append(state)
+        return alerts
+
+    def report(self, snapshots: Sequence[dict]) -> dict:
+        """The wire shape: every alert state plus one rolled-up flag."""
+        alerts = self.evaluate(snapshots)
+        return {"alerts": alerts,
+                "firing": any(alert["firing"] for alert in alerts)}
+
+
+def server_slos(prefix: str = "repro_server") -> tuple[SLO, ...]:
+    """The default SLO set for one worker/server process."""
+    return (
+        SLO(name="availability", objective=0.999,
+            total=f"{prefix}_requests_total",
+            bad=(f'{prefix}_errors_total{{kind="internal"}}',
+                 f"{prefix}_overloads_total"),
+            description="99.9% of requests complete without internal "
+                        "errors or overload rejections"),
+        SLO(name="latency", objective=0.95,
+            total="repro_request_seconds_count",
+            latency_histogram="repro_request_seconds",
+            threshold_seconds=1.6,
+            description="95% of requests finish within ~1.6s"),
+    )
+
+
+def cluster_slos() -> tuple[SLO, ...]:
+    """The default SLO set for the coordinator's front door."""
+    return (
+        SLO(name="availability", objective=0.999,
+            total="repro_cluster_requests_total",
+            bad=('repro_cluster_errors_total{kind="internal"}',
+                 'repro_cluster_errors_total{kind="unavailable"}'),
+            description="99.9% of cluster requests complete without "
+                        "internal errors or exhausted failover"),
+        SLO(name="latency", objective=0.95,
+            total="repro_cluster_request_seconds_count",
+            latency_histogram="repro_cluster_request_seconds",
+            threshold_seconds=1.6,
+            description="95% of cluster requests finish within ~1.6s"),
+    )
+
+
+def disabled_report() -> dict:
+    """What processes running with observability off answer."""
+    return {"alerts": [], "firing": False}

@@ -30,8 +30,9 @@ from repro.obs.metrics import (
     MetricsRegistry,
     Sample,
 )
+from repro.obs.propagate import TraceContext, new_context
 from repro.obs.slowlog import SlowQueryLog
-from repro.obs.trace import NULL_TRACE, AnyTrace, Trace
+from repro.obs.trace import NULL_TRACE, AnyTrace, Trace, TraceStore
 
 
 class Recorder:
@@ -41,10 +42,15 @@ class Recorder:
 
     def __init__(self, *, metrics: Optional[MetricsRegistry] = None,
                  tracing: bool = False,
-                 slow_log: Optional[SlowQueryLog] = None) -> None:
+                 slow_log: Optional[SlowQueryLog] = None,
+                 trace_store: Optional[TraceStore] = None) -> None:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracing = tracing
         self.slow_log = slow_log if slow_log is not None else SlowQueryLog()
+        #: Finished traces by trace id (``repro cluster trace`` fetches
+        #: from here after the request is gone).
+        self.trace_store = trace_store if trace_store is not None \
+            else TraceStore()
         self._request_seconds = self.metrics.histogram(
             "repro_request_seconds",
             "End-to-end latency of AnnotationService.submit",
@@ -54,25 +60,42 @@ class Recorder:
             "Per-phase time within one request (parse/plan/enumerate/"
             "schedule/estimate/serialize)",
             labelnames=("phase",), buckets=LATENCY_BUCKETS)
+        # Children are created once and live forever, and phase names are a
+        # small code-defined set -- memoising them here skips the labelled
+        # lookup (tuple build + registry lock) on every finished request.
+        self._phase_children: dict = {}
 
     # -- the per-request protocol -----------------------------------------
 
-    def start_trace(self, name: str = "request") -> AnyTrace:
+    def start_trace(self, name: str = "request",
+                    context: Optional[TraceContext] = None) -> AnyTrace:
         """A fresh trace for one request (always real on a live recorder:
         phase histograms and the slow log are fed from its spans even when
-        Chrome export was not requested)."""
-        return Trace(name)
+        Chrome export was not requested).  Every trace gets a distributed
+        trace id -- a propagated inbound ``context`` supplies it, otherwise
+        a fresh one is minted -- so slowlog entries and result events can
+        always name the trace they belong to."""
+        return Trace(name, context=context if context is not None
+                     else new_context())
 
     def observe_request(self, sql: str, elapsed_seconds: float, *,
                         trace: AnyTrace = NULL_TRACE,
                         candidates: int = 0, groups: int = 0) -> None:
-        """Fold one finished request into histograms and the slow log."""
+        """Fold one finished request into histograms, the slow log, and
+        the trace store."""
         phases = trace.phase_totals()
         self._request_seconds.observe(elapsed_seconds)
         for phase, seconds in phases.items():
-            self._phase_seconds.labels(phase=phase).observe(seconds)
+            child = self._phase_children.get(phase)
+            if child is None:
+                child = self._phase_children[phase] = \
+                    self._phase_seconds.labels(phase=phase)
+            child.observe(seconds)
         self.slow_log.record(sql, elapsed_seconds, candidates=candidates,
-                             groups=groups, phases=phases)
+                             groups=groups, phases=phases,
+                             trace_id=trace.trace_id)
+        if trace.trace_id is not None:
+            self.trace_store.put(trace)
 
 
 class NullRecorder:
@@ -82,8 +105,10 @@ class NullRecorder:
     tracing = False
     metrics = None
     slow_log = None
+    trace_store = None
 
-    def start_trace(self, name: str = "request") -> AnyTrace:
+    def start_trace(self, name: str = "request",
+                    context: Optional[TraceContext] = None) -> AnyTrace:
         return NULL_TRACE
 
     def observe_request(self, sql: str, elapsed_seconds: float, *,

@@ -37,6 +37,10 @@ class SlowQuery:
     #: Span-name -> total seconds (``Trace.phase_totals``); empty when the
     #: request ran without a trace.
     phases: dict = field(default_factory=dict)
+    #: The distributed trace id this request ran under (``None`` when it
+    #: ran untraced) -- the jump-off point from a slowlog line to
+    #: ``repro cluster trace`` / ``GET /trace?id=...``.
+    trace_id: Optional[str] = None
 
     def as_dict(self) -> dict:
         return {
@@ -47,6 +51,7 @@ class SlowQuery:
             "groups": self.groups,
             "phases": {name: round(seconds, 6)
                        for name, seconds in sorted(self.phases.items())},
+            "trace_id": self.trace_id,
         }
 
 
@@ -70,7 +75,8 @@ class SlowQueryLog:
 
     def record(self, sql: str, elapsed_seconds: float, *,
                candidates: int = 0, groups: int = 0,
-               phases: Optional[dict] = None) -> None:
+               phases: Optional[dict] = None,
+               trace_id: Optional[str] = None) -> None:
         entry = SlowQuery(
             sql=sql[:MAX_SQL_CHARS],
             elapsed_seconds=elapsed_seconds,
@@ -78,6 +84,7 @@ class SlowQueryLog:
             candidates=candidates,
             groups=groups,
             phases=dict(phases) if phases else {},
+            trace_id=trace_id,
         )
         with self._lock:
             self._ring.append(entry)

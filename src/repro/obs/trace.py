@@ -15,6 +15,16 @@ with microsecond ``ts``/``dur``, the recording thread as ``tid``, and the
 attributes under ``args``.  ``repro query --trace out.json`` writes exactly
 this.
 
+Since the distributed tier, a trace can also be one *hop* of a cross-process
+request: constructing a :class:`Trace` with a
+:class:`~repro.obs.propagate.TraceContext` adopts the sender's 128-bit
+``trace_id``, parents local root spans onto the sender's span id, and
+offsets local span ids by a random 64-bit base so ids stay unique across
+processes.  :func:`spans_to_chrome` stitches per-process span exports
+(:meth:`Trace.span_dicts`, wall-clock anchored) back into one Chrome trace,
+and :class:`TraceStore` keeps a bounded ring of finished traces per process
+so ``repro cluster trace`` can fetch them after the fact.
+
 The zero-cost-when-disabled contract is the :data:`NULL_TRACE` singleton:
 its ``span()`` hands back a shared no-op context manager, so instrumented
 code paths run with no allocation and no branching beyond one attribute
@@ -29,8 +39,11 @@ import json
 import os
 import threading
 import time
+from collections import OrderedDict
 from pathlib import Path
-from typing import Any, Optional, Union
+from typing import Any, Iterable, Optional, Union
+
+from repro.obs.propagate import TraceContext
 
 
 class SpanRecord:
@@ -77,8 +90,17 @@ class Span:
         self._trace = trace
         self.name = name
         self.span_id = trace._next_id()
-        self.parent_id = parent.span_id if isinstance(parent, Span) else parent
-        self.attributes = dict(attributes) if attributes else {}
+        if isinstance(parent, Span):
+            self.parent_id = parent.span_id
+        elif parent is None:
+            # Root spans of a propagated hop attach to the sender's span.
+            self.parent_id = trace._remote_parent
+        else:
+            self.parent_id = parent
+        # The ``**attributes`` dict is freshly built per call and owned by
+        # this span; copying it again would just double the allocation on
+        # the request hot path.
+        self.attributes = attributes
         self._start = time.perf_counter()
 
     def set(self, key: str, value: Any) -> None:
@@ -99,13 +121,24 @@ class Span:
 class Trace:
     """One request's spans, appended concurrently from worker threads."""
 
-    def __init__(self, name: str = "request") -> None:
+    def __init__(self, name: str = "request", *,
+                 context: Optional[TraceContext] = None) -> None:
         self.name = name
         #: Wall-clock anchor for export: ``epoch + (start - origin)`` maps a
         #: perf_counter timestamp back onto real time.
         self.origin = time.perf_counter()
         self.epoch = time.time()
-        self._ids = itertools.count(1)
+        #: The distributed trace id (32 hex chars) when this trace is one
+        #: hop of a propagated request; ``None`` for purely local traces.
+        self.trace_id = context.trace_id if context is not None else None
+        self._remote_parent: Optional[int] = \
+            (context.parent_id or None) if context is not None else None
+        # Propagated hops draw span ids from a random 64-bit base so ids
+        # from different processes never collide when traces are stitched;
+        # local traces keep small ids (1, 2, 3 ...) for readability.
+        base = (int.from_bytes(os.urandom(6), "big") << 16) \
+            if context is not None else 0
+        self._ids = itertools.count(base + 1)
         self._lock = threading.Lock()
         self._spans: list[SpanRecord] = []
 
@@ -128,7 +161,12 @@ class Trace:
                **attributes: Any) -> None:
         """Record an already-timed interval (adaptive rungs are timed by
         their completion callbacks, after the fact)."""
-        parent_id = parent.span_id if isinstance(parent, Span) else parent
+        if isinstance(parent, Span):
+            parent_id = parent.span_id
+        elif parent is None:
+            parent_id = self._remote_parent
+        else:
+            parent_id = parent
         self._record(SpanRecord(
             name, self._next_id(), parent_id, start, end,
             threading.get_ident(), dict(attributes) if attributes else {}))
@@ -154,6 +192,26 @@ class Trace:
 
     # -- export ------------------------------------------------------------
 
+    def span_dicts(self) -> list[dict]:
+        """Finished spans as JSON-safe dicts with wall-clock ``start``/``end``
+        (seconds since the epoch), the shape the coordinator collects from
+        workers to stitch one cross-process trace."""
+        spans: list[dict] = []
+        for record in self.spans:
+            spans.append({
+                "name": record.name,
+                "span_id": record.span_id,
+                "parent_id": record.parent_id,
+                "start": self.epoch + (record.start - self.origin),
+                "end": self.epoch + (record.end - self.origin),
+                "thread": record.thread,
+                "attributes": {
+                    key: value if isinstance(value, (str, int, float, bool))
+                    or value is None else str(value)
+                    for key, value in record.attributes.items()},
+            })
+        return spans
+
     def to_chrome(self) -> dict:
         """The trace as a Chrome trace-event JSON object."""
         pid = os.getpid()
@@ -164,7 +222,9 @@ class Trace:
             "tid": 0,
             "ts": 0,
             "cat": "__metadata",
-            "args": {"name": f"repro {self.name}"},
+            "args": {"name": f"repro {self.name}",
+                     **({"trace_id": self.trace_id}
+                        if self.trace_id else {})},
         }]
         for record in self.spans:
             events.append({
@@ -190,6 +250,101 @@ class Trace:
         path.write_text(json.dumps(self.to_chrome(), indent=1,
                                    default=str) + "\n")
         return path
+
+
+def spans_to_chrome(trace_id: Optional[str],
+                    groups: Iterable[tuple[str, Iterable[dict]]]) -> dict:
+    """Stitch per-process span exports into one Chrome trace-event document.
+
+    ``groups`` is ``(process_label, span_dicts)`` pairs -- typically the
+    coordinator's own spans plus one group per worker that contributed to
+    the trace.  Each group gets its own ``pid`` (named via a metadata
+    event); span timestamps are already wall-clock anchored by
+    :meth:`Trace.span_dicts`, so events from different processes land on a
+    shared timeline and parent links stitch across ``pid`` boundaries
+    through the ``span_id``/``parent_id`` args.
+    """
+    events: list[dict] = []
+    for pid, (label, spans) in enumerate(groups, start=1):
+        events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "ts": 0,
+            "cat": "__metadata",
+            "args": {"name": label},
+        })
+        for span in spans:
+            start = float(span.get("start", 0.0))
+            end = float(span.get("end", start))
+            parent_id = span.get("parent_id")
+            events.append({
+                "name": span.get("name", "span"),
+                "cat": "repro",
+                "ph": "X",
+                "pid": pid,
+                "tid": span.get("thread", 0),
+                "ts": round(start * 1e6, 3),
+                "dur": round((end - start) * 1e6, 3),
+                "args": {
+                    **({"trace_id": trace_id} if trace_id else {}),
+                    "span_id": span.get("span_id"),
+                    **({"parent_id": parent_id}
+                       if parent_id is not None else {}),
+                    **(span.get("attributes") or {}),
+                },
+            })
+    return {"traceEvents": events, "displayTimeUnit": "ms",
+            "otherData": {"trace_id": trace_id or ""}}
+
+
+class TraceStore:
+    """A bounded ring of finished traces, keyed by trace id.
+
+    Every serving process keeps one so a distributed trace can be fetched
+    *after* the request finished (``repro cluster trace``, ``GET /trace``).
+    Bounded so an unscraped server never grows without limit; old traces
+    age out in insertion order.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be at least 1, got {capacity}")
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        self._traces: OrderedDict[str, Trace] = OrderedDict()
+
+    def put(self, trace: "Trace") -> None:
+        """Keep one finished trace (ignored when it has no trace id)."""
+        trace_id = getattr(trace, "trace_id", None)
+        if not trace_id:
+            return
+        with self._lock:
+            self._traces.pop(trace_id, None)
+            self._traces[trace_id] = trace
+            while len(self._traces) > self._capacity:
+                self._traces.popitem(last=False)
+
+    def get(self, trace_id: str) -> Optional["Trace"]:
+        with self._lock:
+            return self._traces.get(trace_id)
+
+    def latest(self) -> Optional["Trace"]:
+        """The most recently stored trace (what ``repro cluster trace``
+        exports when no explicit id is given)."""
+        with self._lock:
+            if not self._traces:
+                return None
+            return next(reversed(self._traces.values()))
+
+    def ids(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(self._traces)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
 
 
 class _NullSpan:
@@ -218,6 +373,7 @@ class NullTrace:
 
     name = "null"
     spans: tuple = ()
+    trace_id = None
 
     def span(self, name: str, parent: Any = None, **attributes: Any) -> _NullSpan:
         return _NULL_SPAN
@@ -228,6 +384,9 @@ class NullTrace:
 
     def phase_totals(self) -> dict[str, float]:
         return {}
+
+    def span_dicts(self) -> list[dict]:
+        return []
 
     def to_chrome(self) -> dict:  # pragma: no cover - never exported
         return {"traceEvents": []}

@@ -1,0 +1,145 @@
+"""An in-process time-series store: a ring of periodic metrics snapshots.
+
+``repro top`` used to reconstruct rates and windowed quantiles by diffing
+two raw ``/metrics`` scrapes client-side -- which means every console
+restart forgets history and two consoles see different windows.  The
+:class:`TimeSeriesStore` moves that work server-side: a background thread
+snapshots the whole :class:`~repro.obs.metrics.MetricsRegistry` every
+``interval`` seconds into a fixed-size ring, and ``GET /history`` serves
+the window back so any client can render sparklines, per-worker trends,
+and burn rates from the same authoritative record.
+
+Each snapshot is ``{"time": <epoch seconds>, "samples": {key: value}}``
+where ``key`` is the exposition sample name with its rendered label set
+(``repro_request_seconds_bucket{le="0.0128"}``) -- i.e. exactly the line
+prefix :meth:`~repro.obs.metrics.Sample.render` produces, so consumers can
+reuse the existing exposition parsing helpers on history data.
+
+Retention math: ``capacity * interval`` seconds of history.  The defaults
+(1024 snapshots x 2 s = ~34 min) comfortably cover the longest SLO burn
+window (:mod:`repro.obs.alerts` uses 30 min) while holding a few MB even
+on a busy registry.  ``sample()`` is also callable on demand -- ``history``
+takes a fresh snapshot before answering, so short-lived test servers and
+just-started processes never serve an empty window.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Optional
+
+from repro.obs.metrics import MetricsRegistry, _render_labels
+
+#: Default seconds between background snapshots.
+DEFAULT_INTERVAL = 2.0
+
+#: Default ring capacity (snapshots kept).
+DEFAULT_CAPACITY = 1024
+
+
+def collect_samples(registry: MetricsRegistry) -> dict[str, float]:
+    """One flat ``{rendered-sample-key: value}`` snapshot of a registry."""
+    samples: dict[str, float] = {}
+    for family in registry.collect():
+        for sample in family.samples:
+            samples[sample.name + _render_labels(sample.labels)] = \
+                float(sample.value)
+    return samples
+
+
+class TimeSeriesStore:
+    """A fixed-size ring of periodic registry snapshots.
+
+    Thread-safe: the background sampler, on-demand ``sample()`` callers
+    (the ``/history`` handler), and readers all go through one lock, and
+    the clock is read *inside* the lock so snapshot times are monotone
+    non-decreasing even under concurrent scrapes.
+    """
+
+    def __init__(self, registry: MetricsRegistry, *,
+                 interval: float = DEFAULT_INTERVAL,
+                 capacity: int = DEFAULT_CAPACITY,
+                 clock: Callable[[], float] = time.time) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        if capacity < 2:
+            raise ValueError(f"capacity must be at least 2, got {capacity}")
+        self._registry = registry
+        self.interval = float(interval)
+        self.capacity = int(capacity)
+        self._clock = clock
+        self._ring: deque[dict] = deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "TimeSeriesStore":
+        """Start the background sampler thread (idempotent)."""
+        if self._thread is None or not self._thread.is_alive():
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, daemon=True, name="repro-tsdb")
+            self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout)
+        self._thread = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def _run(self) -> None:
+        # First snapshot immediately, then one per interval until stopped.
+        while True:
+            try:
+                self.sample()
+            except Exception:  # pragma: no cover - collector bugs must not
+                pass           # kill the sampler thread
+            if self._stop.wait(self.interval):
+                return
+
+    # -- sampling and reads ------------------------------------------------
+
+    def sample(self) -> dict:
+        """Take one snapshot now and append it to the ring."""
+        samples = collect_samples(self._registry)
+        with self._lock:
+            snapshot = {"time": self._clock(), "samples": samples}
+            last = self._ring[-1] if self._ring else None
+            if last is not None and snapshot["time"] < last["time"]:
+                # A stepped-back wall clock must not break monotonicity:
+                # clamp to the previous snapshot's time.
+                snapshot["time"] = last["time"]
+            self._ring.append(snapshot)
+            return snapshot
+
+    def history(self, seconds: Optional[float] = None, *,
+                sample_now: bool = True) -> dict:
+        """Snapshots within the trailing ``seconds`` window (all when
+        ``None``), oldest first, plus the store's retention parameters."""
+        if sample_now:
+            self.sample()
+        with self._lock:
+            snapshots = list(self._ring)
+        if seconds is not None and snapshots:
+            cutoff = snapshots[-1]["time"] - float(seconds)
+            snapshots = [snap for snap in snapshots if snap["time"] >= cutoff]
+        return {
+            "interval_seconds": self.interval,
+            "capacity": self.capacity,
+            "retention_seconds": self.interval * self.capacity,
+            "snapshots": snapshots,
+        }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)

@@ -37,6 +37,7 @@ inside each ``submit`` call.
 from __future__ import annotations
 
 import asyncio
+import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, AsyncIterator, Optional
@@ -44,12 +45,18 @@ from typing import Any, AsyncIterator, Optional
 from repro import package_version
 from repro.engine.sql.lexer import SqlSyntaxError
 from repro.engine.translate_sql import SqlTranslationError
+from repro.obs.alerts import AlertEvaluator, disabled_report, server_slos
 from repro.obs.metrics import counters_family
+from repro.obs.profiler import DEFAULT_INTERVAL, profile_payload
+from repro.obs.propagate import extract_context
 from repro.obs.recorder import (
+    NULL_RECORDER,
     Recorder,
     process_collector,
     service_stats_collector,
 )
+from repro.obs.trace import spans_to_chrome
+from repro.obs.tsdb import TimeSeriesStore
 from repro.relational.mutation import MutationError
 from repro.relational.schema import SchemaError
 from repro.server.protocol import (
@@ -104,28 +111,44 @@ class ServerApp:
     """Transport-independent query serving over one annotation service."""
 
     def __init__(self, service, *, max_pending: int = 64,
-                 workers: int = 4, recorder: Optional[Recorder] = None) -> None:
+                 workers: int = 4, recorder: Optional[Recorder] = None,
+                 observe: bool = True) -> None:
         if max_pending < 1:
             raise ValueError(f"max_pending must be at least 1, got {max_pending}")
         if workers < 1:
             raise ValueError(f"workers must be at least 1, got {workers}")
         self._service = service
-        # Serving always observes: reuse the service's live recorder if one
-        # is attached, otherwise create one and attach it, so request
-        # latency histograms and the slow-query log are populated without
-        # any extra configuration.  Scrape-time collectors export the
-        # service's and the server's lifetime counters with zero cost on
-        # the request hot path.
-        existing = getattr(service, "recorder", None)
-        if recorder is None:
-            recorder = (existing if existing is not None and existing.enabled
-                        else Recorder())
-        self._recorder = recorder
-        if existing is not recorder and hasattr(service, "use_recorder"):
-            service.use_recorder(recorder)
-        recorder.metrics.register_collector(service_stats_collector(service))
-        recorder.metrics.register_collector(process_collector())
-        recorder.metrics.register_collector(self._server_collector)
+        self._observe = observe
+        self._tsdb: Optional[TimeSeriesStore] = None
+        self._alert_evaluator: Optional[AlertEvaluator] = None
+        if observe:
+            # Serving observes by default: reuse the service's live recorder
+            # if one is attached, otherwise create one and attach it, so
+            # request latency histograms and the slow-query log are
+            # populated without any extra configuration.  Scrape-time
+            # collectors export the service's and the server's lifetime
+            # counters with zero cost on the request hot path.
+            existing = getattr(service, "recorder", None)
+            if recorder is None:
+                recorder = (existing
+                            if existing is not None and existing.enabled
+                            else Recorder())
+            self._recorder = recorder
+            if existing is not recorder and hasattr(service, "use_recorder"):
+                service.use_recorder(recorder)
+            recorder.metrics.register_collector(
+                service_stats_collector(service))
+            recorder.metrics.register_collector(process_collector())
+            recorder.metrics.register_collector(self._server_collector)
+            # Periodic registry snapshots feed ``/history`` and the SLO
+            # burn-rate evaluation; the sampler thread starts with the
+            # server (NetworkServer.start calls ``app.start``).
+            self._tsdb = TimeSeriesStore(recorder.metrics)
+            self._alert_evaluator = AlertEvaluator(server_slos())
+        else:
+            # ``observe=False`` is the bare half of the overhead benchmark:
+            # no recorder, no collectors, no sampler thread, no tracing.
+            self._recorder = NULL_RECORDER
         self._max_pending = max_pending
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-server")
@@ -212,7 +235,10 @@ class ServerApp:
             self._flights[key] = flight
             self._idle.clear()
             self._launched += 1
-            task = asyncio.ensure_future(self._lead(flight, sql, options))
+            # The leader's trace context wins: coalesced followers share
+            # the leader's flight, computation, and therefore trace id.
+            task = asyncio.ensure_future(self._lead(
+                flight, sql, options, context=extract_context(message)))
             self._flight_tasks.add(task)
             task.add_done_callback(self._flight_tasks.discard)
         else:
@@ -225,9 +251,16 @@ class ServerApp:
             if event.get("type") in _TERMINAL:
                 return
 
-    async def _lead(self, flight: Flight, sql: str, options: dict) -> None:
+    async def _lead(self, flight: Flight, sql: str, options: dict,
+                    context=None) -> None:
         """Run the flight's one computation and broadcast its events."""
         loop = asyncio.get_running_loop()
+        # A live recorder traces every request (that is what feeds phase
+        # histograms and the slow log); an inbound ``traceparent`` makes
+        # this trace one hop of a distributed one -- same trace id, local
+        # root spans parented onto the sender's span.
+        tr = (self._recorder.start_trace(context=context)
+              if self._recorder.enabled else None)
 
         def on_update(group, update) -> None:
             # Fires on a service worker thread mid-submit; marshal onto the
@@ -243,7 +276,7 @@ class ServerApp:
                 epsilon=options["epsilon"], delta=options["delta"],
                 method=options["method"], limit=options["limit"],
                 seed=options["seed"], adaptive=options["adaptive"],
-                planner=options.get("planner"),
+                planner=options.get("planner"), trace=tr,
                 on_update=on_update if options["adaptive"] else None)
 
         try:
@@ -256,6 +289,8 @@ class ServerApp:
             self._internal_errors += 1
             terminal = error_event(None, "internal",
                                    f"{type(error).__name__}: {error}")
+        if tr is not None and tr.trace_id is not None:
+            terminal["trace_id"] = tr.trace_id
         del self._flights[flight.key]
         self._maybe_idle()
         flight.publish(terminal)
@@ -284,6 +319,12 @@ class ServerApp:
         if self._draining:
             return error_event(None, "draining",
                                "server is draining; not accepting mutations")
+        # Honor a propagated trace context (the coordinator injects one on
+        # broadcast mutations); purely local mutations stay untraced.
+        context = extract_context(message)
+        tr = (self._recorder.start_trace("mutation", context=context)
+              if self._recorder.enabled and context is not None else None)
+        span = tr.span("mutate") if tr is not None else None
         loop = asyncio.get_running_loop()
         self._mutations_inflight += 1
         self._idle.clear()
@@ -296,20 +337,27 @@ class ServerApp:
             # checked before _QUERY_ERRORS since MutationError is a
             # ValueError too.
             self._mutation_errors += 1
-            return error_event(None, error.code, str(error))
+            event = error_event(None, error.code, str(error))
         except _QUERY_ERRORS as error:
             self._mutation_errors += 1
-            return error_event(None, "invalid_query", str(error))
+            event = error_event(None, "invalid_query", str(error))
         except BaseException as error:  # noqa: BLE001 - reported, not hidden
             self._internal_errors += 1
-            return error_event(None, "internal",
-                               f"{type(error).__name__}: {error}")
+            event = error_event(None, "internal",
+                                f"{type(error).__name__}: {error}")
         else:
             self._mutations += 1
-            return mutation_event(None, outcome)
+            event = mutation_event(None, outcome)
         finally:
             self._mutations_inflight -= 1
             self._maybe_idle()
+        if tr is not None:
+            if event.get("type") == "error":
+                span.set("error", event.get("code", "error"))
+            span.__exit__(None, None, None)
+            self._recorder.trace_store.put(tr)
+            event["trace_id"] = tr.trace_id
+        return event
 
     # -- auxiliary operations ------------------------------------------------
 
@@ -329,7 +377,65 @@ class ServerApp:
     def metrics_text(self) -> str:
         """The Prometheus exposition for ``GET /metrics`` / the TCP
         ``metrics`` op: live instruments plus every registered collector."""
+        if self._recorder.metrics is None:
+            return "# observability disabled\n"
         return self._recorder.metrics.render()
+
+    def history(self, seconds: Optional[float] = None) -> dict:
+        """The tsdb window for ``GET /history`` / the TCP ``history`` op."""
+        if self._tsdb is None:
+            return {"interval_seconds": None, "capacity": 0,
+                    "retention_seconds": 0.0, "snapshots": []}
+        return self._tsdb.history(seconds)
+
+    async def profile(self, seconds: float = 1.0,
+                      interval: Optional[float] = None) -> dict:
+        """Run the sampling profiler for ``seconds``; collapsed stacks.
+
+        Blocking sampling runs on the default executor, never on the
+        bounded compute pool -- a profile must not occupy a slot the
+        queries it is observing are waiting for.
+        """
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, profile_payload, float(seconds),
+            float(interval) if interval else DEFAULT_INTERVAL)
+
+    def trace_payload(self, trace_id: Optional[str] = None) -> Optional[dict]:
+        """One stored trace's spans (latest when ``trace_id`` is None)."""
+        store = getattr(self._recorder, "trace_store", None)
+        if store is None:
+            return None
+        trace = store.get(trace_id) if trace_id else store.latest()
+        if trace is None:
+            return None
+        return {
+            "trace_id": trace.trace_id,
+            "name": trace.name,
+            "process": f"server:{os.getpid()}",
+            "spans": trace.span_dicts(),
+        }
+
+    def trace_export(self, trace_id: Optional[str] = None) -> Optional[dict]:
+        """One stored trace as a ready-to-write Chrome trace document."""
+        payload = self.trace_payload(trace_id)
+        if payload is None:
+            return None
+        chrome = spans_to_chrome(payload["trace_id"],
+                                 [(payload["process"], payload["spans"])])
+        return {
+            "trace_id": payload["trace_id"],
+            "processes": [payload["process"]],
+            "span_count": len(payload["spans"]),
+            "chrome": chrome,
+        }
+
+    def alerts_report(self) -> dict:
+        """SLO burn-rate alert states evaluated over the tsdb window."""
+        if self._tsdb is None or self._alert_evaluator is None:
+            return disabled_report()
+        history = self._tsdb.history(self._alert_evaluator.max_window_seconds)
+        return self._alert_evaluator.report(history["snapshots"])
 
     def _server_collector(self):
         """Scrape-time export of the app's own event-loop counters."""
@@ -360,7 +466,8 @@ class ServerApp:
             counters_family(
                 "repro_server_data_version",
                 "Data version of the service's current snapshot",
-                [({}, getattr(self._service.database, "data_version", 0))],
+                [({}, getattr(getattr(self._service, "database", None),
+                              "data_version", 0))],
                 kind="gauge"),
             counters_family(
                 "repro_server_active_flights",
@@ -373,8 +480,10 @@ class ServerApp:
         ]
 
     def stats(self) -> dict:
-        """The ``/stats`` payload: server counters plus the service report."""
+        """The ``/stats`` payload: server counters, the service report, and
+        current SLO alert states."""
         return {
+            "alerts": self.alerts_report()["alerts"],
             "server": {
                 "requests": self._requests,
                 "launched": self._launched,
@@ -393,6 +502,15 @@ class ServerApp:
 
     # -- lifecycle -----------------------------------------------------------
 
+    async def start(self) -> None:
+        """Start background observability (the tsdb sampler thread).
+
+        Called by :meth:`NetworkServer.start`; apps driven directly in
+        tests never need it -- ``history()`` samples on demand.
+        """
+        if self._tsdb is not None:
+            self._tsdb.start()
+
     def begin_drain(self) -> None:
         """Stop admitting queries; in-flight ones keep running."""
         self._draining = True
@@ -406,5 +524,7 @@ class ServerApp:
             return False
 
     def close(self) -> None:
-        """Release the compute pool (after draining)."""
+        """Release the compute pool and sampler thread (after draining)."""
+        if self._tsdb is not None:
+            self._tsdb.stop()
         self._executor.shutdown(wait=False, cancel_futures=True)

@@ -23,11 +23,12 @@ class EmbeddedServer:
 
     def __init__(self, service, *, host: str = "127.0.0.1",
                  max_pending: int = 64, workers: int = 4,
-                 http: bool = True, drain_timeout: float = 30.0) -> None:
+                 http: bool = True, drain_timeout: float = 30.0,
+                 observe: bool = True) -> None:
         self._server = NetworkServer(
             service, host=host, port=0, http_port=0 if http else None,
             max_pending=max_pending, workers=workers,
-            drain_timeout=drain_timeout)
+            drain_timeout=drain_timeout, observe=observe)
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
         self._ready = threading.Event()

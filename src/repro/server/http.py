@@ -14,6 +14,18 @@ The routes mirror the TCP wire protocol one-to-one:
     histograms plus scrape-time exports of every server and service
     lifetime counter.  Rendering happens only when scraped; the query hot
     path pays nothing for it.
+``GET /history?seconds=N``
+    The tsdb window: periodic metrics snapshots kept server-side, the
+    data ``repro top`` renders sparklines and windowed quantiles from.
+``GET /profile?seconds=N``
+    Runs the sampling profiler for N seconds (default 1, capped at 60)
+    and answers ``text/plain`` collapsed stacks -- pipe straight into
+    ``flamegraph.pl`` or speedscope.
+``GET /trace?id=TRACE_ID``
+    One stored trace as a Chrome trace-event JSON document (the latest
+    trace when ``id`` is omitted); 404 when nothing is stored.
+``GET /alerts``
+    SLO burn-rate alert states plus a rolled-up ``firing`` flag.
 ``POST /mutate``
     Body is a TCP mutation message (``{"sql": "INSERT ..."}``).  The
     response is the terminal ``mutation`` event (with the committed
@@ -40,6 +52,7 @@ from __future__ import annotations
 import asyncio
 import inspect
 import json
+from urllib.parse import parse_qsl
 
 from repro.server.protocol import MAX_LINE_BYTES, dump_line
 
@@ -98,7 +111,20 @@ async def _read_request(reader: asyncio.StreamReader):
     if content_length > MAX_LINE_BYTES:
         raise ValueError("payload too large")
     body = await reader.readexactly(content_length) if content_length else b""
-    return method, target.split("?", 1)[0], body
+    path, _, query_string = target.partition("?")
+    params = dict(parse_qsl(query_string)) if query_string else {}
+    return method, path, params, body
+
+
+def _float_param(params: dict, key: str, default=None):
+    """A numeric query parameter, or raise ``ValueError`` with the key."""
+    raw = params.get(key)
+    if raw is None:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise ValueError(f"'{key}' must be a number, got {raw!r}") from None
 
 
 async def handle_http_connection(server, reader: asyncio.StreamReader,
@@ -112,7 +138,7 @@ async def handle_http_connection(server, reader: asyncio.StreamReader,
         return
     if request is None:
         return
-    method, target, body = request
+    method, target, params, body = request
     app = server.app
 
     if target == "/healthz":
@@ -135,12 +161,55 @@ async def handle_http_connection(server, reader: asyncio.StreamReader,
             writer.write(_response(
                 200, metrics.encode("utf-8"),
                 content_type="text/plain; version=0.0.4; charset=utf-8"))
+    elif target == "/history":
+        if method != "GET":
+            writer.write(_json_response(405, {"error": "use GET"}))
+        else:
+            try:
+                seconds = _float_param(params, "seconds")
+            except ValueError as error:
+                writer.write(_json_response(400, {"error": str(error)}))
+            else:
+                payload = await _maybe_await(app.history(seconds))
+                writer.write(_json_response(200, payload))
+    elif target == "/profile":
+        if method != "GET":
+            writer.write(_json_response(405, {"error": "use GET"}))
+        else:
+            try:
+                seconds = _float_param(params, "seconds", 1.0)
+            except ValueError as error:
+                writer.write(_json_response(400, {"error": str(error)}))
+            else:
+                if seconds is None or seconds <= 0:
+                    writer.write(_json_response(
+                        400, {"error": "'seconds' must be positive"}))
+                else:
+                    payload = await _maybe_await(app.profile(seconds=seconds))
+                    writer.write(_response(
+                        200, payload["collapsed"].encode("utf-8"),
+                        content_type="text/plain; charset=utf-8"))
+    elif target == "/trace":
+        if method != "GET":
+            writer.write(_json_response(405, {"error": "use GET"}))
+        else:
+            payload = await _maybe_await(app.trace_export(params.get("id")))
+            if payload is None:
+                writer.write(_json_response(404, {"error": "no stored trace"}))
+            else:
+                writer.write(_json_response(200, payload["chrome"]))
+    elif target == "/alerts":
+        if method != "GET":
+            writer.write(_json_response(405, {"error": "use GET"}))
+        else:
+            payload = await _maybe_await(app.alerts_report())
+            writer.write(_json_response(200, payload))
     elif target in getattr(app, "http_routes", {}):
         # App-specific read-only routes (the coordinator's /cluster).
         if method != "GET":
             writer.write(_json_response(405, {"error": "use GET"}))
         else:
-            payload = await app.http_routes[target]({})
+            payload = await app.http_routes[target](params)
             writer.write(_json_response(200, payload))
     elif target == "/query":
         if method != "POST":

@@ -5,8 +5,9 @@ lifecycle around one :class:`~repro.server.app.ServerApp`:
 
 * the **TCP transport** speaks newline-delimited JSON -- one request object
   per line in (``op``: ``query`` | ``mutate`` | ``stats`` | ``metrics`` |
-  ``health`` | ``ping``), one or more response objects per request out,
-  every response stamped with the request's ``id`` so clients can
+  ``health`` | ``ping`` | ``history`` | ``profile`` | ``alerts`` |
+  ``trace`` | ``trace_export``), one or more response objects per request
+  out, every response stamped with the request's ``id`` so clients can
   correlate;
 * the **HTTP transport** (:mod:`repro.server.http`) shares the app and the
   drain machinery;
@@ -65,12 +66,12 @@ class NetworkServer:
                  host: str = "127.0.0.1", port: int = DEFAULT_PORT,
                  http_port: Optional[int] = DEFAULT_HTTP_PORT,
                  max_pending: int = 64, workers: int = 4,
-                 drain_timeout: float = 30.0) -> None:
+                 drain_timeout: float = 30.0, observe: bool = True) -> None:
         if app is not None:
             self.app = app
         elif service is not None:
             self.app = ServerApp(service, max_pending=max_pending,
-                                 workers=workers)
+                                 workers=workers, observe=observe)
         else:
             raise ValueError("NetworkServer needs a service or an app")
         self._host = host
@@ -217,6 +218,45 @@ class NetworkServer:
             metrics = await _maybe_await(self.app.metrics_text())
             await self._send(writer, {"id": request_id, "type": "metrics",
                                       "metrics": metrics})
+        elif op == "history":
+            seconds = message.get("seconds")
+            if seconds is not None and (not isinstance(seconds, (int, float))
+                                        or isinstance(seconds, bool)):
+                await self._send(writer, error_event(
+                    request_id, "bad_request", "'seconds' must be a number"))
+            else:
+                payload = await _maybe_await(self.app.history(seconds))
+                await self._send(writer, {"id": request_id, "type": "history",
+                                          **payload})
+        elif op == "profile":
+            seconds = message.get("seconds", 1.0)
+            if not isinstance(seconds, (int, float)) \
+                    or isinstance(seconds, bool) or seconds <= 0:
+                await self._send(writer, error_event(
+                    request_id, "bad_request",
+                    "'seconds' must be a positive number"))
+            else:
+                payload = await _maybe_await(
+                    self.app.profile(seconds=float(seconds)))
+                await self._send(writer, {"id": request_id, "type": "profile",
+                                          **payload})
+        elif op == "alerts":
+            payload = await _maybe_await(self.app.alerts_report())
+            await self._send(writer, {"id": request_id, "type": "alerts",
+                                      **payload})
+        elif op in ("trace", "trace_export"):
+            trace_id = message.get("trace_id")
+            fetch = (self.app.trace_payload if op == "trace"
+                     else self.app.trace_export)
+            payload = await _maybe_await(
+                fetch(trace_id if isinstance(trace_id, str) else None))
+            if payload is None:
+                detail = f" {trace_id!r}" if trace_id else ""
+                await self._send(writer, error_event(
+                    request_id, "bad_request", f"no stored trace{detail}"))
+            else:
+                await self._send(writer, {"id": request_id, "type": op,
+                                          **payload})
         elif op == "query":
             async for event in self.app.query_events(message):
                 stamped = dict(event)
@@ -296,12 +336,12 @@ def serve(service=None, *, app=None, host: str = "127.0.0.1",
           port: int = DEFAULT_PORT,
           http_port: Optional[int] = DEFAULT_HTTP_PORT, max_pending: int = 64,
           workers: int = 4, drain_timeout: float = 30.0,
-          announce: bool = True) -> int:
+          announce: bool = True, observe: bool = True) -> int:
     """Run the server until SIGTERM/SIGINT; returns a process exit code."""
     server = NetworkServer(service, app=app, host=host, port=port,
                            http_port=http_port,
                            max_pending=max_pending, workers=workers,
-                           drain_timeout=drain_timeout)
+                           drain_timeout=drain_timeout, observe=observe)
     try:
         clean = asyncio.run(_run_until_signalled(server, announce=announce))
     except KeyboardInterrupt:  # pragma: no cover - non-Unix fallback

@@ -19,7 +19,15 @@ must agree on:
   digest, bit-exactly: floats are serialised by ``json`` via ``repr``
   (shortest round-trip form), so a decoded certainty equals the served one;
 * **coalescing keys** -- :func:`request_key` is the digest under which the
-  server single-flights concurrent identical requests.
+  server single-flights concurrent identical requests;
+* **trace context** -- query and mutation messages may carry an optional
+  top-level ``traceparent`` field (:data:`TRACEPARENT_KEY`, W3C
+  ``00-<trace_id>-<parent_span_id>-01`` layout; see
+  :mod:`repro.obs.propagate`).  It rides *outside* ``options`` on purpose:
+  options feed :func:`request_key`, and trace context must never change
+  coalescing identity -- a traced and an untraced copy of the same query
+  share one flight.  Result and mutation terminals from an observing
+  server carry the request's ``trace_id`` back to the client.
 
 Error taxonomy (the ``code`` field of ``type: "error"`` messages):
 
@@ -53,6 +61,9 @@ import json
 from typing import Any, Mapping
 
 from repro.certainty.result import CertaintyResult
+# Redundant alias = explicit re-export: transports import the trace-context
+# field name from the protocol module they already depend on.
+from repro.obs.propagate import TRACEPARENT_KEY as TRACEPARENT_KEY
 from repro.service.answers import AnnotatedAnswer
 from repro.service.planner import PLANNER_MODES
 from repro.service.service import SERVICE_METHODS, normalise_sql

@@ -655,16 +655,16 @@ class AnnotationService:
             # later mutation can evict exactly the affected cache entries.
             self._record_provenance(schedule, candidates, cache_key)
 
-        def _decide(group: TaskGroup, span=None) -> tuple[CertaintyResult, bool]:
-            key = cache_key(group)
-            if not reuse:
-                result = self._estimate(group, epsilon, delta, method,
-                                        adaptive, root, (group.members[0],),
-                                        on_update, trace=tr, parent=span)
-                return result, False
-            cached = self._result_cache.get(key)
-            if cached is not None:
-                return self._patch_dimension(cached), True
+        def _estimate_group(group: TaskGroup,
+                            span=None) -> tuple[CertaintyResult, bool]:
+            result = self._estimate(group, epsilon, delta, method,
+                                    adaptive, root, (group.members[0],),
+                                    on_update, trace=tr, parent=span)
+            return result, False
+
+        def _decide_cold(group: TaskGroup, key,
+                         span=None) -> tuple[CertaintyResult, bool]:
+            """The estimate after a counted certainty-cache miss."""
 
             def compute() -> tuple[CertaintyResult, bool]:
                 # Re-probe under flight leadership: a racing request may
@@ -691,18 +691,46 @@ class AnnotationService:
                  seed_token), compute)
             return result, not (leader and computed)
 
+        def _decide(group: TaskGroup, span=None) -> tuple[CertaintyResult, bool]:
+            if not reuse:
+                return _estimate_group(group, span)
+            key = cache_key(group)
+            cached = self._result_cache.get(key)
+            if cached is not None:
+                return self._patch_dimension(cached), True
+            return _decide_cold(group, key, span)
+
         if tr is NULL_TRACE:
             # The uninstrumented closure, byte for byte: the disabled path
             # pays nothing per group.
             decide = _decide
         else:
             def decide(group: TaskGroup) -> tuple[CertaintyResult, bool]:
-                # Spans from executor worker threads attach via the explicit
-                # parent handle, so the tree survives thread fan-out.
+                # A certainty-cache hit costs microseconds; opening a span
+                # for it would make warm traces (and the warm hot path --
+                # the bench_obs overhead gate) pay dozens of empty
+                # per-group spans per request.  The counted get happens
+                # here instead of inside `_decide`, once, with exactly the
+                # bare path's hit/miss and recency semantics -- the span
+                # only exists when an estimate actually runs.
+                if reuse:
+                    key = cache_key(group)
+                    cached = self._result_cache.get(key)
+                    if cached is not None:
+                        return self._patch_dimension(cached), True
+                    # Spans from executor worker threads attach via the
+                    # explicit parent handle, so the tree survives thread
+                    # fan-out.
+                    with tr.span("estimate",
+                                 lineage=group.canonical.digest.hex()[:12],
+                                 tuples=len(group.members)) as span:
+                        result, reused = _decide_cold(group, key, span)
+                        span.set("reused", reused)
+                        return result, reused
                 with tr.span("estimate",
                              lineage=group.canonical.digest.hex()[:12],
                              tuples=len(group.members)) as span:
-                    result, reused = _decide(group, span)
+                    result, reused = _estimate_group(group, span)
                     span.set("reused", reused)
                     return result, reused
 

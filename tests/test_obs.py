@@ -23,24 +23,48 @@ import urllib.request
 import pytest
 
 from repro.obs import (
+    DEFAULT_WINDOWS,
     LATENCY_BUCKETS,
     NULL_RECORDER,
     NULL_TRACE,
+    SLO,
+    AlertEvaluator,
     ConsoleSample,
     JsonFormatter,
     MetricsRegistry,
     Recorder,
     SlowQueryLog,
+    TimeSeriesStore,
     Trace,
+    TraceContext,
+    TraceStore,
+    collect_profile,
     configure_logging,
+    disabled_report,
+    extract_context,
+    format_traceparent,
     get_logger,
     histogram_quantile,
+    history_quantiles,
+    inject_context,
+    merge_collapsed,
+    new_context,
+    parse_collapsed,
     parse_exposition,
+    parse_traceparent,
+    profile_payload,
+    qps_series,
+    render_collapsed,
     render_frame,
     render_stats_tables,
     run_top,
+    server_slos,
+    snapshot_payload,
+    spans_to_chrome,
+    sparkline,
     window_quantiles,
 )
+from repro.obs.console import counter_rate_series
 from repro.relational.database import Database
 from repro.relational.schema import DatabaseSchema, RelationSchema
 from repro.relational.values import NumNull
@@ -491,3 +515,419 @@ class TestServerObservability:
         slow = stats["service"]["slow_queries"]
         assert slow and slow[0]["sql"].startswith("SELECT P.id")
         assert slow[0]["elapsed_seconds"] > 0.0
+
+
+class TestExpositionEdgeCases:
+    """The parsing helpers the console and alert evaluator lean on."""
+
+    def test_empty_histogram_round_trips_and_has_no_quantile(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_idle_seconds", "never observed")
+        parsed = parse_exposition(registry.render())
+        assert parsed[("repro_idle_seconds_count", ())] == 0.0
+        assert parsed[("repro_idle_seconds_sum", ())] == 0.0
+        buckets = [(float("inf") if labels[0][1] == "+Inf"
+                    else float(labels[0][1]), value)
+                   for (name, labels), value in parsed.items()
+                   if name == "repro_idle_seconds_bucket"]
+        assert buckets and all(value == 0.0 for _, value in buckets)
+        assert histogram_quantile(buckets, 0.99) is None
+
+    def test_quantile_with_only_an_inf_bucket(self):
+        # Degenerate but legal: every observation beyond the largest finite
+        # bound.  The estimate clamps to the previous bound (0.0), never
+        # returning inf or raising.
+        assert histogram_quantile([(float("inf"), 5.0)], 0.5) == 0.0
+
+    def test_coordinator_relabelled_metrics_round_trip(self):
+        from repro.cluster.coordinator import _relabel
+
+        registry = MetricsRegistry()
+        registry.counter("repro_server_requests_total", "reqs").inc(3)
+        histogram = registry.histogram("repro_request_seconds", "lat")
+        histogram.observe(0.01)
+        lines = _relabel(registry.render(), "w7")
+        parsed = parse_exposition("\n".join(lines) + "\n")
+        assert parsed[("repro_server_requests_total",
+                       (("worker", "w7"),))] == 3.0
+        # histogram children keep their own labels after the worker label
+        bucket_keys = [key for key in parsed
+                       if key[0] == "repro_request_seconds_bucket"]
+        assert bucket_keys
+        for _, labels in bucket_keys:
+            labelmap = dict(labels)
+            assert labelmap["worker"] == "w7" and "le" in labelmap
+        assert parsed[("repro_request_seconds_count",
+                       (("worker", "w7"),))] == 1.0
+
+
+class TestTimeSeriesStore:
+    def _store(self, capacity=4):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_ticks_total", "ticks")
+        clock = {"now": 100.0}
+        store = TimeSeriesStore(registry, interval=1.0, capacity=capacity,
+                                clock=lambda: clock["now"])
+        return store, counter, clock
+
+    def test_ring_wraparound_keeps_newest(self):
+        store, counter, clock = self._store(capacity=4)
+        for tick in range(10):
+            counter.inc()
+            clock["now"] = 100.0 + tick
+            store.sample()
+        assert len(store) == 4
+        history = store.history(sample_now=False)
+        assert history["capacity"] == 4
+        assert history["retention_seconds"] == 4.0
+        times = [snap["time"] for snap in history["snapshots"]]
+        assert times == [106.0, 107.0, 108.0, 109.0]
+        values = [snap["samples"]["repro_ticks_total"]
+                  for snap in history["snapshots"]]
+        assert values == [7.0, 8.0, 9.0, 10.0]
+
+    def test_stepped_back_clock_is_clamped_monotone(self):
+        store, _, clock = self._store()
+        store.sample()
+        clock["now"] = 50.0  # wall clock stepped backwards
+        snap = store.sample()
+        assert snap["time"] == 100.0  # clamped to the previous snapshot
+
+    def test_window_filter_trims_old_snapshots(self):
+        store, _, clock = self._store(capacity=64)
+        for tick in range(20):
+            clock["now"] = 100.0 + tick
+            store.sample()
+        history = store.history(5.0, sample_now=False)
+        assert [snap["time"] for snap in history["snapshots"]] == \
+            [114.0, 115.0, 116.0, 117.0, 118.0, 119.0]
+
+    def test_concurrent_scrapes_stay_monotone(self):
+        """Snapshot times never decrease even when many threads sample
+        around a jittery clock (the /history handler races the sampler)."""
+        registry = MetricsRegistry()
+        clock = {"now": 0.0}
+        lock = threading.Lock()
+
+        def jittery_clock():
+            with lock:
+                clock["now"] += 0.001
+                # a misbehaving clock that occasionally steps back
+                return clock["now"] - (0.01 if int(clock["now"] * 1000) % 7 == 0
+                                       else 0.0)
+
+        store = TimeSeriesStore(registry, interval=1.0, capacity=128,
+                                clock=jittery_clock)
+
+        def scraper():
+            for _ in range(50):
+                store.sample()
+
+        threads = [threading.Thread(target=scraper) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        times = [snap["time"]
+                 for snap in store.history(sample_now=False)["snapshots"]]
+        assert times == sorted(times)
+        assert len(store) == 128  # 200 samples through a 128-slot ring
+
+    def test_history_samples_on_demand(self):
+        store, counter, _ = self._store()
+        counter.inc(5)
+        history = store.history()
+        assert history["snapshots"][-1]["samples"]["repro_ticks_total"] == 5.0
+
+    def test_rejects_bad_parameters(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            TimeSeriesStore(registry, interval=0.0)
+        with pytest.raises(ValueError):
+            TimeSeriesStore(registry, capacity=1)
+
+
+class TestTracePropagation:
+    def test_round_trip(self):
+        context = new_context()
+        header = format_traceparent(context.trace_id, 0xdeadbeef)
+        parsed = parse_traceparent(header)
+        assert parsed == TraceContext(trace_id=context.trace_id,
+                                      parent_id=0xdeadbeef)
+
+    @pytest.mark.parametrize("value", [
+        None, 7, "", "00-short-0011223344556677-01",
+        "99-" + "a" * 32 + "-" + "b" * 16 + "-01",     # unknown version
+        "00-" + "0" * 32 + "-" + "b" * 16 + "-01",     # all-zero trace id
+        "00-" + "a" * 32 + "-" + "b" * 15 + "-01",     # short parent
+        "00-" + "g" * 32 + "-" + "b" * 16 + "-01",     # non-hex
+        "00-" + "a" * 32 + "-" + "b" * 16,             # missing flags
+    ])
+    def test_malformed_traceparents_yield_none(self, value):
+        assert parse_traceparent(value) is None
+
+    def test_extract_and_inject_ride_outside_options(self):
+        message = {"op": "query", "sql": "SELECT 1", "options": {"seed": 3}}
+        context = new_context()
+        inject_context(message, context.trace_id, 42)
+        assert message["options"] == {"seed": 3}  # coalescing identity intact
+        extracted = extract_context(message)
+        assert extracted.trace_id == context.trace_id
+        assert extracted.parent_id == 42
+        assert extract_context({"op": "query", "sql": "SELECT 1"}) is None
+
+    def test_trace_adopts_propagated_context(self):
+        context = new_context()
+        trace = Trace("request", context=context)
+        with trace.span("cluster.request"):
+            pass
+        assert trace.trace_id == context.trace_id
+        (span,) = trace.span_dicts()
+        # remote hop: span ids are drawn from os.urandom, not 1,2,3...
+        assert span["span_id"] > 2 ** 15
+
+
+class TestProfiler:
+    """The sampler excludes its own (calling) thread, so every test spins
+    a busy worker thread with a recognizable frame to be sampled."""
+
+    @staticmethod
+    def _busy_thread(stop: threading.Event) -> threading.Thread:
+        def profiler_test_burn() -> None:
+            while not stop.is_set():
+                sum(range(200))
+
+        thread = threading.Thread(target=profiler_test_burn, daemon=True)
+        thread.start()
+        return thread
+
+    def test_collect_and_render_round_trip(self):
+        stop = threading.Event()
+        thread = self._busy_thread(stop)
+        try:
+            counts = collect_profile(seconds=0.1, interval=0.01)
+        finally:
+            stop.set()
+            thread.join()
+        assert counts and all(isinstance(stack, str) and count >= 1
+                              for stack, count in counts.items())
+        assert any("profiler_test_burn" in stack for stack in counts)
+        text = render_collapsed(counts)
+        assert parse_collapsed(text) == counts
+
+    def test_merge_collapsed_sums_counts(self):
+        merged = merge_collapsed(["a;b 3\na 1\n", "a;b 2\nc 4\n"])
+        assert merged == {"a;b": 5, "a": 1, "c": 4}
+
+    def test_profile_payload_shape_and_clamping(self):
+        stop = threading.Event()
+        thread = self._busy_thread(stop)
+        try:
+            payload = profile_payload(0.1, 0.01)
+        finally:
+            stop.set()
+            thread.join()
+        assert payload["seconds"] == 0.1
+        assert payload["samples"] >= 1
+        assert payload["stacks"] == len(parse_collapsed(payload["collapsed"]))
+        # the bounds that make /profile safe to expose: a fat-fingered
+        # request clamps instead of pinning a sampler thread
+        instant = profile_payload(-5.0, 0.0001)
+        assert instant["seconds"] == 0.0
+        assert instant["interval_seconds"] >= 0.005
+
+
+class TestAlerts:
+    @staticmethod
+    def _snapshots(errors_by_time: dict[float, float],
+                   requests_per_tick: float = 100.0) -> list[dict]:
+        """Synthetic tsdb history: one snapshot per second with cumulative
+        request/error counters."""
+        snapshots = []
+        requests = errors = 0.0
+        for tick in sorted(errors_by_time):
+            requests += requests_per_tick
+            errors += errors_by_time[tick]
+            snapshots.append({"time": tick, "samples": {
+                "repro_server_requests_total": requests,
+                'repro_server_errors_total{kind="internal"}': errors,
+                "repro_server_overloads_total": 0.0,
+            }})
+        return snapshots
+
+    def test_sustained_errors_fire_the_page_alert(self):
+        # 10% internal errors over 6 minutes: burn 100x against a 99.9%
+        # objective, far over both page windows.
+        snapshots = self._snapshots({float(t): 10.0 for t in range(0, 360, 1)})
+        evaluator = AlertEvaluator(server_slos())
+        report = evaluator.report(snapshots)
+        assert report["firing"]
+        page = next(a for a in report["alerts"]
+                    if a["slo"] == "availability" and a["severity"] == "page")
+        assert page["firing"] and page["burn_short"] > 14.4
+
+    def test_recovered_errors_reset_the_short_window(self):
+        # Errors stopped 2 minutes ago: the long window still burns, the
+        # 1-minute short window is clean, so the page alert is quiet.
+        errors = {float(t): (10.0 if t < 240 else 0.0) for t in range(0, 360)}
+        evaluator = AlertEvaluator(server_slos())
+        report = evaluator.report(self._snapshots(errors))
+        page = next(a for a in report["alerts"]
+                    if a["slo"] == "availability" and a["severity"] == "page")
+        assert not page["firing"]
+        assert page["burn_long"] > page["burn_short"]
+
+    def test_idle_history_never_fires(self):
+        snapshots = [{"time": float(t), "samples": {
+            "repro_server_requests_total": 50.0,
+            'repro_server_errors_total{kind="internal"}': 50.0,
+        }} for t in range(0, 360)]
+        report = AlertEvaluator(server_slos()).report(snapshots)
+        assert not report["firing"]  # no new traffic means no burn
+
+    def test_latency_threshold_quantizes_to_a_bucket(self):
+        # 40% of requests slower than the 0.1s threshold against a 95%
+        # objective: burn 8, over the ticket threshold but not page's.
+        slo = SLO(name="latency", objective=0.95,
+                  total="repro_request_seconds_count",
+                  latency_histogram="repro_request_seconds",
+                  threshold_seconds=0.1)
+        snapshots = []
+        count = fast = 0.0
+        for tick in range(0, 1900, 2):
+            count += 10.0
+            fast += 6.0
+            snapshots.append({"time": float(tick), "samples": {
+                "repro_request_seconds_count": count,
+                'repro_request_seconds_bucket{le="0.1024"}': fast,
+                'repro_request_seconds_bucket{le="+Inf"}': count,
+            }})
+        report = AlertEvaluator((slo,)).report(snapshots)
+        by_severity = {a["severity"]: a for a in report["alerts"]}
+        assert not by_severity["page"]["firing"]
+        assert by_severity["ticket"]["firing"]
+        assert by_severity["ticket"]["burn_long"] == pytest.approx(8.0,
+                                                                   rel=0.05)
+
+    def test_young_history_degrades_to_not_firing(self):
+        evaluator = AlertEvaluator(server_slos())
+        assert not evaluator.report([])["firing"]
+        assert not evaluator.report(self._snapshots({0.0: 99.0}))["firing"]
+
+    def test_disabled_report_shape(self):
+        assert disabled_report() == {"alerts": [], "firing": False}
+
+    def test_max_window_matches_defaults(self):
+        evaluator = AlertEvaluator(server_slos(), DEFAULT_WINDOWS)
+        assert evaluator.max_window_seconds == 1800.0
+
+
+class TestTraceStore:
+    def test_put_get_latest_and_eviction(self):
+        store = TraceStore(capacity=2)
+        traces = []
+        for _ in range(3):
+            trace = Trace("request", context=new_context())
+            with trace.span("work"):
+                pass
+            store.put(trace)
+            traces.append(trace)
+        assert store.get(traces[0].trace_id) is None  # aged out
+        assert store.get(traces[2].trace_id) is traces[2]
+        assert store.latest() is traces[2]
+
+    def test_ignores_traces_without_an_id(self):
+        store = TraceStore()
+        store.put(Trace("request"))  # local-only trace: no trace id
+        assert store.latest() is None
+
+    def test_spans_to_chrome_stitches_processes(self):
+        coordinator = Trace("request", context=new_context())
+        with coordinator.span("cluster.request") as root:
+            forward = coordinator.span("forward", parent=root)
+            forward.__exit__(None, None, None)
+        forward_id = coordinator.span_dicts()[0]["span_id"]
+        worker = Trace("request", context=TraceContext(
+            trace_id=coordinator.trace_id, parent_id=forward_id))
+        with worker.span("request"):
+            pass
+        chrome = spans_to_chrome(coordinator.trace_id, [
+            ("coordinator:1", coordinator.span_dicts()),
+            ("worker:w0", worker.span_dicts()),
+        ])
+        meta = [e for e in chrome["traceEvents"] if e["ph"] == "M"]
+        assert [e["args"]["name"] for e in meta] == \
+            ["coordinator:1", "worker:w0"]
+        assert {e["pid"] for e in meta} == {1, 2}
+        spans = [e for e in chrome["traceEvents"] if e["ph"] == "X"]
+        ids = {e["args"]["span_id"] for e in spans}
+        worker_spans = [e for e in spans if e["pid"] == 2]
+        assert worker_spans and all(
+            e["args"]["parent_id"] in ids or e["args"]["parent_id"] == forward_id
+            for e in worker_spans)
+        assert chrome["otherData"]["trace_id"] == coordinator.trace_id
+
+
+class TestConsoleHistory:
+    @staticmethod
+    def _snapshots():
+        snapshots = []
+        for tick, (requests, fast, slow) in enumerate(
+                [(10, 8, 2), (20, 16, 4), (40, 30, 10), (50, 40, 10)]):
+            snapshots.append({"time": 100.0 + tick * 2.0, "samples": {
+                "repro_server_requests_total": float(requests),
+                "repro_request_seconds_count": float(fast + slow),
+                'repro_request_seconds_bucket{le="0.1024"}': float(fast),
+                'repro_request_seconds_bucket{le="1.6384"}': float(fast + slow),
+                'repro_request_seconds_bucket{le="+Inf"}': float(fast + slow),
+            }})
+        return snapshots
+
+    def test_sparkline_is_peak_scaled(self):
+        line = sparkline([0.0, 1.0, 2.0, 4.0])
+        assert len(line) == 4
+        assert line[-1] == "█" and line[0] == " "
+        assert sparkline([]) == ""
+        assert sparkline([0.0, 0.0]) == "  "
+
+    def test_counter_rate_series_clamps_resets(self):
+        snapshots = [
+            {"time": 0.0, "samples": {"repro_server_requests_total": 10.0}},
+            {"time": 2.0, "samples": {"repro_server_requests_total": 30.0}},
+            {"time": 4.0, "samples": {"repro_server_requests_total": 5.0}},
+        ]
+        rates = counter_rate_series(snapshots, "repro_server_requests_total")
+        assert rates == [10.0, 0.0]  # restart shows as zero, not negative
+
+    def test_qps_series_prefers_the_cluster_counter(self):
+        snapshots = self._snapshots()
+        for snap in snapshots:
+            snap["samples"]["repro_cluster_requests_total"] = \
+                snap["samples"]["repro_server_requests_total"] * 2
+        rates = qps_series(snapshots)
+        assert rates == counter_rate_series(snapshots,
+                                            "repro_cluster_requests_total")
+
+    def test_history_quantiles_diff_the_window_edges(self):
+        p50, p99 = history_quantiles(self._snapshots())
+        assert p50 is not None and p50 <= 0.1024
+        assert p99 is not None and 0.1024 < p99 <= 1.6384
+        assert history_quantiles(self._snapshots()[:1]) == [None, None]
+
+    def test_snapshot_payload_is_json_ready(self):
+        sample = ConsoleSample(
+            time=123.0,
+            stats={"alerts": [{"slo": "availability", "severity": "page",
+                               "firing": False}],
+                   "workers": [{"id": "w0", "state": "healthy"}],
+                   "coordinator": {"requests": 25}},
+            metrics={},
+            history={"snapshots": self._snapshots(),
+                     "workers": {"w0": {"snapshots": self._snapshots()}}})
+        payload = snapshot_payload(sample)
+        json.dumps(payload)  # must be serializable as-is
+        assert payload["qps"] > 0.0
+        assert payload["p99_seconds"] is not None
+        assert payload["firing"] is False
+        assert payload["worker_qps"]["w0"] == payload["qps_series"][-1]
+        assert payload["workers"][0]["id"] == "w0"
